@@ -1,0 +1,46 @@
+// Command stmbench regenerates the paper's evaluation tables and figures
+// (experiments E1..E7 in DESIGN.md).
+//
+// Usage:
+//
+//	stmbench                 # run everything at full scale
+//	stmbench -e e1,e3        # run selected experiments
+//	stmbench -quick          # small parameters (seconds, for smoke runs)
+//
+// Output is a series of aligned text tables, one per paper table/figure,
+// each annotated with the shape the paper reports so results can be compared
+// at a glance. EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memtx/internal/harness"
+)
+
+func main() {
+	var (
+		exps  = flag.String("e", "all", "comma-separated experiments to run (e1..e7, or 'all')")
+		quick = flag.Bool("quick", false, "use small test-scale parameters")
+	)
+	flag.Parse()
+
+	ids := harness.ExperimentIDs
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(strings.ToLower(id))
+		tables, err := harness.Run(id, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	}
+}

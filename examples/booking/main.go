@@ -1,0 +1,177 @@
+// Booking: multi-structure atomic composition on the decomposed API.
+//
+// A tiny reservation service keeps three shared structures — a hash map of
+// resource inventory, a BST of customer balances keyed by id, and a sorted
+// list of resources that ever sold out. A booking must atomically:
+//
+//  1. check the resource has stock and the customer has funds,
+//  2. decrement stock, debit the customer, and
+//  3. record the resource in the sold-out list when stock hits zero.
+//
+// With locks this composition requires a careful global order across three
+// structures; with the STM it is just one transaction. Invariants are
+// audited concurrently by read-only transactions: total money and total
+// stock movements must always reconcile.
+//
+// Run with: go run ./examples/booking
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/txds"
+)
+
+const (
+	resources    = 64
+	customers    = 32
+	initialStock = 50
+	initialFunds = 4_000
+	price        = 7
+	workers      = 8
+	bookingsPerW = 2_000
+)
+
+type service struct {
+	eng      engine.Engine
+	stock    *txds.HashMap    // resource id -> units left
+	balances *txds.BST        // customer id -> funds
+	soldOut  *txds.SortedList // resource ids that hit zero
+}
+
+func newService(eng engine.Engine) *service {
+	s := &service{
+		eng:      eng,
+		stock:    txds.NewHashMap(eng, 128),
+		balances: txds.NewBST(eng),
+		soldOut:  txds.NewSortedList(eng),
+	}
+	for r := uint64(0); r < resources; r++ {
+		s.stock.PutAtomic(r, initialStock)
+	}
+	for c := uint64(0); c < customers; c++ {
+		s.balances.InsertAtomic(c, initialFunds)
+	}
+	return s
+}
+
+// book attempts one reservation; it returns false (leaving no trace) when
+// stock or funds are insufficient.
+func (s *service) book(resource, customer uint64) (bool, error) {
+	booked := false
+	err := engine.Run(s.eng, func(tx engine.Txn) error {
+		booked = false
+		units, ok := s.stock.Get(tx, resource)
+		if !ok || units == 0 {
+			return nil
+		}
+		funds, ok := s.balances.Get(tx, customer)
+		if !ok || funds < price {
+			return nil
+		}
+		s.stock.Put(tx, resource, units-1)
+		s.balances.Insert(tx, customer, funds-price)
+		if units-1 == 0 {
+			s.soldOut.Insert(tx, resource)
+		}
+		booked = true
+		return nil
+	})
+	return booked, err
+}
+
+// audit verifies, in one consistent snapshot, that money and stock reconcile
+// with the number of successful bookings implied by them.
+func (s *service) audit() error {
+	return engine.RunReadOnly(s.eng, func(tx engine.Txn) error {
+		var fundsTotal, stockTotal uint64
+		for c := uint64(0); c < customers; c++ {
+			f, _ := s.balances.Get(tx, c)
+			fundsTotal += f
+		}
+		for r := uint64(0); r < resources; r++ {
+			u, _ := s.stock.Get(tx, r)
+			stockTotal += u
+		}
+		soldUnits := resources*initialStock - stockTotal
+		spent := customers*initialFunds - fundsTotal
+		if spent != soldUnits*price {
+			return fmt.Errorf("audit mismatch: %d spent but %d units sold (price %d)",
+				spent, soldUnits, price)
+		}
+		return nil
+	})
+}
+
+func main() {
+	svc := newService(core.New())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // continuous auditor
+		defer wg.Done()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				fmt.Printf("auditor: %d consistent audits\n", n)
+				return
+			default:
+			}
+			if err := svc.audit(); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+	}()
+
+	var booked, rejected uint64
+	var mu sync.Mutex
+	var bookers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		bookers.Add(1)
+		go func(seed uint64) {
+			defer bookers.Done()
+			rng := seed*0x9E3779B97F4A7C15 | 1
+			next := func() uint64 {
+				rng ^= rng >> 12
+				rng ^= rng << 25
+				rng ^= rng >> 27
+				return rng * 0x2545F4914F6CDD1D
+			}
+			var ok, no uint64
+			for i := 0; i < bookingsPerW; i++ {
+				done, err := svc.book(next()%resources, next()%customers)
+				if err != nil {
+					log.Fatalf("book: %v", err)
+				}
+				if done {
+					ok++
+				} else {
+					no++
+				}
+			}
+			mu.Lock()
+			booked += ok
+			rejected += no
+			mu.Unlock()
+		}(uint64(w + 1))
+	}
+	bookers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if err := svc.audit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bookings: %d ok, %d rejected\n", booked, rejected)
+	fmt.Printf("sold-out resources: %d of %d\n", svc.soldOut.LenAtomic(), resources)
+	s := svc.eng.Stats()
+	fmt.Printf("engine: %d commits, %d aborts (%.2f%%)\n",
+		s.Commits, s.Aborts, 100*float64(s.Aborts)/float64(s.Starts))
+}

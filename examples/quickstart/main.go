@@ -1,0 +1,108 @@
+// Quickstart: atomic bank transfers with the memtx public API.
+//
+// Eight goroutines shuffle money between 64 accounts while two auditors
+// repeatedly verify, inside read-only transactions, that the total balance is
+// conserved — the canonical "composable atomicity" demo for a transactional
+// memory.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"memtx"
+)
+
+const (
+	numAccounts  = 64
+	initialFunds = 1_000
+	transfers    = 5_000
+	workers      = 8
+)
+
+func main() {
+	tm := memtx.New()
+
+	accounts := make([]*memtx.Var, numAccounts)
+	for i := range accounts {
+		accounts[i] = tm.NewVar(initialFunds)
+	}
+	want := uint64(numAccounts * initialFunds)
+
+	audit := func() uint64 {
+		var total uint64
+		err := tm.ReadOnly(func(tx *memtx.Tx) error {
+			total = 0
+			for _, acc := range accounts {
+				total += acc.Get(tx)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		return total
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent auditors: a committed read-only transaction always sees a
+	// consistent snapshot, so every observed total must be exact.
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			audits := 0
+			for {
+				select {
+				case <-stop:
+					fmt.Printf("auditor done after %d consistent audits\n", audits)
+					return
+				default:
+				}
+				if got := audit(); got != want {
+					log.Fatalf("audit saw inconsistent total %d (want %d)", got, want)
+				}
+				audits++
+			}
+		}()
+	}
+
+	var transferred sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		transferred.Add(1)
+		go func(seed int64) {
+			defer transferred.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(numAccounts), rng.Intn(numAccounts)
+				amount := uint64(rng.Intn(50))
+				err := tm.Atomic(func(tx *memtx.Tx) error {
+					balance := accounts[from].Get(tx)
+					if balance < amount {
+						return nil // insufficient funds: commit no changes
+					}
+					accounts[from].Set(tx, balance-amount)
+					accounts[to].Set(tx, accounts[to].Get(tx)+amount)
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("transfer: %v", err)
+				}
+			}
+		}(int64(w))
+	}
+	transferred.Wait()
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("final total: %d (want %d)\n", audit(), want)
+	s := tm.Stats()
+	fmt.Printf("engine stats: %d commits, %d aborts (%.1f%% abort rate)\n",
+		s.Commits, s.Aborts, 100*float64(s.Aborts)/float64(s.Starts))
+}

@@ -1,0 +1,111 @@
+// Wordcount: concurrent aggregation into a transactional hash map using the
+// decomposed API via internal/txds.
+//
+// Workers tokenize chunks of a synthetic corpus and increment per-word
+// counters in a shared transactional hash map; because each increment is a
+// read-modify-write transaction, no updates are lost and no locks appear in
+// user code. A final read-only transaction extracts the totals.
+//
+// Run with: go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/txds"
+)
+
+// The corpus is a repeated passage, so expected counts are exact multiples.
+const passage = `the quick brown fox jumps over the lazy dog
+the dog barks and the fox runs away over the hill`
+
+const repeats = 400
+
+func main() {
+	eng := core.New()
+	counts := txds.NewHashMap(eng, 256)
+
+	// Intern words to integer keys (the map is uint64 -> uint64).
+	words := strings.Fields(strings.ReplaceAll(passage, "\n", " "))
+	ids := map[string]uint64{}
+	names := []string{}
+	for _, w := range words {
+		if _, ok := ids[w]; !ok {
+			ids[w] = uint64(len(names))
+			names = append(names, w)
+		}
+	}
+
+	// Shard the corpus across workers.
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for rep := shard; rep < repeats; rep += workers {
+				for _, word := range words {
+					id := ids[word]
+					// One transaction per increment: read-modify-write.
+					err := engine.Run(eng, func(tx engine.Txn) error {
+						cur, _ := counts.Get(tx, id)
+						counts.Put(tx, id, cur+1)
+						return nil
+					})
+					if err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Extract results in one consistent read-only snapshot.
+	type wc struct {
+		word  string
+		count uint64
+	}
+	var results []wc
+	err := engine.RunReadOnly(eng, func(tx engine.Txn) error {
+		results = results[:0]
+		for word, id := range ids {
+			c, _ := counts.Get(tx, id)
+			results = append(results, wc{word, c})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].count != results[j].count {
+			return results[i].count > results[j].count
+		}
+		return results[i].word < results[j].word
+	})
+
+	fmt.Println("top words:")
+	for _, r := range results[:5] {
+		fmt.Printf("  %-6s %6d\n", r.word, r.count)
+	}
+
+	// Verify against a sequential count.
+	expect := map[string]uint64{}
+	for _, w := range words {
+		expect[w] += repeats
+	}
+	for _, r := range results {
+		if expect[r.word] != r.count {
+			panic(fmt.Sprintf("count mismatch for %q: %d != %d", r.word, r.count, expect[r.word]))
+		}
+	}
+	s := eng.Stats()
+	fmt.Printf("verified %d distinct words; %d commits, %d aborts\n",
+		len(results), s.Commits, s.Aborts)
+}

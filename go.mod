@@ -1,0 +1,3 @@
+module memtx
+
+go 1.23

@@ -1,0 +1,63 @@
+package core
+
+import "runtime"
+
+// ContentionManager decides how a transaction behaves when OpenForUpdate
+// finds the object owned by another, still-running transaction. The paper's
+// runtime resolves update-update conflicts at acquisition time; the policy
+// for *how long to wait* before giving up is pluggable here so that the E7
+// experiment can compare policies.
+//
+// Wait is called with the number of times this acquisition has already
+// deferred; returning true means "yield and try the CAS again", false means
+// "abandon this transaction attempt" (it will be rolled back and re-executed
+// with backoff by engine.Run).
+type ContentionManager interface {
+	Name() string
+	Wait(attempt int) bool
+}
+
+// Passive aborts itself immediately on any update-update conflict, relying on
+// engine.Run's randomized backoff to break symmetry. It is the simplest
+// livelock-safe policy.
+type Passive struct{}
+
+func (Passive) Name() string  { return "passive" }
+func (Passive) Wait(int) bool { return false }
+
+// Polite spins a bounded number of times, yielding the processor between
+// attempts, before aborting itself. Short-lived owners usually release within
+// the window, saving a rollback.
+type Polite struct {
+	// Spins is the number of yields before giving up; 0 means a default of 8.
+	Spins int
+}
+
+func (p Polite) Name() string { return "polite" }
+
+func (p Polite) Wait(attempt int) bool {
+	spins := p.Spins
+	if spins == 0 {
+		spins = 8
+	}
+	if attempt >= spins {
+		return false
+	}
+	runtime.Gosched()
+	return true
+}
+
+// Patient spins for a long bounded window. It approximates "wait for the
+// owner" policies: good when transactions are short and aborts expensive, bad
+// under deep contention.
+type Patient struct{}
+
+func (Patient) Name() string { return "patient" }
+
+func (Patient) Wait(attempt int) bool {
+	if attempt >= 1024 {
+		return false
+	}
+	runtime.Gosched()
+	return true
+}

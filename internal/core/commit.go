@@ -1,0 +1,159 @@
+package core
+
+import "memtx/internal/engine"
+
+// Validate implements engine.Txn: it re-checks every read-log entry against
+// the objects' current STM words. A read is valid if
+//
+//   - the object is unowned at the recorded version, or
+//   - the object is owned by this transaction and the displaced version is
+//     the recorded one.
+//
+// Any other state — a newer version, or ownership by another transaction —
+// is a conflict.
+func (t *Txn) Validate() error {
+	if !t.valid() {
+		return engine.ErrConflict
+	}
+	return nil
+}
+
+func (t *Txn) valid() bool {
+	for i := range t.readLog {
+		re := &t.readLog[i]
+		m := re.obj.meta.Load()
+		switch {
+		case m.ownerID == 0:
+			if m.version != re.seen {
+				return false
+			}
+		case m.ownerID == t.id:
+			if m.entry.oldMeta.version != re.seen {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Commit implements engine.Txn. It validates the read log and, if valid,
+// releases every owned object by publishing its pre-built {version+1}
+// record; the in-place updates thereby become permanent. On conflict the
+// transaction is rolled back and ErrConflict returned.
+//
+// The release loop performs only pointer stores (the records were built at
+// open time), matching the paper's constant-time commit per updated object.
+func (t *Txn) Commit() error {
+	if t.done {
+		panic("core: Commit on finished transaction")
+	}
+	if !t.valid() {
+		t.rollback()
+		return engine.ErrConflict
+	}
+	for _, e := range t.updateLog {
+		e.obj.meta.Store(&e.newMeta)
+	}
+	eng, published := t.eng, len(t.updateLog) > 0
+	t.finish(true) // recycles t; use the captured engine afterwards
+	if published {
+		eng.signal.bump() // wake transactions blocked in WaitCommit
+	}
+	return nil
+}
+
+// Abort implements engine.Txn: it rolls back all in-place updates and
+// releases ownership.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.rollback()
+}
+
+// rollback restores undo-logged fields in reverse order, then releases each
+// owned object. Objects that were actually written (dirty) are released at
+// version+1 so that optimistic readers which may have observed the transient
+// values fail validation; clean objects get their original version record
+// back, avoiding false conflicts.
+func (t *Txn) rollback() {
+	for i := len(t.undoLog) - 1; i >= 0; i-- {
+		u := &t.undoLog[i]
+		if u.isRef {
+			u.obj.refs[u.idx].Store(u.oldRef)
+		} else {
+			u.obj.words[u.idx].Store(u.oldWord)
+		}
+	}
+	for _, e := range t.updateLog {
+		if e.dirty {
+			e.obj.meta.Store(&e.newMeta)
+		} else {
+			e.obj.meta.Store(e.oldMeta)
+		}
+	}
+	t.finish(false)
+}
+
+// Compact implements engine.Txn: it deduplicates the read log in place,
+// keeping the earliest entry per object, and models the paper's GC-time log
+// compaction. Duplicate read-log entries arise when the filter evicts a key
+// or is disabled.
+func (t *Txn) Compact() {
+	if len(t.readLog) < 2 {
+		return
+	}
+	seen := make(map[uint64]struct{}, len(t.readLog))
+	kept := t.readLog[:0]
+	for _, re := range t.readLog {
+		if _, dup := seen[re.obj.id]; dup {
+			continue
+		}
+		seen[re.obj.id] = struct{}{}
+		kept = append(kept, re)
+	}
+	t.nReadDropped += uint64(len(t.readLog) - len(kept))
+	t.readLog = kept
+	t.nCompactions++
+}
+
+// finish folds the transaction's local counters into the engine and recycles
+// the Txn value.
+func (t *Txn) finish(committed bool) {
+	t.done = true
+	s := &t.eng.stats
+	if committed {
+		s.commits.Add(1)
+	} else {
+		s.aborts.Add(1)
+	}
+	s.openForRead.Add(t.nOpenRead)
+	s.openForUpdate.Add(t.nOpenUpdate)
+	s.undoLogged.Add(t.nUndo)
+	s.readLogEntries.Add(t.nReadLog)
+	s.filterHits.Add(t.nFilterHits)
+	s.localSkips.Add(t.nLocalSkips)
+	s.compactions.Add(t.nCompactions)
+	s.readLogDropped.Add(t.nReadDropped)
+	// Avoid pinning giant log capacity in the pool.
+	const keepCap = 1 << 14
+	if cap(t.readLog) > keepCap {
+		t.readLog = nil
+	}
+	if cap(t.undoLog) > keepCap {
+		t.undoLog = nil
+	}
+	if cap(t.updateLog) > keepCap {
+		t.updateLog = nil
+	}
+	t.eng.pool.Put(t)
+}
+
+// ReadLogLen reports the current read-log length; exported for the log
+// compaction experiment (E6).
+func (t *Txn) ReadLogLen() int { return len(t.readLog) }
+
+// UndoLogLen reports the current undo-log length.
+func (t *Txn) UndoLogLen() int { return len(t.undoLog) }

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"memtx/internal/engine"
+	"memtx/internal/filter"
+)
+
+// readSlot is the filter key used for object-level read-log entries; word and
+// reference undo entries use 2*idx and 2*idx+1 respectively, so the read key
+// cannot collide with any undo key.
+const readSlot = ^uint64(0)
+
+// Txn is one attempt of a transaction against the direct-update engine.
+type Txn struct {
+	eng      *Engine
+	id       uint64
+	readonly bool
+	done     bool
+
+	readLog   []readEntry
+	updateLog []*updateEntry
+	undoLog   []undoEntry
+	filter    *filter.Filter
+
+	// opened tracks opened object ids in checked mode only.
+	opened map[uint64]bool // value: true if open for update
+
+	// local statistic counters, folded into the engine on finish.
+	nOpenRead, nOpenUpdate, nUndo, nReadLog uint64
+	nFilterHits, nLocalSkips                uint64
+	nCompactions, nReadDropped              uint64
+}
+
+func newTxn(e *Engine) *Txn {
+	t := &Txn{eng: e, filter: filter.New(e.filterSize)}
+	if e.checked {
+		t.opened = make(map[uint64]bool)
+	}
+	return t
+}
+
+func (t *Txn) start(readonly bool) {
+	t.id = nextID()
+	t.readonly = readonly
+	t.done = false
+	t.readLog = t.readLog[:0]
+	t.updateLog = t.updateLog[:0]
+	t.undoLog = t.undoLog[:0]
+	t.filter.Reset()
+	if t.opened != nil {
+		clear(t.opened)
+	}
+	t.nOpenRead, t.nOpenUpdate, t.nUndo, t.nReadLog = 0, 0, 0, 0
+	t.nFilterHits, t.nLocalSkips = 0, 0
+	t.nCompactions, t.nReadDropped = 0, 0
+}
+
+// ReadOnly implements engine.Txn.
+func (t *Txn) ReadOnly() bool { return t.readonly }
+
+func (t *Txn) obj(h engine.Handle) *Obj {
+	o, ok := h.(*Obj)
+	if !ok {
+		panic(fmt.Sprintf("core: foreign handle %T passed to direct engine", h))
+	}
+	return o
+}
+
+// OpenForRead implements engine.Txn. Reads are optimistic: the current
+// version is recorded and checked at commit. An object owned by another
+// transaction can still be opened; the displaced version is recorded, so the
+// read validates only if that owner rolls back without having written.
+func (t *Txn) OpenForRead(h engine.Handle) {
+	o := t.obj(h)
+	t.nOpenRead++
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return
+	}
+	if t.opened != nil && !t.opened[o.id] {
+		t.opened[o.id] = false
+	}
+	m := o.meta.Load()
+	if m.ownerID == t.id {
+		return // open for update subsumes open for read
+	}
+	if t.filter.Seen(o.id, readSlot) {
+		t.nFilterHits++
+		return
+	}
+	seen := m.version
+	if m.ownerID != 0 {
+		seen = m.entry.oldMeta.version
+	}
+	t.readLog = append(t.readLog, readEntry{obj: o, seen: seen})
+	t.nReadLog++
+	if th := t.eng.compactThreshold; th > 0 && len(t.readLog) > th {
+		t.Compact()
+	}
+}
+
+// OpenForUpdate implements engine.Txn. Ownership is acquired eagerly by
+// CASing the STM word from a version record to an ownership record pointing
+// at a fresh update-log entry. On an update-update conflict the contention
+// manager decides whether to spin or to abandon the attempt.
+func (t *Txn) OpenForUpdate(h engine.Handle) {
+	if t.readonly {
+		panic("core: OpenForUpdate on read-only transaction")
+	}
+	o := t.obj(h)
+	t.nOpenUpdate++
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return
+	}
+	if t.opened != nil {
+		t.opened[o.id] = true
+	}
+	attempt := 0
+	for {
+		m := o.meta.Load()
+		switch {
+		case m.ownerID == t.id:
+			return // already own it
+		case m.ownerID != 0:
+			if !t.eng.cm.Wait(attempt) {
+				engine.Abandon("object %d owned by txn %d", o.id, m.ownerID)
+			}
+			attempt++
+		default:
+			e := &updateEntry{obj: o, oldMeta: m}
+			e.newMeta = ownership{version: m.version + 1}
+			owned := &ownership{version: m.version, ownerID: t.id, entry: e}
+			if o.meta.CompareAndSwap(m, owned) {
+				t.updateLog = append(t.updateLog, e)
+				return
+			}
+			// Lost the race; loop to re-examine the new STM word.
+		}
+	}
+}
+
+// LogForUndoWord implements engine.Txn.
+func (t *Txn) LogForUndoWord(h engine.Handle, i int) {
+	o := t.obj(h)
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return
+	}
+	if t.filter.Seen(o.id, uint64(i)*2) {
+		t.nFilterHits++
+		return
+	}
+	t.checkOwned(o, "LogForUndoWord")
+	t.markDirty(o)
+	t.undoLog = append(t.undoLog, undoEntry{obj: o, idx: int32(i), oldWord: o.words[i].Load()})
+	t.nUndo++
+}
+
+// LogForUndoRef implements engine.Txn.
+func (t *Txn) LogForUndoRef(h engine.Handle, i int) {
+	o := t.obj(h)
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return
+	}
+	if t.filter.Seen(o.id, uint64(i)*2+1) {
+		t.nFilterHits++
+		return
+	}
+	t.checkOwned(o, "LogForUndoRef")
+	t.markDirty(o)
+	t.undoLog = append(t.undoLog, undoEntry{obj: o, idx: int32(i), isRef: true, oldRef: o.refs[i].Load()})
+	t.nUndo++
+}
+
+// markDirty flags the owned object's update entry so that rollback bumps the
+// version: concurrent optimistic readers may have observed the in-place
+// writes and must fail validation even though the data was restored.
+func (t *Txn) markDirty(o *Obj) {
+	m := o.meta.Load()
+	if m.ownerID == t.id {
+		m.entry.dirty = true
+	}
+}
+
+// checkOwned verifies protocol discipline in checked mode: the object must be
+// owned by this transaction (or be transaction-local, handled by callers).
+func (t *Txn) checkOwned(o *Obj, op string) {
+	if !t.eng.checked {
+		return
+	}
+	m := o.meta.Load()
+	if m.ownerID != t.id {
+		panic(fmt.Sprintf("core: %s on object %d not open for update", op, o.id))
+	}
+}
+
+// LoadWord implements engine.Txn. After OpenForRead this is a single atomic
+// load — the decomposed interface's fast path.
+func (t *Txn) LoadWord(h engine.Handle, i int) uint64 {
+	o := t.obj(h)
+	if t.opened != nil && o.creator != t.id {
+		if _, ok := t.opened[o.id]; !ok {
+			panic(fmt.Sprintf("core: LoadWord on object %d that was never opened", o.id))
+		}
+	}
+	return o.words[i].Load()
+}
+
+// StoreWord implements engine.Txn. The object must be open for update and the
+// word undo-logged (both no-ops for transaction-local objects).
+func (t *Txn) StoreWord(h engine.Handle, i int, v uint64) {
+	if t.readonly {
+		panic("core: StoreWord on read-only transaction")
+	}
+	o := t.obj(h)
+	if o.creator != t.id {
+		t.checkOwned(o, "StoreWord")
+	}
+	o.words[i].Store(v)
+}
+
+// LoadRef implements engine.Txn.
+func (t *Txn) LoadRef(h engine.Handle, i int) engine.Handle {
+	o := t.obj(h)
+	if t.opened != nil && o.creator != t.id {
+		if _, ok := t.opened[o.id]; !ok {
+			panic(fmt.Sprintf("core: LoadRef on object %d that was never opened", o.id))
+		}
+	}
+	r := o.refs[i].Load()
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+// StoreRef implements engine.Txn.
+func (t *Txn) StoreRef(h engine.Handle, i int, r engine.Handle) {
+	if t.readonly {
+		panic("core: StoreRef on read-only transaction")
+	}
+	o := t.obj(h)
+	if o.creator != t.id {
+		t.checkOwned(o, "StoreRef")
+	}
+	var ro *Obj
+	if r != nil {
+		ro = t.obj(r)
+	}
+	o.refs[i].Store(ro)
+}
+
+// Alloc implements engine.Txn: the allocated object is tagged with this
+// transaction's id so every subsequent barrier on it short-circuits (the
+// paper's transaction-local allocation optimization). If the transaction
+// aborts, the object is unreachable garbage; no rollback is needed.
+func (t *Txn) Alloc(nwords, nrefs int) engine.Handle {
+	return t.eng.newObj(nwords, nrefs, t.id)
+}
+
+var _ engine.Txn = (*Txn)(nil)

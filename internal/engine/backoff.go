@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+)
+
+// backoff implements randomized exponential backoff between transaction
+// re-executions. Early retries only yield the processor; once a transaction
+// has conflicted repeatedly it sleeps for a bounded, jittered interval.
+type backoff struct {
+	attempt int
+	rng     uint64
+}
+
+func newBackoff() *backoff {
+	// Seed from the monotonic clock; the quality bar is only "threads
+	// desynchronize", not statistical randomness.
+	return &backoff{rng: uint64(time.Now().UnixNano()) | 1}
+}
+
+const (
+	backoffSpinAttempts = 4
+	backoffBaseSleep    = 500 * time.Nanosecond
+	backoffMaxShift     = 14 // cap sleep at base << 14 ≈ 8ms
+)
+
+func (b *backoff) next() uint64 {
+	// xorshift64*
+	x := b.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	b.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (b *backoff) wait() {
+	b.attempt++
+	if b.attempt <= backoffSpinAttempts {
+		runtime.Gosched()
+		return
+	}
+	shift := b.attempt - backoffSpinAttempts
+	if shift > backoffMaxShift {
+		shift = backoffMaxShift
+	}
+	window := uint64(1) << uint(shift)
+	d := backoffBaseSleep * time.Duration(1+b.next()%window)
+	time.Sleep(d)
+}

@@ -1,0 +1,96 @@
+package engine
+
+import "fmt"
+
+// Retry is the panic value used by transactional operations to signal that
+// the current transaction attempt has encountered a conflict and must be
+// re-executed. It never escapes Run.
+type Retry struct {
+	// Why describes the conflict for diagnostics.
+	Why string
+}
+
+func (r *Retry) String() string { return "engine: retry: " + r.Why }
+
+// Abandon panics with a *Retry carrying the given reason. Engines call it
+// from the middle of an operation that cannot continue (for example,
+// OpenForUpdate losing an ownership race after the contention manager gave
+// up).
+func Abandon(format string, args ...any) {
+	panic(&Retry{Why: fmt.Sprintf(format, args...)})
+}
+
+// Run executes body as a transaction against e, retrying on conflict until
+// the body commits or returns a non-nil error. It is the engine-neutral
+// equivalent of the paper's re-execution loop around an atomic block.
+//
+// The body may be executed multiple times and therefore must be free of
+// non-transactional side effects. A non-nil error from the body aborts the
+// transaction and is returned to the caller without retrying.
+func Run(e Engine, body func(tx Txn) error) error {
+	return run(e, body, false)
+}
+
+// RunReadOnly is Run for transactions that perform no updates.
+func RunReadOnly(e Engine, body func(tx Txn) error) error {
+	return run(e, body, true)
+}
+
+func run(e Engine, body func(tx Txn) error, readonly bool) error {
+	backoff := newBackoff()
+	for {
+		var tx Txn
+		if readonly {
+			tx = e.BeginReadOnly()
+		} else {
+			tx = e.Begin()
+		}
+		err, conflicted := attempt(tx, body)
+		if conflicted {
+			backoff.wait()
+			continue
+		}
+		return err
+	}
+}
+
+// attempt runs one execution of the body, translating Retry panics and
+// commit conflicts into conflicted=true. Any other panic propagates after the
+// transaction is rolled back.
+func attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		r := recover()
+		if r == nil {
+			return
+		}
+		tx.Abort()
+		if _, ok := r.(*Retry); ok {
+			err, conflicted = nil, true
+			return
+		}
+		panic(r)
+	}()
+
+	if err := body(tx); err != nil {
+		// The engines are not opaque: the body may have computed its error
+		// from an inconsistent (doomed) snapshot. Only a validated error is
+		// allowed to escape; a doomed attempt retries instead.
+		doomed := tx.Validate() != nil
+		tx.Abort()
+		committed = true // suppress the deferred recovery path
+		if doomed {
+			return nil, true
+		}
+		return err, false
+	}
+	err = tx.Commit()
+	committed = true
+	if err == ErrConflict {
+		return nil, true
+	}
+	return err, false
+}

@@ -1,0 +1,80 @@
+// Package filter implements the paper's runtime log filter: a small,
+// per-transaction probabilistic hash table that suppresses duplicate log
+// entries which the compiler could not eliminate statically.
+//
+// The filter maps (object id, field slot) pairs to the epoch in which they
+// were last logged. A lookup that hits the current epoch means "already
+// logged in this transaction — skip". Collisions simply overwrite the slot,
+// so the filter can forget entries; forgetting is safe (the entry is logged
+// again, wasting only space), whereas a false "already logged" answer is
+// impossible because both the key and the epoch must match exactly.
+//
+// Resetting between transactions is O(1): the epoch is bumped, invalidating
+// every slot at once.
+package filter
+
+// Filter is a fixed-capacity duplicate-log filter. The zero value is a
+// disabled filter (every Seen call reports false). It is not safe for
+// concurrent use; each transaction context owns one.
+type Filter struct {
+	slots []slot
+	mask  uint64
+	epoch uint64
+}
+
+type slot struct {
+	obj   uint64 // object id
+	field uint64 // encoded field slot
+	epoch uint64 // epoch at which this key was recorded
+}
+
+// New returns a filter with the given number of slots, rounded up to a power
+// of two. size <= 0 returns a disabled filter.
+func New(size int) *Filter {
+	f := &Filter{}
+	if size <= 0 {
+		return f
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	f.slots = make([]slot, n)
+	f.mask = uint64(n - 1)
+	f.epoch = 1
+	return f
+}
+
+// Enabled reports whether the filter has capacity.
+func (f *Filter) Enabled() bool { return len(f.slots) != 0 }
+
+// Size returns the number of slots.
+func (f *Filter) Size() int { return len(f.slots) }
+
+// Reset prepares the filter for a new transaction. All previously recorded
+// keys become stale in O(1).
+func (f *Filter) Reset() { f.epoch++ }
+
+// Seen records the key (obj, field) and reports whether it was already
+// recorded during the current transaction. A false result may be returned
+// for a key that was recorded but then evicted by a colliding key; callers
+// must treat false as "log it (again)".
+func (f *Filter) Seen(obj, field uint64) bool {
+	if len(f.slots) == 0 {
+		return false
+	}
+	s := &f.slots[f.hash(obj, field)&f.mask]
+	if s.epoch == f.epoch && s.obj == obj && s.field == field {
+		return true
+	}
+	s.obj, s.field, s.epoch = obj, field, f.epoch
+	return false
+}
+
+// hash mixes the object id and field slot. Fibonacci hashing on the combined
+// key gives good dispersion for the sequential ids the engines hand out.
+func (f *Filter) hash(obj, field uint64) uint64 {
+	x := obj*0x9E3779B97F4A7C15 ^ (field+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	return x
+}

@@ -1,0 +1,113 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDisabledFilterNeverHits(t *testing.T) {
+	f := New(0)
+	if f.Enabled() {
+		t.Fatal("size-0 filter reports enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if f.Seen(1, 2) {
+			t.Fatal("disabled filter reported a hit")
+		}
+	}
+}
+
+func TestSeenDetectsDuplicates(t *testing.T) {
+	f := New(64)
+	if f.Seen(10, 3) {
+		t.Fatal("first Seen reported hit")
+	}
+	if !f.Seen(10, 3) {
+		t.Fatal("second Seen missed duplicate")
+	}
+	if f.Seen(10, 4) {
+		t.Fatal("different field reported hit")
+	}
+	if f.Seen(11, 3) {
+		t.Fatal("different object reported hit")
+	}
+}
+
+func TestResetInvalidatesAllKeys(t *testing.T) {
+	f := New(64)
+	for i := uint64(0); i < 32; i++ {
+		f.Seen(i, 0)
+	}
+	f.Reset()
+	for i := uint64(0); i < 32; i++ {
+		if f.Seen(i, 0) {
+			t.Fatalf("key %d survived Reset", i)
+		}
+	}
+}
+
+func TestSizeRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {100, 128}, {512, 512}, {513, 1024},
+	} {
+		if got := New(tc.in).Size(); got != tc.want {
+			t.Errorf("New(%d).Size() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNoFalsePositives is the filter's safety property: Seen must never
+// report true for a key that was not recorded this epoch, regardless of
+// collisions. (False negatives — forgetting a recorded key — are allowed.)
+func TestNoFalsePositives(t *testing.T) {
+	check := func(keys []uint32, probeObj, probeField uint32) bool {
+		f := New(16) // tiny, to force collisions
+		recorded := make(map[[2]uint64]bool)
+		for _, k := range keys {
+			obj, field := uint64(k>>16), uint64(k&0xFFFF)
+			f.Seen(obj, field)
+			recorded[[2]uint64{obj, field}] = true
+		}
+		key := [2]uint64{uint64(probeObj), uint64(probeField)}
+		if !recorded[key] && f.Seen(key[0], key[1]) {
+			return false // hit on a never-recorded key: impossible
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHitImpliesRecorded drives random sequences through a filter and a
+// reference map; any hit the filter reports must also be present in the map.
+func TestHitImpliesRecorded(t *testing.T) {
+	check := func(ops []uint16, resets []bool) bool {
+		f := New(32)
+		ref := make(map[uint64]bool)
+		for i, op := range ops {
+			if i < len(resets) && resets[i] {
+				f.Reset()
+				ref = make(map[uint64]bool)
+			}
+			obj, field := uint64(op>>8), uint64(op&0xFF)
+			hit := f.Seen(obj, field)
+			key := obj<<32 | field
+			if hit && !ref[key] {
+				return false
+			}
+			ref[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeen(b *testing.B) {
+	f := New(512)
+	for i := 0; i < b.N; i++ {
+		f.Seen(uint64(i&1023), uint64(i&7))
+	}
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/ostm"
+	"memtx/internal/progs"
+	"memtx/internal/rawengine"
+	"memtx/internal/til/interp"
+	"memtx/internal/til/parser"
+	"memtx/internal/til/passes"
+	"memtx/internal/wstm"
+)
+
+// kernelRun loads a kernel at an optimization level against a fresh engine,
+// executes it once, and reports the checksum, elapsed time, and dynamic
+// stats.
+func kernelRun(k progs.Kernel, level passes.Level, e engine.Engine, size uint64) (uint64, time.Duration, interp.Stats, error) {
+	m, err := parser.Parse(k.Name, k.Src)
+	if err != nil {
+		return 0, 0, interp.Stats{}, fmt.Errorf("%s: parse: %w", k.Name, err)
+	}
+	if _, err := passes.Apply(m, level); err != nil {
+		return 0, 0, interp.Stats{}, fmt.Errorf("%s: passes: %w", k.Name, err)
+	}
+	p, err := interp.Load(m, e)
+	if err != nil {
+		return 0, 0, interp.Stats{}, fmt.Errorf("%s: load: %w", k.Name, err)
+	}
+	mach := p.NewMachine()
+	if k.Init != "" {
+		if _, err := mach.Call(k.Init, interp.Word(k.InitArg)); err != nil {
+			return 0, 0, interp.Stats{}, fmt.Errorf("%s: init: %w", k.Name, err)
+		}
+	}
+	var sum interp.Value
+	var runErr error
+	runtime.GC() // isolate the timed section from earlier runs' garbage
+	d := Time(func() {
+		sum, runErr = mach.Call(k.Run, interp.Word(size))
+	})
+	if runErr != nil {
+		return 0, 0, interp.Stats{}, fmt.Errorf("%s: run: %w", k.Name, runErr)
+	}
+	return sum.W, d, mach.Stats, nil
+}
+
+// kernelRunBest runs the kernel `reps` times on fresh engines from mk and
+// returns the minimum time (reducing single-core GC/scheduler noise), with
+// the checksum and stats of the first run.
+func kernelRunBest(k progs.Kernel, level passes.Level, mk func() engine.Engine, size uint64, reps int) (uint64, time.Duration, interp.Stats, error) {
+	var best time.Duration
+	var sum uint64
+	var stats interp.Stats
+	for i := 0; i < reps; i++ {
+		got, d, st, err := kernelRun(k, level, mk(), size)
+		if err != nil {
+			return 0, 0, interp.Stats{}, err
+		}
+		if i == 0 {
+			sum, stats, best = got, st, d
+		} else if got != sum {
+			return 0, 0, interp.Stats{}, fmt.Errorf("%s: nondeterministic checksum %d vs %d", k.Name, got, sum)
+		} else if d < best {
+			best = d
+		}
+	}
+	return sum, best, stats, nil
+}
+
+func kernelSize(k progs.Kernel, quick bool) uint64 {
+	if quick {
+		return k.TestSize
+	}
+	return k.BenchSize
+}
+
+// E1 compares single-threaded overhead of the three STM designs (all at full
+// optimization) against the uninstrumented baseline — the paper's
+// design-comparison figure: the direct-update object STM should have the
+// lowest overhead, buffered designs the highest.
+func E1(quick bool) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "STM design comparison, single-threaded overhead (normalized to uninstrumented)",
+		Note:  "direct < ostm/wstm on most kernels; all > 1x",
+		Header: []string{"kernel", "raw", "direct", "wstm", "ostm",
+			"direct/raw", "wstm/raw", "ostm/raw"},
+	}
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	for _, k := range progs.All() {
+		size := kernelSize(k, quick)
+		want, rawT, _, err := kernelRunBest(k, passes.LevelFull, func() engine.Engine { return rawengine.New() }, size, reps)
+		if err != nil {
+			return nil, err
+		}
+		type res struct {
+			name string
+			d    time.Duration
+		}
+		results := make([]res, 0, 3)
+		for _, cfg := range []struct {
+			name string
+			mk   func() engine.Engine
+		}{
+			{"direct", func() engine.Engine { return core.New() }},
+			{"wstm", func() engine.Engine { return wstm.New() }},
+			{"ostm", func() engine.Engine { return ostm.New() }},
+		} {
+			got, d, _, err := kernelRunBest(k, passes.LevelFull, cfg.mk, size, reps)
+			if err != nil {
+				return nil, err
+			}
+			if got != want {
+				return nil, fmt.Errorf("E1: %s on %s: checksum %d, want %d", k.Name, cfg.name, got, want)
+			}
+			results = append(results, res{cfg.name, d})
+		}
+		t.AddRow(k.Name,
+			rawT.Round(time.Microsecond).String(),
+			results[0].d.Round(time.Microsecond).String(),
+			results[1].d.Round(time.Microsecond).String(),
+			results[2].d.Round(time.Microsecond).String(),
+			Ratio(results[0].d, rawT),
+			Ratio(results[1].d, rawT),
+			Ratio(results[2].d, rawT),
+		)
+	}
+	return t, nil
+}
+
+// E2 ablates the compiler optimizations on the direct-update engine: static
+// barrier counts, dynamic opens/undo-logs, and normalized time per level —
+// the paper's central result that decomposed barriers plus classical
+// optimizations recover most of the STM overhead.
+func E2(quick bool) ([]*Table, error) {
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	var tables []*Table
+	for _, k := range progs.All() {
+		size := kernelSize(k, quick)
+		want, rawT, _, err := kernelRunBest(k, passes.LevelFull, func() engine.Engine { return rawengine.New() }, size, reps)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID:     "E2/" + k.Name,
+			Title:  fmt.Sprintf("optimization ablation on %q (direct engine, n=%d)", k.Name, size),
+			Note:   "static & dynamic barriers fall monotonically; time ratio falls toward raw",
+			Header: []string{"level", "static", "opensR", "opensU", "undos", "filterhit", "time", "vs raw"},
+		}
+		for _, level := range passes.Levels {
+			// Static counts need a separately compiled module.
+			m, err := parser.Parse(k.Name, k.Src)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := passes.Apply(m, level); err != nil {
+				return nil, err
+			}
+			static := passes.CountBarriers(m)
+
+			var e *core.Engine
+			got, d, st, err := kernelRunBest(k, level, func() engine.Engine {
+				e = core.New()
+				return e
+			}, size, reps)
+			if err != nil {
+				return nil, err
+			}
+			if got != want {
+				return nil, fmt.Errorf("E2: %s at %s: checksum %d, want %d", k.Name, level, got, want)
+			}
+			es := e.Stats()
+			t.AddRow(level.String(),
+				fmt.Sprint(static.Total()),
+				fmt.Sprint(st.OpensR),
+				fmt.Sprint(st.OpensU),
+				fmt.Sprint(st.Undos),
+				fmt.Sprint(es.FilterHits),
+				d.Round(time.Microsecond).String(),
+				Ratio(d, rawT),
+			)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"fmt"
+
+	"memtx/internal/core"
+	"memtx/internal/locksync"
+	"memtx/internal/txds"
+)
+
+// Mix describes a lookup/update operation mix.
+type Mix struct {
+	Name    string
+	ReadPct int // percentage of lookups; the rest split between insert/remove
+}
+
+// DefaultMixes are the paper-style workload mixes.
+var DefaultMixes = []Mix{
+	{"100%read", 100},
+	{"90/10", 90},
+	{"50/50", 50},
+}
+
+// mapOps abstracts one hash-map implementation for the scalability loop.
+type mapOps struct {
+	name   string
+	get    func(k uint64)
+	put    func(k, v uint64)
+	remove func(k uint64)
+}
+
+// E3 measures hash-map throughput versus thread count for the atomic (STM)
+// version against coarse and striped locks — the paper's scalability figure:
+// the STM tracks the fine-grained lock and overtakes the coarse lock beyond
+// a few threads.
+func E3(quick bool) ([]*Table, error) {
+	keySpace := 16384
+	prefill := keySpace / 2
+	buckets := 1024
+	opsPerThread := 200_000
+	maxThreads := MaxThreads()
+	if quick {
+		keySpace, prefill, buckets, opsPerThread = 1024, 512, 128, 4_000
+		if maxThreads > 4 {
+			maxThreads = 4
+		}
+	}
+
+	var tables []*Table
+	for _, mix := range DefaultMixes {
+		t := &Table{
+			ID:     "E3/" + mix.Name,
+			Title:  fmt.Sprintf("hash map throughput, %s mix (%d keys, %d buckets)", mix.Name, keySpace, buckets),
+			Note:   "stm ≈ striped locks, both >> coarse beyond ~2 threads; coarse flat or falling",
+			Header: []string{"threads", "stm", "coarse", "striped", "stm/coarse"},
+		}
+		for _, threads := range ThreadCounts(maxThreads) {
+			impls := buildMapImpls(buckets, prefill, keySpace)
+			row := []string{fmt.Sprint(threads)}
+			var vals []float64
+			for _, impl := range impls {
+				ops := Throughput(threads, opsPerThread, func(w int, rng *Rand) {
+					k := uint64(rng.Intn(keySpace))
+					r := rng.Intn(100)
+					switch {
+					case r < mix.ReadPct:
+						impl.get(k)
+					case r < mix.ReadPct+(100-mix.ReadPct)/2:
+						impl.put(k, k)
+					default:
+						impl.remove(k)
+					}
+				})
+				vals = append(vals, ops)
+				row = append(row, Ops(ops))
+			}
+			row = append(row, fmt.Sprintf("%.2fx", vals[0]/vals[1]))
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func buildMapImpls(buckets, prefill, keySpace int) []mapOps {
+	stm := txds.NewHashMap(core.New(), buckets)
+	coarse := locksync.NewCoarseMap(buckets)
+	striped := locksync.NewStripedMap(buckets, 64)
+	rng := NewRand(1)
+	for i := 0; i < prefill; i++ {
+		k := uint64(rng.Intn(keySpace))
+		stm.PutAtomic(k, k)
+		coarse.Put(k, k)
+		striped.Put(k, k)
+	}
+	return []mapOps{
+		{"stm", func(k uint64) { stm.GetAtomic(k) },
+			func(k, v uint64) { stm.PutAtomic(k, v) },
+			func(k uint64) { stm.RemoveAtomic(k) }},
+		{"coarse", func(k uint64) { coarse.Get(k) },
+			func(k, v uint64) { coarse.Put(k, v) },
+			func(k uint64) { coarse.Remove(k) }},
+		{"striped", func(k uint64) { striped.Get(k) },
+			func(k, v uint64) { striped.Put(k, v) },
+			func(k uint64) { striped.Remove(k) }},
+	}
+}
+
+// E4 is the same comparison on ordered structures: the BST against a coarse
+// lock, and the sorted list against hand-over-hand fine-grained locking.
+func E4(quick bool) ([]*Table, error) {
+	keySpace := 16384
+	opsPerThread := 100_000
+	listKeys := 1024
+	listOps := 20_000
+	maxThreads := MaxThreads()
+	if quick {
+		keySpace, opsPerThread = 2048, 3_000
+		listKeys, listOps = 128, 1_000
+		if maxThreads > 4 {
+			maxThreads = 4
+		}
+	}
+
+	var tables []*Table
+	for _, mix := range []Mix{{"90/10", 90}, {"50/50", 50}} {
+		t := &Table{
+			ID:     "E4/bst/" + mix.Name,
+			Title:  fmt.Sprintf("BST throughput, %s mix (%d keys)", mix.Name, keySpace),
+			Note:   "stm scales with threads; coarse lock flat; stm wins beyond ~2-4 threads",
+			Header: []string{"threads", "stm", "coarse", "stm/coarse"},
+		}
+		for _, threads := range ThreadCounts(maxThreads) {
+			stm := txds.NewBST(core.New())
+			coarse := locksync.NewCoarseBST()
+			rng := NewRand(2)
+			for i := 0; i < keySpace/2; i++ {
+				k := uint64(rng.Intn(keySpace))
+				stm.InsertAtomic(k, k)
+				coarse.Insert(k)
+			}
+			run := func(op func(k uint64, r int)) float64 {
+				return Throughput(threads, opsPerThread, func(w int, rng *Rand) {
+					op(uint64(rng.Intn(keySpace)), rng.Intn(100))
+				})
+			}
+			stmOps := run(func(k uint64, r int) {
+				switch {
+				case r < mix.ReadPct:
+					stm.ContainsAtomic(k)
+				case r < mix.ReadPct+(100-mix.ReadPct)/2:
+					stm.InsertAtomic(k, k)
+				default:
+					stm.RemoveAtomic(k)
+				}
+			})
+			coarseOps := run(func(k uint64, r int) {
+				switch {
+				case r < mix.ReadPct:
+					coarse.Contains(k)
+				case r < mix.ReadPct+(100-mix.ReadPct)/2:
+					coarse.Insert(k)
+				default:
+					coarse.Remove(k)
+				}
+			})
+			t.AddRow(fmt.Sprint(threads), Ops(stmOps), Ops(coarseOps),
+				fmt.Sprintf("%.2fx", stmOps/coarseOps))
+		}
+		tables = append(tables, t)
+	}
+
+	lt := &Table{
+		ID:     "E4/list",
+		Title:  fmt.Sprintf("sorted list throughput, 90/10 mix (%d keys)", listKeys),
+		Note:   "hand-over-hand locking degrades with chain length; stm competitive",
+		Header: []string{"threads", "stm", "hoh", "coarse"},
+	}
+	for _, threads := range ThreadCounts(maxThreads) {
+		stm := txds.NewSortedList(core.New())
+		hoh := locksync.NewHoHList()
+		coarse := locksync.NewCoarseList()
+		rng := NewRand(3)
+		for i := 0; i < listKeys/2; i++ {
+			k := uint64(rng.Intn(listKeys))
+			stm.InsertAtomic(k)
+			hoh.Insert(k)
+			coarse.Insert(k)
+		}
+		mk := func(contains func(uint64) bool, insert, remove func(uint64) bool) float64 {
+			return Throughput(threads, listOps, func(w int, rng *Rand) {
+				k := uint64(rng.Intn(listKeys))
+				switch r := rng.Intn(100); {
+				case r < 90:
+					contains(k)
+				case r < 95:
+					insert(k)
+				default:
+					remove(k)
+				}
+			})
+		}
+		stmOps := mk(stm.ContainsAtomic, stm.InsertAtomic, stm.RemoveAtomic)
+		hohOps := mk(hoh.Contains, hoh.Insert, hoh.Remove)
+		coarseOps := mk(coarse.Contains, coarse.Insert, coarse.Remove)
+		lt.AddRow(fmt.Sprint(threads), Ops(stmOps), Ops(hohOps), Ops(coarseOps))
+	}
+	tables = append(tables, lt)
+
+	st := &Table{
+		ID:     "E4/skip",
+		Title:  fmt.Sprintf("skip list throughput, 90/10 mix (%d keys)", keySpace),
+		Note:   "log-time searches keep stm within a small factor of the coarse-locked BST",
+		Header: []string{"threads", "stm-skip", "stm-bst", "coarse-bst"},
+	}
+	for _, threads := range ThreadCounts(maxThreads) {
+		skip := txds.NewSkipList(core.New())
+		bst := txds.NewBST(core.New())
+		coarse := locksync.NewCoarseBST()
+		rng := NewRand(4)
+		for i := 0; i < keySpace/2; i++ {
+			k := uint64(rng.Intn(keySpace))
+			skip.InsertAtomic(k)
+			bst.InsertAtomic(k, k)
+			coarse.Insert(k)
+		}
+		mk := func(contains func(uint64) bool, insert, remove func(uint64) bool) float64 {
+			return Throughput(threads, opsPerThread, func(w int, rng *Rand) {
+				k := uint64(rng.Intn(keySpace))
+				switch r := rng.Intn(100); {
+				case r < 90:
+					contains(k)
+				case r < 95:
+					insert(k)
+				default:
+					remove(k)
+				}
+			})
+		}
+		skipOps := mk(skip.ContainsAtomic, skip.InsertAtomic, skip.RemoveAtomic)
+		bstOps := mk(bst.ContainsAtomic,
+			func(k uint64) bool { return bst.InsertAtomic(k, k) },
+			bst.RemoveAtomic)
+		coarseOps := mk(coarse.Contains, coarse.Insert, coarse.Remove)
+		st.AddRow(fmt.Sprint(threads), Ops(skipOps), Ops(bstOps), Ops(coarseOps))
+	}
+	tables = append(tables, st)
+	return tables, nil
+}

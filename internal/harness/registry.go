@@ -1,0 +1,39 @@
+package harness
+
+import "fmt"
+
+// ExperimentIDs lists the experiments in DESIGN.md order.
+var ExperimentIDs = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+
+// Run executes one experiment by id ("e1".."e7"). quick selects the small
+// test-scale parameters; the full scale matches EXPERIMENTS.md.
+func Run(id string, quick bool) ([]*Table, error) {
+	switch id {
+	case "e1":
+		t, err := E1(quick)
+		return wrap(t, err)
+	case "e2":
+		return E2(quick)
+	case "e3":
+		return E3(quick)
+	case "e4":
+		return E4(quick)
+	case "e5":
+		t, err := E5(quick)
+		return wrap(t, err)
+	case "e6":
+		t, err := E6(quick)
+		return wrap(t, err)
+	case "e7":
+		return E7(quick)
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (want e1..e7)", id)
+	}
+}
+
+func wrap(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}

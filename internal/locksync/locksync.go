@@ -1,0 +1,230 @@
+// Package locksync provides the lock-based and sequential baselines the
+// paper's scalability experiments compare against: the same chained hash
+// map, BST, and sorted list shapes as internal/txds, synchronized with a
+// single coarse lock, with striped (fine-grained) locks, or not at all
+// (single-threaded baseline).
+//
+// The node layouts deliberately mirror the transactional structures so that
+// throughput differences reflect synchronization, not data layout.
+package locksync
+
+import "sync"
+
+// Map is the common interface of all hash-map variants.
+type Map interface {
+	Get(k uint64) (uint64, bool)
+	Put(k, v uint64) bool
+	Remove(k uint64) bool
+	Len() int
+}
+
+type mapNode struct {
+	key, val uint64
+	next     *mapNode
+}
+
+func hashKey(k uint64) uint64 {
+	x := k * 0x9E3779B97F4A7C15
+	return x ^ (x >> 29)
+}
+
+// SeqMap is the unsynchronized baseline map.
+type SeqMap struct {
+	buckets []*mapNode
+	mask    uint64
+}
+
+// NewSeqMap creates a map with the given bucket count (rounded to a power of
+// two).
+func NewSeqMap(buckets int) *SeqMap {
+	n := 2
+	for n < buckets {
+		n <<= 1
+	}
+	return &SeqMap{buckets: make([]*mapNode, n), mask: uint64(n - 1)}
+}
+
+// Get looks up k.
+func (m *SeqMap) Get(k uint64) (uint64, bool) {
+	for n := m.buckets[hashKey(k)&m.mask]; n != nil; n = n.next {
+		if n.key == k {
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates k; it reports whether a new entry was created.
+func (m *SeqMap) Put(k, v uint64) bool {
+	b := hashKey(k) & m.mask
+	for n := m.buckets[b]; n != nil; n = n.next {
+		if n.key == k {
+			n.val = v
+			return false
+		}
+	}
+	m.buckets[b] = &mapNode{key: k, val: v, next: m.buckets[b]}
+	return true
+}
+
+// Remove deletes k; it reports whether the key was present.
+func (m *SeqMap) Remove(k uint64) bool {
+	b := hashKey(k) & m.mask
+	for p := &m.buckets[b]; *p != nil; p = &(*p).next {
+		if (*p).key == k {
+			*p = (*p).next
+			return true
+		}
+	}
+	return false
+}
+
+// Len counts entries.
+func (m *SeqMap) Len() int {
+	n := 0
+	for _, b := range m.buckets {
+		for ; b != nil; b = b.next {
+			n++
+		}
+	}
+	return n
+}
+
+// CoarseMap wraps a SeqMap in one RWMutex — the coarse-grained lock
+// baseline.
+type CoarseMap struct {
+	mu sync.RWMutex
+	m  *SeqMap
+}
+
+// NewCoarseMap creates a coarse-locked map.
+func NewCoarseMap(buckets int) *CoarseMap { return &CoarseMap{m: NewSeqMap(buckets)} }
+
+// Get looks up k under the read lock.
+func (c *CoarseMap) Get(k uint64) (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Get(k)
+}
+
+// Put inserts or updates k under the write lock.
+func (c *CoarseMap) Put(k, v uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Put(k, v)
+}
+
+// Remove deletes k under the write lock.
+func (c *CoarseMap) Remove(k uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Remove(k)
+}
+
+// Len counts entries under the read lock.
+func (c *CoarseMap) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Len()
+}
+
+// StripedMap is the fine-grained lock baseline: one RWMutex per bucket
+// stripe.
+type StripedMap struct {
+	buckets []*mapNode
+	locks   []sync.RWMutex
+	mask    uint64
+	lockMsk uint64
+}
+
+// NewStripedMap creates a map with the given bucket count and one lock per
+// 'stripes' buckets (both rounded to powers of two).
+func NewStripedMap(buckets, stripes int) *StripedMap {
+	nb := 2
+	for nb < buckets {
+		nb <<= 1
+	}
+	ns := 2
+	for ns < stripes {
+		ns <<= 1
+	}
+	return &StripedMap{
+		buckets: make([]*mapNode, nb),
+		locks:   make([]sync.RWMutex, ns),
+		mask:    uint64(nb - 1),
+		lockMsk: uint64(ns - 1),
+	}
+}
+
+func (m *StripedMap) lockFor(h uint64) *sync.RWMutex { return &m.locks[h&m.lockMsk] }
+
+// Get looks up k under the stripe's read lock.
+func (m *StripedMap) Get(k uint64) (uint64, bool) {
+	h := hashKey(k)
+	l := m.lockFor(h)
+	l.RLock()
+	defer l.RUnlock()
+	for n := m.buckets[h&m.mask]; n != nil; n = n.next {
+		if n.key == k {
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates k under the stripe's write lock.
+func (m *StripedMap) Put(k, v uint64) bool {
+	h := hashKey(k)
+	l := m.lockFor(h)
+	l.Lock()
+	defer l.Unlock()
+	b := h & m.mask
+	for n := m.buckets[b]; n != nil; n = n.next {
+		if n.key == k {
+			n.val = v
+			return false
+		}
+	}
+	m.buckets[b] = &mapNode{key: k, val: v, next: m.buckets[b]}
+	return true
+}
+
+// Remove deletes k under the stripe's write lock.
+func (m *StripedMap) Remove(k uint64) bool {
+	h := hashKey(k)
+	l := m.lockFor(h)
+	l.Lock()
+	defer l.Unlock()
+	b := h & m.mask
+	for p := &m.buckets[b]; *p != nil; p = &(*p).next {
+		if (*p).key == k {
+			*p = (*p).next
+			return true
+		}
+	}
+	return false
+}
+
+// Len counts entries, locking stripes one at a time (linearizable per
+// stripe, not globally — matching what striped designs can offer).
+func (m *StripedMap) Len() int {
+	n := 0
+	for i := range m.locks {
+		m.locks[i].RLock()
+	}
+	for _, b := range m.buckets {
+		for ; b != nil; b = b.next {
+			n++
+		}
+	}
+	for i := range m.locks {
+		m.locks[i].RUnlock()
+	}
+	return n
+}
+
+var (
+	_ Map = (*SeqMap)(nil)
+	_ Map = (*CoarseMap)(nil)
+	_ Map = (*StripedMap)(nil)
+)

@@ -1,0 +1,232 @@
+package locksync
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mapVariants() map[string]func() Map {
+	return map[string]func() Map{
+		"seq":     func() Map { return NewSeqMap(64) },
+		"coarse":  func() Map { return NewCoarseMap(64) },
+		"striped": func() Map { return NewStripedMap(64, 16) },
+	}
+}
+
+func setVariants() map[string]func() Set {
+	return map[string]func() Set{
+		"seqbst":     func() Set { return NewSeqBST() },
+		"coarsebst":  func() Set { return NewCoarseBST() },
+		"hohlist":    func() Set { return NewHoHList() },
+		"coarselist": func() Set { return NewCoarseList() },
+	}
+}
+
+func TestMapModel(t *testing.T) {
+	for name, mk := range mapVariants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(5))
+			for op := 0; op < 4000; op++ {
+				k := uint64(rng.Intn(300))
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Uint64()
+					_, existed := model[k]
+					if ins := m.Put(k, v); ins != !existed {
+						t.Fatalf("Put(%d) = %v, want %v", k, ins, !existed)
+					}
+					model[k] = v
+				case 1:
+					_, existed := model[k]
+					if rem := m.Remove(k); rem != existed {
+						t.Fatalf("Remove(%d) = %v, want %v", k, rem, existed)
+					}
+					delete(model, k)
+				default:
+					v, ok := m.Get(k)
+					mv, mok := model[k]
+					if ok != mok || (ok && v != mv) {
+						t.Fatalf("Get(%d) = (%d,%v), want (%d,%v)", k, v, ok, mv, mok)
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("Len = %d, want %d", m.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestSetModel(t *testing.T) {
+	for name, mk := range setVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(11))
+			for op := 0; op < 4000; op++ {
+				k := uint64(rng.Intn(200))
+				switch rng.Intn(3) {
+				case 0:
+					if ins := s.Insert(k); ins != !model[k] {
+						t.Fatalf("Insert(%d) = %v, want %v", k, ins, !model[k])
+					}
+					model[k] = true
+				case 1:
+					if rem := s.Remove(k); rem != model[k] {
+						t.Fatalf("Remove(%d) = %v, want %v", k, rem, model[k])
+					}
+					delete(model, k)
+				default:
+					if got := s.Contains(k); got != model[k] {
+						t.Fatalf("Contains(%d) = %v, want %v", k, got, model[k])
+					}
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len = %d, want %d", s.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestConcurrentMaps(t *testing.T) {
+	for name, mk := range mapVariants() {
+		if name == "seq" {
+			continue // not thread-safe by design
+		}
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			const goroutines = 8
+			const perG = 300
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					base := uint64(g * perG)
+					for i := uint64(0); i < perG; i++ {
+						m.Put(base+i, i)
+					}
+					for i := uint64(0); i < perG; i++ {
+						if _, ok := m.Get(base + i); !ok {
+							t.Errorf("lost key %d", base+i)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if m.Len() != goroutines*perG {
+				t.Fatalf("Len = %d, want %d", m.Len(), goroutines*perG)
+			}
+		})
+	}
+}
+
+func TestConcurrentSets(t *testing.T) {
+	for name, mk := range setVariants() {
+		if name == "seqbst" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const goroutines = 8
+			const perG = 150
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					base := uint64(g * perG)
+					for i := uint64(0); i < perG; i++ {
+						if !s.Insert(base + i) {
+							t.Errorf("duplicate reported for fresh key %d", base+i)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if s.Len() != goroutines*perG {
+				t.Fatalf("Len = %d, want %d", s.Len(), goroutines*perG)
+			}
+		})
+	}
+}
+
+// TestMapVariantsEquivalent drives all variants with the same random script
+// and requires identical results — a cross-implementation property test.
+func TestMapVariantsEquivalent(t *testing.T) {
+	check := func(script []uint16) bool {
+		ms := map[string]Map{}
+		for name, mk := range mapVariants() {
+			ms[name] = mk()
+		}
+		for _, op := range script {
+			k := uint64(op % 64)
+			kind := (op >> 6) % 3
+			var ref *bool
+			for _, m := range ms {
+				var got bool
+				switch kind {
+				case 0:
+					got = m.Put(k, uint64(op))
+				case 1:
+					got = m.Remove(k)
+				default:
+					_, got = m.Get(k)
+				}
+				if ref == nil {
+					g := got
+					ref = &g
+				} else if *ref != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetVariantsEquivalent is the same property for the ordered sets.
+func TestSetVariantsEquivalent(t *testing.T) {
+	check := func(script []uint16) bool {
+		ss := map[string]Set{}
+		for name, mk := range setVariants() {
+			ss[name] = mk()
+		}
+		for _, op := range script {
+			k := uint64(op % 64)
+			kind := (op >> 6) % 3
+			var ref *bool
+			for _, s := range ss {
+				var got bool
+				switch kind {
+				case 0:
+					got = s.Insert(k)
+				case 1:
+					got = s.Remove(k)
+				default:
+					got = s.Contains(k)
+				}
+				if ref == nil {
+					g := got
+					ref = &g
+				} else if *ref != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

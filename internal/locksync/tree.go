@@ -1,0 +1,316 @@
+package locksync
+
+import "sync"
+
+// Set is the common interface of the ordered-set variants (tree and list).
+type Set interface {
+	Contains(k uint64) bool
+	Insert(k uint64) bool
+	Remove(k uint64) bool
+	Len() int
+}
+
+type treeNode struct {
+	key         uint64
+	left, right *treeNode
+}
+
+// SeqBST is the unsynchronized binary search tree baseline.
+type SeqBST struct {
+	root *treeNode
+}
+
+// NewSeqBST creates an empty tree.
+func NewSeqBST() *SeqBST { return &SeqBST{} }
+
+// Contains reports membership.
+func (t *SeqBST) Contains(k uint64) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case k == n.key:
+			return true
+		case k < n.key:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return false
+}
+
+// Insert adds k; it reports whether the key was newly inserted.
+func (t *SeqBST) Insert(k uint64) bool {
+	p := &t.root
+	for *p != nil {
+		switch {
+		case k == (*p).key:
+			return false
+		case k < (*p).key:
+			p = &(*p).left
+		default:
+			p = &(*p).right
+		}
+	}
+	*p = &treeNode{key: k}
+	return true
+}
+
+// Remove deletes k; it reports whether the key was present.
+func (t *SeqBST) Remove(k uint64) bool {
+	p := &t.root
+	for *p != nil && (*p).key != k {
+		if k < (*p).key {
+			p = &(*p).left
+		} else {
+			p = &(*p).right
+		}
+	}
+	n := *p
+	if n == nil {
+		return false
+	}
+	switch {
+	case n.left == nil:
+		*p = n.right
+	case n.right == nil:
+		*p = n.left
+	default:
+		sp := &n.right
+		for (*sp).left != nil {
+			sp = &(*sp).left
+		}
+		n.key = (*sp).key
+		*sp = (*sp).right
+	}
+	return true
+}
+
+// Len counts nodes.
+func (t *SeqBST) Len() int {
+	var count func(*treeNode) int
+	count = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.left) + count(n.right)
+	}
+	return count(t.root)
+}
+
+// CoarseBST wraps a SeqBST in one RWMutex.
+type CoarseBST struct {
+	mu sync.RWMutex
+	t  *SeqBST
+}
+
+// NewCoarseBST creates a coarse-locked tree.
+func NewCoarseBST() *CoarseBST { return &CoarseBST{t: NewSeqBST()} }
+
+// Contains reports membership under the read lock.
+func (c *CoarseBST) Contains(k uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Contains(k)
+}
+
+// Insert adds k under the write lock.
+func (c *CoarseBST) Insert(k uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Insert(k)
+}
+
+// Remove deletes k under the write lock.
+func (c *CoarseBST) Remove(k uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Remove(k)
+}
+
+// Len counts nodes under the read lock.
+func (c *CoarseBST) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Len()
+}
+
+// HoHList is a sorted linked list with hand-over-hand (lock-coupling)
+// fine-grained locking — the strongest practical fine-grained baseline for
+// list structures.
+type HoHList struct {
+	head *hohNode // sentinel
+}
+
+type hohNode struct {
+	mu   sync.Mutex
+	key  uint64
+	next *hohNode
+}
+
+// NewHoHList creates an empty list.
+func NewHoHList() *HoHList { return &HoHList{head: &hohNode{}} }
+
+// Contains reports membership, coupling locks down the chain.
+func (l *HoHList) Contains(k uint64) bool {
+	prev := l.head
+	prev.mu.Lock()
+	cur := prev.next
+	for cur != nil {
+		cur.mu.Lock()
+		if cur.key == k {
+			cur.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		if cur.key > k {
+			cur.mu.Unlock()
+			prev.mu.Unlock()
+			return false
+		}
+		prev.mu.Unlock()
+		prev = cur
+		cur = cur.next
+	}
+	prev.mu.Unlock()
+	return false
+}
+
+// Insert adds k; it reports whether the key was newly inserted.
+func (l *HoHList) Insert(k uint64) bool {
+	prev := l.head
+	prev.mu.Lock()
+	cur := prev.next
+	for cur != nil {
+		cur.mu.Lock()
+		if cur.key == k {
+			cur.mu.Unlock()
+			prev.mu.Unlock()
+			return false
+		}
+		if cur.key > k {
+			break
+		}
+		prev.mu.Unlock()
+		prev = cur
+		cur = cur.next
+	}
+	prev.next = &hohNode{key: k, next: cur}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	prev.mu.Unlock()
+	return true
+}
+
+// Remove deletes k; it reports whether the key was present.
+func (l *HoHList) Remove(k uint64) bool {
+	prev := l.head
+	prev.mu.Lock()
+	cur := prev.next
+	for cur != nil {
+		cur.mu.Lock()
+		if cur.key == k {
+			prev.next = cur.next
+			cur.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		if cur.key > k {
+			cur.mu.Unlock()
+			prev.mu.Unlock()
+			return false
+		}
+		prev.mu.Unlock()
+		prev = cur
+		cur = cur.next
+	}
+	prev.mu.Unlock()
+	return false
+}
+
+// Len counts elements (couples locks for a consistent count).
+func (l *HoHList) Len() int {
+	n := 0
+	prev := l.head
+	prev.mu.Lock()
+	cur := prev.next
+	for cur != nil {
+		cur.mu.Lock()
+		n++
+		prev.mu.Unlock()
+		prev = cur
+		cur = cur.next
+	}
+	prev.mu.Unlock()
+	return n
+}
+
+// CoarseList is a sorted list under one RWMutex.
+type CoarseList struct {
+	mu   sync.RWMutex
+	head *mapNode // reuse mapNode: key used, val ignored
+}
+
+// NewCoarseList creates an empty list.
+func NewCoarseList() *CoarseList { return &CoarseList{} }
+
+// Contains reports membership under the read lock.
+func (c *CoarseList) Contains(k uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for n := c.head; n != nil && n.key <= k; n = n.next {
+		if n.key == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds k under the write lock.
+func (c *CoarseList) Insert(k uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &c.head
+	for *p != nil && (*p).key < k {
+		p = &(*p).next
+	}
+	if *p != nil && (*p).key == k {
+		return false
+	}
+	*p = &mapNode{key: k, next: *p}
+	return true
+}
+
+// Remove deletes k under the write lock.
+func (c *CoarseList) Remove(k uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &c.head
+	for *p != nil && (*p).key < k {
+		p = &(*p).next
+	}
+	if *p == nil || (*p).key != k {
+		return false
+	}
+	*p = (*p).next
+	return true
+}
+
+// Len counts elements under the read lock.
+func (c *CoarseList) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for cur := c.head; cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}
+
+var (
+	_ Set = (*SeqBST)(nil)
+	_ Set = (*CoarseBST)(nil)
+	_ Set = (*HoHList)(nil)
+	_ Set = (*CoarseList)(nil)
+)

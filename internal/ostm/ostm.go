@@ -1,0 +1,430 @@
+// Package ostm implements the second baseline design the paper evaluates
+// against: an object-based STM with buffered updates. Opening an object for
+// update clones it into a private shadow copy; all writes go to the shadow,
+// and commit locks the objects, validates the read set, and copies the
+// shadows back.
+//
+// The design charges a whole-object copy on every OpenForUpdate and a second
+// whole-object copy at commit — the cost the paper's direct-update design
+// eliminates. Reads, as in the direct engine, are optimistic against a
+// per-object version.
+package ostm
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"memtx/internal/engine"
+)
+
+var globalIDs atomic.Uint64
+
+// Obj is a transactional object under the buffered object engine. meta packs
+// version<<1 | lockedBit.
+type Obj struct {
+	id      uint64
+	creator uint64
+	meta    atomic.Uint64
+	words   []atomic.Uint64
+	refs    []atomic.Pointer[Obj]
+}
+
+const lockedBit = 1
+
+// Engine is the object-based buffered-update STM.
+type Engine struct {
+	pool  sync.Pool
+	stats stats
+}
+
+type stats struct {
+	starts, commits, aborts atomic.Uint64
+	openRead, openUpdate    atomic.Uint64
+	readLog, localSkips     atomic.Uint64
+}
+
+// New returns an object-based buffered-update engine.
+func New() *Engine {
+	e := &Engine{}
+	e.pool.New = func() any { return &Txn{eng: e, shadows: make(map[*Obj]*shadow)} }
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "ostm" }
+
+// NewObj implements engine.Engine.
+func (e *Engine) NewObj(nwords, nrefs int) engine.Handle {
+	return e.newObj(nwords, nrefs, 0)
+}
+
+func (e *Engine) newObj(nwords, nrefs int, creator uint64) *Obj {
+	o := &Obj{
+		id:      globalIDs.Add(1),
+		creator: creator,
+		words:   make([]atomic.Uint64, nwords),
+		refs:    make([]atomic.Pointer[Obj], nrefs),
+	}
+	o.meta.Store(1 << 1)
+	return o
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() engine.Txn { return e.begin(false) }
+
+// BeginReadOnly implements engine.Engine.
+func (e *Engine) BeginReadOnly() engine.Txn { return e.begin(true) }
+
+func (e *Engine) begin(readonly bool) *Txn {
+	t := e.pool.Get().(*Txn)
+	t.start(readonly)
+	e.stats.starts.Add(1)
+	return t
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{
+		Starts:         e.stats.starts.Load(),
+		Commits:        e.stats.commits.Load(),
+		Aborts:         e.stats.aborts.Load(),
+		OpenForRead:    e.stats.openRead.Load(),
+		OpenForUpdate:  e.stats.openUpdate.Load(),
+		ReadLogEntries: e.stats.readLog.Load(),
+		LocalSkips:     e.stats.localSkips.Load(),
+	}
+}
+
+// shadow is a private copy of an object opened for update.
+type shadow struct {
+	versionAtOpen uint64 // version (unshifted) when the shadow was taken
+	words         []uint64
+	refs          []*Obj
+}
+
+type readEntry struct {
+	obj  *Obj
+	seen uint64 // version (unshifted)
+}
+
+// Txn is a buffered object transaction attempt.
+type Txn struct {
+	eng      *Engine
+	id       uint64
+	readonly bool
+	done     bool
+
+	readLog []readEntry
+	shadows map[*Obj]*shadow
+	worder  []*Obj
+
+	nOpenRead, nOpenUpdate, nReadLog, nLocalSkips uint64
+}
+
+func (t *Txn) start(readonly bool) {
+	t.id = globalIDs.Add(1)
+	t.readonly = readonly
+	t.done = false
+	t.readLog = t.readLog[:0]
+	clear(t.shadows)
+	t.worder = t.worder[:0]
+	t.nOpenRead, t.nOpenUpdate, t.nReadLog, t.nLocalSkips = 0, 0, 0, 0
+}
+
+// ReadOnly implements engine.Txn.
+func (t *Txn) ReadOnly() bool { return t.readonly }
+
+func (t *Txn) obj(h engine.Handle) *Obj {
+	o, ok := h.(*Obj)
+	if !ok {
+		engine.Abandon("ostm: foreign handle")
+	}
+	return o
+}
+
+// OpenForRead implements engine.Txn: record the version for commit-time
+// validation. An object locked by a committing transaction is briefly
+// unstable; the attempt is abandoned rather than spun on.
+func (t *Txn) OpenForRead(h engine.Handle) {
+	o := t.obj(h)
+	t.nOpenRead++
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return
+	}
+	if _, mine := t.shadows[o]; mine {
+		return
+	}
+	m := o.meta.Load()
+	if m&lockedBit != 0 {
+		engine.Abandon("ostm: object %d locked during open-for-read", o.id)
+	}
+	t.readLog = append(t.readLog, readEntry{obj: o, seen: m >> 1})
+	t.nReadLog++
+}
+
+// OpenForUpdate implements engine.Txn: clone the object into a shadow. The
+// lock is only taken at commit (lazy acquisition).
+func (t *Txn) OpenForUpdate(h engine.Handle) {
+	if t.readonly {
+		panic("ostm: OpenForUpdate on read-only transaction")
+	}
+	o := t.obj(h)
+	t.nOpenUpdate++
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return
+	}
+	if _, mine := t.shadows[o]; mine {
+		return
+	}
+	m := o.meta.Load()
+	if m&lockedBit != 0 {
+		engine.Abandon("ostm: object %d locked during open-for-update", o.id)
+	}
+	sh := &shadow{
+		versionAtOpen: m >> 1,
+		words:         make([]uint64, len(o.words)),
+		refs:          make([]*Obj, len(o.refs)),
+	}
+	for i := range o.words {
+		sh.words[i] = o.words[i].Load()
+	}
+	for i := range o.refs {
+		sh.refs[i] = o.refs[i].Load()
+	}
+	// The clone must be of a consistent snapshot: re-check the version.
+	if o.meta.Load() != m {
+		engine.Abandon("ostm: object %d changed during clone", o.id)
+	}
+	t.shadows[o] = sh
+	t.worder = append(t.worder, o)
+}
+
+// LogForUndoWord implements engine.Txn (buffered updates need no undo log).
+func (t *Txn) LogForUndoWord(engine.Handle, int) {}
+
+// LogForUndoRef implements engine.Txn.
+func (t *Txn) LogForUndoRef(engine.Handle, int) {}
+
+// LoadWord implements engine.Txn: shadowed objects read their shadow,
+// otherwise the field is read in place (validated at commit).
+func (t *Txn) LoadWord(h engine.Handle, i int) uint64 {
+	o := t.obj(h)
+	if o.creator == t.id {
+		return o.words[i].Load()
+	}
+	if sh, mine := t.shadows[o]; mine {
+		return sh.words[i]
+	}
+	return o.words[i].Load()
+}
+
+// LoadRef implements engine.Txn.
+func (t *Txn) LoadRef(h engine.Handle, i int) engine.Handle {
+	o := t.obj(h)
+	if o.creator != t.id {
+		if sh, mine := t.shadows[o]; mine {
+			return refHandle(sh.refs[i])
+		}
+	}
+	return refHandle(o.refs[i].Load())
+}
+
+func refHandle(o *Obj) engine.Handle {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// StoreWord implements engine.Txn: writes go to the shadow.
+func (t *Txn) StoreWord(h engine.Handle, i int, v uint64) {
+	if t.readonly {
+		panic("ostm: StoreWord on read-only transaction")
+	}
+	o := t.obj(h)
+	if o.creator == t.id {
+		t.nLocalSkips++
+		o.words[i].Store(v)
+		return
+	}
+	sh, mine := t.shadows[o]
+	if !mine {
+		panic("ostm: StoreWord on object not open for update")
+	}
+	sh.words[i] = v
+}
+
+// StoreRef implements engine.Txn.
+func (t *Txn) StoreRef(h engine.Handle, i int, r engine.Handle) {
+	if t.readonly {
+		panic("ostm: StoreRef on read-only transaction")
+	}
+	o := t.obj(h)
+	var ro *Obj
+	if r != nil {
+		ro = t.obj(r)
+	}
+	if o.creator == t.id {
+		t.nLocalSkips++
+		o.refs[i].Store(ro)
+		return
+	}
+	sh, mine := t.shadows[o]
+	if !mine {
+		panic("ostm: StoreRef on object not open for update")
+	}
+	sh.refs[i] = ro
+}
+
+// Alloc implements engine.Txn.
+func (t *Txn) Alloc(nwords, nrefs int) engine.Handle {
+	return t.eng.newObj(nwords, nrefs, t.id)
+}
+
+// Validate implements engine.Txn.
+func (t *Txn) Validate() error {
+	if !t.validCurrent(nil) {
+		return engine.ErrConflict
+	}
+	return nil
+}
+
+// validCurrent checks the read log; locked holds objects this transaction
+// has locked at commit (nil mid-transaction).
+func (t *Txn) validCurrent(locked map[*Obj]uint64) bool {
+	for i := range t.readLog {
+		re := &t.readLog[i]
+		m := re.obj.meta.Load()
+		if m&lockedBit != 0 {
+			if pre, mine := locked[re.obj]; mine && pre>>1 == re.seen {
+				continue
+			}
+			return false
+		}
+		if m>>1 != re.seen {
+			return false
+		}
+	}
+	return true
+}
+
+// Compact implements engine.Txn: deduplicate the read log.
+func (t *Txn) Compact() {
+	if len(t.readLog) < 2 {
+		return
+	}
+	seen := make(map[*Obj]struct{}, len(t.readLog))
+	kept := t.readLog[:0]
+	for _, re := range t.readLog {
+		if _, dup := seen[re.obj]; dup {
+			continue
+		}
+		seen[re.obj] = struct{}{}
+		kept = append(kept, re)
+	}
+	t.readLog = kept
+}
+
+// Commit implements engine.Txn: lock shadowed objects in id order, validate,
+// copy shadows back, release with a version bump.
+func (t *Txn) Commit() error {
+	if t.done {
+		panic("ostm: Commit on finished transaction")
+	}
+	if len(t.worder) == 0 {
+		ok := t.validCurrent(nil)
+		t.finish(ok)
+		if !ok {
+			return engine.ErrConflict
+		}
+		return nil
+	}
+
+	order := make([]*Obj, len(t.worder))
+	copy(order, t.worder)
+	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+
+	locked := make(map[*Obj]uint64, len(order))
+	for _, o := range order {
+		sh := t.shadows[o]
+		pre := sh.versionAtOpen << 1
+		if !o.meta.CompareAndSwap(pre, pre|lockedBit) {
+			t.releaseLocked(order, locked, false)
+			t.finish(false)
+			return engine.ErrConflict
+		}
+		locked[o] = pre
+	}
+	if !t.validCurrent(locked) {
+		t.releaseLocked(order, locked, false)
+		t.finish(false)
+		return engine.ErrConflict
+	}
+	for _, o := range order {
+		sh := t.shadows[o]
+		for i := range sh.words {
+			o.words[i].Store(sh.words[i])
+		}
+		for i := range sh.refs {
+			o.refs[i].Store(sh.refs[i])
+		}
+	}
+	t.releaseLocked(order, locked, true)
+	t.finish(true)
+	return nil
+}
+
+// releaseLocked unlocks every object this commit managed to lock, bumping the
+// version on success and restoring it on failure.
+func (t *Txn) releaseLocked(order []*Obj, locked map[*Obj]uint64, committed bool) {
+	for _, o := range order {
+		pre, mine := locked[o]
+		if !mine {
+			continue
+		}
+		if committed {
+			o.meta.Store(pre + (1 << 1)) // version+1, unlocked
+		} else {
+			o.meta.Store(pre)
+		}
+	}
+}
+
+// Abort implements engine.Txn: shadows are discarded.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.finish(false)
+}
+
+func (t *Txn) finish(committed bool) {
+	t.done = true
+	s := &t.eng.stats
+	if committed {
+		s.commits.Add(1)
+	} else {
+		s.aborts.Add(1)
+	}
+	s.openRead.Add(t.nOpenRead)
+	s.openUpdate.Add(t.nOpenUpdate)
+	s.readLog.Add(t.nReadLog)
+	s.localSkips.Add(t.nLocalSkips)
+	const keepCap = 1 << 14
+	if cap(t.readLog) > keepCap {
+		t.readLog = nil
+	}
+	if len(t.shadows) > keepCap {
+		t.shadows = make(map[*Obj]*shadow)
+		t.worder = nil
+	}
+	t.eng.pool.Put(t)
+}
+
+var (
+	_ engine.Engine = (*Engine)(nil)
+	_ engine.Txn    = (*Txn)(nil)
+)

@@ -1,0 +1,700 @@
+// Package progs contains the benchmark kernels used by experiments E1 and
+// E2, written in TIL. Each kernel is a memory-access-dense program wrapped in
+// transactions, mirroring the paper's single-threaded overhead benchmarks
+// (sieve, tree, hashtable, sorting, matrix multiply, linked list).
+//
+// Kernels are parameterized by a size argument so tests run small and
+// benchmarks run large, and every kernel returns a checksum so that results
+// can be cross-checked between engines and optimization levels.
+package progs
+
+// Kernel describes one benchmark program.
+type Kernel struct {
+	Name string
+	Src  string // TIL source
+	Init string // optional init function (atomic), called once with InitArg
+	Run  string // measured entry point, called with the size argument
+
+	InitArg   uint64 // argument to Init (seed or size)
+	TestSize  uint64 // size for unit tests (fast)
+	BenchSize uint64 // size for benchmarks (paper-scale, interpreter permitting)
+}
+
+// All returns every kernel.
+func All() []Kernel {
+	return []Kernel{Sieve(), BST(), Hash(), Sort(), MatMul(), List()}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// rngSrc is a shared xorshift64 helper (pure arithmetic, no barriers).
+const rngSrc = `
+func rng(x) {
+entry:
+  c13 = const 13
+  t = shl x c13
+  x = xor x t
+  c7 = const 7
+  t = shr x c7
+  x = xor x t
+  c17 = const 17
+  t = shl x c17
+  x = xor x t
+  ret x
+}
+`
+
+// Sieve marks composites in a word array and counts primes below n. The
+// whole sieve is one transaction dominated by stores with dynamic indices.
+func Sieve() Kernel {
+	return Kernel{
+		Name:      "sieve",
+		Run:       "sieve",
+		TestSize:  2_000,
+		BenchSize: 16_384,
+		Src: `
+class SieveArr words=16384 refs=0
+global sv SieveArr
+
+atomic func sieve(n) {
+entry:
+  p = global sv
+  one = const 1
+  two = const 2
+  i = mov two
+  jmp outerhead
+outerhead:
+  sq = mul i i
+  c = lt sq n
+  br c outerbody countinit
+outerbody:
+  m = loadwi p i
+  composite = ne m one
+  br composite marks nexti
+marks:
+  j = mul i i
+  jmp markhead
+markhead:
+  cj = lt j n
+  br cj markbody nexti
+markbody:
+  storewi p j one
+  j = add j i
+  jmp markhead
+nexti:
+  i = add i one
+  jmp outerhead
+countinit:
+  count = const 0
+  i = mov two
+  jmp counthead
+counthead:
+  c2 = lt i n
+  br c2 countbody done
+countbody:
+  m2 = loadwi p i
+  isprime = ne m2 one
+  count = add count isprime
+  i = add i one
+  jmp counthead
+done:
+  ret count
+}
+`,
+	}
+}
+
+// BST inserts pseudo-random keys into a binary search tree and looks half of
+// them up, one transaction per operation.
+func BST() Kernel {
+	return Kernel{
+		Name:      "bst",
+		Run:       "bstbench",
+		TestSize:  400,
+		BenchSize: 20_000,
+		Src: rngSrc + `
+class TNode words=1 refs=2 refclasses=TNode,TNode
+class Tree words=0 refs=1 refclasses=TNode
+global tree Tree
+
+atomic func insert(k) {
+entry:
+  t = global tree
+  root = loadr t 0
+  c = isnil root
+  br c mkroot descend
+mkroot:
+  n = new TNode
+  storew n 0 k
+  storer t 0 n
+  one0 = const 1
+  ret one0
+descend:
+  cur = mov root
+  jmp loop
+loop:
+  ck = loadw cur 0
+  iseq = eq ck k
+  br iseq dup cont
+dup:
+  zero = const 0
+  ret zero
+cont:
+  goleft = lt k ck
+  br goleft left right
+left:
+  nl = loadr cur 0
+  cl = isnil nl
+  br cl addleft descl
+addleft:
+  n2 = new TNode
+  storew n2 0 k
+  storer cur 0 n2
+  one1 = const 1
+  ret one1
+descl:
+  cur = mov nl
+  jmp loop
+right:
+  nr = loadr cur 1
+  cr = isnil nr
+  br cr addright descr
+addright:
+  n3 = new TNode
+  storew n3 0 k
+  storer cur 1 n3
+  one2 = const 1
+  ret one2
+descr:
+  cur = mov nr
+  jmp loop
+}
+
+atomic func contains(k) {
+entry:
+  t = global tree
+  cur = loadr t 0
+  jmp loop
+loop:
+  c = isnil cur
+  br c miss check
+miss:
+  zero = const 0
+  ret zero
+check:
+  ck = loadw cur 0
+  iseq = eq ck k
+  br iseq hit cont
+hit:
+  one = const 1
+  ret one
+cont:
+  goleft = lt k ck
+  br goleft left right
+left:
+  cur = loadr cur 0
+  jmp loop
+right:
+  cur = loadr cur 1
+  jmp loop
+}
+
+func bstbench(n) {
+entry:
+  seed = const 88172645463325252
+  x = mov seed
+  sum = const 0
+  i = const 0
+  one = const 1
+  mask = const 65535
+  jmp inshead
+inshead:
+  c = lt i n
+  br c insbody lookinit
+insbody:
+  x = call rng x
+  k = and x mask
+  r = call insert k
+  sum = add sum r
+  i = add i one
+  jmp inshead
+lookinit:
+  x = mov seed
+  i = const 0
+  jmp lookhead
+lookhead:
+  c2 = lt i n
+  br c2 lookbody done
+lookbody:
+  x = call rng x
+  k2 = and x mask
+  r2 = call contains k2
+  sum = add sum r2
+  i = add i one
+  jmp lookhead
+done:
+  ret sum
+}
+`,
+	}
+}
+
+// Hash drives put/get on a chained hash table with 256 buckets, one
+// transaction per operation.
+func Hash() Kernel {
+	return Kernel{
+		Name:      "hash",
+		Run:       "hashbench",
+		TestSize:  500,
+		BenchSize: 20_000,
+		Src: rngSrc + `
+class HNode words=2 refs=1 refclasses=HNode
+class HTable words=0 refs=256
+global table HTable
+
+atomic func put(k, v) {
+entry:
+  t = global table
+  c255 = const 255
+  b = and k c255
+  cur = loadri t b
+  jmp loop
+loop:
+  c = isnil cur
+  br c insert check
+check:
+  ck = loadw cur 0
+  iseq = eq ck k
+  br iseq update cont
+update:
+  storew cur 1 v
+  zero = const 0
+  ret zero
+cont:
+  cur = loadr cur 0
+  jmp loop
+insert:
+  n = new HNode
+  storew n 0 k
+  storew n 1 v
+  h = loadri t b
+  storer n 0 h
+  storeri t b n
+  one = const 1
+  ret one
+}
+
+atomic func get(k) {
+entry:
+  t = global table
+  c255 = const 255
+  b = and k c255
+  cur = loadri t b
+  jmp loop
+loop:
+  c = isnil cur
+  br c miss check
+miss:
+  zero = const 0
+  ret zero
+check:
+  ck = loadw cur 0
+  iseq = eq ck k
+  br iseq hit cont
+hit:
+  v = loadw cur 1
+  ret v
+cont:
+  cur = loadr cur 0
+  jmp loop
+}
+
+func hashbench(n) {
+entry:
+  seed = const 2463534242
+  x = mov seed
+  sum = const 0
+  i = const 0
+  one = const 1
+  mask = const 4095
+  jmp puthead
+puthead:
+  c = lt i n
+  br c putbody getinit
+putbody:
+  x = call rng x
+  k = and x mask
+  r = call put k i
+  sum = add sum r
+  i = add i one
+  jmp puthead
+getinit:
+  x = mov seed
+  i = const 0
+  jmp gethead
+gethead:
+  c2 = lt i n
+  br c2 getbody done
+getbody:
+  x = call rng x
+  k2 = and x mask
+  v = call get k2
+  sum = add sum v
+  i = add i one
+  jmp gethead
+done:
+  ret sum
+}
+`,
+	}
+}
+
+// Sort fills an array with pseudo-random values and insertion-sorts it in
+// one transaction, returning a positional checksum.
+func Sort() Kernel {
+	return Kernel{
+		Name:      "sort",
+		Run:       "sortbench",
+		TestSize:  200,
+		BenchSize: 2_000,
+		Src: rngSrc + `
+class SArr words=2048 refs=0
+global arr SArr
+
+atomic func fill(n) {
+entry:
+  p = global arr
+  x = const 2463534242
+  i = const 0
+  one = const 1
+  mask = const 1048575
+  jmp head
+head:
+  c = lt i n
+  br c body done
+body:
+  x = call rng x
+  v = and x mask
+  storewi p i v
+  i = add i one
+  jmp head
+done:
+  ret
+}
+
+atomic func isort(n) {
+entry:
+  p = global arr
+  one = const 1
+  zero = const 0
+  m32 = const 0xFFFFFFFF
+  i = mov one
+  jmp outerhead
+outerhead:
+  c = lt i n
+  br c outerbody checksum
+outerbody:
+  key = loadwi p i
+  j = mov i
+  jmp innerhead
+innerhead:
+  cj = gt j zero
+  br cj innertest shiftdone
+innertest:
+  jm1 = sub j one
+  prev = loadwi p jm1
+  cgt = gt prev key
+  br cgt shift shiftdone
+shift:
+  storewi p j prev
+  j = sub j one
+  jmp innerhead
+shiftdone:
+  storewi p j key
+  i = add i one
+  jmp outerhead
+checksum:
+  sum = const 0
+  i = const 0
+  jmp sumhead
+sumhead:
+  c2 = lt i n
+  br c2 sumbody done
+sumbody:
+  v2 = loadwi p i
+  t2 = mul v2 i
+  sum = add sum t2
+  sum = and sum m32
+  i = add i one
+  jmp sumhead
+done:
+  ret sum
+}
+
+func sortbench(n) {
+entry:
+  call fill n
+  s = call isort n
+  ret s
+}
+`,
+	}
+}
+
+// MatMul multiplies two n×n matrices (flattened into word arrays) in one
+// transaction dominated by reads.
+func MatMul() Kernel {
+	return Kernel{
+		Name:      "matmul",
+		Run:       "matbench",
+		TestSize:  8,
+		BenchSize: 32,
+		Src: `
+class Mat words=1024 refs=0
+global ma Mat
+global mb Mat
+global mc Mat
+
+atomic func minit(n) {
+entry:
+  a = global ma
+  b = global mb
+  nn = mul n n
+  i = const 0
+  one = const 1
+  c7 = const 7
+  c3 = const 3
+  jmp head
+head:
+  c = lt i nn
+  br c body done
+body:
+  va = mod i c7
+  storewi a i va
+  vb = mod i c3
+  storewi b i vb
+  i = add i one
+  jmp head
+done:
+  ret
+}
+
+atomic func matmul(n) {
+entry:
+  a = global ma
+  b = global mb
+  cm = global mc
+  one = const 1
+  i = const 0
+  jmp ihead
+ihead:
+  ci = lt i n
+  br ci jinit sum
+jinit:
+  j = const 0
+  jmp jhead
+jhead:
+  cj = lt j n
+  br cj kinit nexti
+kinit:
+  acc = const 0
+  k = const 0
+  jmp khead
+khead:
+  ck = lt k n
+  br ck kbody storec
+kbody:
+  ia = mul i n
+  ia = add ia k
+  va = loadwi a ia
+  ib = mul k n
+  ib = add ib j
+  vb = loadwi b ib
+  p = mul va vb
+  acc = add acc p
+  k = add k one
+  jmp khead
+storec:
+  ic = mul i n
+  ic = add ic j
+  storewi cm ic acc
+  j = add j one
+  jmp jhead
+nexti:
+  i = add i one
+  jmp ihead
+sum:
+  nn = mul n n
+  s = const 0
+  m32 = const 0xFFFFFFFF
+  i = const 0
+  jmp shead
+shead:
+  cs = lt i nn
+  br cs sbody done
+sbody:
+  v = loadwi cm i
+  s = add s v
+  s = and s m32
+  i = add i one
+  jmp shead
+done:
+  ret s
+}
+
+func matbench(n) {
+entry:
+  call minit n
+  s = call matmul n
+  ret s
+}
+`,
+	}
+}
+
+// List drives insert/contains on a sorted singly-linked list, one
+// transaction per operation — the classic STM microbenchmark with long
+// read chains.
+func List() Kernel {
+	return Kernel{
+		Name:      "list",
+		Run:       "listbench",
+		TestSize:  150,
+		BenchSize: 1_500,
+		Src: rngSrc + `
+class LNode words=1 refs=1 refclasses=LNode
+class LList words=0 refs=1 refclasses=LNode
+global lst LList
+
+atomic func linsert(k) {
+entry:
+  l = global lst
+  head = loadr l 0
+  c = isnil head
+  br c athead checkhead
+checkhead:
+  hk = loadw head 0
+  cge = le k hk
+  br cge headcase scan
+headcase:
+  iseq = eq k hk
+  br iseq dup athead
+athead:
+  n = new LNode
+  storew n 0 k
+  h2 = loadr l 0
+  storer n 0 h2
+  storer l 0 n
+  one0 = const 1
+  ret one0
+dup:
+  zero0 = const 0
+  ret zero0
+scan:
+  prev = mov head
+  jmp loop
+loop:
+  nxt = loadr prev 0
+  cn = isnil nxt
+  br cn append test
+test:
+  nk = loadw nxt 0
+  ceq = eq nk k
+  br ceq dup2 order
+dup2:
+  zero1 = const 0
+  ret zero1
+order:
+  cgt = gt nk k
+  br cgt between step
+between:
+  n2 = new LNode
+  storew n2 0 k
+  storer n2 0 nxt
+  storer prev 0 n2
+  one1 = const 1
+  ret one1
+step:
+  prev = mov nxt
+  jmp loop
+append:
+  n3 = new LNode
+  storew n3 0 k
+  storer prev 0 n3
+  one2 = const 1
+  ret one2
+}
+
+atomic func lcontains(k) {
+entry:
+  l = global lst
+  cur = loadr l 0
+  jmp loop
+loop:
+  c = isnil cur
+  br c miss check
+miss:
+  zero = const 0
+  ret zero
+check:
+  ck = loadw cur 0
+  iseq = eq ck k
+  br iseq hit next
+hit:
+  one = const 1
+  ret one
+next:
+  cgt = gt ck k
+  br cgt miss step
+step:
+  cur = loadr cur 0
+  jmp loop
+}
+
+func listbench(n) {
+entry:
+  seed = const 123456789
+  x = mov seed
+  sum = const 0
+  i = const 0
+  one = const 1
+  mask = const 1023
+  jmp inshead
+inshead:
+  c = lt i n
+  br c insbody lookinit
+insbody:
+  x = call rng x
+  k = and x mask
+  r = call linsert k
+  sum = add sum r
+  i = add i one
+  jmp inshead
+lookinit:
+  x = mov seed
+  i = const 0
+  jmp lookhead
+lookhead:
+  c2 = lt i n
+  br c2 lookbody done
+lookbody:
+  x = call rng x
+  k2 = and x mask
+  r2 = call lcontains k2
+  sum = add sum r2
+  i = add i one
+  jmp lookhead
+done:
+  ret sum
+}
+`,
+	}
+}

@@ -1,0 +1,145 @@
+package progs
+
+import (
+	"testing"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/ostm"
+	"memtx/internal/rawengine"
+	"memtx/internal/til/interp"
+	"memtx/internal/til/parser"
+	"memtx/internal/til/passes"
+	"memtx/internal/wstm"
+)
+
+// runKernel executes the kernel at the given level/engine and returns the
+// checksum and machine stats.
+func runKernel(t *testing.T, k Kernel, level passes.Level, e engine.Engine, size uint64) (uint64, interp.Stats) {
+	t.Helper()
+	m, err := parser.Parse(k.Name, k.Src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", k.Name, err)
+	}
+	if _, err := passes.Apply(m, level); err != nil {
+		t.Fatalf("%s: passes: %v", k.Name, err)
+	}
+	p, err := interp.Load(m, e)
+	if err != nil {
+		t.Fatalf("%s: load: %v", k.Name, err)
+	}
+	mach := p.NewMachine()
+	if k.Init != "" {
+		if _, err := mach.Call(k.Init, interp.Word(k.InitArg)); err != nil {
+			t.Fatalf("%s: init: %v", k.Name, err)
+		}
+	}
+	v, err := mach.Call(k.Run, interp.Word(size))
+	if err != nil {
+		t.Fatalf("%s: run: %v", k.Name, err)
+	}
+	return v.W, mach.Stats
+}
+
+// TestKernelsAgreeAcrossEnginesAndLevels is the central correctness check for
+// E1/E2: every engine at every optimization level must compute the same
+// checksum as the raw (uninstrumented) engine.
+func TestKernelsAgreeAcrossEnginesAndLevels(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			want, _ := runKernel(t, k, passes.LevelNaive, rawengine.New(), k.TestSize)
+
+			type mk struct {
+				name string
+				new  func() engine.Engine
+			}
+			makers := []mk{
+				{"direct", func() engine.Engine { return core.New() }},
+				{"wstm", func() engine.Engine { return wstm.New(wstm.WithStripes(1 << 14)) }},
+				{"ostm", func() engine.Engine { return ostm.New() }},
+			}
+			for _, mkr := range makers {
+				for _, level := range passes.Levels {
+					got, _ := runKernel(t, k, level, mkr.new(), k.TestSize)
+					if got != want {
+						t.Errorf("%s/%s: checksum %d, want %d", mkr.name, level, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizationMonotonicity: dynamic barrier counts must not increase with
+// the optimization level on the direct engine.
+func TestOptimizationMonotonicity(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			prevOpens := ^uint64(0)
+			prevUndos := ^uint64(0)
+			for _, level := range passes.Levels {
+				_, st := runKernel(t, k, level, core.New(), k.TestSize)
+				opens := st.OpensR + st.OpensU
+				if opens > prevOpens {
+					t.Errorf("level %s: opens %d > previous %d", level, opens, prevOpens)
+				}
+				if st.Undos > prevUndos {
+					t.Errorf("level %s: undos %d > previous %d", level, st.Undos, prevUndos)
+				}
+				prevOpens, prevUndos = opens, st.Undos
+			}
+			// Full must be a strict improvement over naive for these
+			// memory-dense kernels.
+			_, naive := runKernel(t, k, passes.LevelNaive, core.New(), k.TestSize)
+			_, full := runKernel(t, k, passes.LevelFull, core.New(), k.TestSize)
+			if full.OpensR+full.OpensU >= naive.OpensR+naive.OpensU {
+				t.Errorf("full opens (%d) not below naive (%d)",
+					full.OpensR+full.OpensU, naive.OpensR+naive.OpensU)
+			}
+		})
+	}
+}
+
+// TestSievePrimeCount pins the sieve's semantics with a known value:
+// there are 303 primes below 2000.
+func TestSievePrimeCount(t *testing.T) {
+	got, _ := runKernel(t, Sieve(), passes.LevelFull, core.New(), 2000)
+	if got != 303 {
+		t.Fatalf("primes below 2000 = %d, want 303", got)
+	}
+}
+
+// TestHoistHelpsArrayKernels: sieve's array opens collapse to O(1) per
+// transaction once hoisting is enabled.
+func TestHoistHelpsArrayKernels(t *testing.T) {
+	_, naive := runKernel(t, Sieve(), passes.LevelNaive, core.New(), 2000)
+	_, hoisted := runKernel(t, Sieve(), passes.LevelHoist, core.New(), 2000)
+	if hoisted.OpensR+hoisted.OpensU >= (naive.OpensR+naive.OpensU)/100 {
+		t.Errorf("hoisting left %d opens (naive %d); expected ~100x reduction",
+			hoisted.OpensR+hoisted.OpensU, naive.OpensR+naive.OpensU)
+	}
+}
+
+// TestNewObjHelpsAllocatingKernels: the list kernel allocates a node per
+// insert; LevelFull must elide its initialization barriers.
+func TestNewObjHelpsAllocatingKernels(t *testing.T) {
+	_, hoist := runKernel(t, List(), passes.LevelHoist, core.New(), List().TestSize)
+	_, full := runKernel(t, List(), passes.LevelFull, core.New(), List().TestSize)
+	if full.OpensU >= hoist.OpensU {
+		t.Errorf("full OpensU (%d) not below hoist (%d)", full.OpensU, hoist.OpensU)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("sieve"); !ok {
+		t.Fatal("sieve not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("nonexistent kernel found")
+	}
+	if len(All()) != 6 {
+		t.Fatalf("kernels = %d, want 6", len(All()))
+	}
+}

@@ -1,0 +1,96 @@
+// Package rawengine provides a no-op "engine" whose operations compile down
+// to plain loads and stores with no logging, no validation, and no conflict
+// detection.
+//
+// It exists to measure the uninstrumented sequential baseline (the paper's
+// "no STM" bar) under exactly the same interpreter and data layout as the
+// real engines, so that normalized overheads isolate the STM cost rather
+// than interpreter dispatch. It is NOT safe for concurrent transactions.
+package rawengine
+
+import "memtx/internal/engine"
+
+// Obj is a plain object: no STM word, no atomics.
+type Obj struct {
+	words []uint64
+	refs  []*Obj
+}
+
+// Engine is the no-op engine. The zero value is ready to use.
+type Engine struct {
+	starts, commits uint64
+}
+
+// New returns a raw engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "raw" }
+
+// NewObj implements engine.Engine.
+func (e *Engine) NewObj(nwords, nrefs int) engine.Handle {
+	return &Obj{words: make([]uint64, nwords), refs: make([]*Obj, nrefs)}
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() engine.Txn {
+	e.starts++
+	return rawTxn{e}
+}
+
+// BeginReadOnly implements engine.Engine.
+func (e *Engine) BeginReadOnly() engine.Txn {
+	e.starts++
+	return rawTxn{e}
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{Starts: e.starts, Commits: e.commits}
+}
+
+type rawTxn struct{ e *Engine }
+
+func (t rawTxn) obj(h engine.Handle) *Obj { return h.(*Obj) }
+
+func (t rawTxn) OpenForRead(engine.Handle)         {}
+func (t rawTxn) OpenForUpdate(engine.Handle)       {}
+func (t rawTxn) LogForUndoWord(engine.Handle, int) {}
+func (t rawTxn) LogForUndoRef(engine.Handle, int)  {}
+func (t rawTxn) Validate() error                   { return nil }
+func (t rawTxn) Compact()                          {}
+func (t rawTxn) ReadOnly() bool                    { return false }
+
+func (t rawTxn) LoadWord(h engine.Handle, i int) uint64 { return t.obj(h).words[i] }
+
+func (t rawTxn) StoreWord(h engine.Handle, i int, v uint64) { t.obj(h).words[i] = v }
+
+func (t rawTxn) LoadRef(h engine.Handle, i int) engine.Handle {
+	r := t.obj(h).refs[i]
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+func (t rawTxn) StoreRef(h engine.Handle, i int, r engine.Handle) {
+	var ro *Obj
+	if r != nil {
+		ro = t.obj(r)
+	}
+	t.obj(h).refs[i] = ro
+}
+
+func (t rawTxn) Alloc(nwords, nrefs int) engine.Handle { return t.e.NewObj(nwords, nrefs) }
+
+func (t rawTxn) Commit() error {
+	t.e.commits++
+	return nil
+}
+
+func (t rawTxn) Abort() {}
+
+var (
+	_ engine.Engine = (*Engine)(nil)
+	_ engine.Txn    = rawTxn{}
+)

@@ -1,0 +1,209 @@
+package til
+
+import "fmt"
+
+// FuncBuilder constructs a Func imperatively. It is used by the parser and by
+// tests that assemble IR programmatically.
+type FuncBuilder struct {
+	f      *Func
+	regIdx map[string]int
+	blkIdx map[string]int
+	cur    int // current block index, -1 when none
+}
+
+// NewFuncBuilder starts building a function with the given parameter names.
+func NewFuncBuilder(name string, atomic bool, params ...string) *FuncBuilder {
+	b := &FuncBuilder{
+		f:      &Func{Name: name, Atomic: atomic, NParams: len(params), Instrumented: -1},
+		regIdx: map[string]int{},
+		blkIdx: map[string]int{},
+		cur:    -1,
+	}
+	for _, p := range params {
+		b.Reg(p)
+	}
+	return b
+}
+
+// Reg interns a register name and returns its index.
+func (b *FuncBuilder) Reg(name string) int {
+	if i, ok := b.regIdx[name]; ok {
+		return i
+	}
+	i := b.f.NRegs
+	b.f.NRegs++
+	b.f.RegNames = append(b.f.RegNames, name)
+	b.regIdx[name] = i
+	return i
+}
+
+// HasReg reports whether the register name is already interned.
+func (b *FuncBuilder) HasReg(name string) bool {
+	_, ok := b.regIdx[name]
+	return ok
+}
+
+// Block starts (or switches to) the named block and returns its index.
+// Referencing a block before defining it is allowed via BlockRef.
+func (b *FuncBuilder) Block(name string) int {
+	i := b.BlockRef(name)
+	b.cur = i
+	return i
+}
+
+// BlockRef interns a block label without making it current.
+func (b *FuncBuilder) BlockRef(name string) int {
+	if i, ok := b.blkIdx[name]; ok {
+		return i
+	}
+	i := len(b.f.Blocks)
+	b.f.Blocks = append(b.f.Blocks, &Block{Name: name})
+	b.blkIdx[name] = i
+	return i
+}
+
+// Emit appends an instruction to the current block.
+func (b *FuncBuilder) Emit(in Instr) {
+	if b.cur < 0 {
+		panic(fmt.Sprintf("til: emit before any block in %s", b.f.Name))
+	}
+	b.f.Blocks[b.cur].Instrs = append(b.f.Blocks[b.cur].Instrs, in)
+}
+
+// Convenience emitters. Register and block arguments are names; they are
+// interned on first use.
+
+func (b *FuncBuilder) ConstW(dst string, v uint64) {
+	b.Emit(Instr{Op: OpConstW, Dst: b.Reg(dst), A: -1, B: -1, Obj: -1, Imm: v})
+}
+
+func (b *FuncBuilder) ConstNil(dst string) {
+	b.Emit(Instr{Op: OpConstNil, Dst: b.Reg(dst), A: -1, B: -1, Obj: -1})
+}
+
+func (b *FuncBuilder) Mov(dst, src string) {
+	b.Emit(Instr{Op: OpMov, Dst: b.Reg(dst), A: b.Reg(src), B: -1, Obj: -1})
+}
+
+func (b *FuncBuilder) Bin(kind BinKind, dst, a, rb string) {
+	b.Emit(Instr{Op: OpBin, Bin: kind, Dst: b.Reg(dst), A: b.Reg(a), B: b.Reg(rb), Obj: -1})
+}
+
+func (b *FuncBuilder) IsNil(dst, a string) {
+	b.Emit(Instr{Op: OpIsNil, Dst: b.Reg(dst), A: b.Reg(a), B: -1, Obj: -1})
+}
+
+func (b *FuncBuilder) RefEq(dst, a, rb string) {
+	b.Emit(Instr{Op: OpRefEq, Dst: b.Reg(dst), A: b.Reg(a), B: b.Reg(rb), Obj: -1})
+}
+
+func (b *FuncBuilder) New(dst string, class int) {
+	b.Emit(Instr{Op: OpNew, Dst: b.Reg(dst), A: -1, B: -1, Obj: -1, Class: class})
+}
+
+func (b *FuncBuilder) Global(dst string, global int) {
+	b.Emit(Instr{Op: OpGlobal, Dst: b.Reg(dst), A: -1, B: -1, Obj: -1, Idx: global})
+}
+
+func (b *FuncBuilder) LoadW(dst, obj string, idx int) {
+	b.Emit(Instr{Op: OpLoadW, Dst: b.Reg(dst), A: -1, B: -1, Obj: b.Reg(obj), Idx: idx})
+}
+
+func (b *FuncBuilder) LoadWI(dst, obj, idx string) {
+	b.Emit(Instr{Op: OpLoadWI, Dst: b.Reg(dst), A: -1, B: -1, Obj: b.Reg(obj), Idx: b.Reg(idx)})
+}
+
+func (b *FuncBuilder) StoreW(obj string, idx int, src string) {
+	b.Emit(Instr{Op: OpStoreW, Dst: -1, A: b.Reg(src), B: -1, Obj: b.Reg(obj), Idx: idx})
+}
+
+func (b *FuncBuilder) StoreWI(obj, idx, src string) {
+	b.Emit(Instr{Op: OpStoreWI, Dst: -1, A: b.Reg(src), B: -1, Obj: b.Reg(obj), Idx: b.Reg(idx)})
+}
+
+func (b *FuncBuilder) LoadR(dst, obj string, idx int) {
+	b.Emit(Instr{Op: OpLoadR, Dst: b.Reg(dst), A: -1, B: -1, Obj: b.Reg(obj), Idx: idx})
+}
+
+func (b *FuncBuilder) LoadRI(dst, obj, idx string) {
+	b.Emit(Instr{Op: OpLoadRI, Dst: b.Reg(dst), A: -1, B: -1, Obj: b.Reg(obj), Idx: b.Reg(idx)})
+}
+
+// StoreR stores register src (or nil when src == "") into obj.refs[idx].
+func (b *FuncBuilder) StoreR(obj string, idx int, src string) {
+	a := -1
+	if src != "" {
+		a = b.Reg(src)
+	}
+	b.Emit(Instr{Op: OpStoreR, Dst: -1, A: a, B: -1, Obj: b.Reg(obj), Idx: idx})
+}
+
+func (b *FuncBuilder) StoreRI(obj, idx, src string) {
+	a := -1
+	if src != "" {
+		a = b.Reg(src)
+	}
+	b.Emit(Instr{Op: OpStoreRI, Dst: -1, A: a, B: -1, Obj: b.Reg(obj), Idx: b.Reg(idx)})
+}
+
+func (b *FuncBuilder) OpenR(obj string) {
+	b.Emit(Instr{Op: OpOpenR, Dst: -1, A: -1, B: -1, Obj: b.Reg(obj)})
+}
+
+func (b *FuncBuilder) OpenU(obj string) {
+	b.Emit(Instr{Op: OpOpenU, Dst: -1, A: -1, B: -1, Obj: b.Reg(obj)})
+}
+
+func (b *FuncBuilder) UndoW(obj string, idx int) {
+	b.Emit(Instr{Op: OpUndoW, Dst: -1, A: -1, B: -1, Obj: b.Reg(obj), Idx: idx})
+}
+
+func (b *FuncBuilder) UndoWI(obj, idx string) {
+	b.Emit(Instr{Op: OpUndoWI, Dst: -1, A: -1, B: -1, Obj: b.Reg(obj), Idx: b.Reg(idx)})
+}
+
+func (b *FuncBuilder) UndoR(obj string, idx int) {
+	b.Emit(Instr{Op: OpUndoR, Dst: -1, A: -1, B: -1, Obj: b.Reg(obj), Idx: idx})
+}
+
+func (b *FuncBuilder) UndoRI(obj, idx string) {
+	b.Emit(Instr{Op: OpUndoRI, Dst: -1, A: -1, B: -1, Obj: b.Reg(obj), Idx: b.Reg(idx)})
+}
+
+func (b *FuncBuilder) Validate() {
+	b.Emit(Instr{Op: OpValidate, Dst: -1, A: -1, B: -1, Obj: -1})
+}
+
+// Call emits a call; dst == "" discards the result.
+func (b *FuncBuilder) Call(dst string, callee int, args ...string) {
+	d := -1
+	if dst != "" {
+		d = b.Reg(dst)
+	}
+	regs := make([]int, len(args))
+	for i, a := range args {
+		regs[i] = b.Reg(a)
+	}
+	b.Emit(Instr{Op: OpCall, Dst: d, A: -1, B: -1, Obj: -1, Callee: callee, Args: regs})
+}
+
+func (b *FuncBuilder) Jmp(target string) {
+	b.Emit(Instr{Op: OpJmp, Dst: -1, A: -1, B: -1, Obj: -1, Then: b.BlockRef(target)})
+}
+
+func (b *FuncBuilder) Br(cond, then, els string) {
+	b.Emit(Instr{Op: OpBr, Dst: -1, A: b.Reg(cond), B: -1, Obj: -1,
+		Then: b.BlockRef(then), Else: b.BlockRef(els)})
+}
+
+// Ret emits a return; src == "" returns no value.
+func (b *FuncBuilder) Ret(src string) {
+	a := -1
+	if src != "" {
+		a = b.Reg(src)
+	}
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: a, B: -1, Obj: -1})
+}
+
+// Done finalizes and returns the function.
+func (b *FuncBuilder) Done() *Func { return b.f }

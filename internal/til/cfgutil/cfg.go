@@ -1,0 +1,246 @@
+// Package cfgutil provides control-flow-graph analyses over TIL functions:
+// successor/predecessor maps, reverse postorder, dominator trees
+// (Cooper–Harvey–Kennedy), and natural-loop detection. The optimization
+// passes in til/passes are built on these.
+package cfgutil
+
+import "memtx/internal/til"
+
+// CFG caches the control-flow structure of one function.
+type CFG struct {
+	F     *til.Func
+	Succs [][]int
+	Preds [][]int
+
+	// RPO is a reverse postorder of reachable blocks; RPONum[b] is the
+	// position of block b in RPO, or -1 if unreachable.
+	RPO    []int
+	RPONum []int
+
+	// IDom[b] is the immediate dominator of block b (IDom[entry] == entry);
+	// -1 for unreachable blocks.
+	IDom []int
+}
+
+// New computes the CFG, reverse postorder, and dominator tree of f.
+// The entry block is block 0.
+func New(f *til.Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		F:      f,
+		Succs:  make([][]int, n),
+		Preds:  make([][]int, n),
+		RPONum: make([]int, n),
+		IDom:   make([]int, n),
+	}
+	for bi, blk := range f.Blocks {
+		t := blk.Terminator()
+		switch t.Op {
+		case til.OpJmp:
+			c.Succs[bi] = []int{t.Then}
+		case til.OpBr:
+			if t.Then == t.Else {
+				c.Succs[bi] = []int{t.Then}
+			} else {
+				c.Succs[bi] = []int{t.Then, t.Else}
+			}
+		case til.OpRet:
+			// no successors
+		}
+	}
+	for bi, ss := range c.Succs {
+		for _, s := range ss {
+			c.Preds[s] = append(c.Preds[s], bi)
+		}
+	}
+	c.computeRPO()
+	c.computeDominators()
+	return c
+}
+
+func (c *CFG) computeRPO() {
+	n := len(c.F.Blocks)
+	visited := make([]bool, n)
+	post := make([]int, 0, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range c.Succs[b] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	c.RPO = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		c.RPO = append(c.RPO, post[i])
+	}
+	for i := range c.RPONum {
+		c.RPONum[i] = -1
+	}
+	for i, b := range c.RPO {
+		c.RPONum[b] = i
+	}
+}
+
+// computeDominators implements the Cooper–Harvey–Kennedy iterative dominator
+// algorithm over the reverse postorder.
+func (c *CFG) computeDominators() {
+	for i := range c.IDom {
+		c.IDom[i] = -1
+	}
+	c.IDom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if c.IDom[p] == -1 {
+					continue // not yet processed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = c.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && c.IDom[b] != newIdom {
+				c.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *CFG) intersect(a, b int) int {
+	for a != b {
+		for c.RPONum[a] > c.RPONum[b] {
+			a = c.IDom[a]
+		}
+		for c.RPONum[b] > c.RPONum[a] {
+			b = c.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b.
+func (c *CFG) Dominates(a, b int) bool {
+	if c.RPONum[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = c.IDom[b]
+	}
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.RPONum[b] != -1 }
+
+// Loop is a natural loop: the header block and the set of blocks in the loop
+// body (including the header).
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+}
+
+// NaturalLoops finds the natural loops of the function by locating back edges
+// (edges t→h where h dominates t) and collecting their bodies. Loops sharing
+// a header are merged.
+func (c *CFG) NaturalLoops() []*Loop {
+	byHeader := map[int]*Loop{}
+	var order []int
+	for _, t := range c.RPO {
+		for _, h := range c.Succs[t] {
+			if !c.Dominates(h, t) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[int]bool{h: true}}
+				byHeader[h] = l
+				order = append(order, h)
+			}
+			// Collect the body: all blocks that can reach t without passing
+			// through h.
+			var stack []int
+			if !l.Blocks[t] {
+				l.Blocks[t] = true
+				stack = append(stack, t)
+			}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range c.Preds[b] {
+					if !l.Blocks[p] && c.Reachable(p) {
+						l.Blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// InsertPreheader ensures the loop has a dedicated preheader block: a block
+// whose only successor is the header and through which every entry edge from
+// outside the loop passes. It returns the preheader's block index. The
+// function's block slice is mutated; callers must recompute the CFG
+// afterwards if they need further analyses.
+func InsertPreheader(f *til.Func, c *CFG, l *Loop) int {
+	// An existing unique outside predecessor with a single successor works.
+	var outside []int
+	for _, p := range c.Preds[l.Header] {
+		if !l.Blocks[p] && c.Reachable(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 {
+		p := outside[0]
+		if len(c.Succs[p]) == 1 {
+			return p
+		}
+	}
+
+	// Create a new block that jumps to the header and retarget every outside
+	// edge to it.
+	ph := &til.Block{
+		Name:   f.Blocks[l.Header].Name + ".preheader",
+		Instrs: []til.Instr{{Op: til.OpJmp, Dst: -1, A: -1, B: -1, Obj: -1, Then: l.Header}},
+	}
+	f.Blocks = append(f.Blocks, ph)
+	phi := len(f.Blocks) - 1
+	for _, p := range outside {
+		t := f.Blocks[p].Terminator()
+		switch t.Op {
+		case til.OpJmp:
+			if t.Then == l.Header {
+				t.Then = phi
+			}
+		case til.OpBr:
+			if t.Then == l.Header {
+				t.Then = phi
+			}
+			if t.Else == l.Header {
+				t.Else = phi
+			}
+		}
+	}
+	return phi
+}

@@ -1,0 +1,218 @@
+package cfgutil
+
+import (
+	"testing"
+
+	"memtx/internal/til"
+	"memtx/internal/til/parser"
+)
+
+// diamond: entry -> (left|right) -> join -> exit
+const diamondSrc = `
+func f(x) {
+entry:
+  br x left right
+left:
+  a = const 1
+  jmp join
+right:
+  b = const 2
+  jmp join
+join:
+  c = const 3
+  jmp exit
+exit:
+  ret c
+}
+`
+
+// loopSrc: entry -> head <-> body, head -> exit
+const loopSrc = `
+func f(n) {
+entry:
+  i = const 0
+  jmp head
+head:
+  c = lt i n
+  br c body exit
+body:
+  one = const 1
+  i = add i one
+  jmp head
+exit:
+  ret i
+}
+`
+
+func mustFunc(t *testing.T, src string) *til.Func {
+	t.Helper()
+	m, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m.Funcs[0]
+}
+
+func blockIdx(t *testing.T, f *til.Func, name string) int {
+	t.Helper()
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("no block %q", name)
+	return -1
+}
+
+func TestDiamondDominators(t *testing.T) {
+	f := mustFunc(t, diamondSrc)
+	c := New(f)
+	entry := blockIdx(t, f, "entry")
+	left := blockIdx(t, f, "left")
+	right := blockIdx(t, f, "right")
+	join := blockIdx(t, f, "join")
+	exit := blockIdx(t, f, "exit")
+
+	for _, b := range []int{left, right, join, exit} {
+		if !c.Dominates(entry, b) {
+			t.Errorf("entry should dominate %s", f.Blocks[b].Name)
+		}
+	}
+	if c.Dominates(left, join) || c.Dominates(right, join) {
+		t.Error("neither branch arm dominates the join")
+	}
+	if c.IDom[join] != entry {
+		t.Errorf("idom(join) = %d, want entry", c.IDom[join])
+	}
+	if c.IDom[exit] != join {
+		t.Errorf("idom(exit) = %d, want join", c.IDom[exit])
+	}
+	if got := len(c.NaturalLoops()); got != 0 {
+		t.Errorf("diamond has %d loops, want 0", got)
+	}
+}
+
+func TestDiamondPredsSuccs(t *testing.T) {
+	f := mustFunc(t, diamondSrc)
+	c := New(f)
+	entry := blockIdx(t, f, "entry")
+	join := blockIdx(t, f, "join")
+	if len(c.Succs[entry]) != 2 {
+		t.Errorf("entry succs = %v, want 2", c.Succs[entry])
+	}
+	if len(c.Preds[join]) != 2 {
+		t.Errorf("join preds = %v, want 2", c.Preds[join])
+	}
+	exit := blockIdx(t, f, "exit")
+	if len(c.Succs[exit]) != 0 {
+		t.Errorf("exit succs = %v, want none", c.Succs[exit])
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := mustFunc(t, loopSrc)
+	c := New(f)
+	loops := c.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	head := blockIdx(t, f, "head")
+	body := blockIdx(t, f, "body")
+	if l.Header != head {
+		t.Errorf("header = %d, want %d", l.Header, head)
+	}
+	if !l.Blocks[head] || !l.Blocks[body] {
+		t.Errorf("loop body = %v, want {head, body}", l.Blocks)
+	}
+	if l.Blocks[blockIdx(t, f, "entry")] || l.Blocks[blockIdx(t, f, "exit")] {
+		t.Errorf("loop includes blocks outside the loop: %v", l.Blocks)
+	}
+}
+
+func TestInsertPreheaderReusesUniquePred(t *testing.T) {
+	f := mustFunc(t, loopSrc)
+	c := New(f)
+	l := c.NaturalLoops()[0]
+	entry := blockIdx(t, f, "entry")
+	nBlocks := len(f.Blocks)
+	ph := InsertPreheader(f, c, l)
+	if ph != entry {
+		t.Errorf("preheader = %d, want existing entry %d", ph, entry)
+	}
+	if len(f.Blocks) != nBlocks {
+		t.Errorf("blocks grew from %d to %d; reuse expected", nBlocks, len(f.Blocks))
+	}
+}
+
+func TestInsertPreheaderCreatesBlock(t *testing.T) {
+	// Two outside edges into the header force a fresh preheader.
+	src := `
+func f(x, n) {
+entry:
+  i = const 0
+  br x head other
+other:
+  i = const 5
+  jmp head
+head:
+  c = lt i n
+  br c body exit
+body:
+  one = const 1
+  i = add i one
+  jmp head
+exit:
+  ret i
+}
+`
+	f := mustFunc(t, src)
+	c := New(f)
+	loops := c.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	nBlocks := len(f.Blocks)
+	ph := InsertPreheader(f, c, loops[0])
+	if ph != nBlocks {
+		t.Fatalf("preheader index = %d, want new block %d", ph, nBlocks)
+	}
+	if err := til.Verify(&til.Module{Funcs: []*til.Func{f}}); err != nil {
+		t.Fatalf("verify after preheader: %v", err)
+	}
+	// All former outside edges must now route through the preheader.
+	c2 := New(f)
+	head := blockIdx(t, f, "head")
+	outside := 0
+	for _, p := range c2.Preds[head] {
+		if !loops[0].Blocks[p] {
+			outside++
+			if p != ph {
+				t.Errorf("outside edge from %s bypasses preheader", f.Blocks[p].Name)
+			}
+		}
+	}
+	if outside != 1 {
+		t.Errorf("outside preds of header = %d, want 1", outside)
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	src := `
+func f() {
+entry:
+  ret
+island:
+  jmp island
+}
+`
+	f := mustFunc(t, src)
+	c := New(f)
+	island := blockIdx(t, f, "island")
+	if c.Reachable(island) {
+		t.Error("island reported reachable")
+	}
+	if c.Dominates(island, blockIdx(t, f, "entry")) {
+		t.Error("unreachable block dominates entry")
+	}
+}

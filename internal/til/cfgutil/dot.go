@@ -1,0 +1,48 @@
+package cfgutil
+
+import (
+	"fmt"
+	"strings"
+
+	"memtx/internal/til"
+)
+
+// DOT renders the function's control-flow graph in Graphviz dot syntax,
+// with one record-shaped node per basic block listing its instructions.
+// Back edges (targets that dominate their source) are drawn dashed, making
+// the loops found by NaturalLoops visible.
+func DOT(m *til.Module, f *til.Func) string {
+	c := New(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for bi, blk := range f.Blocks {
+		var lines []string
+		lines = append(lines, blk.Name+":")
+		for i := range blk.Instrs {
+			lines = append(lines, "  "+til.FormatInstr(m, f, &blk.Instrs[i]))
+		}
+		label := strings.Join(lines, "\\l") + "\\l"
+		attrs := ""
+		if !c.Reachable(bi) {
+			attrs = ", style=dotted"
+		}
+		fmt.Fprintf(&sb, "  b%d [label=\"%s\"%s];\n", bi, escapeDOT(label), attrs)
+	}
+	for bi := range f.Blocks {
+		for _, s := range c.Succs[bi] {
+			style := ""
+			if c.Reachable(bi) && c.Dominates(s, bi) {
+				style = " [style=dashed]" // back edge
+			}
+			fmt.Fprintf(&sb, "  b%d -> b%d%s;\n", bi, s, style)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,46 @@
+package cfgutil
+
+import (
+	"strings"
+	"testing"
+
+	"memtx/internal/til/parser"
+)
+
+func TestDOTRendersBlocksAndEdges(t *testing.T) {
+	m, err := parser.Parse("test", loopSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := DOT(m, m.Funcs[0])
+	for _, frag := range []string{
+		"digraph", "head:", "body:", "exit:", "->", "style=dashed", "}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+	// Exactly one back edge in this single-loop function.
+	if got := strings.Count(out, "style=dashed"); got != 1 {
+		t.Errorf("back edges = %d, want 1\n%s", got, out)
+	}
+}
+
+func TestDOTMarksUnreachable(t *testing.T) {
+	src := `
+func f() {
+entry:
+  ret
+island:
+  jmp island
+}
+`
+	m, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := DOT(m, m.Funcs[0])
+	if !strings.Contains(out, "style=dotted") {
+		t.Errorf("unreachable block not marked dotted:\n%s", out)
+	}
+}

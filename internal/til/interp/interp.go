@@ -1,0 +1,494 @@
+// Package interp executes TIL modules against any STM engine.
+//
+// A Program binds a module to an engine and allocates the module's globals;
+// Machines are per-goroutine executors sharing the Program, so concurrent
+// workloads run one Machine per worker thread against the same heap.
+//
+// Transaction semantics mirror the paper's runtime:
+//
+//   - calling an atomic function outside a transaction starts one, executing
+//     the function's instrumented clone (when the module has been through
+//     passes.Instrument) and re-executing on conflict;
+//   - calling an atomic function inside a transaction is flattened;
+//   - read-only atomic functions (passes.MarkReadOnly) use the engine's
+//     read-only protocol;
+//   - the interpreter is zombie-tolerant: because the direct-update engine
+//     is not opaque, a doomed transaction may read inconsistent data and
+//     fault or loop; faults trigger validation-then-retry, and a step
+//     watchdog validates periodically inside long transactions.
+//
+// Barrier instructions on nil references are no-ops (so speculative code
+// motion is always safe); data accesses through nil are faults.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"memtx/internal/engine"
+	"memtx/internal/til"
+)
+
+// Value is a TIL runtime value: a machine word or an object reference.
+type Value struct {
+	W     uint64
+	R     engine.Handle
+	IsRef bool
+}
+
+// Word returns a scalar value.
+func Word(w uint64) Value { return Value{W: w} }
+
+// Ref returns a reference value (h may be nil).
+func Ref(h engine.Handle) Value { return Value{R: h, IsRef: true} }
+
+// Stats counts dynamically executed operations across a Machine's lifetime.
+type Stats struct {
+	Steps        uint64
+	OpensR       uint64
+	OpensU       uint64
+	Undos        uint64
+	Loads        uint64
+	Stores       uint64
+	Allocs       uint64
+	Calls        uint64
+	Txns         uint64 // top-level transactions started (incl. retries)
+	ImplicitTxns uint64 // single-op transactions for non-atomic memory access
+}
+
+// Program is a module loaded against an engine, with globals allocated.
+type Program struct {
+	Mod     *til.Module
+	Eng     engine.Engine
+	Globals []engine.Handle
+}
+
+// Load allocates the module's globals on the engine and returns a Program.
+func Load(m *til.Module, e engine.Engine) (*Program, error) {
+	if err := til.Verify(m); err != nil {
+		return nil, err
+	}
+	p := &Program{Mod: m, Eng: e}
+	for _, g := range m.Globals {
+		c := &m.Classes[g.Class]
+		p.Globals = append(p.Globals, e.NewObj(c.NWords, c.NRefs))
+	}
+	return p, nil
+}
+
+// Machine executes functions of one Program. Not safe for concurrent use;
+// create one Machine per goroutine.
+type Machine struct {
+	prog *Program
+	tx   engine.Txn
+
+	// ValidateEvery is the number of interpreted steps between automatic
+	// mid-transaction validations (zombie containment). <= 0 disables.
+	ValidateEvery int
+	// MaxSteps bounds the steps of a single transaction attempt; exceeding
+	// it is reported as an error. <= 0 means the default of 1<<30.
+	MaxSteps int
+	// MaxDepth bounds call recursion.
+	MaxDepth int
+
+	Stats Stats
+
+	stepsInTxn int
+	depth      int
+}
+
+// NewMachine returns an executor for the program.
+func (p *Program) NewMachine() *Machine {
+	return &Machine{prog: p, ValidateEvery: 50_000, MaxSteps: 1 << 30, MaxDepth: 4096}
+}
+
+// trap is an interpreter fault (nil dereference, bad index, division by
+// zero...). Inside a transaction a trap may be a zombie artifact and
+// triggers validation; outside it is a program error.
+type trap struct {
+	msg string
+}
+
+func (t *trap) Error() string { return "til: trap: " + t.msg }
+
+// Call invokes the named function. Atomic functions are wrapped in a
+// transaction (with retry); plain functions execute directly, and any memory
+// operations they perform run as implicit single-operation transactions.
+func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	fi := m.prog.Mod.FuncByName(name)
+	if fi < 0 {
+		return Value{}, fmt.Errorf("til: no function %q", name)
+	}
+	return m.CallIndex(fi, args...)
+}
+
+// CallIndex is Call by function index.
+func (m *Machine) CallIndex(fi int, args ...Value) (ret Value, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if t, ok := r.(*trap); ok {
+			ret, err = Value{}, t
+			return
+		}
+		panic(r)
+	}()
+	return m.call(fi, args), nil
+}
+
+// call dispatches one function invocation, handling transaction entry.
+func (m *Machine) call(fi int, args []Value) Value {
+	f := m.prog.Mod.Funcs[fi]
+	if len(args) != f.NParams {
+		panic(&trap{fmt.Sprintf("call %s: %d args, want %d", f.Name, len(args), f.NParams)})
+	}
+	if !f.Atomic || m.tx != nil {
+		return m.exec(f, args)
+	}
+
+	// Transaction entry: run the instrumented clone when one exists.
+	target := f
+	if f.Instrumented >= 0 {
+		target = m.prog.Mod.Funcs[f.Instrumented]
+	}
+	var ret Value
+	body := func(tx engine.Txn) error {
+		m.tx = tx
+		m.stepsInTxn = 0
+		m.Stats.Txns++
+		defer func() { m.tx = nil }()
+		ret = m.exec(target, args)
+		return nil
+	}
+	var err error
+	if target.ReadOnly {
+		err = engine.RunReadOnly(m.prog.Eng, body)
+	} else {
+		err = engine.Run(m.prog.Eng, body)
+	}
+	if err != nil {
+		// engine.Run only returns the body's error, and our body returns nil;
+		// anything else is a bug.
+		panic(&trap{fmt.Sprintf("transaction %s: %v", f.Name, err)})
+	}
+	return ret
+}
+
+// fault raises a trap; inside a transaction it first validates, converting
+// zombie-induced faults into retries.
+func (m *Machine) fault(format string, args ...any) {
+	if m.tx != nil {
+		if m.tx.Validate() != nil {
+			engine.Abandon("fault in doomed transaction")
+		}
+	}
+	panic(&trap{fmt.Sprintf(format, args...)})
+}
+
+// tick advances the step counters and runs the zombie watchdog.
+func (m *Machine) tick() {
+	m.Stats.Steps++
+	if m.tx == nil {
+		return
+	}
+	m.stepsInTxn++
+	if m.ValidateEvery > 0 && m.stepsInTxn%m.ValidateEvery == 0 {
+		if m.tx.Validate() != nil {
+			engine.Abandon("watchdog validation failed")
+		}
+	}
+	max := m.MaxSteps
+	if max <= 0 {
+		max = 1 << 30
+	}
+	if m.stepsInTxn > max {
+		m.fault("transaction exceeded %d steps", max)
+	}
+}
+
+// withTxn runs op inside the current transaction, or an implicit one-shot
+// transaction when outside (non-atomic code touching shared memory).
+func (m *Machine) withTxn(op func(tx engine.Txn)) {
+	if m.tx != nil {
+		op(m.tx)
+		return
+	}
+	m.Stats.ImplicitTxns++
+	if err := engine.Run(m.prog.Eng, func(tx engine.Txn) error {
+		op(tx)
+		return nil
+	}); err != nil {
+		m.fault("implicit transaction: %v", err)
+	}
+}
+
+// exec interprets one function body.
+func (m *Machine) exec(f *til.Func, args []Value) Value {
+	if m.depth++; m.depth > m.maxDepth() {
+		m.depth--
+		m.fault("call depth exceeded in %s", f.Name)
+	}
+	defer func() { m.depth-- }()
+
+	regs := make([]Value, f.NRegs)
+	copy(regs, args)
+
+	ref := func(r int) engine.Handle {
+		if r < 0 {
+			return nil
+		}
+		return regs[r].R
+	}
+	mustObj := func(r int, what string) engine.Handle {
+		h := regs[r].R
+		if h == nil {
+			m.fault("%s: nil reference in %s (reg %s)", what, f.Name, f.RegNames[r])
+		}
+		return h
+	}
+
+	bi := 0
+	for {
+		blk := f.Blocks[bi]
+		next := -1
+	instrs:
+		for ii := 0; ii < len(blk.Instrs); ii++ {
+			in := &blk.Instrs[ii]
+			m.tick()
+			switch in.Op {
+			case til.OpConstW:
+				regs[in.Dst] = Word(in.Imm)
+			case til.OpConstNil:
+				regs[in.Dst] = Ref(nil)
+			case til.OpMov:
+				regs[in.Dst] = regs[in.A]
+			case til.OpBin:
+				regs[in.Dst] = Word(m.binop(in.Bin, regs[in.A].W, regs[in.B].W))
+			case til.OpIsNil:
+				regs[in.Dst] = Word(b2w(regs[in.A].R == nil))
+			case til.OpRefEq:
+				regs[in.Dst] = Word(b2w(regs[in.A].R == regs[in.B].R))
+			case til.OpNew:
+				c := &m.prog.Mod.Classes[in.Class]
+				m.Stats.Allocs++
+				if m.tx != nil {
+					regs[in.Dst] = Ref(m.tx.Alloc(c.NWords, c.NRefs))
+				} else {
+					regs[in.Dst] = Ref(m.prog.Eng.NewObj(c.NWords, c.NRefs))
+				}
+			case til.OpGlobal:
+				regs[in.Dst] = Ref(m.prog.Globals[in.Idx])
+
+			case til.OpLoadW:
+				m.loadW(regs, in, in.Idx, mustObj(in.Obj, "loadw"))
+			case til.OpLoadWI:
+				m.loadW(regs, in, int(regs[in.Idx].W), mustObj(in.Obj, "loadw"))
+			case til.OpStoreW:
+				m.storeW(regs, in, in.Idx, mustObj(in.Obj, "storew"))
+			case til.OpStoreWI:
+				m.storeW(regs, in, int(regs[in.Idx].W), mustObj(in.Obj, "storew"))
+			case til.OpLoadR:
+				m.loadR(regs, in, in.Idx, mustObj(in.Obj, "loadr"))
+			case til.OpLoadRI:
+				m.loadR(regs, in, int(regs[in.Idx].W), mustObj(in.Obj, "loadr"))
+			case til.OpStoreR:
+				m.storeR(regs, in, in.Idx, mustObj(in.Obj, "storer"))
+			case til.OpStoreRI:
+				m.storeR(regs, in, int(regs[in.Idx].W), mustObj(in.Obj, "storer"))
+
+			case til.OpOpenR:
+				if h := ref(in.Obj); h != nil {
+					m.Stats.OpensR++
+					m.withTxn(func(tx engine.Txn) { tx.OpenForRead(h) })
+				}
+			case til.OpOpenU:
+				if h := ref(in.Obj); h != nil {
+					m.Stats.OpensU++
+					m.withTxn(func(tx engine.Txn) { tx.OpenForUpdate(h) })
+				}
+			case til.OpUndoW:
+				m.undo(regs, in, in.Idx, false)
+			case til.OpUndoWI:
+				m.undo(regs, in, int(regs[in.Idx].W), false)
+			case til.OpUndoR:
+				m.undo(regs, in, in.Idx, true)
+			case til.OpUndoRI:
+				m.undo(regs, in, int(regs[in.Idx].W), true)
+			case til.OpValidate:
+				if m.tx != nil {
+					if m.tx.Validate() != nil {
+						engine.Abandon("explicit validate failed")
+					}
+				}
+
+			case til.OpCall:
+				m.Stats.Calls++
+				callArgs := make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					callArgs[i] = regs[a]
+				}
+				r := m.call(in.Callee, callArgs)
+				if in.Dst >= 0 {
+					regs[in.Dst] = r
+				}
+
+			case til.OpJmp:
+				next = in.Then
+				break instrs
+			case til.OpBr:
+				if regs[in.A].W != 0 {
+					next = in.Then
+				} else {
+					next = in.Else
+				}
+				break instrs
+			case til.OpRet:
+				if in.A >= 0 {
+					return regs[in.A]
+				}
+				return Value{}
+			default:
+				m.fault("invalid opcode %d in %s", in.Op, f.Name)
+			}
+		}
+		if next < 0 {
+			m.fault("block %s fell through in %s", blk.Name, f.Name)
+		}
+		bi = next
+	}
+}
+
+func (m *Machine) maxDepth() int {
+	if m.MaxDepth <= 0 {
+		return 4096
+	}
+	return m.MaxDepth
+}
+
+// guardIdx converts engine slice-bounds panics into interpreter faults (which
+// validate first, so zombie-computed indices retry instead of crashing).
+func (m *Machine) guardIdx(what string, op func()) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*engine.Retry); ok {
+			panic(r)
+		}
+		if _, ok := r.(*trap); ok {
+			panic(r)
+		}
+		m.fault("%s: %v", what, r)
+	}()
+	op()
+}
+
+func (m *Machine) loadW(regs []Value, in *til.Instr, idx int, h engine.Handle) {
+	m.Stats.Loads++
+	m.guardIdx("loadw", func() {
+		m.withTxn(func(tx engine.Txn) { regs[in.Dst] = Word(tx.LoadWord(h, idx)) })
+	})
+}
+
+func (m *Machine) storeW(regs []Value, in *til.Instr, idx int, h engine.Handle) {
+	m.Stats.Stores++
+	m.guardIdx("storew", func() {
+		m.withTxn(func(tx engine.Txn) { tx.StoreWord(h, idx, regs[in.A].W) })
+	})
+}
+
+func (m *Machine) loadR(regs []Value, in *til.Instr, idx int, h engine.Handle) {
+	m.Stats.Loads++
+	m.guardIdx("loadr", func() {
+		m.withTxn(func(tx engine.Txn) { regs[in.Dst] = Ref(tx.LoadRef(h, idx)) })
+	})
+}
+
+func (m *Machine) storeR(regs []Value, in *til.Instr, idx int, h engine.Handle) {
+	m.Stats.Stores++
+	m.guardIdx("storer", func() {
+		var src engine.Handle
+		if in.A >= 0 {
+			src = regs[in.A].R
+		}
+		m.withTxn(func(tx engine.Txn) { tx.StoreRef(h, idx, src) })
+	})
+}
+
+func (m *Machine) undo(regs []Value, in *til.Instr, idx int, isRef bool) {
+	h := regs[in.Obj].R
+	if h == nil {
+		return // barrier on nil is a no-op (speculative motion safety)
+	}
+	m.Stats.Undos++
+	m.guardIdx("undo", func() {
+		m.withTxn(func(tx engine.Txn) {
+			if isRef {
+				tx.LogForUndoRef(h, idx)
+			} else {
+				tx.LogForUndoWord(h, idx)
+			}
+		})
+	})
+}
+
+func (m *Machine) binop(k til.BinKind, a, b uint64) uint64 {
+	switch k {
+	case til.BinAdd:
+		return a + b
+	case til.BinSub:
+		return a - b
+	case til.BinMul:
+		return a * b
+	case til.BinDiv:
+		if b == 0 {
+			m.fault("division by zero")
+		}
+		return a / b
+	case til.BinMod:
+		if b == 0 {
+			m.fault("modulo by zero")
+		}
+		return a % b
+	case til.BinAnd:
+		return a & b
+	case til.BinOr:
+		return a | b
+	case til.BinXor:
+		return a ^ b
+	case til.BinShl:
+		return a << (b & 63)
+	case til.BinShr:
+		return a >> (b & 63)
+	case til.BinLt:
+		return b2w(a < b)
+	case til.BinLe:
+		return b2w(a <= b)
+	case til.BinEq:
+		return b2w(a == b)
+	case til.BinNe:
+		return b2w(a != b)
+	case til.BinGt:
+		return b2w(a > b)
+	case til.BinGe:
+		return b2w(a >= b)
+	}
+	m.fault("invalid binop %d", k)
+	return 0
+}
+
+func b2w(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// IsTrap reports whether err is an interpreter fault.
+func IsTrap(err error) bool {
+	var t *trap
+	return errors.As(err, &t)
+}

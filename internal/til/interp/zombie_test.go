@@ -1,0 +1,152 @@
+package interp
+
+import (
+	"sync"
+	"testing"
+
+	"memtx/internal/core"
+	"memtx/internal/til"
+	"memtx/internal/til/parser"
+	"memtx/internal/til/passes"
+)
+
+// zombieSrc builds a two-node cyclic-prone structure: a reader walks a chain
+// whose links a writer keeps swapping. Under the non-opaque direct engine a
+// doomed reader can observe a cycle (n1 -> n2 -> n1) and would loop forever
+// without the interpreter's validation watchdog.
+const zombieSrc = `
+class Node words=1 refs=1 refclasses=Node
+class Root words=0 refs=1 refclasses=Node
+global root Root
+
+# init: root -> n1 -> n2 -> nil
+atomic func init() {
+entry:
+  r = global root
+  n1 = new Node
+  one = const 1
+  storew n1 0 one
+  n2 = new Node
+  two = const 2
+  storew n2 0 two
+  storer n1 0 n2
+  storer r 0 n1
+  ret
+}
+
+# swap: reverse the chain to root -> n2 -> n1 -> nil (and back), so a
+# zombie that caught the structure mid-update can see a cycle.
+atomic func swap() {
+entry:
+  r = global root
+  a = loadr r 0
+  b = loadr a 0
+  c = isnil b
+  br c done doswap
+doswap:
+  storer b 0 a
+  storer a 0 nil
+  storer r 0 b
+  jmp done
+done:
+  ret
+}
+
+# walk: traverse the chain summing keys; bounded only by the chain shape,
+# so a zombie cycle would spin here without the watchdog.
+atomic func walk() {
+entry:
+  r = global root
+  s = const 0
+  n = loadr r 0
+  jmp loop
+loop:
+  c = isnil n
+  br c done step
+step:
+  v = loadw n 0
+  s = add s v
+  n = loadr n 0
+  jmp loop
+done:
+  ret s
+}
+`
+
+// TestZombieWalkersAreContained runs walkers against swappers on the direct
+// engine. Committed walks must always see the consistent sum 3 (1+2); doomed
+// walks that catch a transient cycle must be cut off by the watchdog and
+// retried rather than looping forever or returning a bogus sum.
+func TestZombieWalkersAreContained(t *testing.T) {
+	e := core.New()
+	m, err := parseAndCompile(zombieSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(m, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := p.NewMachine()
+	if _, err := init.Call("init"); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+
+	const walkers = 4
+	const walksPerWorker = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // swapper
+		defer wg.Done()
+		mach := p.NewMachine()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := mach.Call("swap"); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+
+	var walkersWG sync.WaitGroup
+	for w := 0; w < walkers; w++ {
+		walkersWG.Add(1)
+		go func() {
+			defer walkersWG.Done()
+			mach := p.NewMachine()
+			// A tight watchdog so transient cycles are cut quickly.
+			mach.ValidateEvery = 64
+			for i := 0; i < walksPerWorker; i++ {
+				v, err := mach.Call("walk")
+				if err != nil {
+					t.Errorf("walk: %v", err)
+					return
+				}
+				if v.W != 3 {
+					t.Errorf("committed walk saw sum %d, want 3", v.W)
+					return
+				}
+			}
+		}()
+	}
+	walkersWG.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+func parseAndCompile(src string) (*til.Module, error) {
+	m, err := parser.Parse("zombie", src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := passes.Apply(m, passes.LevelFull); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

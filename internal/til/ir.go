@@ -1,0 +1,334 @@
+// Package til defines the Transactional Intermediate Language: a small,
+// block-structured register IR with explicit, decomposed STM barrier
+// instructions.
+//
+// TIL plays the role of the paper's compiler intermediate representation.
+// Benchmark kernels are written in (or parsed into) bare TIL with plain
+// memory operations; the instrumentation pass inserts naive barriers exactly
+// as a simple compiler would (one open per access, one undo log per store),
+// and the optimization passes in til/passes then remove, strengthen, and
+// hoist those barriers using classical dataflow techniques — the paper's
+// central claim being that the decomposed interface makes this possible.
+//
+// The interpreter in til/interp executes TIL modules against any STM engine.
+package til
+
+import "fmt"
+
+// Op enumerates TIL instruction opcodes.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; no valid instruction uses it.
+	OpInvalid Op = iota
+
+	// Data movement and arithmetic.
+	OpConstW   // Dst = Imm
+	OpConstNil // Dst = nil reference
+	OpMov      // Dst = A
+	OpBin      // Dst = A <Bin> B
+	OpIsNil    // Dst = (A == nil) ? 1 : 0
+	OpRefEq    // Dst = (A == B as references) ? 1 : 0
+
+	// Allocation and roots.
+	OpNew    // Dst = new object of Class (transaction-local when inside a txn)
+	OpGlobal // Dst = module global object #Idx
+
+	// Memory access. Obj is the object register. For the *I forms the field
+	// index is in register Idx; otherwise Idx is an immediate.
+	OpLoadW   // Dst = Obj.words[Idx]
+	OpLoadWI  // Dst = Obj.words[reg Idx]
+	OpStoreW  // Obj.words[Idx] = A
+	OpStoreWI // Obj.words[reg Idx] = A
+	OpLoadR   // Dst = Obj.refs[Idx]
+	OpLoadRI  // Dst = Obj.refs[reg Idx]
+	OpStoreR  // Obj.refs[Idx] = A (A == -1 encodes nil)
+	OpStoreRI // Obj.refs[reg Idx] = A
+
+	// Decomposed STM barriers (inserted by the instrumentation pass, or
+	// written by hand in pre-decomposed code).
+	OpOpenR    // open Obj for read
+	OpOpenU    // open Obj for update
+	OpUndoW    // undo-log Obj.words[Idx]
+	OpUndoWI   // undo-log Obj.words[reg Idx]
+	OpUndoR    // undo-log Obj.refs[Idx]
+	OpUndoRI   // undo-log Obj.refs[reg Idx]
+	OpValidate // re-validate the read set; abandons the attempt on conflict
+
+	// Control flow (block terminators, except Call).
+	OpCall // Dst? = Callee(Args...)
+	OpJmp  // jump to Then
+	OpBr   // if A != 0 jump Then else Else
+	OpRet  // return A (A == -1: no value)
+)
+
+// BinKind enumerates binary ALU operations. Comparisons yield 0 or 1.
+type BinKind uint8
+
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinDiv // division by zero traps (interpreter error)
+	BinMod
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinLt
+	BinLe
+	BinEq
+	BinNe
+	BinGt
+	BinGe
+)
+
+var binNames = [...]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div", BinMod: "mod",
+	BinAnd: "and", BinOr: "or", BinXor: "xor", BinShl: "shl", BinShr: "shr",
+	BinLt: "lt", BinLe: "le", BinEq: "eq", BinNe: "ne", BinGt: "gt", BinGe: "ge",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (b BinKind) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// BinKindByName maps mnemonics to BinKinds; ok is false for unknown names.
+func BinKindByName(s string) (BinKind, bool) {
+	for k, n := range binNames {
+		if n == s {
+			return BinKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Instr is one TIL instruction. Register operands are indices into the
+// enclosing function's register file; -1 means "absent".
+type Instr struct {
+	Op     Op
+	Bin    BinKind
+	Dst    int    // destination register, or -1
+	A, B   int    // general operands
+	Obj    int    // object register for memory/barrier ops
+	Idx    int    // immediate field index, or index register for *I forms
+	Imm    uint64 // immediate for OpConstW
+	Class  int    // class index for OpNew
+	Callee int    // function index for OpCall
+	Args   []int  // argument registers for OpCall
+	Then   int    // target block (Jmp, Br)
+	Else   int    // false target block (Br)
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpJmp, OpBr, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsBarrier reports whether the instruction is a decomposed STM barrier.
+func (in *Instr) IsBarrier() bool {
+	switch in.Op {
+	case OpOpenR, OpOpenU, OpUndoW, OpUndoWI, OpUndoR, OpUndoRI:
+		return true
+	}
+	return false
+}
+
+// IsMemAccess reports whether the instruction reads or writes object fields.
+func (in *Instr) IsMemAccess() bool {
+	switch in.Op {
+	case OpLoadW, OpLoadWI, OpStoreW, OpStoreWI, OpLoadR, OpLoadRI, OpStoreR, OpStoreRI:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes an object field.
+func (in *Instr) IsStore() bool {
+	switch in.Op {
+	case OpStoreW, OpStoreWI, OpStoreR, OpStoreRI:
+		return true
+	}
+	return false
+}
+
+// Defs returns the register defined by the instruction, or -1.
+func (in *Instr) Defs() int {
+	switch in.Op {
+	case OpConstW, OpConstNil, OpMov, OpBin, OpIsNil, OpRefEq, OpNew, OpGlobal,
+		OpLoadW, OpLoadWI, OpLoadR, OpLoadRI:
+		return in.Dst
+	case OpCall:
+		return in.Dst // may be -1
+	}
+	return -1
+}
+
+// Uses appends the registers the instruction reads to buf and returns it.
+func (in *Instr) Uses(buf []int) []int {
+	add := func(r int) {
+		if r >= 0 {
+			buf = append(buf, r)
+		}
+	}
+	switch in.Op {
+	case OpMov, OpIsNil:
+		add(in.A)
+	case OpBin, OpRefEq:
+		add(in.A)
+		add(in.B)
+	case OpLoadW, OpLoadR:
+		add(in.Obj)
+	case OpLoadWI, OpLoadRI:
+		add(in.Obj)
+		add(in.Idx)
+	case OpStoreW, OpStoreR:
+		add(in.Obj)
+		add(in.A)
+	case OpStoreWI, OpStoreRI:
+		add(in.Obj)
+		add(in.Idx)
+		add(in.A)
+	case OpOpenR, OpOpenU, OpUndoW, OpUndoR:
+		add(in.Obj)
+	case OpUndoWI, OpUndoRI:
+		add(in.Obj)
+		add(in.Idx)
+	case OpBr, OpRet:
+		add(in.A)
+	case OpCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	}
+	return buf
+}
+
+// Class describes an object layout: a fixed number of scalar words and
+// reference fields. ImmutableWords marks word fields that are never written
+// after construction; RefClasses optionally gives the static class of each
+// reference field (-1 when unknown), enabling class inference for the
+// immutability optimization.
+type Class struct {
+	Name           string
+	NWords, NRefs  int
+	ImmutableWords []bool // len NWords; nil means none immutable
+	RefClasses     []int  // len NRefs; class index or -1
+}
+
+// Global is a module-level root object, allocated at module load.
+type Global struct {
+	Name  string
+	Class int
+}
+
+// Block is a basic block: a label and a straight-line instruction sequence
+// ending in a terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr { return &b.Instrs[len(b.Instrs)-1] }
+
+// Func is a TIL function. Registers are function-local; the first NParams
+// registers receive the arguments. Atomic functions execute as one
+// transaction when invoked outside of any transaction, and are flattened
+// into the caller's transaction otherwise.
+type Func struct {
+	Name     string
+	Atomic   bool
+	NParams  int
+	NRegs    int
+	RegNames []string // len NRegs, for printing
+	Blocks   []*Block
+
+	// Instrumented links a bare function to its transactional clone (set by
+	// the instrumentation pass); -1 if none.
+	Instrumented int
+	// ReadOnly marks instrumented functions proven to perform no updates
+	// (set by the readonly pass).
+	ReadOnly bool
+}
+
+// Module is a complete TIL program.
+type Module struct {
+	Name    string
+	Classes []Class
+	Globals []Global
+	Funcs   []*Func
+
+	classIdx map[string]int
+	funcIdx  map[string]int
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:     name,
+		classIdx: map[string]int{},
+		funcIdx:  map[string]int{},
+	}
+}
+
+// AddClass appends a class and returns its index. Duplicate names are an
+// error surfaced at Verify time; the latest index wins in lookups.
+func (m *Module) AddClass(c Class) int {
+	m.Classes = append(m.Classes, c)
+	i := len(m.Classes) - 1
+	m.classIdx[c.Name] = i
+	return i
+}
+
+// AddGlobal appends a global root object of the given class index.
+func (m *Module) AddGlobal(name string, class int) int {
+	m.Globals = append(m.Globals, Global{Name: name, Class: class})
+	return len(m.Globals) - 1
+}
+
+// AddFunc appends a function and returns its index.
+func (m *Module) AddFunc(f *Func) int {
+	if f.Instrumented == 0 {
+		f.Instrumented = -1
+	}
+	m.Funcs = append(m.Funcs, f)
+	i := len(m.Funcs) - 1
+	m.funcIdx[f.Name] = i
+	return i
+}
+
+// ClassByName returns the index of the named class, or -1.
+func (m *Module) ClassByName(name string) int {
+	if i, ok := m.classIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// FuncByName returns the index of the named function, or -1.
+func (m *Module) FuncByName(name string) int {
+	if i, ok := m.funcIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GlobalByName returns the index of the named global, or -1.
+func (m *Module) GlobalByName(name string) int {
+	for i := range m.Globals {
+		if m.Globals[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,63 @@
+package til
+
+// Normalize reorders each function's blocks into canonical first-mention
+// order: the entry block first, then blocks in the order they are first
+// referenced by already-placed blocks' terminators (Then before Else),
+// with any unreachable blocks appended in their original order.
+//
+// This is exactly the order in which the parser interns labels when reading
+// printed TIL, so Print(Normalize(m)) → Parse → Print is a fixpoint. Passes
+// that append blocks (for example preheader insertion) leave functions
+// un-normalized; call Normalize before printing if stable output matters.
+func Normalize(m *Module) {
+	for _, f := range m.Funcs {
+		normalizeFunc(f)
+	}
+}
+
+func normalizeFunc(f *Func) {
+	if len(f.Blocks) < 2 {
+		return
+	}
+	order := make([]int, 0, len(f.Blocks))
+	pos := make([]int, len(f.Blocks))
+	for i := range pos {
+		pos[i] = -1
+	}
+	place := func(b int) {
+		if pos[b] == -1 {
+			pos[b] = len(order)
+			order = append(order, b)
+		}
+	}
+	place(0)
+	for i := 0; i < len(order); i++ {
+		t := f.Blocks[order[i]].Terminator()
+		switch t.Op {
+		case OpJmp:
+			place(t.Then)
+		case OpBr:
+			place(t.Then)
+			place(t.Else)
+		}
+	}
+	for b := range f.Blocks {
+		place(b) // unreachable blocks keep their relative order
+	}
+
+	blocks := make([]*Block, len(order))
+	for newIdx, oldIdx := range order {
+		blocks[newIdx] = f.Blocks[oldIdx]
+	}
+	f.Blocks = blocks
+	for _, blk := range f.Blocks {
+		t := blk.Terminator()
+		switch t.Op {
+		case OpJmp:
+			t.Then = pos[t.Then]
+		case OpBr:
+			t.Then = pos[t.Then]
+			t.Else = pos[t.Else]
+		}
+	}
+}

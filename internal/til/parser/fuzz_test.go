@@ -1,0 +1,52 @@
+package parser
+
+import (
+	"testing"
+
+	"memtx/internal/til"
+)
+
+// FuzzParse asserts the parser's total-function contract on arbitrary input:
+// it must either return an error or produce a module that (a) passes
+// til.Verify (Parse verifies internally, so this is a consistency check) and
+// (b) survives a print/parse round trip. It must never panic.
+//
+// Run with `go test -fuzz=FuzzParse ./internal/til/parser` to explore; the
+// seed corpus below runs as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		sampleSrc,
+		"func f() {\nentry:\n  ret\n}",
+		"class A words=1 refs=1 refclasses=A\nglobal g A\n",
+		"atomic func f(a, b) {\nentry:\n  s = add a b\n  ret s\n}",
+		"func f() {\nentry:\n  x = const 0xFFFF\n  br x a b\na:\n  ret\nb:\n  jmp a\n}",
+		"class B words=2 refs=0 immutable=0,1\n",
+		"func f() {\nentry:\n  x = nil\n  c = isnil x\n  ret c\n}",
+		"garbage input\n",
+		"func f( {\n",
+		"class X words=-1 refs=0\n",
+		"func f() {\nentry:\n  call f\n  ret\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if verr := til.Verify(m); verr != nil {
+			t.Fatalf("Parse accepted module failing Verify: %v\ninput: %q", verr, src)
+		}
+		text := til.Print(m)
+		m2, err := Parse("fuzz2", text)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\nprinted:\n%s", err, text)
+		}
+		if til.Print(m2) != text {
+			t.Fatalf("print/parse not a fixpoint for accepted input %q", src)
+		}
+	})
+}

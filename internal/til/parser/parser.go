@@ -1,0 +1,608 @@
+// Package parser implements the textual front-end for TIL, the transactional
+// intermediate language. The syntax is line-oriented assembler:
+//
+//	# a comment
+//	class Node words=2 refs=1 immutable=0 refclasses=Node
+//	global root Node
+//
+//	atomic func insert(key, val) {
+//	entry:
+//	  p = global root
+//	  one = const 1
+//	  k2 = add key one
+//	  br k2 body done
+//	body:
+//	  storew p 0 k2
+//	  jmp done
+//	done:
+//	  ret
+//	}
+//
+// Classes, globals, and functions may appear in any order; function calls may
+// reference functions defined later in the file.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"memtx/internal/til"
+)
+
+// Error is a parse error with a 1-based line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("til: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	lines []string
+	pos   int // index of the next line
+	mod   *til.Module
+
+	// pendingRefClassNames holds forward-referenced refclass names recorded
+	// during prescan; entries are fixed up once all classes are known.
+	pendingRefClassNames []string
+}
+
+// Parse parses a TIL module from source. name is used for diagnostics and as
+// the module name. The returned module has been verified.
+func Parse(name, src string) (*til.Module, error) {
+	p := &parser{lines: strings.Split(src, "\n"), mod: til.NewModule(name)}
+
+	// Pre-scan: register class, global, and function names so that forward
+	// references resolve. Classes must be pre-registered with their layout
+	// because globals and refclasses refer to them, so class lines are fully
+	// parsed here and skipped in the main pass.
+	if err := p.prescan(); err != nil {
+		return nil, err
+	}
+
+	for p.pos = 0; p.pos < len(p.lines); p.pos++ {
+		line := p.clean(p.lines[p.pos])
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "class "):
+			// handled during prescan
+		case strings.HasPrefix(line, "global "):
+			// handled during prescan
+		case strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "atomic func "):
+			if err := p.parseFunc(line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected top-level line %q", line)
+		}
+	}
+
+	if err := til.Verify(p.mod); err != nil {
+		return nil, fmt.Errorf("til: %s: %w", name, err)
+	}
+	return p.mod, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded programs.
+func MustParse(name, src string) *til.Module {
+	m, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *parser) clean(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// prescan registers classes (fully), globals (fully, after classes), and
+// function names (signature only).
+func (p *parser) prescan() error {
+	type pending struct {
+		line int
+		text string
+	}
+	var globals []pending
+	for i, raw := range p.lines {
+		p.pos = i
+		line := p.clean(raw)
+		switch {
+		case strings.HasPrefix(line, "class "):
+			if err := p.parseClass(line); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "global "):
+			globals = append(globals, pending{i, line})
+		case strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "atomic func "):
+			name, _, _, err := p.parseFuncHeader(line)
+			if err != nil {
+				return err
+			}
+			if p.mod.FuncByName(name) != -1 {
+				return p.errf("duplicate function %q", name)
+			}
+			p.mod.AddFunc(&til.Func{Name: name, Instrumented: -1})
+		}
+	}
+	for _, g := range globals {
+		p.pos = g.line
+		fields := strings.Fields(g.text)
+		if len(fields) != 3 {
+			return p.errf("global syntax: global <name> <Class>")
+		}
+		ci := p.mod.ClassByName(fields[2])
+		if ci < 0 {
+			return p.errf("global %s: unknown class %q", fields[1], fields[2])
+		}
+		p.mod.AddGlobal(fields[1], ci)
+	}
+	// Resolve refclasses now that all classes exist.
+	for ci := range p.mod.Classes {
+		c := &p.mod.Classes[ci]
+		if c.RefClasses == nil {
+			continue
+		}
+		for ri, rc := range c.RefClasses {
+			if rc >= -1 {
+				continue
+			}
+			// encoded as -(nameIdx)-2 into pendingRefClassNames
+			name := p.pendingRefClassNames[-rc-2]
+			idx := p.mod.ClassByName(name)
+			if idx < 0 {
+				return fmt.Errorf("til: class %s: unknown refclass %q", c.Name, name)
+			}
+			c.RefClasses[ri] = idx
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseClass(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return p.errf("class syntax: class <Name> words=N refs=M [immutable=i,j] [refclasses=A,B]")
+	}
+	c := til.Class{Name: fields[1]}
+	if p.mod.ClassByName(c.Name) != -1 {
+		return p.errf("duplicate class %q", c.Name)
+	}
+	refClassNames := []string(nil)
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p.errf("class %s: expected key=value, got %q", c.Name, kv)
+		}
+		switch key {
+		case "words":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p.errf("class %s: bad words=%q", c.Name, val)
+			}
+			c.NWords = n
+		case "refs":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p.errf("class %s: bad refs=%q", c.Name, val)
+			}
+			c.NRefs = n
+		case "immutable":
+			for _, s := range strings.Split(val, ",") {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 0 {
+					return p.errf("class %s: bad immutable index %q", c.Name, s)
+				}
+				for len(c.ImmutableWords) <= n {
+					c.ImmutableWords = append(c.ImmutableWords, false)
+				}
+				c.ImmutableWords[n] = true
+			}
+		case "refclasses":
+			refClassNames = strings.Split(val, ",")
+		default:
+			return p.errf("class %s: unknown attribute %q", c.Name, key)
+		}
+	}
+	if c.ImmutableWords != nil {
+		for len(c.ImmutableWords) < c.NWords {
+			c.ImmutableWords = append(c.ImmutableWords, false)
+		}
+		if len(c.ImmutableWords) > c.NWords {
+			return p.errf("class %s: immutable index beyond %d words", c.Name, c.NWords)
+		}
+	}
+	if refClassNames != nil {
+		if len(refClassNames) != c.NRefs {
+			return p.errf("class %s: %d refclasses for %d refs", c.Name, len(refClassNames), c.NRefs)
+		}
+		c.RefClasses = make([]int, c.NRefs)
+		for i, n := range refClassNames {
+			if n == "_" {
+				c.RefClasses[i] = -1
+				continue
+			}
+			// May be a forward reference; encode the name for later fixup.
+			p.pendingRefClassNames = append(p.pendingRefClassNames, n)
+			c.RefClasses[i] = -len(p.pendingRefClassNames) - 1
+		}
+	}
+	p.mod.AddClass(c)
+	return nil
+}
+
+func (p *parser) parseFuncHeader(line string) (name string, atomic bool, params []string, err error) {
+	rest := line
+	if strings.HasPrefix(rest, "atomic ") {
+		atomic = true
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "atomic"))
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, "func"))
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.IndexByte(rest, ')')
+	if open < 0 || closeP < open {
+		return "", false, nil, p.errf("func syntax: [atomic] func name(p1, p2) {")
+	}
+	name = strings.TrimSpace(rest[:open])
+	if name == "" {
+		return "", false, nil, p.errf("func: missing name")
+	}
+	plist := strings.TrimSpace(rest[open+1 : closeP])
+	if plist != "" {
+		for _, s := range strings.Split(plist, ",") {
+			params = append(params, strings.TrimSpace(s))
+		}
+	}
+	tail := strings.TrimSpace(rest[closeP+1:])
+	if tail != "{" {
+		return "", false, nil, p.errf("func %s: expected '{' after parameter list", name)
+	}
+	return name, atomic, params, nil
+}
+
+func (p *parser) parseFunc(header string) error {
+	name, atomic, params, err := p.parseFuncHeader(header)
+	if err != nil {
+		return err
+	}
+	fi := p.mod.FuncByName(name)
+	b := til.NewFuncBuilder(name, atomic, params...)
+
+	sawBlock := false
+	for p.pos++; p.pos < len(p.lines); p.pos++ {
+		line := p.clean(p.lines[p.pos])
+		switch {
+		case line == "":
+			continue
+		case line == "}":
+			if !sawBlock {
+				return p.errf("func %s: empty body", name)
+			}
+			f := b.Done()
+			// Replace the pre-registered placeholder in place so that call
+			// sites resolved by index stay valid.
+			*p.mod.Funcs[fi] = *f
+			return nil
+		case strings.HasSuffix(line, ":"):
+			label := strings.TrimSuffix(line, ":")
+			if !isIdent(label) {
+				return p.errf("bad label %q", label)
+			}
+			b.Block(label)
+			sawBlock = true
+		default:
+			if !sawBlock {
+				return p.errf("func %s: instruction before first label", name)
+			}
+			if err := p.parseInstr(b, line); err != nil {
+				return err
+			}
+		}
+	}
+	return p.errf("func %s: missing closing '}'", name)
+}
+
+func (p *parser) parseInstr(b *til.FuncBuilder, line string) error {
+	toks := strings.Fields(line)
+
+	// Assignment form: dst = op ...
+	if len(toks) >= 3 && toks[1] == "=" {
+		dst, op, args := toks[0], toks[2], toks[3:]
+		if !isIdent(dst) {
+			return p.errf("bad destination register %q", dst)
+		}
+		switch op {
+		case "const":
+			if len(args) != 1 {
+				return p.errf("const: want 1 operand")
+			}
+			v, err := strconv.ParseUint(args[0], 0, 64)
+			if err != nil {
+				return p.errf("const: bad literal %q", args[0])
+			}
+			b.ConstW(dst, v)
+		case "nil":
+			if len(args) != 0 {
+				return p.errf("nil: no operands")
+			}
+			b.ConstNil(dst)
+		case "mov":
+			if len(args) != 1 {
+				return p.errf("mov: want 1 operand")
+			}
+			if err := p.wantRegs(b, args...); err != nil {
+				return err
+			}
+			b.Mov(dst, args[0])
+		case "isnil":
+			if len(args) != 1 {
+				return p.errf("isnil: want 1 operand")
+			}
+			if err := p.wantRegs(b, args...); err != nil {
+				return err
+			}
+			b.IsNil(dst, args[0])
+		case "refeq":
+			if len(args) != 2 {
+				return p.errf("refeq: want 2 operands")
+			}
+			if err := p.wantRegs(b, args...); err != nil {
+				return err
+			}
+			b.RefEq(dst, args[0], args[1])
+		case "new":
+			if len(args) != 1 {
+				return p.errf("new: want class name")
+			}
+			ci := p.mod.ClassByName(args[0])
+			if ci < 0 {
+				return p.errf("new: unknown class %q", args[0])
+			}
+			b.New(dst, ci)
+		case "global":
+			if len(args) != 1 {
+				return p.errf("global: want global name")
+			}
+			gi := p.mod.GlobalByName(args[0])
+			if gi < 0 {
+				return p.errf("global: unknown global %q", args[0])
+			}
+			b.Global(dst, gi)
+		case "loadw", "loadr":
+			if len(args) != 2 {
+				return p.errf("%s: want obj and index", op)
+			}
+			if err := p.wantRegs(b, args[0]); err != nil {
+				return err
+			}
+			if n, err := strconv.Atoi(args[1]); err == nil {
+				if op == "loadw" {
+					b.LoadW(dst, args[0], n)
+				} else {
+					b.LoadR(dst, args[0], n)
+				}
+			} else {
+				if err := p.wantRegs(b, args[1]); err != nil {
+					return err
+				}
+				if op == "loadw" {
+					b.LoadWI(dst, args[0], args[1])
+				} else {
+					b.LoadRI(dst, args[0], args[1])
+				}
+			}
+		case "loadwi", "loadri":
+			if len(args) != 2 {
+				return p.errf("%s: want obj and index register", op)
+			}
+			if err := p.wantRegs(b, args...); err != nil {
+				return err
+			}
+			if op == "loadwi" {
+				b.LoadWI(dst, args[0], args[1])
+			} else {
+				b.LoadRI(dst, args[0], args[1])
+			}
+		case "call":
+			if len(args) < 1 {
+				return p.errf("call: want callee")
+			}
+			fi := p.mod.FuncByName(args[0])
+			if fi < 0 {
+				return p.errf("call: unknown function %q", args[0])
+			}
+			if err := p.wantRegs(b, args[1:]...); err != nil {
+				return err
+			}
+			b.Call(dst, fi, args[1:]...)
+		default:
+			if kind, ok := til.BinKindByName(op); ok {
+				if len(args) != 2 {
+					return p.errf("%s: want 2 operands", op)
+				}
+				if err := p.wantRegs(b, args...); err != nil {
+					return err
+				}
+				b.Bin(kind, dst, args[0], args[1])
+				return nil
+			}
+			return p.errf("unknown operation %q", op)
+		}
+		return nil
+	}
+
+	op, args := toks[0], toks[1:]
+	switch op {
+	case "storew", "storer":
+		if len(args) != 3 {
+			return p.errf("%s: want obj, index, src", op)
+		}
+		if err := p.wantRegs(b, args[0]); err != nil {
+			return err
+		}
+		src := args[2]
+		if src != "nil" {
+			if err := p.wantRegs(b, src); err != nil {
+				return err
+			}
+		} else if op == "storew" {
+			return p.errf("storew: nil is not a word value")
+		} else {
+			src = ""
+		}
+		if n, err := strconv.Atoi(args[1]); err == nil {
+			if op == "storew" {
+				b.StoreW(args[0], n, src)
+			} else {
+				b.StoreR(args[0], n, src)
+			}
+		} else {
+			if err := p.wantRegs(b, args[1]); err != nil {
+				return err
+			}
+			if op == "storew" {
+				b.StoreWI(args[0], args[1], src)
+			} else {
+				b.StoreRI(args[0], args[1], src)
+			}
+		}
+	case "storewi", "storeri":
+		if len(args) != 3 {
+			return p.errf("%s: want obj, index register, src", op)
+		}
+		if err := p.wantRegs(b, args[0], args[1]); err != nil {
+			return err
+		}
+		src := args[2]
+		if src == "nil" && op == "storeri" {
+			src = ""
+		} else if err := p.wantRegs(b, src); err != nil {
+			return err
+		}
+		if op == "storewi" {
+			b.StoreWI(args[0], args[1], src)
+		} else {
+			b.StoreRI(args[0], args[1], src)
+		}
+	case "openr", "openu":
+		if len(args) != 1 {
+			return p.errf("%s: want obj register", op)
+		}
+		if err := p.wantRegs(b, args...); err != nil {
+			return err
+		}
+		if op == "openr" {
+			b.OpenR(args[0])
+		} else {
+			b.OpenU(args[0])
+		}
+	case "undow", "undor":
+		if len(args) != 2 {
+			return p.errf("%s: want obj and index", op)
+		}
+		if err := p.wantRegs(b, args[0]); err != nil {
+			return err
+		}
+		if n, err := strconv.Atoi(args[1]); err == nil {
+			if op == "undow" {
+				b.UndoW(args[0], n)
+			} else {
+				b.UndoR(args[0], n)
+			}
+		} else {
+			if err := p.wantRegs(b, args[1]); err != nil {
+				return err
+			}
+			if op == "undow" {
+				b.UndoWI(args[0], args[1])
+			} else {
+				b.UndoRI(args[0], args[1])
+			}
+		}
+	case "validate":
+		if len(args) != 0 {
+			return p.errf("validate: no operands")
+		}
+		b.Validate()
+	case "call":
+		if len(args) < 1 {
+			return p.errf("call: want callee")
+		}
+		fi := p.mod.FuncByName(args[0])
+		if fi < 0 {
+			return p.errf("call: unknown function %q", args[0])
+		}
+		if err := p.wantRegs(b, args[1:]...); err != nil {
+			return err
+		}
+		b.Call("", fi, args[1:]...)
+	case "jmp":
+		if len(args) != 1 {
+			return p.errf("jmp: want label")
+		}
+		b.Jmp(args[0])
+	case "br":
+		if len(args) != 3 {
+			return p.errf("br: want cond, then, else")
+		}
+		if err := p.wantRegs(b, args[0]); err != nil {
+			return err
+		}
+		b.Br(args[0], args[1], args[2])
+	case "ret":
+		switch len(args) {
+		case 0:
+			b.Ret("")
+		case 1:
+			if err := p.wantRegs(b, args[0]); err != nil {
+				return err
+			}
+			b.Ret(args[0])
+		default:
+			return p.errf("ret: at most 1 operand")
+		}
+	default:
+		return p.errf("unknown instruction %q", op)
+	}
+	return nil
+}
+
+// wantRegs checks that each operand names a register that has already been
+// defined (interned), catching typos at parse time.
+func (p *parser) wantRegs(b *til.FuncBuilder, names ...string) error {
+	for _, n := range names {
+		if !isIdent(n) {
+			return p.errf("bad register name %q", n)
+		}
+		if !b.HasReg(n) {
+			return p.errf("register %q used before definition", n)
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" || s == "nil" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '$', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"memtx/internal/til"
+)
+
+const sampleSrc = `
+# A small module exercising most syntax.
+class Node words=2 refs=1 immutable=1 refclasses=Node
+class Pair words=1 refs=2 refclasses=Node,_
+global root Node
+
+func helper(a, b) {
+entry:
+  s = add a b
+  ret s
+}
+
+atomic func bump(n) {
+entry:
+  p = global root
+  openr p
+  v = loadw p 0
+  w = call helper v n
+  openu p
+  undow p 0
+  storew p 0 w
+  ret w
+}
+
+atomic func build() {
+entry:
+  q = new Pair
+  one = const 1
+  storew q 0 one
+  nilref = nil
+  storer q 0 nilref
+  storer q 1 nil
+  cond = isnil nilref
+  br cond yes no
+yes:
+  ret one
+no:
+  zero = const 0
+  ret zero
+}
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse("sample", sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(m.Classes); got != 2 {
+		t.Fatalf("classes = %d, want 2", got)
+	}
+	node := m.Classes[m.ClassByName("Node")]
+	if node.NWords != 2 || node.NRefs != 1 {
+		t.Fatalf("Node layout = %d/%d, want 2/1", node.NWords, node.NRefs)
+	}
+	if !node.ImmutableWords[1] || node.ImmutableWords[0] {
+		t.Fatalf("Node immutable mask = %v, want [false true]", node.ImmutableWords)
+	}
+	if node.RefClasses[0] != m.ClassByName("Node") {
+		t.Fatalf("Node refclass = %d, want Node", node.RefClasses[0])
+	}
+	pair := m.Classes[m.ClassByName("Pair")]
+	if pair.RefClasses[0] != m.ClassByName("Node") || pair.RefClasses[1] != -1 {
+		t.Fatalf("Pair refclasses = %v", pair.RefClasses)
+	}
+	if m.GlobalByName("root") < 0 {
+		t.Fatal("global root missing")
+	}
+	bump := m.Funcs[m.FuncByName("bump")]
+	if !bump.Atomic || bump.NParams != 1 {
+		t.Fatalf("bump: atomic=%v nparams=%d", bump.Atomic, bump.NParams)
+	}
+	helper := m.Funcs[m.FuncByName("helper")]
+	if helper.Atomic || helper.NParams != 2 {
+		t.Fatalf("helper: atomic=%v nparams=%d", helper.Atomic, helper.NParams)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m1 := MustParse("sample", sampleSrc)
+	text1 := til.Print(m1)
+	m2, err := Parse("sample2", text1)
+	if err != nil {
+		t.Fatalf("re-Parse printed module: %v\n%s", err, text1)
+	}
+	text2 := til.Print(m2)
+	if text1 != text2 {
+		t.Fatalf("print/parse not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestForwardFunctionReference(t *testing.T) {
+	src := `
+func caller() {
+entry:
+  r = call callee
+  ret r
+}
+func callee() {
+entry:
+  x = const 7
+  ret x
+}
+`
+	m, err := Parse("fwd", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	caller := m.Funcs[m.FuncByName("caller")]
+	callIn := caller.Blocks[0].Instrs[0]
+	if callIn.Op != til.OpCall || callIn.Callee != m.FuncByName("callee") {
+		t.Fatalf("forward call not resolved: %+v", callIn)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown op", "func f() {\nentry:\n  frob x\n}", "unknown instruction"},
+		{"bad const", "func f() {\nentry:\n  x = const zz\n  ret\n}", "bad literal"},
+		{"unknown class", "func f() {\nentry:\n  x = new Nope\n  ret\n}", "unknown class"},
+		{"unknown global", "func f() {\nentry:\n  x = global g\n  ret\n}", "unknown global"},
+		{"undefined register", "func f() {\nentry:\n  x = mov y\n  ret\n}", "used before definition"},
+		{"missing brace", "func f() {\nentry:\n  ret", "missing closing"},
+		{"instr before label", "func f() {\n  ret\n}", "before first label"},
+		{"dup function", "func f() {\nentry:\n  ret\n}\nfunc f() {\nentry:\n  ret\n}", "duplicate function"},
+		{"dup class", "class A words=1 refs=0\nclass A words=1 refs=0", "duplicate class"},
+		{"bad global class", "global g Nope", "unknown class"},
+		{"call arity", "func g(a) {\nentry:\n  ret\n}\nfunc f() {\nentry:\n  call g\n  ret\n}", "0 args, want 1"},
+		{"branch to nowhere", "func f() {\nentry:\n  x = const 1\n  br x a a\n}", ""},
+		{"storew nil", "class A words=1 refs=0\nfunc f() {\nentry:\n  a = new A\n  storew a 0 nil\n  ret\n}", "not a word value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.name, tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.wantSub)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	src := "func f() {\nentry:\n  bogus op\n  ret\n}"
+	_, err := Parse("lines", src)
+	var pe *Error
+	if !asError(err, &pe) {
+		t.Fatalf("error %T is not *Error", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package passes
+
+import (
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// DCE removes dead *pure* instructions: constants, arithmetic, moves, and
+// reference tests whose results are never used. Memory operations, barriers,
+// allocations, and calls are never removed — loads and opens carry
+// transactional meaning (conflict footprint) beyond their value, and calls
+// may have effects.
+//
+// It is a supporting cleanup for the barrier passes: upgrading and CSE can
+// strand address computations that naive instrumentation needed. Liveness is
+// a backward may-analysis over registers.
+//
+// Returns the number of instructions removed.
+func DCE(f *til.Func) int {
+	c := cfgutil.New(f)
+	n := len(f.Blocks)
+
+	liveIn := make([][]bool, n)
+	liveOut := make([][]bool, n)
+	for _, b := range c.RPO {
+		liveIn[b] = make([]bool, f.NRegs)
+		liveOut[b] = make([]bool, f.NRegs)
+	}
+
+	transfer := func(b int, out []bool) []bool {
+		live := append([]bool(nil), out...)
+		instrs := f.Blocks[b].Instrs
+		for i := len(instrs) - 1; i >= 0; i-- {
+			in := &instrs[i]
+			if d := in.Defs(); d >= 0 {
+				live[d] = false
+			}
+			for _, u := range in.Uses(nil) {
+				live[u] = true
+			}
+		}
+		return live
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := len(c.RPO) - 1; i >= 0; i-- {
+			b := c.RPO[i]
+			for r := 0; r < f.NRegs; r++ {
+				v := false
+				for _, s := range c.Succs[b] {
+					if liveIn[s][r] {
+						v = true
+						break
+					}
+				}
+				liveOut[b][r] = v
+			}
+			ni := transfer(b, liveOut[b])
+			if !sameBools(liveIn[b], ni) {
+				copy(liveIn[b], ni)
+				changed = true
+			}
+		}
+	}
+
+	removed := 0
+	for _, b := range c.RPO {
+		blk := f.Blocks[b]
+		live := append([]bool(nil), liveOut[b]...)
+		// Walk backwards, deleting dead pure defs; record keep decisions.
+		keep := make([]bool, len(blk.Instrs))
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			in := &blk.Instrs[i]
+			d := in.Defs()
+			dead := d >= 0 && !live[d] && isPure(in.Op)
+			keep[i] = !dead
+			if dead {
+				removed++
+				continue
+			}
+			if d >= 0 {
+				live[d] = false
+			}
+			for _, u := range in.Uses(nil) {
+				live[u] = true
+			}
+		}
+		kept := blk.Instrs[:0]
+		for i := range blk.Instrs {
+			if keep[i] {
+				kept = append(kept, blk.Instrs[i])
+			}
+		}
+		blk.Instrs = kept
+	}
+	return removed
+}
+
+// isPure reports whether the opcode has no effect beyond defining its
+// destination register.
+func isPure(op til.Op) bool {
+	switch op {
+	case til.OpConstW, til.OpConstNil, til.OpMov, til.OpBin, til.OpIsNil,
+		til.OpRefEq, til.OpGlobal:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package passes
+
+import (
+	"sort"
+
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// Hoist moves loop-invariant barriers out of natural loops into preheaders:
+// an open whose object register is not redefined inside the loop executes
+// identically on every iteration, so a single open in the preheader
+// suffices. Undo-log operations with immediate field indices are hoisted
+// under the same condition, provided the object's ownership is also
+// established in the preheader.
+//
+// Hoisting is speculative in the paper's sense: the preheader open may
+// execute on an iteration-zero path where the loop body never runs. That is
+// safe because opening an object (or opening nil, which the runtime treats
+// as a no-op) never changes program results — it can only widen the
+// transaction's footprint.
+//
+// Returns the number of barriers hoisted.
+func Hoist(f *til.Func) int {
+	hoisted := 0
+	// Loops are processed one at a time; each preheader insertion invalidates
+	// the CFG, so recompute until no loop yields further motion.
+	for pass := 0; pass < 16; pass++ {
+		c := cfgutil.New(f)
+		moved := false
+		for _, l := range c.NaturalLoops() {
+			if n := hoistLoop(f, c, l); n > 0 {
+				hoisted += n
+				moved = true
+				break // CFG changed; recompute
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return hoisted
+}
+
+func hoistLoop(f *til.Func, c *cfgutil.CFG, l *cfgutil.Loop) int {
+	// Registers defined anywhere in the loop are not invariant.
+	definedInLoop := make(map[int]bool)
+	for b := range l.Blocks {
+		for i := range f.Blocks[b].Instrs {
+			if d := f.Blocks[b].Instrs[i].Defs(); d >= 0 {
+				definedInLoop[d] = true
+			}
+		}
+	}
+
+	// Collect hoistable barriers: the strongest open per invariant register,
+	// and undo ops with immediate indices on registers whose open is also
+	// hoisted.
+	openKind := map[int]uint8{} // reg -> openRead/openUpd
+	undos := map[hoistUndoKey]bool{}
+	found := 0
+	for b := range l.Blocks {
+		for i := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[i]
+			switch in.Op {
+			case til.OpOpenR:
+				if !definedInLoop[in.Obj] {
+					if openKind[in.Obj] < openRead {
+						openKind[in.Obj] = openRead
+					}
+					found++
+				}
+			case til.OpOpenU:
+				if !definedInLoop[in.Obj] {
+					openKind[in.Obj] = openUpd
+					found++
+				}
+			case til.OpUndoW:
+				if !definedInLoop[in.Obj] {
+					undos[hoistUndoKey{in.Obj, in.Idx, false}] = true
+					found++
+				}
+			case til.OpUndoR:
+				if !definedInLoop[in.Obj] {
+					undos[hoistUndoKey{in.Obj, in.Idx, true}] = true
+					found++
+				}
+			}
+		}
+	}
+	// Undo hoisting requires ownership in the preheader.
+	for k := range undos {
+		if openKind[k.obj] != openUpd {
+			delete(undos, k)
+			found-- // the undo stays in the loop
+		}
+	}
+	if len(openKind) == 0 && len(undos) == 0 {
+		return 0
+	}
+
+	ph := cfgutil.InsertPreheader(f, c, l)
+	phBlk := f.Blocks[ph]
+
+	// Remove the hoisted barriers from the loop body.
+	removed := 0
+	for b := range l.Blocks {
+		blk := f.Blocks[b]
+		kept := blk.Instrs[:0]
+		for i := range blk.Instrs {
+			in := blk.Instrs[i]
+			drop := false
+			switch in.Op {
+			case til.OpOpenR, til.OpOpenU:
+				_, drop = openKind[in.Obj]
+			case til.OpUndoW:
+				drop = undos[hoistUndoKey{in.Obj, in.Idx, false}]
+			case til.OpUndoR:
+				drop = undos[hoistUndoKey{in.Obj, in.Idx, true}]
+			}
+			if drop {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		blk.Instrs = kept
+	}
+
+	// Emit the hoisted barriers before the preheader's terminator, opens
+	// first (stable order by register/field for determinism).
+	var newInstrs []til.Instr
+	for r := 0; r < f.NRegs; r++ {
+		switch openKind[r] {
+		case openRead:
+			newInstrs = append(newInstrs, til.Instr{Op: til.OpOpenR, Dst: -1, A: -1, B: -1, Obj: r})
+		case openUpd:
+			newInstrs = append(newInstrs, til.Instr{Op: til.OpOpenU, Dst: -1, A: -1, B: -1, Obj: r})
+		}
+	}
+	undoKeys := make([]hoistUndoKey, 0, len(undos))
+	for k := range undos {
+		undoKeys = append(undoKeys, k)
+	}
+	sort.Slice(undoKeys, func(i, j int) bool {
+		a, b := undoKeys[i], undoKeys[j]
+		if a.obj != b.obj {
+			return a.obj < b.obj
+		}
+		if a.idx != b.idx {
+			return a.idx < b.idx
+		}
+		return !a.isRef && b.isRef
+	})
+	for _, k := range undoKeys {
+		op := til.OpUndoW
+		if k.isRef {
+			op = til.OpUndoR
+		}
+		newInstrs = append(newInstrs, til.Instr{Op: op, Dst: -1, A: -1, B: -1, Obj: k.obj, Idx: k.idx})
+	}
+	term := phBlk.Instrs[len(phBlk.Instrs)-1]
+	phBlk.Instrs = append(phBlk.Instrs[:len(phBlk.Instrs)-1], append(newInstrs, term)...)
+
+	return removed
+}
+
+// hoistUndoKey identifies an immediate-index undo operation for hoisting.
+type hoistUndoKey struct {
+	obj, idx int
+	isRef    bool
+}

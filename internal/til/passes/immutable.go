@@ -1,0 +1,156 @@
+package passes
+
+import (
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// Class-inference lattice values (stored per register):
+//
+//	classTop     — no information yet (optimistic)
+//	classUnknown — conflicting or untracked class
+//	>= 0         — index of the statically known class
+const (
+	classTop     = -2
+	classUnknown = -1
+)
+
+// ImmutableElide removes OpenForRead barriers that guard only a load of an
+// immutable word field of an object whose class is statically known — the
+// paper's optimization for fields that are never written after construction
+// (vtables, string lengths, and similar).
+//
+// The pass relies on the adjacency produced by naive instrumentation (every
+// load is immediately preceded by its own open), so it must run before
+// passes that delete or move opens. Returns the number of opens removed.
+func ImmutableElide(m *til.Module, f *til.Func) int {
+	c := cfgutil.New(f)
+	in := inferClasses(m, f, c)
+
+	removed := 0
+	for _, b := range c.RPO {
+		blk := f.Blocks[b]
+		state := append([]int(nil), in[b]...)
+		kept := blk.Instrs[:0]
+		for i := 0; i < len(blk.Instrs); i++ {
+			ins := blk.Instrs[i]
+			if ins.Op == til.OpOpenR && i+1 < len(blk.Instrs) {
+				next := &blk.Instrs[i+1]
+				if next.Op == til.OpLoadW && next.Obj == ins.Obj &&
+					isImmutableWord(m, state[ins.Obj], next.Idx) {
+					removed++
+					continue
+				}
+			}
+			classTransfer(m, &ins, state)
+			kept = append(kept, ins)
+		}
+		blk.Instrs = kept
+	}
+	return removed
+}
+
+func isImmutableWord(m *til.Module, class, idx int) bool {
+	if class < 0 || class >= len(m.Classes) {
+		return false
+	}
+	c := &m.Classes[class]
+	return idx >= 0 && idx < len(c.ImmutableWords) && c.ImmutableWords[idx]
+}
+
+// inferClasses runs a forward must-dataflow assigning each register the class
+// of the object it holds, where statically evident (allocations, globals,
+// and loads through reference fields with declared classes).
+func inferClasses(m *til.Module, f *til.Func, c *cfgutil.CFG) [][]int {
+	n := len(f.Blocks)
+	in := make([][]int, n)
+	out := make([][]int, n)
+	computed := make([]bool, n)
+	for _, b := range c.RPO {
+		in[b] = make([]int, f.NRegs)
+		out[b] = make([]int, f.NRegs)
+		for r := range in[b] {
+			in[b][r] = classTop
+			out[b][r] = classTop
+		}
+	}
+	for r := range in[0] {
+		in[0][r] = classUnknown // parameters and undefined registers
+	}
+
+	meetVal := func(a, b int) int {
+		switch {
+		case a == classTop:
+			return b
+		case b == classTop:
+			return a
+		case a == b:
+			return a
+		default:
+			return classUnknown
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO {
+			if b != 0 {
+				for r := range in[b] {
+					v := classTop
+					for _, p := range c.Preds[b] {
+						if !c.Reachable(p) || !computed[p] {
+							continue
+						}
+						v = meetVal(v, out[p][r])
+					}
+					in[b][r] = v
+				}
+			}
+			state := append([]int(nil), in[b]...)
+			for i := range f.Blocks[b].Instrs {
+				classTransfer(m, &f.Blocks[b].Instrs[i], state)
+			}
+			same := true
+			for r := range state {
+				if out[b][r] != state[r] {
+					same = false
+					break
+				}
+			}
+			if !computed[b] || !same {
+				copy(out[b], state)
+				computed[b] = true
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// classTransfer updates per-register class facts for one instruction.
+func classTransfer(m *til.Module, in *til.Instr, state []int) {
+	switch in.Op {
+	case til.OpNew:
+		state[in.Dst] = in.Class
+		return
+	case til.OpGlobal:
+		state[in.Dst] = m.Globals[in.Idx].Class
+		return
+	case til.OpMov:
+		state[in.Dst] = state[in.A]
+		return
+	case til.OpLoadR:
+		cls := classUnknown
+		if oc := state[in.Obj]; oc >= 0 {
+			rc := m.Classes[oc].RefClasses
+			if in.Idx < len(rc) {
+				cls = rc[in.Idx]
+			}
+		}
+		state[in.Dst] = cls
+		return
+	}
+	if d := in.Defs(); d >= 0 {
+		state[d] = classUnknown
+	}
+}

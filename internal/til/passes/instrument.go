@@ -1,0 +1,133 @@
+// Package passes implements the paper's compiler optimizations over the
+// decomposed STM barriers of TIL:
+//
+//   - Instrument: naive barrier insertion (the baseline a simple compiler
+//     produces — one OpenForRead per load, one OpenForUpdate plus undo log
+//     per store);
+//   - OpenCSE: dominance/availability-based removal of redundant opens;
+//   - Upgrade: strengthening OpenForRead to OpenForUpdate when an update
+//     open of the same object is anticipated on every path;
+//   - Hoist: moving loop-invariant opens (and undo logs) to loop preheaders;
+//   - NewObjElide: removing barriers on objects proven transaction-local;
+//   - Immutable: removing read opens guarding immutable fields;
+//   - UndoElide: removing duplicate undo-log operations;
+//   - ReadOnly: marking transactions that provably perform no updates.
+//
+// Each pass works on the instrumented clones produced by Instrument, leaving
+// the bare originals untouched, mirroring the paper's dual compilation of
+// methods.
+package passes
+
+import "memtx/internal/til"
+
+// Instrument creates transactional clones of every function reachable from an
+// atomic function, inserts naive barriers into the clones, and redirects
+// calls inside clones to the callees' clones. It returns the number of
+// functions instrumented.
+//
+// The bare originals remain callable outside transactions; each original's
+// Instrumented field links to its clone.
+func Instrument(m *til.Module) int {
+	// Find functions reachable from atomic roots.
+	reach := map[int]bool{}
+	var stack []int
+	for i, f := range m.Funcs {
+		if f.Atomic {
+			reach[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		fi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, blk := range m.Funcs[fi].Blocks {
+			for i := range blk.Instrs {
+				if in := &blk.Instrs[i]; in.Op == til.OpCall && !reach[in.Callee] {
+					reach[in.Callee] = true
+					stack = append(stack, in.Callee)
+				}
+			}
+		}
+	}
+
+	// Clone in a stable order.
+	var order []int
+	for i := range m.Funcs {
+		if reach[i] {
+			order = append(order, i)
+		}
+	}
+	cloneIdx := map[int]int{}
+	for _, fi := range order {
+		clone := cloneFunc(m.Funcs[fi])
+		clone.Name = m.Funcs[fi].Name + "$tx"
+		ci := m.AddFunc(clone)
+		m.Funcs[fi].Instrumented = ci
+		cloneIdx[fi] = ci
+	}
+
+	// Instrument each clone and retarget its calls.
+	for _, fi := range order {
+		clone := m.Funcs[cloneIdx[fi]]
+		for _, blk := range clone.Blocks {
+			blk.Instrs = insertBarriers(blk.Instrs)
+			for i := range blk.Instrs {
+				if in := &blk.Instrs[i]; in.Op == til.OpCall {
+					if ci, ok := cloneIdx[in.Callee]; ok {
+						in.Callee = ci
+					}
+				}
+			}
+		}
+	}
+	return len(order)
+}
+
+// cloneFunc deep-copies a function.
+func cloneFunc(f *til.Func) *til.Func {
+	nf := &til.Func{
+		Name:         f.Name,
+		Atomic:       f.Atomic,
+		NParams:      f.NParams,
+		NRegs:        f.NRegs,
+		RegNames:     append([]string(nil), f.RegNames...),
+		Instrumented: -1,
+	}
+	for _, blk := range f.Blocks {
+		nb := &til.Block{Name: blk.Name, Instrs: make([]til.Instr, len(blk.Instrs))}
+		for i := range blk.Instrs {
+			nb.Instrs[i] = blk.Instrs[i]
+			if blk.Instrs[i].Args != nil {
+				nb.Instrs[i].Args = append([]int(nil), blk.Instrs[i].Args...)
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// insertBarriers rewrites a block's instructions with naive barriers: every
+// load is preceded by an open-for-read, every store by an open-for-update and
+// a matching undo-log operation.
+func insertBarriers(instrs []til.Instr) []til.Instr {
+	out := make([]til.Instr, 0, len(instrs)*2)
+	bar := func(op til.Op, obj, idx int) til.Instr {
+		return til.Instr{Op: op, Dst: -1, A: -1, B: -1, Obj: obj, Idx: idx}
+	}
+	for _, in := range instrs {
+		switch in.Op {
+		case til.OpLoadW, til.OpLoadWI, til.OpLoadR, til.OpLoadRI:
+			out = append(out, bar(til.OpOpenR, in.Obj, 0))
+		case til.OpStoreW:
+			out = append(out, bar(til.OpOpenU, in.Obj, 0), bar(til.OpUndoW, in.Obj, in.Idx))
+		case til.OpStoreWI:
+			out = append(out, bar(til.OpOpenU, in.Obj, 0), bar(til.OpUndoWI, in.Obj, in.Idx))
+		case til.OpStoreR:
+			out = append(out, bar(til.OpOpenU, in.Obj, 0), bar(til.OpUndoR, in.Obj, in.Idx))
+		case til.OpStoreRI:
+			out = append(out, bar(til.OpOpenU, in.Obj, 0), bar(til.OpUndoRI, in.Obj, in.Idx))
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package passes
+
+import (
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// NewObjElide removes barriers on objects that are provably allocated by the
+// current transaction: the paper's newly-allocated-object optimization. Such
+// objects are private until the transaction commits, so they need no opens
+// and no undo logging (on abort they are garbage).
+//
+// The analysis is a forward must-dataflow of the per-register fact
+// "definitely holds an object allocated in this transaction": OpNew
+// generates it, OpMov copies it, any other definition kills it, and merge
+// points intersect. Returns the number of barriers removed.
+func NewObjElide(f *til.Func) int {
+	c := cfgutil.New(f)
+	n := len(f.Blocks)
+	in := make([][]bool, n)
+	out := make([][]bool, n)
+	computed := make([]bool, n)
+
+	meet := func(b int, dst []bool) {
+		first := true
+		for _, p := range c.Preds[b] {
+			if !c.Reachable(p) || !computed[p] {
+				continue
+			}
+			if first {
+				copy(dst, out[p])
+				first = false
+				continue
+			}
+			for r := range dst {
+				dst[r] = dst[r] && out[p][r]
+			}
+		}
+		if first {
+			for r := range dst {
+				dst[r] = false
+			}
+		}
+	}
+
+	for _, b := range c.RPO {
+		in[b] = make([]bool, f.NRegs)
+		out[b] = make([]bool, f.NRegs)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO {
+			if b != 0 {
+				meet(b, in[b])
+			}
+			state := append([]bool(nil), in[b]...)
+			for i := range f.Blocks[b].Instrs {
+				localTransfer(&f.Blocks[b].Instrs[i], state)
+			}
+			if !computed[b] || !sameBools(out[b], state) {
+				copy(out[b], state)
+				computed[b] = true
+				changed = true
+			}
+		}
+	}
+
+	removed := 0
+	for _, b := range c.RPO {
+		blk := f.Blocks[b]
+		state := append([]bool(nil), in[b]...)
+		kept := blk.Instrs[:0]
+		for i := range blk.Instrs {
+			ins := blk.Instrs[i]
+			if ins.IsBarrier() && state[ins.Obj] {
+				removed++
+				continue
+			}
+			localTransfer(&ins, state)
+			kept = append(kept, ins)
+		}
+		blk.Instrs = kept
+	}
+	return removed
+}
+
+// localTransfer updates the "definitely transaction-local" fact vector.
+func localTransfer(in *til.Instr, state []bool) {
+	switch in.Op {
+	case til.OpNew:
+		state[in.Dst] = true
+		return
+	case til.OpMov:
+		state[in.Dst] = state[in.A]
+		return
+	}
+	if d := in.Defs(); d >= 0 {
+		state[d] = false
+	}
+}
+
+func sameBools(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package passes
+
+import (
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// Openness lattice values for one register: the meet is min, so "open for
+// update" degrades to "open for read" degrades to "not open" across merge
+// points.
+const (
+	notOpen  uint8 = 0
+	openRead uint8 = 1
+	openUpd  uint8 = 2
+)
+
+// OpenCSE removes opens that are redundant because the same register is
+// already open at least as strongly on every path: the paper's common
+// subexpression elimination over decomposed OpenForRead/OpenForUpdate
+// operations. Returns the number of instructions removed.
+func OpenCSE(f *til.Func) int {
+	c := cfgutil.New(f)
+	in := solveOpenness(f, c)
+
+	removed := 0
+	for bi, blk := range f.Blocks {
+		if !c.Reachable(bi) {
+			continue
+		}
+		state := append([]uint8(nil), in[bi]...)
+		kept := blk.Instrs[:0]
+		for i := range blk.Instrs {
+			ins := blk.Instrs[i]
+			redundant := false
+			switch ins.Op {
+			case til.OpOpenR:
+				redundant = state[ins.Obj] >= openRead
+			case til.OpOpenU:
+				redundant = state[ins.Obj] >= openUpd
+			}
+			if redundant {
+				removed++
+				continue
+			}
+			opennessTransfer(&ins, state)
+			kept = append(kept, ins)
+		}
+		blk.Instrs = kept
+	}
+	return removed
+}
+
+// solveOpenness computes, for each reachable block, the openness of every
+// register at block entry (a must/all-paths analysis, iterated to fixpoint
+// from an optimistic initialization).
+func solveOpenness(f *til.Func, c *cfgutil.CFG) [][]uint8 {
+	n := len(f.Blocks)
+	in := make([][]uint8, n)
+	out := make([][]uint8, n)
+	for _, b := range c.RPO {
+		in[b] = make([]uint8, f.NRegs)
+		out[b] = make([]uint8, f.NRegs)
+		if b != 0 {
+			for r := range in[b] {
+				in[b][r] = openUpd // optimistic top
+			}
+		}
+		copy(out[b], in[b])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO {
+			if b != 0 {
+				for r := 0; r < f.NRegs; r++ {
+					v := openUpd
+					for _, p := range c.Preds[b] {
+						if !c.Reachable(p) {
+							continue
+						}
+						if out[p][r] < v {
+							v = out[p][r]
+						}
+					}
+					in[b][r] = v
+				}
+			}
+			state := append([]uint8(nil), in[b]...)
+			for i := range f.Blocks[b].Instrs {
+				opennessTransfer(&f.Blocks[b].Instrs[i], state)
+			}
+			for r := 0; r < f.NRegs; r++ {
+				if out[b][r] != state[r] {
+					out[b][r] = state[r]
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// opennessTransfer applies one instruction's effect to the openness state.
+// Calls do not disturb caller registers, and objects stay open for the whole
+// transaction, so only opens and register definitions matter.
+func opennessTransfer(in *til.Instr, state []uint8) {
+	switch in.Op {
+	case til.OpOpenR:
+		if state[in.Obj] < openRead {
+			state[in.Obj] = openRead
+		}
+	case til.OpOpenU:
+		state[in.Obj] = openUpd
+	}
+	if d := in.Defs(); d >= 0 {
+		state[d] = notOpen
+	}
+}

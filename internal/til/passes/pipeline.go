@@ -1,0 +1,141 @@
+package passes
+
+import (
+	"fmt"
+
+	"memtx/internal/til"
+)
+
+// Level selects how much of the paper's optimization pipeline to apply after
+// naive instrumentation. The levels are cumulative and correspond to the
+// ablation axis of experiment E2.
+type Level int
+
+const (
+	// LevelNaive performs instrumentation only: one open per access, one
+	// undo log per store — the baseline a non-optimizing compiler emits.
+	LevelNaive Level = iota
+	// LevelCSE adds redundancy elimination: OpenCSE and UndoElide.
+	LevelCSE
+	// LevelUpgrade adds read-to-update open strengthening before CSE.
+	LevelUpgrade
+	// LevelHoist adds loop-invariant barrier hoisting.
+	LevelHoist
+	// LevelFull adds the allocation and immutability optimizations.
+	LevelFull
+)
+
+// Levels lists all levels in ascending order.
+var Levels = []Level{LevelNaive, LevelCSE, LevelUpgrade, LevelHoist, LevelFull}
+
+// String returns the level's short name used in benchmark tables.
+func (l Level) String() string {
+	switch l {
+	case LevelNaive:
+		return "naive"
+	case LevelCSE:
+		return "cse"
+	case LevelUpgrade:
+		return "upgrade"
+	case LevelHoist:
+		return "hoist"
+	case LevelFull:
+		return "full"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Result reports what the pipeline did to a module.
+type Result struct {
+	Level           Level
+	Instrumented    int // functions cloned
+	ImmutableElided int
+	Upgraded        int
+	OpensElided     int
+	UndosElided     int
+	Hoisted         int
+	NewObjElided    int
+	DeadRemoved     int
+	ReadOnlyFuncs   int
+}
+
+// Apply instruments the module and runs the optimization pipeline at the
+// given level. It must be called once on a freshly parsed (bare) module; the
+// module is verified afterwards.
+func Apply(m *til.Module, level Level) (Result, error) {
+	res := Result{Level: level}
+	res.Instrumented = Instrument(m)
+
+	instrumented := make([]*til.Func, 0, res.Instrumented)
+	for _, f := range m.Funcs {
+		if f.Instrumented >= 0 {
+			instrumented = append(instrumented, m.Funcs[f.Instrumented])
+		}
+	}
+
+	for _, f := range instrumented {
+		if level >= LevelFull {
+			// Immutability elision relies on the open/load adjacency of
+			// naive code, so it runs first.
+			res.ImmutableElided += ImmutableElide(m, f)
+		}
+		if level >= LevelUpgrade {
+			res.Upgraded += Upgrade(f)
+		}
+		if level >= LevelCSE {
+			res.OpensElided += OpenCSE(f)
+			res.UndosElided += UndoElide(f)
+		}
+		if level >= LevelHoist {
+			res.Hoisted += Hoist(f)
+			// Hoisting concentrates barriers in preheaders; clean up any
+			// duplication it exposed.
+			res.OpensElided += OpenCSE(f)
+			res.UndosElided += UndoElide(f)
+		}
+		if level >= LevelFull {
+			res.NewObjElided += NewObjElide(f)
+			// Barrier removal strands address/constant computations; clean
+			// them up with liveness-based dead-code elimination.
+			res.DeadRemoved += DCE(f)
+		}
+	}
+	res.ReadOnlyFuncs = MarkReadOnly(m)
+
+	if err := til.Verify(m); err != nil {
+		return res, fmt.Errorf("passes: post-pipeline verification failed: %w", err)
+	}
+	return res, nil
+}
+
+// StaticCounts tallies the barrier instructions remaining in the module's
+// instrumented functions — the static measure reported in E2.
+type StaticCounts struct {
+	OpenR, OpenU, Undo int
+}
+
+// Total returns the total number of static barriers.
+func (s StaticCounts) Total() int { return s.OpenR + s.OpenU + s.Undo }
+
+// CountBarriers tallies static barriers in instrumented functions.
+func CountBarriers(m *til.Module) StaticCounts {
+	var s StaticCounts
+	for fi, f := range m.Funcs {
+		if !isInstrumented(m, fi) {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				switch blk.Instrs[i].Op {
+				case til.OpOpenR:
+					s.OpenR++
+				case til.OpOpenU:
+					s.OpenU++
+				case til.OpUndoW, til.OpUndoWI, til.OpUndoR, til.OpUndoRI:
+					s.Undo++
+				}
+			}
+		}
+	}
+	return s
+}

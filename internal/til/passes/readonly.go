@@ -1,0 +1,70 @@
+package passes
+
+import "memtx/internal/til"
+
+// MarkReadOnly sets Func.ReadOnly on every instrumented function that
+// provably performs no updates: no OpenForUpdate, no stores, no allocation,
+// and only read-only callees. The interpreter runs such atomic functions
+// under the engine's cheaper read-only protocol — the paper's read-only
+// transaction optimization.
+//
+// Returns the number of functions marked.
+func MarkReadOnly(m *til.Module) int {
+	// Start optimistic (every instrumented function read-only) and strip
+	// functions with updating instructions or non-read-only callees until a
+	// fixpoint is reached.
+	ro := map[int]bool{}
+	for i, f := range m.Funcs {
+		if isInstrumented(m, i) {
+			ro[i] = !hasLocalUpdates(f)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range ro {
+			if !ro[i] {
+				continue
+			}
+			for _, blk := range m.Funcs[i].Blocks {
+				for j := range blk.Instrs {
+					in := &blk.Instrs[j]
+					if in.Op == til.OpCall && !ro[in.Callee] {
+						ro[i] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	n := 0
+	for i, isRO := range ro {
+		m.Funcs[i].ReadOnly = isRO
+		if isRO {
+			n++
+		}
+	}
+	return n
+}
+
+// isInstrumented reports whether function index fi is a transactional clone.
+func isInstrumented(m *til.Module, fi int) bool {
+	for _, f := range m.Funcs {
+		if f.Instrumented == fi {
+			return true
+		}
+	}
+	return false
+}
+
+func hasLocalUpdates(f *til.Func) bool {
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			switch blk.Instrs[i].Op {
+			case til.OpOpenU, til.OpStoreW, til.OpStoreWI, til.OpStoreR, til.OpStoreRI,
+				til.OpUndoW, til.OpUndoWI, til.OpUndoR, til.OpUndoRI, til.OpNew:
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package passes
+
+import (
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// undoFact identifies one undo-log operation: the object register, whether
+// the field is a reference, and either an immediate index (idxReg == -1) or
+// an index register.
+type undoFact struct {
+	obj    int
+	isRef  bool
+	immIdx int
+	idxReg int
+}
+
+// UndoElide removes undo-log operations that are redundant because the same
+// (object, field) was already undo-logged on every path — the static
+// counterpart of the runtime log filter. Returns the number of instructions
+// removed.
+func UndoElide(f *til.Func) int {
+	c := cfgutil.New(f)
+
+	// Must-availability of undo facts: a set per block entry, met by
+	// intersection. Sets are small (bounded by the number of undo ops), so
+	// maps are fine.
+	n := len(f.Blocks)
+	in := make([]map[undoFact]bool, n)
+	out := make([]map[undoFact]bool, n)
+	computed := make([]bool, n) // out[b] valid; uncomputed = optimistic top
+
+	transferBlock := func(b int, state map[undoFact]bool) map[undoFact]bool {
+		for i := range f.Blocks[b].Instrs {
+			state = undoTransfer(&f.Blocks[b].Instrs[i], state)
+		}
+		return state
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO {
+			var cur map[undoFact]bool
+			if b == 0 {
+				cur = map[undoFact]bool{}
+			} else {
+				cur = meetFacts(c, out, computed, b)
+			}
+			in[b] = cur
+			next := transferBlock(b, copyFacts(cur))
+			if !computed[b] || !sameFacts(out[b], next) {
+				out[b] = next
+				computed[b] = true
+				changed = true
+			}
+		}
+	}
+
+	removed := 0
+	for _, b := range c.RPO {
+		state := copyFacts(in[b])
+		blk := f.Blocks[b]
+		kept := blk.Instrs[:0]
+		for i := range blk.Instrs {
+			ins := blk.Instrs[i]
+			if fact, ok := factOf(&ins); ok && state[fact] {
+				removed++
+				continue
+			}
+			state = undoTransfer(&ins, state)
+			kept = append(kept, ins)
+		}
+		blk.Instrs = kept
+	}
+	return removed
+}
+
+// factOf returns the undo fact for an undo instruction.
+func factOf(in *til.Instr) (undoFact, bool) {
+	switch in.Op {
+	case til.OpUndoW:
+		return undoFact{obj: in.Obj, immIdx: in.Idx, idxReg: -1}, true
+	case til.OpUndoR:
+		return undoFact{obj: in.Obj, isRef: true, immIdx: in.Idx, idxReg: -1}, true
+	case til.OpUndoWI:
+		return undoFact{obj: in.Obj, immIdx: -1, idxReg: in.Idx}, true
+	case til.OpUndoRI:
+		return undoFact{obj: in.Obj, isRef: true, immIdx: -1, idxReg: in.Idx}, true
+	}
+	return undoFact{}, false
+}
+
+// undoTransfer applies one instruction: undo ops generate their fact;
+// register definitions kill every fact mentioning the register.
+func undoTransfer(in *til.Instr, state map[undoFact]bool) map[undoFact]bool {
+	if fact, ok := factOf(in); ok {
+		state[fact] = true
+		return state
+	}
+	if d := in.Defs(); d >= 0 {
+		for fact := range state {
+			if fact.obj == d || fact.idxReg == d {
+				delete(state, fact)
+			}
+		}
+	}
+	return state
+}
+
+// meetFacts intersects predecessor out-sets. Predecessors whose out-set has
+// not been computed yet (back edges on the first sweep) are skipped, which is
+// the standard optimistic treatment: the fixpoint iteration corrects any
+// over-approximation.
+func meetFacts(c *cfgutil.CFG, out []map[undoFact]bool, computed []bool, b int) map[undoFact]bool {
+	var acc map[undoFact]bool
+	for _, p := range c.Preds[b] {
+		if !c.Reachable(p) || !computed[p] {
+			continue
+		}
+		if acc == nil {
+			acc = copyFacts(out[p])
+			continue
+		}
+		for fact := range acc {
+			if !out[p][fact] {
+				delete(acc, fact)
+			}
+		}
+	}
+	if acc == nil {
+		acc = map[undoFact]bool{}
+	}
+	return acc
+}
+
+func copyFacts(s map[undoFact]bool) map[undoFact]bool {
+	c := make(map[undoFact]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func sameFacts(a, b map[undoFact]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package passes
+
+import (
+	"memtx/internal/til"
+	"memtx/internal/til/cfgutil"
+)
+
+// Upgrade strengthens OpenForRead to OpenForUpdate when an OpenForUpdate of
+// the same register is *anticipated*: executed on every path from the read
+// open before the register is redefined. The later update open then becomes
+// redundant and is removed by OpenCSE.
+//
+// This reproduces the paper's dataflow optimization that avoids acquiring an
+// object first for read and then again for update (a pattern that otherwise
+// costs a read-log entry plus a second open, and risks an upgrade conflict at
+// commit).
+//
+// Returns the number of opens strengthened.
+func Upgrade(f *til.Func) int {
+	c := cfgutil.New(f)
+	// antIn[b][r]: at entry of block b, an OpenU of r is anticipated.
+	// Backward must-analysis, optimistic initialization.
+	n := len(f.Blocks)
+	antIn := make([][]bool, n)
+	antOut := make([][]bool, n)
+	for _, b := range c.RPO {
+		antIn[b] = make([]bool, f.NRegs)
+		antOut[b] = make([]bool, f.NRegs)
+		for r := range antIn[b] {
+			antIn[b][r] = true
+			antOut[b][r] = true
+		}
+	}
+
+	meetSuccs := func(b int, dst []bool) {
+		succs := c.Succs[b]
+		if len(succs) == 0 {
+			for r := range dst {
+				dst[r] = false
+			}
+			return
+		}
+		for r := range dst {
+			v := true
+			for _, s := range succs {
+				if !antIn[s][r] {
+					v = false
+					break
+				}
+			}
+			dst[r] = v
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Iterate in postorder (reverse of RPO) for faster backward
+		// convergence.
+		for i := len(c.RPO) - 1; i >= 0; i-- {
+			b := c.RPO[i]
+			meetSuccs(b, antOut[b])
+			state := append([]bool(nil), antOut[b]...)
+			instrs := f.Blocks[b].Instrs
+			for j := len(instrs) - 1; j >= 0; j-- {
+				upgradeTransfer(&instrs[j], state)
+			}
+			for r := 0; r < f.NRegs; r++ {
+				if antIn[b][r] != state[r] {
+					antIn[b][r] = state[r]
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Rewrite: an OpenR whose register has the fact *after* the instruction
+	// becomes an OpenU. Recompute per-point facts inside each block.
+	upgraded := 0
+	pts := make([][]bool, 0, 64)
+	for _, b := range c.RPO {
+		instrs := f.Blocks[b].Instrs
+		pts = pts[:0]
+		state := make([]bool, f.NRegs)
+		meetSuccs(b, state)
+		// pts[j] holds the fact state just after instrs[j].
+		pts = append(pts, nil)
+		for range instrs {
+			pts = append(pts, nil)
+		}
+		cur := append([]bool(nil), state...)
+		for j := len(instrs) - 1; j >= 0; j-- {
+			pts[j+1] = append([]bool(nil), cur...)
+			upgradeTransfer(&instrs[j], cur)
+		}
+		for j := range instrs {
+			in := &instrs[j]
+			if in.Op == til.OpOpenR && pts[j+1][in.Obj] {
+				in.Op = til.OpOpenU
+				upgraded++
+			}
+		}
+	}
+	return upgraded
+}
+
+// upgradeTransfer applies one instruction's backward effect: a definition of
+// r kills anticipation for r (the later open refers to a different value);
+// an OpenU of r generates it.
+func upgradeTransfer(in *til.Instr, state []bool) {
+	if d := in.Defs(); d >= 0 {
+		state[d] = false
+	}
+	if in.Op == til.OpOpenU {
+		state[in.Obj] = true
+	}
+}

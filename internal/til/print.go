@@ -1,0 +1,154 @@
+package til
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in the textual TIL syntax accepted by the parser,
+// so that Print → Parse round-trips.
+func Print(m *Module) string {
+	var sb strings.Builder
+	for _, c := range m.Classes {
+		fmt.Fprintf(&sb, "class %s words=%d refs=%d", c.Name, c.NWords, c.NRefs)
+		var imm []string
+		for i, b := range c.ImmutableWords {
+			if b {
+				imm = append(imm, fmt.Sprint(i))
+			}
+		}
+		if len(imm) > 0 {
+			fmt.Fprintf(&sb, " immutable=%s", strings.Join(imm, ","))
+		}
+		var rcs []string
+		hasRC := false
+		for _, rc := range c.RefClasses {
+			if rc >= 0 {
+				hasRC = true
+				rcs = append(rcs, m.Classes[rc].Name)
+			} else {
+				rcs = append(rcs, "_")
+			}
+		}
+		if hasRC {
+			fmt.Fprintf(&sb, " refclasses=%s", strings.Join(rcs, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s %s\n", g.Name, m.Classes[g.Class].Name)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteByte('\n')
+		printFunc(&sb, m, f)
+	}
+	return sb.String()
+}
+
+// PrintFunc renders a single function.
+func PrintFunc(m *Module, f *Func) string {
+	var sb strings.Builder
+	printFunc(&sb, m, f)
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, m *Module, f *Func) {
+	if f.Atomic {
+		sb.WriteString("atomic ")
+	}
+	fmt.Fprintf(sb, "func %s(", f.Name)
+	for i := 0; i < f.NParams; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.RegNames[i])
+	}
+	sb.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", blk.Name)
+		for i := range blk.Instrs {
+			fmt.Fprintf(sb, "  %s\n", FormatInstr(m, f, &blk.Instrs[i]))
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// FormatInstr renders one instruction in assembler syntax.
+func FormatInstr(m *Module, f *Func, in *Instr) string {
+	r := func(i int) string {
+		if i < 0 {
+			return "nil"
+		}
+		return f.RegNames[i]
+	}
+	blk := func(i int) string { return f.Blocks[i].Name }
+
+	switch in.Op {
+	case OpConstW:
+		return fmt.Sprintf("%s = const %d", r(in.Dst), in.Imm)
+	case OpConstNil:
+		return fmt.Sprintf("%s = nil", r(in.Dst))
+	case OpMov:
+		return fmt.Sprintf("%s = mov %s", r(in.Dst), r(in.A))
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s %s", r(in.Dst), in.Bin, r(in.A), r(in.B))
+	case OpIsNil:
+		return fmt.Sprintf("%s = isnil %s", r(in.Dst), r(in.A))
+	case OpRefEq:
+		return fmt.Sprintf("%s = refeq %s %s", r(in.Dst), r(in.A), r(in.B))
+	case OpNew:
+		return fmt.Sprintf("%s = new %s", r(in.Dst), m.Classes[in.Class].Name)
+	case OpGlobal:
+		return fmt.Sprintf("%s = global %s", r(in.Dst), m.Globals[in.Idx].Name)
+	case OpLoadW:
+		return fmt.Sprintf("%s = loadw %s %d", r(in.Dst), r(in.Obj), in.Idx)
+	case OpLoadWI:
+		return fmt.Sprintf("%s = loadwi %s %s", r(in.Dst), r(in.Obj), r(in.Idx))
+	case OpStoreW:
+		return fmt.Sprintf("storew %s %d %s", r(in.Obj), in.Idx, r(in.A))
+	case OpStoreWI:
+		return fmt.Sprintf("storewi %s %s %s", r(in.Obj), r(in.Idx), r(in.A))
+	case OpLoadR:
+		return fmt.Sprintf("%s = loadr %s %d", r(in.Dst), r(in.Obj), in.Idx)
+	case OpLoadRI:
+		return fmt.Sprintf("%s = loadri %s %s", r(in.Dst), r(in.Obj), r(in.Idx))
+	case OpStoreR:
+		return fmt.Sprintf("storer %s %d %s", r(in.Obj), in.Idx, r(in.A))
+	case OpStoreRI:
+		return fmt.Sprintf("storeri %s %s %s", r(in.Obj), r(in.Idx), r(in.A))
+	case OpOpenR:
+		return fmt.Sprintf("openr %s", r(in.Obj))
+	case OpOpenU:
+		return fmt.Sprintf("openu %s", r(in.Obj))
+	case OpUndoW:
+		return fmt.Sprintf("undow %s %d", r(in.Obj), in.Idx)
+	case OpUndoWI:
+		return fmt.Sprintf("undowi %s %s", r(in.Obj), r(in.Idx))
+	case OpUndoR:
+		return fmt.Sprintf("undor %s %d", r(in.Obj), in.Idx)
+	case OpUndoRI:
+		return fmt.Sprintf("undori %s %s", r(in.Obj), r(in.Idx))
+	case OpValidate:
+		return "validate"
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r(a)
+		}
+		callee := m.Funcs[in.Callee].Name
+		if in.Dst >= 0 {
+			return fmt.Sprintf("%s = call %s %s", r(in.Dst), callee, strings.Join(args, " "))
+		}
+		return strings.TrimRight(fmt.Sprintf("call %s %s", callee, strings.Join(args, " ")), " ")
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", blk(in.Then))
+	case OpBr:
+		return fmt.Sprintf("br %s %s %s", r(in.A), blk(in.Then), blk(in.Else))
+	case OpRet:
+		if in.A >= 0 {
+			return fmt.Sprintf("ret %s", r(in.A))
+		}
+		return "ret"
+	}
+	return fmt.Sprintf("?op%d", in.Op)
+}

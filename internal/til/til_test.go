@@ -1,0 +1,256 @@
+package til
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildValid returns a small valid module exercising most instruction forms.
+func buildValid() *Module {
+	m := NewModule("t")
+	ci := m.AddClass(Class{Name: "C", NWords: 2, NRefs: 1, RefClasses: []int{-1}})
+	gi := m.AddGlobal("g", ci)
+
+	hb := NewFuncBuilder("helper", false, "a")
+	hb.Block("entry")
+	hb.Ret("a")
+	hi := m.AddFunc(hb.Done())
+
+	b := NewFuncBuilder("main", true, "n")
+	b.Block("entry")
+	b.ConstW("one", 1)
+	b.ConstNil("nothing")
+	b.Global("g", gi)
+	b.New("o", ci)
+	b.Mov("m", "one")
+	b.Bin(BinAdd, "s", "m", "n")
+	b.IsNil("z", "nothing")
+	b.RefEq("q", "o", "g")
+	b.OpenR("g")
+	b.LoadW("x", "g", 0)
+	b.LoadWI("xi", "g", "one")
+	b.LoadR("r", "g", 0)
+	b.LoadRI("ri", "g", "z")
+	b.OpenU("g")
+	b.UndoW("g", 1)
+	b.UndoWI("g", "one")
+	b.UndoR("g", 0)
+	b.UndoRI("g", "z")
+	b.StoreW("g", 1, "s")
+	b.StoreWI("g", "one", "s")
+	b.StoreR("g", 0, "o")
+	b.StoreRI("g", "z", "o")
+	b.StoreR("g", 0, "") // nil store
+	b.Validate()
+	b.Call("c", hi, "s")
+	b.Br("z", "then", "else")
+	b.Block("then")
+	b.Jmp("join")
+	b.Block("else")
+	b.Jmp("join")
+	b.Block("join")
+	b.Ret("c")
+	m.AddFunc(b.Done())
+	return m
+}
+
+func TestVerifyAcceptsValidModule(t *testing.T) {
+	if err := Verify(buildValid()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	mk := func(mutate func(m *Module)) error {
+		m := buildValid()
+		mutate(m)
+		return Verify(m)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(m *Module)
+		wantSub string
+	}{
+		{"dup class", func(m *Module) { m.AddClass(Class{Name: "C"}) }, "duplicate"},
+		{"empty class name", func(m *Module) { m.AddClass(Class{}) }, "empty name"},
+		{"neg words", func(m *Module) { m.AddClass(Class{Name: "X", NWords: -1}) }, "negative"},
+		{"bad immutable len", func(m *Module) {
+			m.AddClass(Class{Name: "X", NWords: 2, ImmutableWords: []bool{true}})
+		}, "immutable mask"},
+		{"bad refclass len", func(m *Module) {
+			m.AddClass(Class{Name: "X", NRefs: 2, RefClasses: []int{0}})
+		}, "ref class list"},
+		{"refclass range", func(m *Module) {
+			m.AddClass(Class{Name: "X", NRefs: 1, RefClasses: []int{99}})
+		}, "out of range"},
+		{"dup global", func(m *Module) { m.AddGlobal("g", 0) }, "duplicate"},
+		{"global class range", func(m *Module) { m.AddGlobal("g9", 42) }, "out of range"},
+		{"dup func", func(m *Module) {
+			fb := NewFuncBuilder("main", false)
+			fb.Block("entry")
+			fb.Ret("")
+			m.AddFunc(fb.Done())
+		}, "duplicate"},
+		{"empty block", func(m *Module) {
+			m.Funcs[1].Blocks = append(m.Funcs[1].Blocks, &Block{Name: "island"})
+		}, "empty"},
+		{"mid-block terminator", func(m *Module) {
+			blk := m.Funcs[1].Blocks[0]
+			blk.Instrs[3] = Instr{Op: OpRet, Dst: -1, A: -1, B: -1, Obj: -1}
+		}, "terminator in mid-block"},
+		{"no terminator", func(m *Module) {
+			blk := m.Funcs[1].Blocks[0]
+			blk.Instrs = blk.Instrs[:3] // drop through the end
+		}, "does not end in a terminator"},
+		{"reg out of range", func(m *Module) {
+			m.Funcs[1].Blocks[0].Instrs[0].Dst = 999
+		}, "out of range"},
+		{"bad jump target", func(m *Module) {
+			blk := m.Funcs[1].Blocks[1] // "then"
+			blk.Instrs[len(blk.Instrs)-1].Then = 77
+		}, "block target"},
+		{"bad callee", func(m *Module) {
+			for _, blk := range m.Funcs[1].Blocks {
+				for i := range blk.Instrs {
+					if blk.Instrs[i].Op == OpCall {
+						blk.Instrs[i].Callee = 55
+					}
+				}
+			}
+		}, "callee"},
+		{"call arity", func(m *Module) {
+			for _, blk := range m.Funcs[1].Blocks {
+				for i := range blk.Instrs {
+					if blk.Instrs[i].Op == OpCall {
+						blk.Instrs[i].Args = nil
+					}
+				}
+			}
+		}, "args"},
+		{"negative field", func(m *Module) {
+			m.Funcs[1].Blocks[0].Instrs[9].Idx = -2 // the LoadW
+		}, "negative field"},
+		{"invalid opcode", func(m *Module) {
+			m.Funcs[1].Blocks[0].Instrs[0].Op = OpInvalid
+		}, "invalid opcode"},
+		{"bad instrumented link", func(m *Module) {
+			m.Funcs[1].Instrumented = 99
+		}, "instrumented link"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mk(tc.mutate)
+			if err == nil {
+				t.Fatalf("Verify accepted module, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestDefsAndUsesConsistency(t *testing.T) {
+	m := buildValid()
+	for _, f := range m.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if d := in.Defs(); d != -1 && (d < 0 || d >= f.NRegs) {
+					t.Errorf("%s: Defs out of range: %+v", f.Name, in)
+				}
+				for _, u := range in.Uses(nil) {
+					if u < 0 || u >= f.NRegs {
+						t.Errorf("%s: Uses out of range: %+v", f.Name, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	barrier := Instr{Op: OpOpenR, Obj: 0}
+	if !barrier.IsBarrier() || barrier.IsMemAccess() || barrier.IsStore() || barrier.IsTerminator() {
+		t.Error("OpOpenR predicates wrong")
+	}
+	store := Instr{Op: OpStoreW, Obj: 0, A: 0}
+	if store.IsBarrier() || !store.IsMemAccess() || !store.IsStore() {
+		t.Error("OpStoreW predicates wrong")
+	}
+	load := Instr{Op: OpLoadW, Dst: 0, Obj: 0}
+	if !load.IsMemAccess() || load.IsStore() {
+		t.Error("OpLoadW predicates wrong")
+	}
+	ret := Instr{Op: OpRet, A: -1}
+	if !ret.IsTerminator() {
+		t.Error("OpRet predicates wrong")
+	}
+}
+
+func TestPrintCoversEveryEmittedInstr(t *testing.T) {
+	m := buildValid()
+	out := Print(m)
+	for _, frag := range []string{
+		"const", "nil", "mov", "add", "isnil", "refeq", "new C", "global g",
+		"loadw", "loadwi", "loadr", "loadri", "storew", "storewi", "storer",
+		"storeri", "openr", "openu", "undow", "undowi", "undor", "undori",
+		"validate", "call helper", "jmp", "br", "ret",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed module missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "?op") {
+		t.Errorf("printed module contains unknown opcode:\n%s", out)
+	}
+}
+
+func TestBinKindNames(t *testing.T) {
+	for k := BinAdd; k <= BinGe; k++ {
+		name := k.String()
+		if strings.Contains(name, "bin(") {
+			t.Fatalf("BinKind %d has no name", k)
+		}
+		back, ok := BinKindByName(name)
+		if !ok || back != k {
+			t.Fatalf("BinKindByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := BinKindByName("frobnicate"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	m := buildValid()
+	if m.ClassByName("C") < 0 || m.ClassByName("Nope") != -1 {
+		t.Error("ClassByName wrong")
+	}
+	if m.FuncByName("main") < 0 || m.FuncByName("Nope") != -1 {
+		t.Error("FuncByName wrong")
+	}
+	if m.GlobalByName("g") < 0 || m.GlobalByName("Nope") != -1 {
+		t.Error("GlobalByName wrong")
+	}
+}
+
+func TestNormalizeIsStableAndPreservesSemantics(t *testing.T) {
+	m := buildValid()
+	before := Print(m)
+	Normalize(m)
+	after1 := Print(m)
+	Normalize(m)
+	after2 := Print(m)
+	if after1 != after2 {
+		t.Fatal("Normalize is not idempotent")
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify after Normalize: %v", err)
+	}
+	// buildValid creates blocks in textual order already, so normalization
+	// should be a no-op here.
+	if before != after1 {
+		t.Fatalf("Normalize changed an already-canonical module:\n%s\nvs\n%s", before, after1)
+	}
+}

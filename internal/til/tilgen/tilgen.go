@@ -1,0 +1,304 @@
+// Package tilgen generates random, deterministic, terminating TIL modules
+// for differential testing of the compiler passes and STM engines: the same
+// generated program must produce the same checksum at every optimization
+// level on every engine.
+//
+// Generated programs are bare (no barriers — instrumentation inserts them)
+// and designed to exercise the optimizations: repeated loads of the same
+// object (open CSE), read-then-write sequences (upgrade), counted loops over
+// invariant objects (hoisting), allocation followed by initialization
+// (transaction-local elision), and register copies (alias kill sets).
+//
+// Safety invariants maintained by construction:
+//
+//   - reference registers are never nil: globals' ref fields are filled by a
+//     generated init function, and generated ref stores only store fresh
+//     allocations;
+//   - field indices stay within the statically tracked class layout;
+//   - loops have constant trip counts and recursion is never generated;
+//   - arithmetic avoids division (no trap paths).
+package tilgen
+
+import (
+	"fmt"
+
+	"memtx/internal/til"
+)
+
+// rng is a self-contained xorshift64* generator.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// classInfo mirrors the generated classes: index 0 ("A") and 1 ("B").
+type classInfo struct {
+	nWords, nRefs int
+	refClass      []int
+}
+
+// gen carries generation state for one function body.
+type gen struct {
+	r       *rng
+	b       *til.FuncBuilder
+	classes []classInfo
+
+	words []string // word-register pool
+	objs  []string // object-register pool
+	objCl []int    // class of each object register
+
+	sum    string // checksum accumulator register
+	nextID int
+	depth  int
+	budget int // remaining statements, bounds program size
+}
+
+// Module generates a verified module from the seed. The module contains an
+// `init` function (atomic, fills global ref fields), an atomic `work(n)`
+// function with a random body, and a non-atomic `main(n)` driving both and
+// returning work's checksum.
+func Module(seed uint64) *til.Module {
+	r := &rng{s: seed | 1}
+	m := til.NewModule(fmt.Sprintf("gen-%d", seed))
+
+	classes := []classInfo{
+		{nWords: 4, nRefs: 2, refClass: []int{1, 0}},
+		{nWords: 2, nRefs: 1, refClass: []int{1}},
+	}
+	m.AddClass(til.Class{Name: "A", NWords: 4, NRefs: 2, RefClasses: []int{1, 0}})
+	m.AddClass(til.Class{Name: "B", NWords: 2, NRefs: 1, RefClasses: []int{1}})
+	g0 := m.AddGlobal("g0", 0)
+	g1 := m.AddGlobal("g1", 1)
+	g2 := m.AddGlobal("g2", 0)
+
+	// init: give every reachable ref field a fresh object so generated code
+	// can dereference any ref register it obtains.
+	ib := til.NewFuncBuilder("init", true)
+	ib.Block("entry")
+	ib.Global("a0", g0)
+	ib.Global("b0", g1)
+	ib.Global("a2", g2)
+	fill := func(obj string, ci int) {
+		c := classes[ci]
+		for i := 0; i < c.nRefs; i++ {
+			child := fmt.Sprintf("%s_c%d", obj, i)
+			ib.New(child, c.refClass[i])
+			// Terminate the graph: the child's own ref fields stay nil, but
+			// generated code only follows one level of refs from globals.
+			ib.StoreR(obj, i, child)
+		}
+	}
+	fill("a0", 0)
+	fill("b0", 1)
+	fill("a2", 0)
+	ib.Ret("")
+	initIdx := m.AddFunc(ib.Done())
+
+	// work(n): random body.
+	wb := til.NewFuncBuilder("work", true, "n")
+	g := &gen{
+		r:       r,
+		b:       wb,
+		classes: classes,
+		budget:  20 + r.intn(40),
+	}
+	wb.Block("entry")
+	g.sum = g.newWord()
+	wb.ConstW(g.sum, 0)
+	// Seed pools: parameter n plus a couple of constants, and the globals.
+	g.words = append(g.words, "n")
+	for i := 0; i < 2; i++ {
+		w := g.newWord()
+		wb.ConstW(w, uint64(r.intn(64)))
+		g.words = append(g.words, w)
+	}
+	for gi, ci := range []int{0, 1, 0} {
+		o := fmt.Sprintf("gobj%d", gi)
+		wb.Global(o, []int{g0, g1, g2}[gi])
+		g.objs = append(g.objs, o)
+		g.objCl = append(g.objCl, ci)
+	}
+	g.stmts(3 + r.intn(5))
+	wb.Ret(g.sum)
+	workIdx := m.AddFunc(wb.Done())
+
+	// main(n): init once, then work.
+	mb := til.NewFuncBuilder("main", false, "n")
+	mb.Block("entry")
+	mb.Call("", initIdx)
+	mb.Call("res", workIdx, "n")
+	mb.Ret("res")
+	m.AddFunc(mb.Done())
+
+	til.Normalize(m)
+	if err := til.Verify(m); err != nil {
+		panic(fmt.Sprintf("tilgen: generated invalid module (seed %d): %v", seed, err))
+	}
+	return m
+}
+
+func (g *gen) newWord() string {
+	g.nextID++
+	return fmt.Sprintf("w%d", g.nextID)
+}
+
+func (g *gen) newObj() string {
+	g.nextID++
+	return fmt.Sprintf("o%d", g.nextID)
+}
+
+func (g *gen) label(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+func (g *gen) randWord() string { return g.words[g.r.intn(len(g.words))] }
+
+func (g *gen) randObj() (string, int) {
+	i := g.r.intn(len(g.objs))
+	return g.objs[i], g.objCl[i]
+}
+
+// stmts emits up to n statements (bounded by the global budget).
+func (g *gen) stmts(n int) {
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.budget--
+		g.stmt()
+	}
+}
+
+var binPool = []til.BinKind{
+	til.BinAdd, til.BinSub, til.BinMul, til.BinAnd, til.BinOr, til.BinXor,
+	til.BinLt, til.BinEq, til.BinGt,
+}
+
+func (g *gen) stmt() {
+	switch k := g.r.intn(12); {
+	case k < 3: // arithmetic into a fresh word
+		w := g.newWord()
+		g.b.Bin(binPool[g.r.intn(len(binPool))], w, g.randWord(), g.randWord())
+		g.words = append(g.words, w)
+		g.accumulate(w)
+	case k < 6: // load a word field
+		o, ci := g.randObj()
+		w := g.newWord()
+		g.b.LoadW(w, o, g.r.intn(g.classes[ci].nWords))
+		g.words = append(g.words, w)
+		g.accumulate(w)
+	case k < 8: // store a word field
+		o, ci := g.randObj()
+		g.b.StoreW(o, g.r.intn(g.classes[ci].nWords), g.randWord())
+	case k == 8: // allocate, initialize, optionally publish
+		ci := g.r.intn(len(g.classes))
+		o := g.newObj()
+		g.b.New(o, ci)
+		g.b.StoreW(o, 0, g.randWord())
+		if g.r.intn(2) == 0 {
+			// Publish into a compatible ref field of an existing object.
+			if tgt, tci, fi, ok := g.refSlotOf(ci); ok {
+				g.b.StoreR(tgt, fi, o)
+				_ = tci
+			}
+		}
+		g.objs = append(g.objs, o)
+		g.objCl = append(g.objCl, ci)
+	case k == 9: // follow a ref from a global (one level; init filled them)
+		gi := g.r.intn(3)
+		base := g.objs[gi] // the three globals are first in the pool
+		ci := g.objCl[gi]
+		if g.classes[ci].nRefs > 0 {
+			fi := g.r.intn(g.classes[ci].nRefs)
+			o := g.newObj()
+			g.b.LoadR(o, base, fi)
+			g.objs = append(g.objs, o)
+			g.objCl = append(g.objCl, g.classes[ci].refClass[fi])
+			// Read something through it so the register is exercised.
+			w := g.newWord()
+			g.b.LoadW(w, o, 0)
+			g.words = append(g.words, w)
+			g.accumulate(w)
+		}
+	case k == 10 && g.depth < 3: // if/else
+		g.depth++
+		cond := g.newWord()
+		g.b.Bin(til.BinLt, cond, g.randWord(), g.randWord())
+		thenL, elseL, joinL := g.label("then"), g.label("else"), g.label("join")
+		g.b.Br(cond, thenL, elseL)
+		// Branch arms must not extend the register pools: registers defined
+		// on one arm are unavailable on the other.
+		g.b.Block(thenL)
+		g.frozenStmts(1 + g.r.intn(2))
+		g.b.Jmp(joinL)
+		g.b.Block(elseL)
+		g.frozenStmts(1 + g.r.intn(2))
+		g.b.Jmp(joinL)
+		g.b.Block(joinL)
+		g.depth--
+	case k == 11 && g.depth < 2: // counted loop over invariant objects
+		g.depth++
+		trip := 1 + g.r.intn(5)
+		i := g.newWord()
+		lim := g.newWord()
+		one := g.newWord()
+		g.b.ConstW(i, 0)
+		g.b.ConstW(lim, uint64(trip))
+		g.b.ConstW(one, 1)
+		head, body, done := g.label("head"), g.label("body"), g.label("done")
+		g.b.Jmp(head)
+		g.b.Block(head)
+		cond := g.newWord()
+		g.b.Bin(til.BinLt, cond, i, lim)
+		g.b.Br(cond, body, done)
+		g.b.Block(body)
+		g.frozenStmts(1 + g.r.intn(3))
+		g.b.Bin(til.BinAdd, i, i, one)
+		g.b.Jmp(head)
+		g.b.Block(done)
+		g.depth--
+	default: // copy a register (exercises alias kill sets)
+		w := g.newWord()
+		g.b.Mov(w, g.randWord())
+		g.words = append(g.words, w)
+	}
+}
+
+// frozenStmts emits statements while freezing the register pools, so that
+// registers defined inside a branch arm or loop body never leak to code that
+// does not dominate them.
+func (g *gen) frozenStmts(n int) {
+	words, objs, objCl := g.words, g.objs, g.objCl
+	g.stmts(n)
+	g.words = words[:len(words):len(words)]
+	g.objs = objs[:len(objs):len(objs)]
+	g.objCl = objCl[:len(objCl):len(objCl)]
+}
+
+// accumulate folds a word into the checksum.
+func (g *gen) accumulate(w string) {
+	g.b.Bin(til.BinAdd, g.sum, g.sum, w)
+}
+
+// refSlotOf finds an existing object with a ref field of the wanted class.
+func (g *gen) refSlotOf(wantClass int) (obj string, objClass, field int, ok bool) {
+	// Scan from a random start for variety.
+	n := len(g.objs)
+	start := g.r.intn(n)
+	for d := 0; d < n; d++ {
+		i := (start + d) % n
+		ci := g.objCl[i]
+		for fi, rc := range g.classes[ci].refClass {
+			if rc == wantClass {
+				return g.objs[i], ci, fi, true
+			}
+		}
+	}
+	return "", 0, 0, false
+}

@@ -1,0 +1,149 @@
+package txds
+
+import (
+	"fmt"
+
+	"memtx/internal/engine"
+)
+
+// Bank is a set of accounts, each its own transactional object — the
+// workload for the contention experiment (E7) and the quickstart example.
+type Bank struct {
+	eng      engine.Engine
+	accounts []engine.Handle
+}
+
+// NewBank creates n accounts with the given initial balance.
+func NewBank(e engine.Engine, n int, initial uint64) *Bank {
+	b := &Bank{eng: e, accounts: make([]engine.Handle, n)}
+	for i := range b.accounts {
+		b.accounts[i] = e.NewObj(1, 0)
+	}
+	if err := engine.Run(e, func(tx engine.Txn) error {
+		for _, acc := range b.accounts {
+			tx.OpenForUpdate(acc)
+			tx.LogForUndoWord(acc, 0)
+			tx.StoreWord(acc, 0, initial)
+		}
+		return nil
+	}); err != nil {
+		panic("txds: bank init: " + err.Error())
+	}
+	return b
+}
+
+// NumAccounts returns the account count.
+func (b *Bank) NumAccounts() int { return len(b.accounts) }
+
+// Balance reads one balance within the caller's transaction.
+func (b *Bank) Balance(tx engine.Txn, i int) uint64 {
+	tx.OpenForRead(b.accounts[i])
+	return tx.LoadWord(b.accounts[i], 0)
+}
+
+// Transfer moves amount from account i to account j within the caller's
+// transaction; it reports false (without changes) on insufficient funds.
+func (b *Bank) Transfer(tx engine.Txn, i, j int, amount uint64) bool {
+	if i == j {
+		return true
+	}
+	from, to := b.accounts[i], b.accounts[j]
+	// Open straight for update (the "upgrade" optimization applied by hand).
+	tx.OpenForUpdate(from)
+	bal := tx.LoadWord(from, 0)
+	if bal < amount {
+		return false
+	}
+	tx.OpenForUpdate(to)
+	tx.LogForUndoWord(from, 0)
+	tx.StoreWord(from, 0, bal-amount)
+	tx.LogForUndoWord(to, 0)
+	tx.StoreWord(to, 0, tx.LoadWord(to, 0)+amount)
+	return true
+}
+
+// Total sums every balance within the caller's transaction.
+func (b *Bank) Total(tx engine.Txn) uint64 {
+	var total uint64
+	for _, acc := range b.accounts {
+		tx.OpenForRead(acc)
+		total += tx.LoadWord(acc, 0)
+	}
+	return total
+}
+
+// TransferAtomic is Transfer in its own transaction.
+func (b *Bank) TransferAtomic(i, j int, amount uint64) (ok bool) {
+	if i < 0 || j < 0 || i >= len(b.accounts) || j >= len(b.accounts) {
+		panic(fmt.Sprintf("txds: account out of range: %d, %d", i, j))
+	}
+	_ = engine.Run(b.eng, func(tx engine.Txn) error {
+		ok = b.Transfer(tx, i, j, amount)
+		return nil
+	})
+	return ok
+}
+
+// TotalAtomic is Total in its own transaction.
+func (b *Bank) TotalAtomic() (total uint64) {
+	_ = engine.RunReadOnly(b.eng, func(tx engine.Txn) error {
+		total = b.Total(tx)
+		return nil
+	})
+	return total
+}
+
+// BalanceAtomic is Balance in its own transaction.
+func (b *Bank) BalanceAtomic(i int) (v uint64) {
+	_ = engine.RunReadOnly(b.eng, func(tx engine.Txn) error {
+		v = b.Balance(tx, i)
+		return nil
+	})
+	return v
+}
+
+// Counter is a single shared transactional counter used by the contention
+// experiment's worst case.
+type Counter struct {
+	eng engine.Engine
+	obj engine.Handle
+}
+
+// NewCounter creates a counter starting at zero.
+func NewCounter(e engine.Engine) *Counter {
+	return &Counter{eng: e, obj: e.NewObj(1, 0)}
+}
+
+// Add increments the counter within the caller's transaction and returns the
+// new value.
+func (c *Counter) Add(tx engine.Txn, delta uint64) uint64 {
+	tx.OpenForUpdate(c.obj)
+	v := tx.LoadWord(c.obj, 0) + delta
+	tx.LogForUndoWord(c.obj, 0)
+	tx.StoreWord(c.obj, 0, v)
+	return v
+}
+
+// Value reads the counter within the caller's transaction.
+func (c *Counter) Value(tx engine.Txn) uint64 {
+	tx.OpenForRead(c.obj)
+	return tx.LoadWord(c.obj, 0)
+}
+
+// AddAtomic is Add in its own transaction.
+func (c *Counter) AddAtomic(delta uint64) (v uint64) {
+	_ = engine.Run(c.eng, func(tx engine.Txn) error {
+		v = c.Add(tx, delta)
+		return nil
+	})
+	return v
+}
+
+// ValueAtomic is Value in its own transaction.
+func (c *Counter) ValueAtomic() (v uint64) {
+	_ = engine.RunReadOnly(c.eng, func(tx engine.Txn) error {
+		v = c.Value(tx)
+		return nil
+	})
+	return v
+}

@@ -1,0 +1,268 @@
+package txds
+
+import "memtx/internal/engine"
+
+// BST node layout.
+const (
+	bstKey   = 0 // word
+	bstVal   = 1 // word
+	bstLeft  = 0 // ref
+	bstRight = 1 // ref
+)
+
+// BST is an unbalanced binary search tree of uint64 keys and values, written
+// against the decomposed STM interface. A root holder object keeps the tree
+// pointer so that an empty tree is still a stable object to open.
+type BST struct {
+	eng  engine.Engine
+	root engine.Handle // object with one ref: the tree root
+}
+
+// NewBST creates an empty tree.
+func NewBST(e engine.Engine) *BST {
+	return &BST{eng: e, root: e.NewObj(0, 1)}
+}
+
+// Contains reports whether k is present, within the caller's transaction.
+func (t *BST) Contains(tx engine.Txn, k uint64) bool {
+	_, ok := t.Get(tx, k)
+	return ok
+}
+
+// Get looks up k within the caller's transaction.
+func (t *BST) Get(tx engine.Txn, k uint64) (uint64, bool) {
+	tx.OpenForRead(t.root)
+	n := tx.LoadRef(t.root, 0)
+	for n != nil {
+		tx.OpenForRead(n)
+		nk := tx.LoadWord(n, bstKey)
+		switch {
+		case k == nk:
+			return tx.LoadWord(n, bstVal), true
+		case k < nk:
+			n = tx.LoadRef(n, bstLeft)
+		default:
+			n = tx.LoadRef(n, bstRight)
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or updates k within the caller's transaction; it reports
+// whether a new node was created.
+func (t *BST) Insert(tx engine.Txn, k, v uint64) bool {
+	tx.OpenForRead(t.root)
+	n := tx.LoadRef(t.root, 0)
+	if n == nil {
+		fresh := t.newNode(tx, k, v)
+		tx.OpenForUpdate(t.root)
+		tx.LogForUndoRef(t.root, 0)
+		tx.StoreRef(t.root, 0, fresh)
+		return true
+	}
+	for {
+		tx.OpenForRead(n)
+		nk := tx.LoadWord(n, bstKey)
+		switch {
+		case k == nk:
+			tx.OpenForUpdate(n)
+			tx.LogForUndoWord(n, bstVal)
+			tx.StoreWord(n, bstVal, v)
+			return false
+		case k < nk:
+			child := tx.LoadRef(n, bstLeft)
+			if child == nil {
+				fresh := t.newNode(tx, k, v)
+				tx.OpenForUpdate(n)
+				tx.LogForUndoRef(n, bstLeft)
+				tx.StoreRef(n, bstLeft, fresh)
+				return true
+			}
+			n = child
+		default:
+			child := tx.LoadRef(n, bstRight)
+			if child == nil {
+				fresh := t.newNode(tx, k, v)
+				tx.OpenForUpdate(n)
+				tx.LogForUndoRef(n, bstRight)
+				tx.StoreRef(n, bstRight, fresh)
+				return true
+			}
+			n = child
+		}
+	}
+}
+
+func (t *BST) newNode(tx engine.Txn, k, v uint64) engine.Handle {
+	n := tx.Alloc(2, 2)
+	tx.StoreWord(n, bstKey, k)
+	tx.StoreWord(n, bstVal, v)
+	return n
+}
+
+// Remove deletes k within the caller's transaction; it reports whether the
+// key was present. Standard BST deletion: leaf and single-child nodes are
+// spliced out; two-child nodes are overwritten with their in-order successor
+// (whose own node is then spliced).
+func (t *BST) Remove(tx engine.Txn, k uint64) bool {
+	// parent == nil means n hangs off the root holder.
+	tx.OpenForRead(t.root)
+	var parent engine.Handle
+	parentSide := 0
+	n := tx.LoadRef(t.root, 0)
+	for n != nil {
+		tx.OpenForRead(n)
+		nk := tx.LoadWord(n, bstKey)
+		if k == nk {
+			break
+		}
+		parent = n
+		if k < nk {
+			parentSide = bstLeft
+			n = tx.LoadRef(n, bstLeft)
+		} else {
+			parentSide = bstRight
+			n = tx.LoadRef(n, bstRight)
+		}
+	}
+	if n == nil {
+		return false
+	}
+
+	left := tx.LoadRef(n, bstLeft)
+	right := tx.LoadRef(n, bstRight)
+
+	if left != nil && right != nil {
+		// Find the in-order successor (leftmost node of the right subtree)
+		// and its parent.
+		succParent := n
+		succSide := bstRight
+		succ := right
+		for {
+			tx.OpenForRead(succ)
+			l := tx.LoadRef(succ, bstLeft)
+			if l == nil {
+				break
+			}
+			succParent = succ
+			succSide = bstLeft
+			succ = l
+		}
+		// Copy the successor's payload into n, then splice the successor out
+		// (it has no left child by construction).
+		sk := tx.LoadWord(succ, bstKey)
+		sv := tx.LoadWord(succ, bstVal)
+		tx.OpenForUpdate(n)
+		tx.LogForUndoWord(n, bstKey)
+		tx.StoreWord(n, bstKey, sk)
+		tx.LogForUndoWord(n, bstVal)
+		tx.StoreWord(n, bstVal, sv)
+		succRight := tx.LoadRef(succ, bstRight)
+		tx.OpenForUpdate(succParent)
+		tx.LogForUndoRef(succParent, succSide)
+		tx.StoreRef(succParent, succSide, succRight)
+		return true
+	}
+
+	child := left
+	if child == nil {
+		child = right
+	}
+	if parent == nil {
+		tx.OpenForUpdate(t.root)
+		tx.LogForUndoRef(t.root, 0)
+		tx.StoreRef(t.root, 0, child)
+	} else {
+		tx.OpenForUpdate(parent)
+		tx.LogForUndoRef(parent, parentSide)
+		tx.StoreRef(parent, parentSide, child)
+	}
+	return true
+}
+
+// Size counts nodes within the caller's transaction (iteratively, to bound
+// stack use on degenerate trees).
+func (t *BST) Size(tx engine.Txn) int {
+	tx.OpenForRead(t.root)
+	stack := []engine.Handle{}
+	if r := tx.LoadRef(t.root, 0); r != nil {
+		stack = append(stack, r)
+	}
+	n := 0
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		tx.OpenForRead(cur)
+		n++
+		if l := tx.LoadRef(cur, bstLeft); l != nil {
+			stack = append(stack, l)
+		}
+		if r := tx.LoadRef(cur, bstRight); r != nil {
+			stack = append(stack, r)
+		}
+	}
+	return n
+}
+
+// Keys returns the keys in order within the caller's transaction.
+func (t *BST) Keys(tx engine.Txn) []uint64 {
+	var out []uint64
+	var walk func(n engine.Handle)
+	walk = func(n engine.Handle) {
+		if n == nil {
+			return
+		}
+		tx.OpenForRead(n)
+		walk(tx.LoadRef(n, bstLeft))
+		out = append(out, tx.LoadWord(n, bstKey))
+		walk(tx.LoadRef(n, bstRight))
+	}
+	tx.OpenForRead(t.root)
+	walk(tx.LoadRef(t.root, 0))
+	return out
+}
+
+// ContainsAtomic is Contains in its own transaction.
+func (t *BST) ContainsAtomic(k uint64) (ok bool) {
+	_ = engine.RunReadOnly(t.eng, func(tx engine.Txn) error {
+		ok = t.Contains(tx, k)
+		return nil
+	})
+	return ok
+}
+
+// InsertAtomic is Insert in its own transaction.
+func (t *BST) InsertAtomic(k, v uint64) (inserted bool) {
+	_ = engine.Run(t.eng, func(tx engine.Txn) error {
+		inserted = t.Insert(tx, k, v)
+		return nil
+	})
+	return inserted
+}
+
+// RemoveAtomic is Remove in its own transaction.
+func (t *BST) RemoveAtomic(k uint64) (removed bool) {
+	_ = engine.Run(t.eng, func(tx engine.Txn) error {
+		removed = t.Remove(tx, k)
+		return nil
+	})
+	return removed
+}
+
+// SizeAtomic is Size in its own transaction.
+func (t *BST) SizeAtomic() (n int) {
+	_ = engine.RunReadOnly(t.eng, func(tx engine.Txn) error {
+		n = t.Size(tx)
+		return nil
+	})
+	return n
+}
+
+// KeysAtomic is Keys in its own transaction.
+func (t *BST) KeysAtomic() (keys []uint64) {
+	_ = engine.RunReadOnly(t.eng, func(tx engine.Txn) error {
+		keys = t.Keys(tx)
+		return nil
+	})
+	return keys
+}

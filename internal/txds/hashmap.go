@@ -1,0 +1,185 @@
+// Package txds provides transactional data structures written directly
+// against the decomposed STM interface — the code a compiler like the
+// paper's would emit, hand-optimized with the same rules the TIL passes
+// apply (open once per object, upgrade straight to update opens, skip
+// barriers on freshly allocated nodes).
+//
+// They are engine-neutral and are used by the scalability experiments
+// (E3/E4) and the contention experiment (E7).
+package txds
+
+import "memtx/internal/engine"
+
+// Node field layout for hash map and list nodes.
+const (
+	nodeKey  = 0 // word: key
+	nodeVal  = 1 // word: value
+	nodeNext = 0 // ref: next node
+)
+
+// HashMap is a fixed-bucket chained hash map of uint64 keys and values.
+//
+// Layout: a directory object whose reference fields point at per-bucket
+// header objects; each header's single ref field heads a chain of nodes.
+// The directory is immutable after construction, so lookups open it for
+// read once; updates open only the affected bucket header, keeping
+// transactions on different buckets disjoint.
+type HashMap struct {
+	eng     engine.Engine
+	dir     engine.Handle
+	buckets int
+}
+
+// NewHashMap creates a map with the given number of buckets (rounded up to a
+// power of two, minimum 2).
+func NewHashMap(e engine.Engine, buckets int) *HashMap {
+	n := 2
+	for n < buckets {
+		n <<= 1
+	}
+	h := &HashMap{eng: e, buckets: n}
+	h.dir = e.NewObj(0, n)
+	if err := engine.Run(e, func(tx engine.Txn) error {
+		tx.OpenForUpdate(h.dir)
+		for i := 0; i < n; i++ {
+			b := tx.Alloc(0, 1)
+			tx.LogForUndoRef(h.dir, i)
+			tx.StoreRef(h.dir, i, b)
+		}
+		return nil
+	}); err != nil {
+		panic("txds: hashmap init: " + err.Error())
+	}
+	return h
+}
+
+// Buckets returns the bucket count.
+func (h *HashMap) Buckets() int { return h.buckets }
+
+func (h *HashMap) bucket(tx engine.Txn, k uint64) engine.Handle {
+	x := k * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	tx.OpenForRead(h.dir)
+	return tx.LoadRef(h.dir, int(x)&(h.buckets-1))
+}
+
+// Get looks up k within the caller's transaction.
+func (h *HashMap) Get(tx engine.Txn, k uint64) (uint64, bool) {
+	b := h.bucket(tx, k)
+	tx.OpenForRead(b)
+	for n := tx.LoadRef(b, 0); n != nil; {
+		tx.OpenForRead(n)
+		if tx.LoadWord(n, nodeKey) == k {
+			return tx.LoadWord(n, nodeVal), true
+		}
+		n = tx.LoadRef(n, nodeNext)
+	}
+	return 0, false
+}
+
+// Put inserts or updates k within the caller's transaction; it reports
+// whether a new entry was created.
+func (h *HashMap) Put(tx engine.Txn, k, v uint64) bool {
+	b := h.bucket(tx, k)
+	tx.OpenForRead(b)
+	for n := tx.LoadRef(b, 0); n != nil; {
+		tx.OpenForRead(n)
+		if tx.LoadWord(n, nodeKey) == k {
+			tx.OpenForUpdate(n)
+			tx.LogForUndoWord(n, nodeVal)
+			tx.StoreWord(n, nodeVal, v)
+			return false
+		}
+		n = tx.LoadRef(n, nodeNext)
+	}
+	// Prepend a fresh node: only the bucket header needs an update open;
+	// the node itself is transaction-local and needs no barriers.
+	n := tx.Alloc(2, 1)
+	tx.StoreWord(n, nodeKey, k)
+	tx.StoreWord(n, nodeVal, v)
+	tx.OpenForUpdate(b)
+	tx.StoreRef(n, nodeNext, tx.LoadRef(b, 0))
+	tx.LogForUndoRef(b, 0)
+	tx.StoreRef(b, 0, n)
+	return true
+}
+
+// Remove deletes k within the caller's transaction; it reports whether the
+// key was present.
+func (h *HashMap) Remove(tx engine.Txn, k uint64) bool {
+	b := h.bucket(tx, k)
+	tx.OpenForRead(b)
+	var prev engine.Handle
+	for n := tx.LoadRef(b, 0); n != nil; {
+		tx.OpenForRead(n)
+		next := tx.LoadRef(n, nodeNext)
+		if tx.LoadWord(n, nodeKey) == k {
+			if prev == nil {
+				tx.OpenForUpdate(b)
+				tx.LogForUndoRef(b, 0)
+				tx.StoreRef(b, 0, next)
+			} else {
+				tx.OpenForUpdate(prev)
+				tx.LogForUndoRef(prev, nodeNext)
+				tx.StoreRef(prev, nodeNext, next)
+			}
+			return true
+		}
+		prev, n = n, next
+	}
+	return false
+}
+
+// Len counts entries by scanning the whole table within the caller's
+// transaction (there is deliberately no shared counter, which would
+// serialize every update).
+func (h *HashMap) Len(tx engine.Txn) int {
+	total := 0
+	tx.OpenForRead(h.dir)
+	for i := 0; i < h.buckets; i++ {
+		b := tx.LoadRef(h.dir, i)
+		tx.OpenForRead(b)
+		for n := tx.LoadRef(b, 0); n != nil; {
+			tx.OpenForRead(n)
+			total++
+			n = tx.LoadRef(n, nodeNext)
+		}
+	}
+	return total
+}
+
+// GetAtomic is Get in its own transaction.
+func (h *HashMap) GetAtomic(k uint64) (v uint64, ok bool) {
+	_ = engine.RunReadOnly(h.eng, func(tx engine.Txn) error {
+		v, ok = h.Get(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// PutAtomic is Put in its own transaction.
+func (h *HashMap) PutAtomic(k, v uint64) (inserted bool) {
+	_ = engine.Run(h.eng, func(tx engine.Txn) error {
+		inserted = h.Put(tx, k, v)
+		return nil
+	})
+	return inserted
+}
+
+// RemoveAtomic is Remove in its own transaction.
+func (h *HashMap) RemoveAtomic(k uint64) (removed bool) {
+	_ = engine.Run(h.eng, func(tx engine.Txn) error {
+		removed = h.Remove(tx, k)
+		return nil
+	})
+	return removed
+}
+
+// LenAtomic is Len in its own transaction.
+func (h *HashMap) LenAtomic() (n int) {
+	_ = engine.RunReadOnly(h.eng, func(tx engine.Txn) error {
+		n = h.Len(tx)
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,147 @@
+package txds
+
+import "memtx/internal/engine"
+
+// SortedList is an ascending singly-linked list set of uint64 keys with a
+// sentinel head, written against the decomposed STM interface. Long read
+// chains make it the classic STM stress structure.
+type SortedList struct {
+	eng  engine.Engine
+	head engine.Handle // sentinel node: ref 0 is the first element
+}
+
+// NewSortedList creates an empty list.
+func NewSortedList(e engine.Engine) *SortedList {
+	return &SortedList{eng: e, head: e.NewObj(0, 1)}
+}
+
+// Contains reports membership within the caller's transaction.
+func (l *SortedList) Contains(tx engine.Txn, k uint64) bool {
+	tx.OpenForRead(l.head)
+	for n := tx.LoadRef(l.head, 0); n != nil; {
+		tx.OpenForRead(n)
+		nk := tx.LoadWord(n, nodeKey)
+		if nk == k {
+			return true
+		}
+		if nk > k {
+			return false
+		}
+		n = tx.LoadRef(n, nodeNext)
+	}
+	return false
+}
+
+// Insert adds k within the caller's transaction; it reports whether the key
+// was newly inserted.
+func (l *SortedList) Insert(tx engine.Txn, k uint64) bool {
+	prev := l.head
+	prevNextIdx := 0
+	tx.OpenForRead(prev)
+	n := tx.LoadRef(prev, 0)
+	for n != nil {
+		tx.OpenForRead(n)
+		nk := tx.LoadWord(n, nodeKey)
+		if nk == k {
+			return false
+		}
+		if nk > k {
+			break
+		}
+		prev, prevNextIdx = n, nodeNext
+		n = tx.LoadRef(n, nodeNext)
+	}
+	fresh := tx.Alloc(1, 1)
+	tx.StoreWord(fresh, nodeKey, k)
+	tx.StoreRef(fresh, nodeNext, n)
+	tx.OpenForUpdate(prev)
+	tx.LogForUndoRef(prev, prevNextIdx)
+	tx.StoreRef(prev, prevNextIdx, fresh)
+	return true
+}
+
+// Remove deletes k within the caller's transaction; it reports whether the
+// key was present.
+func (l *SortedList) Remove(tx engine.Txn, k uint64) bool {
+	prev := l.head
+	prevNextIdx := 0
+	tx.OpenForRead(prev)
+	n := tx.LoadRef(prev, 0)
+	for n != nil {
+		tx.OpenForRead(n)
+		nk := tx.LoadWord(n, nodeKey)
+		if nk > k {
+			return false
+		}
+		next := tx.LoadRef(n, nodeNext)
+		if nk == k {
+			tx.OpenForUpdate(prev)
+			tx.LogForUndoRef(prev, prevNextIdx)
+			tx.StoreRef(prev, prevNextIdx, next)
+			return true
+		}
+		prev, prevNextIdx = n, nodeNext
+		n = next
+	}
+	return false
+}
+
+// Len counts elements within the caller's transaction.
+func (l *SortedList) Len(tx engine.Txn) int {
+	n := 0
+	tx.OpenForRead(l.head)
+	for cur := tx.LoadRef(l.head, 0); cur != nil; {
+		tx.OpenForRead(cur)
+		n++
+		cur = tx.LoadRef(cur, nodeNext)
+	}
+	return n
+}
+
+// Keys returns the keys in ascending order within the caller's transaction.
+func (l *SortedList) Keys(tx engine.Txn) []uint64 {
+	var out []uint64
+	tx.OpenForRead(l.head)
+	for cur := tx.LoadRef(l.head, 0); cur != nil; {
+		tx.OpenForRead(cur)
+		out = append(out, tx.LoadWord(cur, nodeKey))
+		cur = tx.LoadRef(cur, nodeNext)
+	}
+	return out
+}
+
+// ContainsAtomic is Contains in its own transaction.
+func (l *SortedList) ContainsAtomic(k uint64) (ok bool) {
+	_ = engine.RunReadOnly(l.eng, func(tx engine.Txn) error {
+		ok = l.Contains(tx, k)
+		return nil
+	})
+	return ok
+}
+
+// InsertAtomic is Insert in its own transaction.
+func (l *SortedList) InsertAtomic(k uint64) (inserted bool) {
+	_ = engine.Run(l.eng, func(tx engine.Txn) error {
+		inserted = l.Insert(tx, k)
+		return nil
+	})
+	return inserted
+}
+
+// RemoveAtomic is Remove in its own transaction.
+func (l *SortedList) RemoveAtomic(k uint64) (removed bool) {
+	_ = engine.Run(l.eng, func(tx engine.Txn) error {
+		removed = l.Remove(tx, k)
+		return nil
+	})
+	return removed
+}
+
+// LenAtomic is Len in its own transaction.
+func (l *SortedList) LenAtomic() (n int) {
+	_ = engine.RunReadOnly(l.eng, func(tx engine.Txn) error {
+		n = l.Len(tx)
+		return nil
+	})
+	return n
+}

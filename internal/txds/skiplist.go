@@ -1,0 +1,195 @@
+package txds
+
+import (
+	"sync/atomic"
+
+	"memtx/internal/engine"
+)
+
+// SkipList is a transactional skip list set of uint64 keys, written against
+// the decomposed STM interface — the ordered structure STM papers of the
+// era used to show that log-time search trees need no rebalancing
+// transactions.
+//
+// Node layout: one word (the key) and maxLevel reference fields (the
+// forward pointers); a node's height is the number of non-sentinel levels
+// it participates in. The head sentinel has all levels.
+type SkipList struct {
+	eng  engine.Engine
+	head engine.Handle
+	rng  atomic.Uint64 // height source; advancing it is not transactional
+	max  int
+}
+
+// skipMaxLevel bounds the tower height (supports ~2^20 elements).
+const skipMaxLevel = 20
+
+// NewSkipList creates an empty skip list.
+func NewSkipList(e engine.Engine) *SkipList {
+	s := &SkipList{eng: e, head: e.NewObj(1, skipMaxLevel), max: skipMaxLevel}
+	s.rng.Store(0x9E3779B97F4A7C15)
+	return s
+}
+
+// randomHeight draws a geometric height in [1, max]. The generator advances
+// outside transactional control on purpose: heights are performance hints,
+// and re-executing a conflicted insert with a different height is harmless.
+func (s *SkipList) randomHeight() int {
+	for {
+		old := s.rng.Load()
+		x := old
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		if s.rng.CompareAndSwap(old, x) {
+			h := 1
+			v := x * 0x2545F4914F6CDD1D
+			for v&1 == 1 && h < s.max {
+				h++
+				v >>= 1
+			}
+			return h
+		}
+	}
+}
+
+// Contains reports membership within the caller's transaction.
+func (s *SkipList) Contains(tx engine.Txn, k uint64) bool {
+	node, _ := s.find(tx, k, nil)
+	return node != nil
+}
+
+// find descends the towers; if preds is non-nil it must have length max and
+// receives the predecessor at every level. It returns the node with key k
+// (nil if absent).
+func (s *SkipList) find(tx engine.Txn, k uint64, preds []engine.Handle) (engine.Handle, int) {
+	cur := s.head
+	tx.OpenForRead(cur)
+	for level := s.max - 1; level >= 0; level-- {
+		for {
+			next := tx.LoadRef(cur, level)
+			if next == nil {
+				break
+			}
+			tx.OpenForRead(next)
+			if tx.LoadWord(next, 0) >= k {
+				break
+			}
+			cur = next
+		}
+		if preds != nil {
+			preds[level] = cur
+		}
+	}
+	// cur is the predecessor at level 0.
+	next := tx.LoadRef(cur, 0)
+	if next == nil {
+		return nil, 0
+	}
+	tx.OpenForRead(next)
+	if tx.LoadWord(next, 0) == k {
+		return next, 0
+	}
+	return nil, 0
+}
+
+// Insert adds k within the caller's transaction; it reports whether the key
+// was newly inserted.
+func (s *SkipList) Insert(tx engine.Txn, k uint64) bool {
+	preds := make([]engine.Handle, s.max)
+	if node, _ := s.find(tx, k, preds); node != nil {
+		return false
+	}
+	height := s.randomHeight()
+	fresh := tx.Alloc(1, s.max)
+	tx.StoreWord(fresh, 0, k)
+	for level := 0; level < height; level++ {
+		p := preds[level]
+		tx.OpenForUpdate(p)
+		tx.StoreRef(fresh, level, tx.LoadRef(p, level))
+		tx.LogForUndoRef(p, level)
+		tx.StoreRef(p, level, fresh)
+	}
+	return true
+}
+
+// Remove deletes k within the caller's transaction; it reports whether the
+// key was present.
+func (s *SkipList) Remove(tx engine.Txn, k uint64) bool {
+	preds := make([]engine.Handle, s.max)
+	node, _ := s.find(tx, k, preds)
+	if node == nil {
+		return false
+	}
+	for level := 0; level < s.max; level++ {
+		p := preds[level]
+		tx.OpenForRead(p)
+		if tx.LoadRef(p, level) != node {
+			continue // node does not participate in this level
+		}
+		tx.OpenForUpdate(p)
+		tx.LogForUndoRef(p, level)
+		tx.StoreRef(p, level, tx.LoadRef(node, level))
+	}
+	return true
+}
+
+// Len counts elements (level-0 walk) within the caller's transaction.
+func (s *SkipList) Len(tx engine.Txn) int {
+	n := 0
+	tx.OpenForRead(s.head)
+	for cur := tx.LoadRef(s.head, 0); cur != nil; {
+		tx.OpenForRead(cur)
+		n++
+		cur = tx.LoadRef(cur, 0)
+	}
+	return n
+}
+
+// Keys returns the keys in ascending order within the caller's transaction.
+func (s *SkipList) Keys(tx engine.Txn) []uint64 {
+	var out []uint64
+	tx.OpenForRead(s.head)
+	for cur := tx.LoadRef(s.head, 0); cur != nil; {
+		tx.OpenForRead(cur)
+		out = append(out, tx.LoadWord(cur, 0))
+		cur = tx.LoadRef(cur, 0)
+	}
+	return out
+}
+
+// ContainsAtomic is Contains in its own transaction.
+func (s *SkipList) ContainsAtomic(k uint64) (ok bool) {
+	_ = engine.RunReadOnly(s.eng, func(tx engine.Txn) error {
+		ok = s.Contains(tx, k)
+		return nil
+	})
+	return ok
+}
+
+// InsertAtomic is Insert in its own transaction.
+func (s *SkipList) InsertAtomic(k uint64) (inserted bool) {
+	_ = engine.Run(s.eng, func(tx engine.Txn) error {
+		inserted = s.Insert(tx, k)
+		return nil
+	})
+	return inserted
+}
+
+// RemoveAtomic is Remove in its own transaction.
+func (s *SkipList) RemoveAtomic(k uint64) (removed bool) {
+	_ = engine.Run(s.eng, func(tx engine.Txn) error {
+		removed = s.Remove(tx, k)
+		return nil
+	})
+	return removed
+}
+
+// LenAtomic is Len in its own transaction.
+func (s *SkipList) LenAtomic() (n int) {
+	_ = engine.RunReadOnly(s.eng, func(tx engine.Txn) error {
+		n = s.Len(tx)
+		return nil
+	})
+	return n
+}

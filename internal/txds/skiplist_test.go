@@ -1,0 +1,125 @@
+package txds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+)
+
+func TestSkipListModel(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		s := NewSkipList(e)
+		model := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(21))
+
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				if ins := s.InsertAtomic(k); ins != !model[k] {
+					t.Fatalf("Insert(%d) = %v, want %v", k, ins, !model[k])
+				}
+				model[k] = true
+			case 1:
+				if rem := s.RemoveAtomic(k); rem != model[k] {
+					t.Fatalf("Remove(%d) = %v, want %v", k, rem, model[k])
+				}
+				delete(model, k)
+			default:
+				if got := s.ContainsAtomic(k); got != model[k] {
+					t.Fatalf("Contains(%d) = %v, want %v", k, got, model[k])
+				}
+			}
+		}
+		if got := s.LenAtomic(); got != len(model) {
+			t.Fatalf("Len = %d, want %d", got, len(model))
+		}
+		var keys []uint64
+		_ = engine.RunReadOnly(e, func(tx engine.Txn) error {
+			keys = s.Keys(tx)
+			return nil
+		})
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	})
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		s := NewSkipList(e)
+		const goroutines = 6
+		const perG = 100
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				base := uint64(g * perG)
+				for i := uint64(0); i < perG; i++ {
+					if !s.InsertAtomic(base + i) {
+						t.Errorf("fresh key %d reported duplicate", base+i)
+						return
+					}
+				}
+				for i := uint64(0); i < perG; i++ {
+					if !s.ContainsAtomic(base + i) {
+						t.Errorf("lost key %d", base+i)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := s.LenAtomic(); got != goroutines*perG {
+			t.Fatalf("Len = %d, want %d", got, goroutines*perG)
+		}
+	})
+}
+
+func TestSkipListTowerIntegrity(t *testing.T) {
+	// After random churn, a full-height walk from every level must observe a
+	// subsequence of level 0 (tower links may not skip over live keys'
+	// order or resurrect deleted ones).
+	e := core.New()
+	s := NewSkipList(e)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 2000; op++ {
+		k := uint64(rng.Intn(128))
+		if rng.Intn(2) == 0 {
+			s.InsertAtomic(k)
+		} else {
+			s.RemoveAtomic(k)
+		}
+	}
+	err := engine.RunReadOnly(e, func(tx engine.Txn) error {
+		level0 := map[uint64]bool{}
+		for _, k := range s.Keys(tx) {
+			level0[k] = true
+		}
+		tx.OpenForRead(s.head)
+		for level := 1; level < skipMaxLevel; level++ {
+			prev := int64(-1)
+			for cur := tx.LoadRef(s.head, level); cur != nil; {
+				tx.OpenForRead(cur)
+				k := tx.LoadWord(cur, 0)
+				if !level0[k] {
+					t.Errorf("level %d contains key %d not present at level 0", level, k)
+				}
+				if int64(k) <= prev {
+					t.Errorf("level %d not strictly ascending at key %d", level, k)
+				}
+				prev = int64(k)
+				cur = tx.LoadRef(cur, level)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("integrity scan: %v", err)
+	}
+}

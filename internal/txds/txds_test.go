@@ -1,0 +1,302 @@
+package txds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/ostm"
+	"memtx/internal/wstm"
+)
+
+func eachEngine(t *testing.T, f func(t *testing.T, e engine.Engine)) {
+	t.Helper()
+	for name, mk := range map[string]func() engine.Engine{
+		"direct": func() engine.Engine { return core.New() },
+		"wstm":   func() engine.Engine { return wstm.New(wstm.WithStripes(1 << 14)) },
+		"ostm":   func() engine.Engine { return ostm.New() },
+	} {
+		t.Run(name, func(t *testing.T) { f(t, mk()) })
+	}
+}
+
+func TestHashMapModel(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		h := NewHashMap(e, 16)
+		model := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(42))
+
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64() % 1000
+				_, existed := model[k]
+				if ins := h.PutAtomic(k, v); ins != !existed {
+					t.Fatalf("Put(%d) inserted=%v, want %v", k, ins, !existed)
+				}
+				model[k] = v
+			case 1:
+				_, existed := model[k]
+				if rem := h.RemoveAtomic(k); rem != existed {
+					t.Fatalf("Remove(%d) = %v, want %v", k, rem, existed)
+				}
+				delete(model, k)
+			default:
+				v, ok := h.GetAtomic(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("Get(%d) = (%d,%v), want (%d,%v)", k, v, ok, mv, mok)
+				}
+			}
+		}
+		if got := h.LenAtomic(); got != len(model) {
+			t.Fatalf("Len = %d, want %d", got, len(model))
+		}
+	})
+}
+
+func TestHashMapConcurrent(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		h := NewHashMap(e, 64)
+		const goroutines = 8
+		const keysPerG = 150
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				base := uint64(g * keysPerG)
+				for i := uint64(0); i < keysPerG; i++ {
+					if !h.PutAtomic(base+i, base+i*2) {
+						t.Errorf("key %d already present", base+i)
+						return
+					}
+				}
+				// Read back own keys while others insert.
+				for i := uint64(0); i < keysPerG; i++ {
+					if v, ok := h.GetAtomic(base + i); !ok || v != base+i*2 {
+						t.Errorf("Get(%d) = (%d,%v)", base+i, v, ok)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := h.LenAtomic(); got != goroutines*keysPerG {
+			t.Fatalf("Len = %d, want %d", got, goroutines*keysPerG)
+		}
+	})
+}
+
+func TestBSTModel(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		bst := NewBST(e)
+		model := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(7))
+
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(150))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Uint64() % 1000
+				_, existed := model[k]
+				if ins := bst.InsertAtomic(k, v); ins != !existed {
+					t.Fatalf("Insert(%d) = %v, want %v", k, ins, !existed)
+				}
+				model[k] = v
+			case 2:
+				_, existed := model[k]
+				if rem := bst.RemoveAtomic(k); rem != existed {
+					t.Fatalf("Remove(%d) = %v, want %v", k, rem, existed)
+				}
+				delete(model, k)
+			default:
+				if got := bst.ContainsAtomic(k); got != (func() bool { _, ok := model[k]; return ok })() {
+					t.Fatalf("Contains(%d) = %v", k, got)
+				}
+			}
+		}
+		if got := bst.SizeAtomic(); got != len(model) {
+			t.Fatalf("Size = %d, want %d", got, len(model))
+		}
+		// Keys must come out sorted and match the model exactly.
+		keys := bst.KeysAtomic()
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+		want := make([]uint64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(keys) != len(want) {
+			t.Fatalf("keys = %d, want %d", len(keys), len(want))
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("keys[%d] = %d, want %d", i, keys[i], want[i])
+			}
+		}
+	})
+}
+
+func TestBSTConcurrentInserts(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		bst := NewBST(e)
+		const goroutines = 6
+		const perG = 120
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)))
+				for i := 0; i < perG; i++ {
+					k := uint64(g*perG) + uint64(rng.Intn(perG))
+					bst.InsertAtomic(k, k)
+				}
+			}(g)
+		}
+		wg.Wait()
+		keys := bst.KeysAtomic()
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatal("keys not sorted after concurrent inserts")
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				t.Fatalf("duplicate key %d", keys[i])
+			}
+		}
+	})
+}
+
+func TestSortedListModel(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		l := NewSortedList(e)
+		model := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(99))
+
+		for op := 0; op < 2000; op++ {
+			k := uint64(rng.Intn(80))
+			switch rng.Intn(3) {
+			case 0:
+				if ins := l.InsertAtomic(k); ins != !model[k] {
+					t.Fatalf("Insert(%d) = %v, want %v", k, ins, !model[k])
+				}
+				model[k] = true
+			case 1:
+				if rem := l.RemoveAtomic(k); rem != model[k] {
+					t.Fatalf("Remove(%d) = %v, want %v", k, rem, model[k])
+				}
+				delete(model, k)
+			default:
+				if got := l.ContainsAtomic(k); got != model[k] {
+					t.Fatalf("Contains(%d) = %v, want %v", k, got, model[k])
+				}
+			}
+		}
+		if got := l.LenAtomic(); got != len(model) {
+			t.Fatalf("Len = %d, want %d", got, len(model))
+		}
+		var keys []uint64
+		_ = engine.RunReadOnly(e, func(tx engine.Txn) error {
+			keys = l.Keys(tx)
+			return nil
+		})
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("list not sorted: %v", keys)
+		}
+	})
+}
+
+func TestSortedListConcurrent(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		l := NewSortedList(e)
+		const goroutines = 6
+		const perG = 60
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					l.InsertAtomic(uint64(g*perG + i))
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := l.LenAtomic(); got != goroutines*perG {
+			t.Fatalf("Len = %d, want %d", got, goroutines*perG)
+		}
+	})
+}
+
+func TestBankInvariant(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		const nAcc = 16
+		const initial = 500
+		b := NewBank(e, nAcc, initial)
+		if got := b.TotalAtomic(); got != nAcc*initial {
+			t.Fatalf("initial total = %d, want %d", got, nAcc*initial)
+		}
+
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 200; i++ {
+					b.TransferAtomic(rng.Intn(nAcc), rng.Intn(nAcc), uint64(rng.Intn(20)))
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+		if got := b.TotalAtomic(); got != nAcc*initial {
+			t.Fatalf("total after transfers = %d, want %d", got, nAcc*initial)
+		}
+	})
+}
+
+func TestBankInsufficientFunds(t *testing.T) {
+	e := core.New()
+	b := NewBank(e, 2, 10)
+	if b.TransferAtomic(0, 1, 11) {
+		t.Fatal("transfer exceeding balance succeeded")
+	}
+	if got := b.BalanceAtomic(0); got != 10 {
+		t.Fatalf("balance mutated by failed transfer: %d", got)
+	}
+	if !b.TransferAtomic(0, 1, 10) {
+		t.Fatal("exact-balance transfer failed")
+	}
+	if b.BalanceAtomic(0) != 0 || b.BalanceAtomic(1) != 20 {
+		t.Fatalf("balances = %d/%d, want 0/20", b.BalanceAtomic(0), b.BalanceAtomic(1))
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e engine.Engine) {
+		c := NewCounter(e)
+		const goroutines = 8
+		const perG = 200
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					c.AddAtomic(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.ValueAtomic(); got != goroutines*perG {
+			t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+		}
+	})
+}

@@ -1,0 +1,483 @@
+// Package wstm implements the first baseline design the paper evaluates
+// against: a word-based STM with buffered updates and a global version
+// clock, in the style of WSTM/TL2.
+//
+// Metadata lives in a global table of striped versioned locks, indexed by a
+// hash of (object, field). Reads are validated against the transaction's
+// read version at the time of the read (so transactions observe consistent
+// snapshots); writes are buffered in a private write set and written back at
+// commit under the stripe locks.
+//
+// Because the design is word-based, its costs are attached to LoadWord and
+// StoreWord rather than to the Open operations, which are no-ops here. That
+// asymmetry is the point of experiment E1: the decomposed object-based
+// direct-update STM pays once per object, this design pays once per access.
+package wstm
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"memtx/internal/engine"
+)
+
+// DefaultStripes is the size of the versioned-lock table.
+const DefaultStripes = 1 << 20
+
+var globalIDs atomic.Uint64
+
+// Obj is a transactional object under the word-based engine. Fields are
+// atomics because optimistic readers race with commit-time write-back.
+type Obj struct {
+	id      uint64
+	creator uint64
+	words   []atomic.Uint64
+	refs    []atomic.Pointer[Obj]
+}
+
+// Engine is the word-based buffered-update STM.
+type Engine struct {
+	clock   atomic.Uint64
+	stripes []paddedStripe
+	mask    uint64
+	pool    sync.Pool
+	stats   stats
+}
+
+// paddedStripe avoids false sharing between adjacent versioned locks.
+type paddedStripe struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+type stats struct {
+	starts, commits, aborts atomic.Uint64
+	openRead, openUpdate    atomic.Uint64
+	readLog, localSkips     atomic.Uint64
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithStripes sets the versioned-lock table size (rounded up to a power of
+// two).
+func WithStripes(n int) Option {
+	return func(e *Engine) {
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		e.stripes = make([]paddedStripe, p)
+		e.mask = uint64(p - 1)
+	}
+}
+
+// New returns a word-based buffered-update engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.stripes == nil {
+		e.stripes = make([]paddedStripe, DefaultStripes)
+		e.mask = DefaultStripes - 1
+	}
+	e.pool.New = func() any { return &Txn{eng: e, writes: make(map[wkey]wval)} }
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "wstm" }
+
+// NewObj implements engine.Engine.
+func (e *Engine) NewObj(nwords, nrefs int) engine.Handle {
+	return e.newObj(nwords, nrefs, 0)
+}
+
+func (e *Engine) newObj(nwords, nrefs int, creator uint64) *Obj {
+	return &Obj{
+		id:      globalIDs.Add(1),
+		creator: creator,
+		words:   make([]atomic.Uint64, nwords),
+		refs:    make([]atomic.Pointer[Obj], nrefs),
+	}
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() engine.Txn { return e.begin(false) }
+
+// BeginReadOnly implements engine.Engine.
+func (e *Engine) BeginReadOnly() engine.Txn { return e.begin(true) }
+
+func (e *Engine) begin(readonly bool) *Txn {
+	t := e.pool.Get().(*Txn)
+	t.start(readonly)
+	e.stats.starts.Add(1)
+	return t
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{
+		Starts:         e.stats.starts.Load(),
+		Commits:        e.stats.commits.Load(),
+		Aborts:         e.stats.aborts.Load(),
+		OpenForRead:    e.stats.openRead.Load(),
+		OpenForUpdate:  e.stats.openUpdate.Load(),
+		ReadLogEntries: e.stats.readLog.Load(),
+		LocalSkips:     e.stats.localSkips.Load(),
+	}
+}
+
+// stripeFor hashes an object field to the index of its versioned lock.
+func (e *Engine) stripeFor(o *Obj, slot uint64) uint64 {
+	x := o.id*0x9E3779B97F4A7C15 ^ (slot+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return x & e.mask
+}
+
+func (e *Engine) stripe(i uint64) *atomic.Uint64 { return &e.stripes[i].v }
+
+const lockedBit = 1
+
+// wkey identifies one buffered field write.
+type wkey struct {
+	obj  *Obj
+	slot uint64 // 2*i for word i, 2*i+1 for ref i
+}
+
+type wval struct {
+	word uint64
+	ref  *Obj
+}
+
+// Txn is a word-based transaction attempt.
+type Txn struct {
+	eng      *Engine
+	id       uint64
+	rv       uint64 // read version: global clock at start
+	readonly bool
+	done     bool
+
+	reads  []readEntry // stripe pointers and versions observed
+	writes map[wkey]wval
+	worder []wkey // write-back order (deterministic)
+
+	nOpenRead, nOpenUpdate, nReadLog, nLocalSkips uint64
+}
+
+type readEntry struct {
+	stripe uint64 // index into the versioned-lock table
+	seen   uint64
+}
+
+func (t *Txn) start(readonly bool) {
+	t.id = globalIDs.Add(1)
+	t.rv = t.eng.clock.Load()
+	t.readonly = readonly
+	t.done = false
+	t.reads = t.reads[:0]
+	clear(t.writes)
+	t.worder = t.worder[:0]
+	t.nOpenRead, t.nOpenUpdate, t.nReadLog, t.nLocalSkips = 0, 0, 0, 0
+}
+
+// ReadOnly implements engine.Txn.
+func (t *Txn) ReadOnly() bool { return t.readonly }
+
+func (t *Txn) obj(h engine.Handle) *Obj {
+	o, ok := h.(*Obj)
+	if !ok {
+		engine.Abandon("wstm: foreign handle")
+	}
+	return o
+}
+
+// OpenForRead implements engine.Txn. Word-based designs have no object-level
+// open; the cost sits on each access.
+func (t *Txn) OpenForRead(h engine.Handle) { t.nOpenRead++ }
+
+// OpenForUpdate implements engine.Txn (a no-op for this design).
+func (t *Txn) OpenForUpdate(h engine.Handle) {
+	if t.readonly {
+		panic("wstm: OpenForUpdate on read-only transaction")
+	}
+	t.nOpenUpdate++
+}
+
+// LogForUndoWord implements engine.Txn. Buffered updates need no undo log.
+func (t *Txn) LogForUndoWord(engine.Handle, int) {}
+
+// LogForUndoRef implements engine.Txn.
+func (t *Txn) LogForUndoRef(engine.Handle, int) {}
+
+// LoadWord implements engine.Txn: a TL2-style consistent read. The stripe is
+// sampled before and after the data read; a locked or too-new stripe aborts
+// the attempt.
+func (t *Txn) LoadWord(h engine.Handle, i int) uint64 {
+	o := t.obj(h)
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return o.words[i].Load()
+	}
+	slot := uint64(i) * 2
+	if v, ok := t.writes[wkey{o, slot}]; ok {
+		return v.word
+	}
+	si := t.eng.stripeFor(o, slot)
+	stripe := t.eng.stripe(si)
+	for {
+		v1 := stripe.Load()
+		val := o.words[i].Load()
+		v2 := stripe.Load()
+		if v1 != v2 {
+			continue // concurrent commit touched the stripe; resample
+		}
+		if v1&lockedBit != 0 {
+			engine.Abandon("wstm: stripe locked during read")
+		}
+		if v1>>1 > t.rv {
+			engine.Abandon("wstm: read too new (stripe %d > rv %d)", v1>>1, t.rv)
+		}
+		t.reads = append(t.reads, readEntry{stripe: si, seen: v1})
+		t.nReadLog++
+		return val
+	}
+}
+
+// LoadRef implements engine.Txn.
+func (t *Txn) LoadRef(h engine.Handle, i int) engine.Handle {
+	o := t.obj(h)
+	if o.creator == t.id {
+		t.nLocalSkips++
+		return refHandle(o.refs[i].Load())
+	}
+	slot := uint64(i)*2 + 1
+	if v, ok := t.writes[wkey{o, slot}]; ok {
+		return refHandle(v.ref)
+	}
+	si := t.eng.stripeFor(o, slot)
+	stripe := t.eng.stripe(si)
+	for {
+		v1 := stripe.Load()
+		val := o.refs[i].Load()
+		v2 := stripe.Load()
+		if v1 != v2 {
+			continue
+		}
+		if v1&lockedBit != 0 {
+			engine.Abandon("wstm: stripe locked during read")
+		}
+		if v1>>1 > t.rv {
+			engine.Abandon("wstm: read too new")
+		}
+		t.reads = append(t.reads, readEntry{stripe: si, seen: v1})
+		t.nReadLog++
+		return refHandle(val)
+	}
+}
+
+func refHandle(o *Obj) engine.Handle {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// StoreWord implements engine.Txn: the write is buffered until commit.
+func (t *Txn) StoreWord(h engine.Handle, i int, v uint64) {
+	if t.readonly {
+		panic("wstm: StoreWord on read-only transaction")
+	}
+	o := t.obj(h)
+	if o.creator == t.id {
+		t.nLocalSkips++
+		o.words[i].Store(v)
+		return
+	}
+	t.bufferWrite(wkey{o, uint64(i) * 2}, wval{word: v})
+}
+
+// StoreRef implements engine.Txn.
+func (t *Txn) StoreRef(h engine.Handle, i int, r engine.Handle) {
+	if t.readonly {
+		panic("wstm: StoreRef on read-only transaction")
+	}
+	o := t.obj(h)
+	var ro *Obj
+	if r != nil {
+		ro = t.obj(r)
+	}
+	if o.creator == t.id {
+		t.nLocalSkips++
+		o.refs[i].Store(ro)
+		return
+	}
+	t.bufferWrite(wkey{o, uint64(i)*2 + 1}, wval{ref: ro})
+}
+
+func (t *Txn) bufferWrite(k wkey, v wval) {
+	if _, seen := t.writes[k]; !seen {
+		t.worder = append(t.worder, k)
+	}
+	t.writes[k] = v
+}
+
+// Alloc implements engine.Txn.
+func (t *Txn) Alloc(nwords, nrefs int) engine.Handle {
+	return t.eng.newObj(nwords, nrefs, t.id)
+}
+
+// Validate implements engine.Txn: every read stripe must still be unlocked at
+// the version observed.
+func (t *Txn) Validate() error {
+	for i := range t.reads {
+		if t.eng.stripe(t.reads[i].stripe).Load() != t.reads[i].seen {
+			return engine.ErrConflict
+		}
+	}
+	return nil
+}
+
+// Compact implements engine.Txn (the word-based design keeps no per-object
+// logs worth compacting; duplicates are already value-level).
+func (t *Txn) Compact() {}
+
+// Commit implements engine.Txn: lock the write stripes in address order,
+// re-validate the read set, write back, and release at a new clock value.
+func (t *Txn) Commit() error {
+	if t.done {
+		panic("wstm: Commit on finished transaction")
+	}
+	if len(t.writes) == 0 {
+		// Reads were validated at access time against rv; nothing to publish.
+		t.finish(true)
+		return nil
+	}
+
+	locked := t.lockWriteStripes()
+	if locked == nil {
+		t.finish(false)
+		return engine.ErrConflict
+	}
+	if !t.validateWithLocks(locked) {
+		t.unlock(locked)
+		t.finish(false)
+		return engine.ErrConflict
+	}
+	wv := t.eng.clock.Add(1)
+	for _, k := range t.worder {
+		v := t.writes[k]
+		if k.slot&1 == 0 {
+			k.obj.words[k.slot/2].Store(v.word)
+		} else {
+			k.obj.refs[k.slot/2].Store(v.ref)
+		}
+	}
+	t.release(locked, wv)
+	t.finish(true)
+	return nil
+}
+
+// lockWriteStripes acquires the distinct stripes covering the write set in
+// ascending index order (avoiding deadlock against other committers). It
+// returns nil if any stripe is already locked by another transaction.
+func (t *Txn) lockWriteStripes() []lockedStripe {
+	distinct := make(map[uint64]struct{}, len(t.worder))
+	stripes := make([]lockedStripe, 0, len(t.worder))
+	for _, k := range t.worder {
+		si := t.eng.stripeFor(k.obj, k.slot)
+		if _, dup := distinct[si]; dup {
+			continue
+		}
+		distinct[si] = struct{}{}
+		stripes = append(stripes, lockedStripe{idx: si})
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i].idx < stripes[j].idx })
+	for i := range stripes {
+		s := t.eng.stripe(stripes[i].idx)
+		v := s.Load()
+		if v&lockedBit != 0 || !s.CompareAndSwap(v, v|lockedBit) {
+			t.unlock(stripes[:i])
+			return nil
+		}
+		stripes[i].old = v
+	}
+	return stripes
+}
+
+type lockedStripe struct {
+	idx uint64
+	old uint64
+}
+
+// validateWithLocks re-checks the read set; stripes we hold locked are valid
+// if their pre-lock version matches what the read observed.
+func (t *Txn) validateWithLocks(locked []lockedStripe) bool {
+	own := make(map[uint64]uint64, len(locked))
+	for _, l := range locked {
+		own[l.idx] = l.old
+	}
+	for i := range t.reads {
+		re := &t.reads[i]
+		cur := t.eng.stripe(re.stripe).Load()
+		if cur == re.seen {
+			continue
+		}
+		if old, mine := own[re.stripe]; mine && old == re.seen {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (t *Txn) unlock(locked []lockedStripe) {
+	for _, l := range locked {
+		t.eng.stripe(l.idx).Store(l.old)
+	}
+}
+
+func (t *Txn) release(locked []lockedStripe, wv uint64) {
+	nv := wv << 1
+	for _, l := range locked {
+		t.eng.stripe(l.idx).Store(nv)
+	}
+}
+
+// Abort implements engine.Txn: buffered writes are simply discarded.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.finish(false)
+}
+
+func (t *Txn) finish(committed bool) {
+	t.done = true
+	s := &t.eng.stats
+	if committed {
+		s.commits.Add(1)
+	} else {
+		s.aborts.Add(1)
+	}
+	s.openRead.Add(t.nOpenRead)
+	s.openUpdate.Add(t.nOpenUpdate)
+	s.readLog.Add(t.nReadLog)
+	s.localSkips.Add(t.nLocalSkips)
+	const keepCap = 1 << 14
+	if cap(t.reads) > keepCap {
+		t.reads = nil
+	}
+	if len(t.writes) > keepCap {
+		t.writes = make(map[wkey]wval)
+		t.worder = nil
+	}
+	t.eng.pool.Put(t)
+}
+
+var (
+	_ engine.Engine = (*Engine)(nil)
+	_ engine.Txn    = (*Txn)(nil)
+)

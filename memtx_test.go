@@ -1,0 +1,175 @@
+package memtx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func designs() map[string]*TM {
+	return map[string]*TM{
+		"direct":  New(),
+		"bufword": New(WithDesign(BufferedWord)),
+		"bufobj":  New(WithDesign(BufferedObject)),
+	}
+}
+
+func TestVarAcrossDesigns(t *testing.T) {
+	for name, tm := range designs() {
+		t.Run(name, func(t *testing.T) {
+			v := tm.NewVar(41)
+			err := tm.Atomic(func(tx *Tx) error {
+				v.Set(tx, v.Get(tx)+1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("Atomic: %v", err)
+			}
+			var got uint64
+			if err := tm.ReadOnly(func(tx *Tx) error {
+				got = v.Get(tx)
+				return nil
+			}); err != nil {
+				t.Fatalf("ReadOnly: %v", err)
+			}
+			if got != 42 {
+				t.Fatalf("v = %d, want 42", got)
+			}
+		})
+	}
+}
+
+func TestAtomicErrorAborts(t *testing.T) {
+	tm := New()
+	v := tm.NewVar(0)
+	wantErr := errors.New("boom")
+	err := tm.Atomic(func(tx *Tx) error {
+		v.Set(tx, 99)
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("Atomic error = %v, want %v", err, wantErr)
+	}
+	_ = tm.ReadOnly(func(tx *Tx) error {
+		if got := v.Get(tx); got != 0 {
+			t.Fatalf("v = %d after aborted txn, want 0", got)
+		}
+		return nil
+	})
+}
+
+func TestAbortError(t *testing.T) {
+	tm := New()
+	v := tm.NewVar(5)
+	err := tm.Atomic(func(tx *Tx) error {
+		if v.Get(tx) < 10 {
+			return AbortError
+		}
+		v.Set(tx, 0)
+		return nil
+	})
+	if err != AbortError {
+		t.Fatalf("err = %v, want AbortError", err)
+	}
+}
+
+func TestRecordLinkedStructure(t *testing.T) {
+	for name, tm := range designs() {
+		t.Run(name, func(t *testing.T) {
+			head := tm.NewRefVar()
+			// Push three nodes.
+			for i := uint64(1); i <= 3; i++ {
+				err := tm.Atomic(func(tx *Tx) error {
+					n := tx.Alloc(1, 1)
+					n.SetWord(tx, 0, i)
+					n.SetRef(tx, 0, head.Get(tx))
+					head.Set(tx, n)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("push %d: %v", i, err)
+				}
+			}
+			var sum uint64
+			err := tm.ReadOnly(func(tx *Tx) error {
+				sum = 0
+				for n := head.Get(tx); n != nil; {
+					n.OpenForRead(tx)
+					sum += n.Word(tx, 0)
+					n = n.Ref(tx, 0)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("traverse: %v", err)
+			}
+			if sum != 6 {
+				t.Fatalf("sum = %d, want 6", sum)
+			}
+		})
+	}
+}
+
+func TestConcurrentVarIncrements(t *testing.T) {
+	for name, tm := range designs() {
+		t.Run(name, func(t *testing.T) {
+			v := tm.NewVar(0)
+			const goroutines = 8
+			const perG = 150
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						_ = tm.Atomic(func(tx *Tx) error {
+							v.Set(tx, v.Get(tx)+1)
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			var got uint64
+			_ = tm.ReadOnly(func(tx *Tx) error {
+				got = v.Get(tx)
+				return nil
+			})
+			if got != goroutines*perG {
+				t.Fatalf("v = %d, want %d", got, goroutines*perG)
+			}
+		})
+	}
+}
+
+func TestRecordSame(t *testing.T) {
+	tm := New()
+	a := tm.NewRecord(1, 0)
+	b := tm.NewRecord(1, 0)
+	if a.Same(b) {
+		t.Fatal("distinct records compare Same")
+	}
+	if !a.Same(a) {
+		t.Fatal("record not Same as itself")
+	}
+	var nilRec *Record
+	if a.Same(nilRec) || !nilRec.Same(nil) {
+		t.Fatal("nil handling wrong")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	tm := New()
+	v := tm.NewVar(0)
+	_ = tm.Atomic(func(tx *Tx) error {
+		v.Set(tx, 1)
+		return nil
+	})
+	s := tm.Stats()
+	if s.Commits == 0 || s.OpenForUpdate == 0 {
+		t.Fatalf("stats not populated: %+v", s)
+	}
+	if tm.Engine() == nil {
+		t.Fatal("Engine() returned nil")
+	}
+}
