@@ -6,27 +6,61 @@
 //	stmbench                 # run everything at full scale
 //	stmbench -e e1,e3        # run selected experiments
 //	stmbench -quick          # small parameters (seconds, for smoke runs)
+//	stmbench -e e7 -watch 2s # print live per-interval metrics to stderr
+//	stmbench -serve :8080    # expose /metrics (Prometheus) and /stats.json
 //
 // Output is a series of aligned text tables, one per paper table/figure,
 // each annotated with the shape the paper reports so results can be compared
 // at a glance. EXPERIMENTS.md records a reference run.
+//
+// With -serve, the engines each experiment constructs are registered in a
+// live registry and served over HTTP while the experiments run; after the
+// last experiment the server keeps running (final counter values remain
+// scrapable) until interrupted. With -watch, a reporter prints commit
+// throughput, per-cause abort counts, and p50/p99 attempt latency for every
+// active engine each interval.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 
 	"memtx/internal/harness"
+	"memtx/internal/obs"
 )
 
 func main() {
 	var (
 		exps  = flag.String("e", "all", "comma-separated experiments to run (e1..e7, or 'all')")
 		quick = flag.Bool("quick", false, "use small test-scale parameters")
+		serve = flag.String("serve", "", "serve live metrics on this address (e.g. :8080) while running")
+		watch = flag.Duration("watch", 0, "print live metrics to stderr at this interval (e.g. 2s)")
 	)
 	flag.Parse()
+
+	serving := *serve != "" || *watch > 0
+	if serving {
+		reg := obs.NewRegistry()
+		harness.SetRegistry(reg)
+		if *serve != "" {
+			srv := &http.Server{Addr: *serve, Handler: reg.Handler()}
+			go func() {
+				if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "stmbench: serve: %v\n", err)
+					os.Exit(1)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "stmbench: serving /metrics and /stats.json on %s\n", *serve)
+		}
+		if *watch > 0 {
+			stop := harness.StartWatch(os.Stderr, *watch)
+			defer stop()
+		}
+	}
 
 	ids := harness.ExperimentIDs
 	if *exps != "all" {
@@ -42,5 +76,12 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
+	}
+
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "stmbench: experiments done; still serving on %s (Ctrl-C to exit)\n", *serve)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }

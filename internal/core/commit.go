@@ -1,6 +1,10 @@
 package core
 
-import "memtx/internal/engine"
+import (
+	"time"
+
+	"memtx/internal/engine"
+)
 
 // Validate implements engine.Txn: it re-checks every read-log entry against
 // the objects' current STM words. A read is valid if
@@ -49,7 +53,9 @@ func (t *Txn) Commit() error {
 	if t.done {
 		panic("core: Commit on finished transaction")
 	}
+	commitStart := time.Now()
 	if !t.valid() {
+		t.cause = engine.CauseValidation
 		t.rollback()
 		return engine.ErrConflict
 	}
@@ -58,6 +64,7 @@ func (t *Txn) Commit() error {
 	}
 	eng, published := t.eng, len(t.updateLog) > 0
 	t.finish(true) // recycles t; use the captured engine afterwards
+	eng.metrics.ObserveCommit(time.Since(commitStart))
 	if published {
 		eng.signal.bump() // wake transactions blocked in WaitCommit
 	}
@@ -124,9 +131,12 @@ func (t *Txn) Compact() {
 func (t *Txn) finish(committed bool) {
 	t.done = true
 	s := &t.eng.stats
+	m := &t.eng.metrics
+	m.ObserveAttempt(time.Since(t.began))
 	if committed {
 		s.commits.Add(1)
 	} else {
+		m.RecordAbort(t.cause)
 		s.aborts.Add(1)
 	}
 	s.openForRead.Add(t.nOpenRead)
@@ -137,6 +147,7 @@ func (t *Txn) finish(committed bool) {
 	s.localSkips.Add(t.nLocalSkips)
 	s.compactions.Add(t.nCompactions)
 	s.readLogDropped.Add(t.nReadDropped)
+	s.cmWaits.Add(t.nCMWaits)
 	// Avoid pinning giant log capacity in the pool.
 	const keepCap = 1 << 14
 	if cap(t.readLog) > keepCap {

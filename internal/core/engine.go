@@ -22,9 +22,10 @@ type Engine struct {
 	compactThreshold int  // auto-compact read log beyond this length; 0 = off
 	checked          bool // verify protocol discipline (tests)
 
-	pool   sync.Pool // *Txn
-	stats  engineStats
-	signal commitSignal
+	pool    sync.Pool // *Txn
+	stats   engineStats
+	metrics engine.Metrics
+	signal  commitSignal
 }
 
 // engineStats holds cumulative counters, updated with atomics when folding in
@@ -41,6 +42,7 @@ type engineStats struct {
 	localSkips     atomic.Uint64
 	compactions    atomic.Uint64
 	readLogDropped atomic.Uint64
+	cmWaits        atomic.Uint64
 }
 
 // Option configures an Engine.
@@ -121,10 +123,11 @@ func (e *Engine) begin(readonly bool) *Txn {
 	return tx
 }
 
-// Stats implements engine.Engine.
+// Stats implements engine.Engine. Starts is loaded last so that
+// Commits + Aborts <= Starts holds in every snapshot, even one taken while
+// transactions are in flight.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{
-		Starts:         e.stats.starts.Load(),
+	s := engine.Stats{
 		Commits:        e.stats.commits.Load(),
 		Aborts:         e.stats.aborts.Load(),
 		OpenForRead:    e.stats.openForRead.Load(),
@@ -135,7 +138,13 @@ func (e *Engine) Stats() engine.Stats {
 		LocalSkips:     e.stats.localSkips.Load(),
 		Compactions:    e.stats.compactions.Load(),
 		ReadLogDropped: e.stats.readLogDropped.Load(),
+		CMWaits:        e.stats.cmWaits.Load(),
 	}
+	s.Starts = e.stats.starts.Load()
+	return s
 }
+
+// Metrics implements engine.Engine.
+func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
 
 var _ engine.Engine = (*Engine)(nil)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"memtx/internal/engine"
 	"memtx/internal/filter"
@@ -18,6 +19,8 @@ type Txn struct {
 	id       uint64
 	readonly bool
 	done     bool
+	began    time.Time         // attempt start, for the attempt-latency histogram
+	cause    engine.AbortCause // attributed abort cause if this attempt aborts
 
 	readLog   []readEntry
 	updateLog []*updateEntry
@@ -30,7 +33,7 @@ type Txn struct {
 	// local statistic counters, folded into the engine on finish.
 	nOpenRead, nOpenUpdate, nUndo, nReadLog uint64
 	nFilterHits, nLocalSkips                uint64
-	nCompactions, nReadDropped              uint64
+	nCompactions, nReadDropped, nCMWaits    uint64
 }
 
 func newTxn(e *Engine) *Txn {
@@ -45,6 +48,8 @@ func (t *Txn) start(readonly bool) {
 	t.id = nextID()
 	t.readonly = readonly
 	t.done = false
+	t.began = time.Now()
+	t.cause = engine.CauseExplicit
 	t.readLog = t.readLog[:0]
 	t.updateLog = t.updateLog[:0]
 	t.undoLog = t.undoLog[:0]
@@ -54,11 +59,14 @@ func (t *Txn) start(readonly bool) {
 	}
 	t.nOpenRead, t.nOpenUpdate, t.nUndo, t.nReadLog = 0, 0, 0, 0
 	t.nFilterHits, t.nLocalSkips = 0, 0
-	t.nCompactions, t.nReadDropped = 0, 0
+	t.nCompactions, t.nReadDropped, t.nCMWaits = 0, 0, 0
 }
 
 // ReadOnly implements engine.Txn.
 func (t *Txn) ReadOnly() bool { return t.readonly }
+
+// SetAbortCause implements engine.Txn.
+func (t *Txn) SetAbortCause(c engine.AbortCause) { t.cause = c }
 
 func (t *Txn) obj(h engine.Handle) *Obj {
 	o, ok := h.(*Obj)
@@ -126,8 +134,11 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 			return // already own it
 		case m.ownerID != 0:
 			if !t.eng.cm.Wait(attempt) {
-				engine.Abandon("object %d owned by txn %d", o.id, m.ownerID)
+				t.cause = engine.CauseCMKill
+				engine.AbandonCause(engine.CauseCMKill,
+					"object %d owned by txn %d", o.id, m.ownerID)
 			}
+			t.nCMWaits++
 			attempt++
 		default:
 			e := &updateEntry{obj: o, oldMeta: m}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillUint64 walks a struct recursively and sets every uint64 leaf (including
+// array elements) to v, counting the leaves it set.
+func fillUint64(val reflect.Value, v uint64) int {
+	switch val.Kind() {
+	case reflect.Uint64:
+		val.SetUint(v)
+		return 1
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < val.NumField(); i++ {
+			n += fillUint64(val.Field(i), v)
+		}
+		return n
+	case reflect.Array:
+		n := 0
+		for i := 0; i < val.Len(); i++ {
+			n += fillUint64(val.Index(i), v)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// checkUint64 verifies every uint64 leaf equals want, reporting the path of
+// any mismatch.
+func checkUint64(t *testing.T, val reflect.Value, path string, want uint64) {
+	t.Helper()
+	switch val.Kind() {
+	case reflect.Uint64:
+		if got := val.Uint(); got != want {
+			t.Errorf("%s = %d, want %d (field not handled by Sub?)", path, got, want)
+		}
+	case reflect.Struct:
+		for i := 0; i < val.NumField(); i++ {
+			checkUint64(t, val.Field(i), path+"."+val.Type().Field(i).Name, want)
+		}
+	case reflect.Array:
+		for i := 0; i < val.Len(); i++ {
+			checkUint64(t, val.Index(i), path, want)
+		}
+	}
+}
+
+// subDrift fills two values of the same struct type with distinct constants,
+// applies sub, and asserts every uint64 leaf of the result is the difference.
+// A counter field added to the struct but forgotten in Sub stays 0 (= 5-5
+// would be fine, but 5 and 2 give 3, while a forgotten field keeps the a-copy
+// value or zero) and trips the check.
+func subDrift[T any](t *testing.T, sub func(a, b T) T) {
+	t.Helper()
+	var a, b T
+	na := fillUint64(reflect.ValueOf(&a).Elem(), 5)
+	nb := fillUint64(reflect.ValueOf(&b).Elem(), 2)
+	if na == 0 {
+		t.Fatalf("%T has no uint64 leaves — drift guard is vacuous", a)
+	}
+	if na != nb {
+		t.Fatalf("leaf count mismatch: %d vs %d", na, nb)
+	}
+	d := sub(a, b)
+	checkUint64(t, reflect.ValueOf(d), reflect.TypeOf(d).Name(), 3)
+}
+
+// TestStatsSubCoversEveryField guards against counter drift: adding a field
+// to Stats without updating Stats.Sub fails here, not silently in a report.
+func TestStatsSubCoversEveryField(t *testing.T) {
+	subDrift(t, func(a, b Stats) Stats { return a.Sub(b) })
+}
+
+// TestMetricsSnapshotSubCoversEveryField does the same for the metrics
+// snapshot, including the nested histogram bucket arrays.
+func TestMetricsSnapshotSubCoversEveryField(t *testing.T) {
+	subDrift(t, func(a, b MetricsSnapshot) MetricsSnapshot { return a.Sub(b) })
+	subDrift(t, func(a, b HistogramSnapshot) HistogramSnapshot { return a.Sub(b) })
+}

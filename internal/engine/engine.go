@@ -46,6 +46,11 @@ type Engine interface {
 
 	// Stats returns a snapshot of the engine's cumulative counters.
 	Stats() Stats
+
+	// Metrics returns the engine's observability recorder: abort-cause
+	// counters and latency/retry histograms. The returned pointer is live
+	// for the engine's lifetime; call Snapshot on it to read.
+	Metrics() *Metrics
 }
 
 // Txn is a single transaction attempt. A Txn must be used by one goroutine at
@@ -116,8 +121,16 @@ type Txn interface {
 	// not be reused; re-execute via a fresh Begin.
 	Commit() error
 
-	// Abort rolls back all updates and releases ownership.
+	// Abort rolls back all updates and releases ownership. Without a
+	// preceding SetAbortCause the abort is recorded as CauseExplicit.
 	Abort()
+
+	// SetAbortCause attributes the transaction's abort, if it aborts, to
+	// the given cause in the engine's Metrics. The Run loop calls it before
+	// Abort when it knows why an attempt failed (the cause carried by a
+	// Retry panic, or a doomed-error retry); engines set it internally on
+	// their own conflict paths.
+	SetAbortCause(c AbortCause)
 
 	// ReadOnly reports whether the transaction was started read-only.
 	ReadOnly() bool
@@ -125,7 +138,10 @@ type Txn interface {
 
 // Stats is a snapshot of cumulative engine counters. Counters are maintained
 // with atomics and folded in at commit/abort, so a snapshot taken while
-// transactions are in flight is approximate.
+// transactions are in flight is approximate. Engines load Starts last when
+// snapshotting, so Commits + Aborts <= Starts holds in every snapshot (the
+// remainder is a lower bound on in-flight transactions); the conformance
+// suite relies on this.
 type Stats struct {
 	Starts         uint64 // transactions started
 	Commits        uint64 // transactions committed
@@ -138,6 +154,7 @@ type Stats struct {
 	LocalSkips     uint64 // barriers skipped on transaction-local objects
 	Compactions    uint64 // log compactions performed
 	ReadLogDropped uint64 // read-log entries removed by compaction
+	CMWaits        uint64 // contention-manager waits (spins/yields on an owner)
 }
 
 // Sub returns the difference s - t, counter by counter. It is used by the
@@ -155,5 +172,6 @@ func (s Stats) Sub(t Stats) Stats {
 		LocalSkips:     s.LocalSkips - t.LocalSkips,
 		Compactions:    s.Compactions - t.Compactions,
 		ReadLogDropped: s.ReadLogDropped - t.ReadLogDropped,
+		CMWaits:        s.CMWaits - t.CMWaits,
 	}
 }

@@ -8,16 +8,27 @@ import "fmt"
 type Retry struct {
 	// Why describes the conflict for diagnostics.
 	Why string
+	// Cause classifies the conflict for the abort-cause taxonomy. The zero
+	// value is CauseValidation, the most common conflict kind.
+	Cause AbortCause
 }
 
 func (r *Retry) String() string { return "engine: retry: " + r.Why }
 
-// Abandon panics with a *Retry carrying the given reason. Engines call it
-// from the middle of an operation that cannot continue (for example,
-// OpenForUpdate losing an ownership race after the contention manager gave
-// up).
+// Abandon panics with a *Retry carrying the given reason, classified as an
+// ownership conflict (the historical common case). Use AbandonCause when a
+// different cause applies.
 func Abandon(format string, args ...any) {
-	panic(&Retry{Why: fmt.Sprintf(format, args...)})
+	AbandonCause(CauseOwnership, format, args...)
+}
+
+// AbandonCause panics with a *Retry carrying the given abort cause and
+// reason. Engines call it from the middle of an operation that cannot
+// continue (for example, OpenForUpdate losing an ownership race after the
+// contention manager gave up, or a snapshot read observing a too-new
+// version).
+func AbandonCause(cause AbortCause, format string, args ...any) {
+	panic(&Retry{Why: fmt.Sprintf(format, args...), Cause: cause})
 }
 
 // Run executes body as a transaction against e, retrying on conflict until
@@ -38,6 +49,7 @@ func RunReadOnly(e Engine, body func(tx Txn) error) error {
 
 func run(e Engine, body func(tx Txn) error, readonly bool) error {
 	backoff := newBackoff()
+	conflicts := 0
 	for {
 		var tx Txn
 		if readonly {
@@ -47,8 +59,14 @@ func run(e Engine, body func(tx Txn) error, readonly bool) error {
 		}
 		err, conflicted := attempt(tx, body)
 		if conflicted {
+			conflicts++
 			backoff.wait()
 			continue
+		}
+		if err == nil {
+			// The transaction committed; record how many aborted attempts
+			// it took to get there.
+			e.Metrics().ObserveRetries(conflicts)
 		}
 		return err
 	}
@@ -67,11 +85,15 @@ func attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
 		if r == nil {
 			return
 		}
-		tx.Abort()
-		if _, ok := r.(*Retry); ok {
+		if rt, ok := r.(*Retry); ok {
+			// Attribute the abort to the cause the conflicting operation
+			// reported before rolling back.
+			tx.SetAbortCause(rt.Cause)
+			tx.Abort()
 			err, conflicted = nil, true
 			return
 		}
+		tx.Abort()
 		panic(r)
 	}()
 
@@ -80,6 +102,9 @@ func attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
 		// from an inconsistent (doomed) snapshot. Only a validated error is
 		// allowed to escape; a doomed attempt retries instead.
 		doomed := tx.Validate() != nil
+		if doomed {
+			tx.SetAbortCause(CauseDoomed)
+		}
 		tx.Abort()
 		committed = true // suppress the deferred recovery path
 		if doomed {

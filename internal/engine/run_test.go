@@ -12,6 +12,7 @@ type fakeTxn struct {
 	validateErr error
 	aborted     bool
 	committed   bool
+	cause       AbortCause
 }
 
 func (f *fakeTxn) OpenForRead(Handle)            {}
@@ -26,6 +27,7 @@ func (f *fakeTxn) Alloc(nw, nr int) Handle       { return nil }
 func (f *fakeTxn) Validate() error               { return f.validateErr }
 func (f *fakeTxn) Compact()                      {}
 func (f *fakeTxn) ReadOnly() bool                { return false }
+func (f *fakeTxn) SetAbortCause(c AbortCause)    { f.cause = c }
 func (f *fakeTxn) Abort()                        { f.aborted = true }
 func (f *fakeTxn) Commit() error {
 	f.committed = true
@@ -34,13 +36,15 @@ func (f *fakeTxn) Commit() error {
 
 // fakeEngine hands out scripted transactions in sequence.
 type fakeEngine struct {
-	txns []*fakeTxn
-	next int
+	txns    []*fakeTxn
+	next    int
+	metrics Metrics
 }
 
 func (e *fakeEngine) Name() string           { return "fake" }
 func (e *fakeEngine) NewObj(int, int) Handle { return nil }
 func (e *fakeEngine) Stats() Stats           { return Stats{} }
+func (e *fakeEngine) Metrics() *Metrics      { return &e.metrics }
 func (e *fakeEngine) BeginReadOnly() Txn     { return e.Begin() }
 func (e *fakeEngine) Begin() Txn {
 	t := e.txns[e.next]
@@ -162,6 +166,52 @@ func TestRetryStringAndAbandon(t *testing.T) {
 		}
 	}()
 	Abandon("object %d busy", 7)
+}
+
+func TestRunAttributesAbortCauses(t *testing.T) {
+	// Abandon's cause reaches the aborted transaction via SetAbortCause.
+	t1 := &fakeTxn{}
+	t2 := &fakeTxn{}
+	e := &fakeEngine{txns: []*fakeTxn{t1, t2}}
+	calls := 0
+	err := Run(e, func(Txn) error {
+		calls++
+		if calls == 1 {
+			AbandonCause(CauseCMKill, "scripted kill")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if t1.cause != CauseCMKill {
+		t.Fatalf("abandoned attempt cause = %v, want cm-kill", t1.cause)
+	}
+	// One conflicted attempt preceded the commit; the retries histogram
+	// records it against the engine.
+	r := e.metrics.Snapshot().Retries
+	if r.Count() != 1 || r.Sum != 1 {
+		t.Fatalf("retries histogram count=%d sum=%d, want 1/1", r.Count(), r.Sum)
+	}
+
+	// A doomed body error is attributed to CauseDoomed.
+	d1 := &fakeTxn{validateErr: ErrConflict}
+	d2 := &fakeTxn{}
+	e2 := &fakeEngine{txns: []*fakeTxn{d1, d2}}
+	calls = 0
+	err = Run(e2, func(Txn) error {
+		calls++
+		if calls == 1 {
+			return errors.New("zombie")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d1.cause != CauseDoomed {
+		t.Fatalf("doomed attempt cause = %v, want doomed", d1.cause)
+	}
 }
 
 func TestBackoffEscalates(t *testing.T) {

@@ -34,6 +34,8 @@ func Run(t *testing.T, f Factory) {
 	t.Run("ConcurrentCounter", func(t *testing.T) { testConcurrentCounter(t, f()) })
 	t.Run("ConcurrentBank", func(t *testing.T) { testConcurrentBank(t, f()) })
 	t.Run("ConcurrentDisjoint", func(t *testing.T) { testConcurrentDisjoint(t, f()) })
+	t.Run("MetricsQuiescent", func(t *testing.T) { testMetricsQuiescent(t, f()) })
+	t.Run("MetricsConcurrent", func(t *testing.T) { testMetricsConcurrent(t, f()) })
 }
 
 // write is a helper that opens, undo-logs, and stores one word.

@@ -97,7 +97,7 @@ func E1(quick bool) (*Table, error) {
 	}
 	for _, k := range progs.All() {
 		size := kernelSize(k, quick)
-		want, rawT, _, err := kernelRunBest(k, passes.LevelFull, func() engine.Engine { return rawengine.New() }, size, reps)
+		want, rawT, _, err := kernelRunBest(k, passes.LevelFull, func() engine.Engine { return track("e1.raw", rawengine.New()) }, size, reps)
 		if err != nil {
 			return nil, err
 		}
@@ -110,9 +110,9 @@ func E1(quick bool) (*Table, error) {
 			name string
 			mk   func() engine.Engine
 		}{
-			{"direct", func() engine.Engine { return core.New() }},
-			{"wstm", func() engine.Engine { return wstm.New() }},
-			{"ostm", func() engine.Engine { return ostm.New() }},
+			{"direct", func() engine.Engine { return track("e1.direct", core.New()) }},
+			{"wstm", func() engine.Engine { return track("e1.wstm", wstm.New()) }},
+			{"ostm", func() engine.Engine { return track("e1.ostm", ostm.New()) }},
 		} {
 			got, d, _, err := kernelRunBest(k, passes.LevelFull, cfg.mk, size, reps)
 			if err != nil {
@@ -148,7 +148,7 @@ func E2(quick bool) ([]*Table, error) {
 	var tables []*Table
 	for _, k := range progs.All() {
 		size := kernelSize(k, quick)
-		want, rawT, _, err := kernelRunBest(k, passes.LevelFull, func() engine.Engine { return rawengine.New() }, size, reps)
+		want, rawT, _, err := kernelRunBest(k, passes.LevelFull, func() engine.Engine { return track("e2.raw", rawengine.New()) }, size, reps)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func E2(quick bool) ([]*Table, error) {
 
 			var e *core.Engine
 			got, d, st, err := kernelRunBest(k, level, func() engine.Engine {
-				e = core.New()
+				e = track("e2.direct", core.New())
 				return e
 			}, size, reps)
 			if err != nil {

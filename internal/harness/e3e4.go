@@ -83,7 +83,7 @@ func E3(quick bool) ([]*Table, error) {
 }
 
 func buildMapImpls(buckets, prefill, keySpace int) []mapOps {
-	stm := txds.NewHashMap(core.New(), buckets)
+	stm := txds.NewHashMap(track("e3.map", core.New()), buckets)
 	coarse := locksync.NewCoarseMap(buckets)
 	striped := locksync.NewStripedMap(buckets, 64)
 	rng := NewRand(1)
@@ -131,7 +131,7 @@ func E4(quick bool) ([]*Table, error) {
 			Header: []string{"threads", "stm", "coarse", "stm/coarse"},
 		}
 		for _, threads := range ThreadCounts(maxThreads) {
-			stm := txds.NewBST(core.New())
+			stm := txds.NewBST(track("e4.bst", core.New()))
 			coarse := locksync.NewCoarseBST()
 			rng := NewRand(2)
 			for i := 0; i < keySpace/2; i++ {
@@ -177,7 +177,7 @@ func E4(quick bool) ([]*Table, error) {
 		Header: []string{"threads", "stm", "hoh", "coarse"},
 	}
 	for _, threads := range ThreadCounts(maxThreads) {
-		stm := txds.NewSortedList(core.New())
+		stm := txds.NewSortedList(track("e4.list", core.New()))
 		hoh := locksync.NewHoHList()
 		coarse := locksync.NewCoarseList()
 		rng := NewRand(3)
@@ -214,8 +214,8 @@ func E4(quick bool) ([]*Table, error) {
 		Header: []string{"threads", "stm-skip", "stm-bst", "coarse-bst"},
 	}
 	for _, threads := range ThreadCounts(maxThreads) {
-		skip := txds.NewSkipList(core.New())
-		bst := txds.NewBST(core.New())
+		skip := txds.NewSkipList(track("e4.skip", core.New()))
+		bst := txds.NewBST(track("e4.skip-bst", core.New()))
 		coarse := locksync.NewCoarseBST()
 		rng := NewRand(4)
 		for i := 0; i < keySpace/2; i++ {

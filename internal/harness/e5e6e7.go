@@ -7,6 +7,7 @@ import (
 
 	"memtx/internal/core"
 	"memtx/internal/engine"
+	"memtx/internal/obs"
 	"memtx/internal/txds"
 )
 
@@ -29,7 +30,7 @@ func E5(quick bool) (*Table, error) {
 		Header: []string{"filter", "readlog", "undos", "hits", "hitrate", "time"},
 	}
 	for _, size := range []int{0, 16, 64, 256, 1024, 4096} {
-		e := core.New(core.WithFilterSize(size))
+		e := track("e5.direct", core.New(core.WithFilterSize(size)))
 		objs := make([]engine.Handle, workingSet)
 		for i := range objs {
 			objs[i] = e.NewObj(1, 0)
@@ -92,7 +93,7 @@ func E6(quick bool) (*Table, error) {
 		if threshold > 0 {
 			opts = append(opts, core.WithCompaction(threshold))
 		}
-		e := core.New(opts...)
+		e := track("e6.direct", core.New(opts...))
 		objs := make([]engine.Handle, workingSet)
 		for i := range objs {
 			objs[i] = e.NewObj(1, 0)
@@ -151,19 +152,25 @@ func E7(quick bool) ([]*Table, error) {
 		ID:     "E7/counter",
 		Title:  "shared counter under full contention",
 		Note:   "throughput flat or falling with threads; abort rate grows; policies differ modestly",
-		Header: []string{"threads", "cm", "ops/s", "aborts", "abortrate"},
+		Header: []string{"threads", "cm", "ops/s", "aborts", "abortrate", "validation", "cm-kill", "p50att", "p99att"},
 	}
 	for _, threads := range ThreadCounts(maxThreads) {
 		for _, cm := range cms {
-			e := core.New(core.WithContentionManager(cm))
+			e := track("e7.counter", core.New(core.WithContentionManager(cm)))
 			c := txds.NewCounter(e)
 			before := e.Stats()
+			mBefore := e.Metrics().Snapshot()
 			ops := Throughput(threads, opsPerThread, func(w int, rng *Rand) {
 				c.AddAtomic(1)
 			})
 			s := e.Stats().Sub(before)
+			m := e.Metrics().Snapshot().Sub(mBefore)
 			counter.AddRow(fmt.Sprint(threads), cm.Name(), Ops(ops),
-				fmt.Sprint(s.Aborts), Pct(s.Aborts, s.Starts))
+				fmt.Sprint(s.Aborts), Pct(s.Aborts, s.Starts),
+				fmt.Sprint(m.Aborts(engine.CauseValidation)),
+				fmt.Sprint(m.Aborts(engine.CauseCMKill)),
+				obs.FormatNanos(m.Attempts.Quantile(0.50)),
+				obs.FormatNanos(m.Attempts.Quantile(0.99)))
 		}
 	}
 
@@ -175,14 +182,15 @@ func E7(quick bool) ([]*Table, error) {
 		ID:     "E7/long",
 		Title:  "counter with a yield between read and write (long transactions)",
 		Note:   "aborts appear as soon as threads > 1; throughput drops accordingly",
-		Header: []string{"threads", "cm", "ops/s", "aborts", "abortrate"},
+		Header: []string{"threads", "cm", "ops/s", "aborts", "abortrate", "validation", "cm-kill", "p50att", "p99att"},
 	}
 	longOps := opsPerThread / 10
 	for _, threads := range ThreadCounts(maxThreads) {
 		for _, cm := range cms {
-			e := core.New(core.WithContentionManager(cm))
+			e := track("e7.long", core.New(core.WithContentionManager(cm)))
 			c := txds.NewCounter(e)
 			before := e.Stats()
+			mBefore := e.Metrics().Snapshot()
 			ops := Throughput(threads, longOps, func(w int, rng *Rand) {
 				_ = engine.Run(e, func(tx engine.Txn) error {
 					v := c.Value(tx) // optimistic read
@@ -193,8 +201,13 @@ func E7(quick bool) ([]*Table, error) {
 				})
 			})
 			s := e.Stats().Sub(before)
+			m := e.Metrics().Snapshot().Sub(mBefore)
 			long.AddRow(fmt.Sprint(threads), cm.Name(), Ops(ops),
-				fmt.Sprint(s.Aborts), Pct(s.Aborts, s.Starts))
+				fmt.Sprint(s.Aborts), Pct(s.Aborts, s.Starts),
+				fmt.Sprint(m.Aborts(engine.CauseValidation)),
+				fmt.Sprint(m.Aborts(engine.CauseCMKill)),
+				obs.FormatNanos(m.Attempts.Quantile(0.50)),
+				obs.FormatNanos(m.Attempts.Quantile(0.99)))
 		}
 	}
 
@@ -202,19 +215,25 @@ func E7(quick bool) ([]*Table, error) {
 		ID:     "E7/bank",
 		Title:  "bank transfers: abort rate vs sharing degree (polite CM)",
 		Note:   "fewer accounts => more conflicts => more aborts, lower throughput",
-		Header: []string{"accounts", "threads", "ops/s", "abortrate"},
+		Header: []string{"accounts", "threads", "ops/s", "abortrate", "validation", "cm-kill", "p50att", "p99att"},
 	}
 	accountCounts := []int{4, 64, 1024}
 	for _, nAcc := range accountCounts {
 		for _, threads := range []int{maxThreads} {
-			e := core.New()
+			e := track("e7.bank", core.New())
 			b := txds.NewBank(e, nAcc, 1_000_000)
 			before := e.Stats()
+			mBefore := e.Metrics().Snapshot()
 			ops := Throughput(threads, opsPerThread, func(w int, rng *Rand) {
 				b.TransferAtomic(rng.Intn(nAcc), rng.Intn(nAcc), uint64(rng.Intn(5)))
 			})
 			s := e.Stats().Sub(before)
-			bank.AddRow(fmt.Sprint(nAcc), fmt.Sprint(threads), Ops(ops), Pct(s.Aborts, s.Starts))
+			m := e.Metrics().Snapshot().Sub(mBefore)
+			bank.AddRow(fmt.Sprint(nAcc), fmt.Sprint(threads), Ops(ops), Pct(s.Aborts, s.Starts),
+				fmt.Sprint(m.Aborts(engine.CauseValidation)),
+				fmt.Sprint(m.Aborts(engine.CauseCMKill)),
+				obs.FormatNanos(m.Attempts.Quantile(0.50)),
+				obs.FormatNanos(m.Attempts.Quantile(0.99)))
 		}
 	}
 	return []*Table{counter, long, bank}, nil

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"memtx/internal/engine"
+	"memtx/internal/obs"
+)
+
+var (
+	obsMu       sync.RWMutex
+	obsRegistry *obs.Registry
+)
+
+// SetRegistry installs the registry into which every engine the experiments
+// construct is registered, so `stmbench -serve`/-watch observers see the live
+// engines. Pass nil to disable (the default); experiments run identically
+// either way.
+func SetRegistry(reg *obs.Registry) {
+	obsMu.Lock()
+	obsRegistry = reg
+	obsMu.Unlock()
+}
+
+// track registers an engine under a stable slot name (if a registry is
+// installed) and returns it unchanged. Experiments re-register the same slot
+// for each configuration; the registry keeps the latest, which is the one a
+// live observer wants. Generic so call sites keep their concrete engine type.
+func track[E engine.Engine](name string, e E) E {
+	obsMu.RLock()
+	reg := obsRegistry
+	obsMu.RUnlock()
+	if reg != nil {
+		reg.Register(name, e)
+	}
+	return e
+}
+
+// StartWatch launches a reporter that every `every` prints one line per
+// registered engine that saw activity in the interval: commit throughput,
+// aborts by cause, and p50/p99 attempt latency. It returns a stop function
+// that halts the reporter and waits for it to finish. Requires SetRegistry to
+// have been called; with no registry it is a no-op.
+func StartWatch(w io.Writer, every time.Duration) (stop func()) {
+	obsMu.RLock()
+	reg := obsRegistry
+	obsMu.RUnlock()
+	if reg == nil || every <= 0 {
+		return func() {}
+	}
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		prev := map[string]obs.EngineSnapshot{}
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				for _, s := range reg.Snapshot() {
+					p, seen := prev[s.Name]
+					prev[s.Name] = s
+					if !seen || s.Stats.Starts < p.Stats.Starts {
+						// First interval, or the slot was re-registered with a
+						// fresh engine: delta from zero.
+						p = obs.EngineSnapshot{Name: s.Name}
+					}
+					ds := s.Stats.Sub(p.Stats)
+					dm := s.Metrics.Sub(p.Metrics)
+					if ds.Starts == 0 {
+						continue // idle engine (or a replaced slot): nothing to report
+					}
+					fmt.Fprintf(w, "[watch] %-12s %8.0f commits/s  aborts:%s  attempt p50=%s p99=%s\n",
+						s.Name,
+						float64(ds.Commits)/every.Seconds(),
+						formatCauses(dm),
+						obs.FormatNanos(dm.Attempts.Quantile(0.50)),
+						obs.FormatNanos(dm.Attempts.Quantile(0.99)))
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// formatCauses renders the per-cause abort deltas compactly, eliding zero
+// causes ("val=12 kill=3", or "none").
+func formatCauses(m engine.MetricsSnapshot) string {
+	short := map[engine.AbortCause]string{
+		engine.CauseValidation: "val",
+		engine.CauseOwnership:  "own",
+		engine.CauseCMKill:     "kill",
+		engine.CauseDoomed:     "doom",
+		engine.CauseExplicit:   "expl",
+	}
+	out := ""
+	for _, c := range engine.AbortCauses {
+		if n := m.Aborts(c); n > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s=%d", short[c], n)
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/obs"
+)
+
+func TestTrackRegistersOnlyWithRegistry(t *testing.T) {
+	SetRegistry(nil)
+	defer SetRegistry(nil)
+
+	e1 := track("slot", core.New())
+	if e1 == nil {
+		t.Fatal("track must return the engine unchanged")
+	}
+
+	reg := obs.NewRegistry()
+	SetRegistry(reg)
+	e2 := track("slot", core.New())
+	snaps := reg.Snapshot()
+	if len(snaps) != 1 || snaps[0].Name != "slot" {
+		t.Fatalf("registry contents after track: %+v", snaps)
+	}
+	if e2 == nil {
+		t.Fatal("track must return the engine unchanged")
+	}
+}
+
+// syncWriter serializes writes so the watch goroutine and the test can share
+// a buffer race-free.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+func TestStartWatchReportsActivity(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetRegistry(reg)
+	defer SetRegistry(nil)
+
+	e := track("e7.counter", core.New())
+	h := e.NewObj(1, 0)
+
+	var out syncWriter
+	stop := StartWatch(&out, 5*time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := engine.Run(e, func(tx engine.Txn) error {
+			tx.OpenForUpdate(h)
+			tx.OpenForRead(h)
+			v := tx.LoadWord(h, 0)
+			tx.LogForUndoWord(h, 0)
+			tx.StoreWord(h, 0, v+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if strings.Contains(out.String(), "e7.counter") {
+			break
+		}
+	}
+	stop()
+
+	got := out.String()
+	if !strings.Contains(got, "e7.counter") || !strings.Contains(got, "commits/s") {
+		t.Fatalf("watch output missing activity line:\n%s", got)
+	}
+	if !strings.Contains(got, "attempt p50=") {
+		t.Fatalf("watch output missing latency quantiles:\n%s", got)
+	}
+}
+
+func TestStartWatchNoRegistryIsNoop(t *testing.T) {
+	SetRegistry(nil)
+	var out syncWriter
+	stop := StartWatch(&out, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop() // must not hang or panic
+	if out.String() != "" {
+		t.Fatalf("no-registry watch produced output: %q", out.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memtx/internal/engine"
 )
@@ -34,8 +35,9 @@ const lockedBit = 1
 
 // Engine is the object-based buffered-update STM.
 type Engine struct {
-	pool  sync.Pool
-	stats stats
+	pool    sync.Pool
+	stats   stats
+	metrics engine.Metrics
 }
 
 type stats struct {
@@ -83,10 +85,10 @@ func (e *Engine) begin(readonly bool) *Txn {
 	return t
 }
 
-// Stats implements engine.Engine.
+// Stats implements engine.Engine. Starts is loaded last so that
+// Commits + Aborts <= Starts holds in every snapshot.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{
-		Starts:         e.stats.starts.Load(),
+	s := engine.Stats{
 		Commits:        e.stats.commits.Load(),
 		Aborts:         e.stats.aborts.Load(),
 		OpenForRead:    e.stats.openRead.Load(),
@@ -94,7 +96,12 @@ func (e *Engine) Stats() engine.Stats {
 		ReadLogEntries: e.stats.readLog.Load(),
 		LocalSkips:     e.stats.localSkips.Load(),
 	}
+	s.Starts = e.stats.starts.Load()
+	return s
 }
+
+// Metrics implements engine.Engine.
+func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
 
 // shadow is a private copy of an object opened for update.
 type shadow struct {
@@ -114,6 +121,8 @@ type Txn struct {
 	id       uint64
 	readonly bool
 	done     bool
+	began    time.Time         // attempt start, for the attempt-latency histogram
+	cause    engine.AbortCause // attributed abort cause if this attempt aborts
 
 	readLog []readEntry
 	shadows map[*Obj]*shadow
@@ -126,6 +135,8 @@ func (t *Txn) start(readonly bool) {
 	t.id = globalIDs.Add(1)
 	t.readonly = readonly
 	t.done = false
+	t.began = time.Now()
+	t.cause = engine.CauseExplicit
 	t.readLog = t.readLog[:0]
 	clear(t.shadows)
 	t.worder = t.worder[:0]
@@ -134,6 +145,9 @@ func (t *Txn) start(readonly bool) {
 
 // ReadOnly implements engine.Txn.
 func (t *Txn) ReadOnly() bool { return t.readonly }
+
+// SetAbortCause implements engine.Txn.
+func (t *Txn) SetAbortCause(c engine.AbortCause) { t.cause = c }
 
 func (t *Txn) obj(h engine.Handle) *Obj {
 	o, ok := h.(*Obj)
@@ -158,7 +172,9 @@ func (t *Txn) OpenForRead(h engine.Handle) {
 	}
 	m := o.meta.Load()
 	if m&lockedBit != 0 {
-		engine.Abandon("ostm: object %d locked during open-for-read", o.id)
+		t.cause = engine.CauseOwnership
+		engine.AbandonCause(engine.CauseOwnership,
+			"ostm: object %d locked during open-for-read", o.id)
 	}
 	t.readLog = append(t.readLog, readEntry{obj: o, seen: m >> 1})
 	t.nReadLog++
@@ -181,7 +197,9 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 	}
 	m := o.meta.Load()
 	if m&lockedBit != 0 {
-		engine.Abandon("ostm: object %d locked during open-for-update", o.id)
+		t.cause = engine.CauseOwnership
+		engine.AbandonCause(engine.CauseOwnership,
+			"ostm: object %d locked during open-for-update", o.id)
 	}
 	sh := &shadow{
 		versionAtOpen: m >> 1,
@@ -196,7 +214,9 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 	}
 	// The clone must be of a consistent snapshot: re-check the version.
 	if o.meta.Load() != m {
-		engine.Abandon("ostm: object %d changed during clone", o.id)
+		t.cause = engine.CauseValidation
+		engine.AbandonCause(engine.CauseValidation,
+			"ostm: object %d changed during clone", o.id)
 	}
 	t.shadows[o] = sh
 	t.worder = append(t.worder, o)
@@ -334,12 +354,18 @@ func (t *Txn) Commit() error {
 	if t.done {
 		panic("ostm: Commit on finished transaction")
 	}
+	commitStart := time.Now()
+	eng := t.eng
 	if len(t.worder) == 0 {
 		ok := t.validCurrent(nil)
+		if !ok {
+			t.cause = engine.CauseValidation
+		}
 		t.finish(ok)
 		if !ok {
 			return engine.ErrConflict
 		}
+		eng.metrics.ObserveCommit(time.Since(commitStart))
 		return nil
 	}
 
@@ -353,6 +379,7 @@ func (t *Txn) Commit() error {
 		pre := sh.versionAtOpen << 1
 		if !o.meta.CompareAndSwap(pre, pre|lockedBit) {
 			t.releaseLocked(order, locked, false)
+			t.cause = engine.CauseOwnership
 			t.finish(false)
 			return engine.ErrConflict
 		}
@@ -360,6 +387,7 @@ func (t *Txn) Commit() error {
 	}
 	if !t.validCurrent(locked) {
 		t.releaseLocked(order, locked, false)
+		t.cause = engine.CauseValidation
 		t.finish(false)
 		return engine.ErrConflict
 	}
@@ -374,6 +402,7 @@ func (t *Txn) Commit() error {
 	}
 	t.releaseLocked(order, locked, true)
 	t.finish(true)
+	eng.metrics.ObserveCommit(time.Since(commitStart))
 	return nil
 }
 
@@ -404,9 +433,12 @@ func (t *Txn) Abort() {
 func (t *Txn) finish(committed bool) {
 	t.done = true
 	s := &t.eng.stats
+	m := &t.eng.metrics
+	m.ObserveAttempt(time.Since(t.began))
 	if committed {
 		s.commits.Add(1)
 	} else {
+		m.RecordAbort(t.cause)
 		s.aborts.Add(1)
 	}
 	s.openRead.Add(t.nOpenRead)

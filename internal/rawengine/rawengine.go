@@ -19,6 +19,7 @@ type Obj struct {
 // Engine is the no-op engine. The zero value is ready to use.
 type Engine struct {
 	starts, commits uint64
+	metrics         engine.Metrics
 }
 
 // New returns a raw engine.
@@ -49,6 +50,11 @@ func (e *Engine) Stats() engine.Stats {
 	return engine.Stats{Starts: e.starts, Commits: e.commits}
 }
 
+// Metrics implements engine.Engine. The raw engine records nothing into it
+// (no timing on the uninstrumented baseline); the recorder exists only so
+// the engine satisfies the interface.
+func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
+
 type rawTxn struct{ e *Engine }
 
 func (t rawTxn) obj(h engine.Handle) *Obj { return h.(*Obj) }
@@ -60,6 +66,7 @@ func (t rawTxn) LogForUndoRef(engine.Handle, int)  {}
 func (t rawTxn) Validate() error                   { return nil }
 func (t rawTxn) Compact()                          {}
 func (t rawTxn) ReadOnly() bool                    { return false }
+func (t rawTxn) SetAbortCause(engine.AbortCause)   {}
 
 func (t rawTxn) LoadWord(h engine.Handle, i int) uint64 { return t.obj(h).words[i] }
 

@@ -1,0 +1,123 @@
+package difftest
+
+import (
+	"testing"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/ostm"
+	"memtx/internal/rawengine"
+	"memtx/internal/til/interp"
+	"memtx/internal/til/passes"
+	"memtx/internal/til/tilgen"
+	"memtx/internal/wstm"
+)
+
+// fullSeeds is the fuzzing budget of the differential suite: CI runs the full
+// count (the acceptance bar is >= 100 generated programs); -short trims it
+// for the race leg and local smoke runs.
+const fullSeeds = 120
+const shortSeeds = 25
+
+// execute compiles a fresh copy of generated program `seed` at `level`, runs
+// main(n) on e, and returns the program output plus the final-heap
+// fingerprint.
+func execute(t *testing.T, seed uint64, level passes.Level, e engine.Engine, n uint64) (uint64, uint64) {
+	t.Helper()
+	m := tilgen.Module(seed)
+	if _, err := passes.Apply(m, level); err != nil {
+		t.Fatalf("seed %d: passes(%s): %v", seed, level, err)
+	}
+	p, err := interp.Load(m, e)
+	if err != nil {
+		t.Fatalf("seed %d: load: %v", seed, err)
+	}
+	out, err := p.NewMachine().Call("main", interp.Word(n))
+	if err != nil {
+		t.Fatalf("seed %d at %s on %s: %v", seed, level, e.Name(), err)
+	}
+	fp, err := Fingerprint(p, m, e)
+	if err != nil {
+		t.Fatalf("seed %d on %s: fingerprint: %v", seed, e.Name(), err)
+	}
+	return out.W, fp
+}
+
+// TestCrossEngineDifferential is the observability PR's end-to-end soundness
+// net: for every generated program, the full pass pipeline on each STM engine
+// must produce the same program output AND the same final reachable heap as
+// the unoptimized program on the uninstrumented interpreter baseline.
+func TestCrossEngineDifferential(t *testing.T) {
+	seeds := uint64(fullSeeds)
+	if testing.Short() {
+		seeds = shortSeeds
+	}
+	candidates := []struct {
+		name string
+		mk   func() engine.Engine
+	}{
+		{"direct", func() engine.Engine { return core.New() }},
+		{"direct-nofilter", func() engine.Engine { return core.New(core.WithFilterSize(0)) }},
+		{"wstm", func() engine.Engine { return wstm.New() }},
+		{"ostm", func() engine.Engine { return ostm.New() }},
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		wantOut, wantFP := execute(t, seed, passes.LevelNaive, rawengine.New(), 5)
+		for _, c := range candidates {
+			gotOut, gotFP := execute(t, seed, passes.LevelFull, c.mk(), 5)
+			if gotOut != wantOut {
+				t.Fatalf("seed %d: %s output = %d, want %d", seed, c.name, gotOut, wantOut)
+			}
+			if gotFP != wantFP {
+				t.Fatalf("seed %d: %s final heap diverged from baseline (fp %x vs %x)",
+					seed, c.name, gotFP, wantFP)
+			}
+		}
+	}
+}
+
+// TestFingerprintDetectsDifferences guards the oracle itself: the fingerprint
+// must be stable across engines for the same program, and must actually
+// change when the heap changes — otherwise the differential test proves
+// nothing.
+func TestFingerprintDetectsDifferences(t *testing.T) {
+	const seed = 3
+	_, fpA := execute(t, seed, passes.LevelFull, core.New(), 5)
+	_, fpB := execute(t, seed, passes.LevelFull, wstm.New(), 5)
+	if fpA != fpB {
+		t.Fatalf("same program fingerprinted differently: %x vs %x", fpA, fpB)
+	}
+	// Mutating one word of the final heap must change the fingerprint.
+	e := core.New()
+	m := tilgen.Module(seed)
+	if _, err := passes.Apply(m, passes.LevelFull); err != nil {
+		t.Fatal(err)
+	}
+	p, err := interp.Load(m, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewMachine().Call("main", interp.Word(5)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := Fingerprint(p, m, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(e, func(tx engine.Txn) error {
+		g := p.Globals[0]
+		tx.OpenForUpdate(g)
+		tx.LogForUndoWord(g, 0)
+		tx.StoreWord(g, 0, tx.LoadWord(g, 0)+0xDEAD)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Fingerprint(p, m, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("heap mutation did not change the fingerprint")
+	}
+}

@@ -181,7 +181,7 @@ func (m *Machine) call(fi int, args []Value) Value {
 func (m *Machine) fault(format string, args ...any) {
 	if m.tx != nil {
 		if m.tx.Validate() != nil {
-			engine.Abandon("fault in doomed transaction")
+			engine.AbandonCause(engine.CauseValidation, "fault in doomed transaction")
 		}
 	}
 	panic(&trap{fmt.Sprintf(format, args...)})
@@ -196,7 +196,7 @@ func (m *Machine) tick() {
 	m.stepsInTxn++
 	if m.ValidateEvery > 0 && m.stepsInTxn%m.ValidateEvery == 0 {
 		if m.tx.Validate() != nil {
-			engine.Abandon("watchdog validation failed")
+			engine.AbandonCause(engine.CauseValidation, "watchdog validation failed")
 		}
 	}
 	max := m.MaxSteps
@@ -319,7 +319,7 @@ func (m *Machine) exec(f *til.Func, args []Value) Value {
 			case til.OpValidate:
 				if m.tx != nil {
 					if m.tx.Validate() != nil {
-						engine.Abandon("explicit validate failed")
+						engine.AbandonCause(engine.CauseValidation, "explicit validate failed")
 					}
 				}
 

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memtx/internal/engine"
 )
@@ -43,6 +44,7 @@ type Engine struct {
 	mask    uint64
 	pool    sync.Pool
 	stats   stats
+	metrics engine.Metrics
 }
 
 // paddedStripe avoids false sharing between adjacent versioned locks.
@@ -117,10 +119,10 @@ func (e *Engine) begin(readonly bool) *Txn {
 	return t
 }
 
-// Stats implements engine.Engine.
+// Stats implements engine.Engine. Starts is loaded last so that
+// Commits + Aborts <= Starts holds in every snapshot.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{
-		Starts:         e.stats.starts.Load(),
+	s := engine.Stats{
 		Commits:        e.stats.commits.Load(),
 		Aborts:         e.stats.aborts.Load(),
 		OpenForRead:    e.stats.openRead.Load(),
@@ -128,7 +130,12 @@ func (e *Engine) Stats() engine.Stats {
 		ReadLogEntries: e.stats.readLog.Load(),
 		LocalSkips:     e.stats.localSkips.Load(),
 	}
+	s.Starts = e.stats.starts.Load()
+	return s
 }
+
+// Metrics implements engine.Engine.
+func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
 
 // stripeFor hashes an object field to the index of its versioned lock.
 func (e *Engine) stripeFor(o *Obj, slot uint64) uint64 {
@@ -159,6 +166,8 @@ type Txn struct {
 	rv       uint64 // read version: global clock at start
 	readonly bool
 	done     bool
+	began    time.Time         // attempt start, for the attempt-latency histogram
+	cause    engine.AbortCause // attributed abort cause if this attempt aborts
 
 	reads  []readEntry // stripe pointers and versions observed
 	writes map[wkey]wval
@@ -177,6 +186,8 @@ func (t *Txn) start(readonly bool) {
 	t.rv = t.eng.clock.Load()
 	t.readonly = readonly
 	t.done = false
+	t.began = time.Now()
+	t.cause = engine.CauseExplicit
 	t.reads = t.reads[:0]
 	clear(t.writes)
 	t.worder = t.worder[:0]
@@ -185,6 +196,9 @@ func (t *Txn) start(readonly bool) {
 
 // ReadOnly implements engine.Txn.
 func (t *Txn) ReadOnly() bool { return t.readonly }
+
+// SetAbortCause implements engine.Txn.
+func (t *Txn) SetAbortCause(c engine.AbortCause) { t.cause = c }
 
 func (t *Txn) obj(h engine.Handle) *Obj {
 	o, ok := h.(*Obj)
@@ -235,10 +249,13 @@ func (t *Txn) LoadWord(h engine.Handle, i int) uint64 {
 			continue // concurrent commit touched the stripe; resample
 		}
 		if v1&lockedBit != 0 {
-			engine.Abandon("wstm: stripe locked during read")
+			t.cause = engine.CauseOwnership
+			engine.AbandonCause(engine.CauseOwnership, "wstm: stripe locked during read")
 		}
 		if v1>>1 > t.rv {
-			engine.Abandon("wstm: read too new (stripe %d > rv %d)", v1>>1, t.rv)
+			t.cause = engine.CauseValidation
+			engine.AbandonCause(engine.CauseValidation,
+				"wstm: read too new (stripe %d > rv %d)", v1>>1, t.rv)
 		}
 		t.reads = append(t.reads, readEntry{stripe: si, seen: v1})
 		t.nReadLog++
@@ -267,10 +284,12 @@ func (t *Txn) LoadRef(h engine.Handle, i int) engine.Handle {
 			continue
 		}
 		if v1&lockedBit != 0 {
-			engine.Abandon("wstm: stripe locked during read")
+			t.cause = engine.CauseOwnership
+			engine.AbandonCause(engine.CauseOwnership, "wstm: stripe locked during read")
 		}
 		if v1>>1 > t.rv {
-			engine.Abandon("wstm: read too new")
+			t.cause = engine.CauseValidation
+			engine.AbandonCause(engine.CauseValidation, "wstm: read too new")
 		}
 		t.reads = append(t.reads, readEntry{stripe: si, seen: v1})
 		t.nReadLog++
@@ -350,19 +369,24 @@ func (t *Txn) Commit() error {
 	if t.done {
 		panic("wstm: Commit on finished transaction")
 	}
+	commitStart := time.Now()
+	eng := t.eng
 	if len(t.writes) == 0 {
 		// Reads were validated at access time against rv; nothing to publish.
 		t.finish(true)
+		eng.metrics.ObserveCommit(time.Since(commitStart))
 		return nil
 	}
 
 	locked := t.lockWriteStripes()
 	if locked == nil {
+		t.cause = engine.CauseOwnership
 		t.finish(false)
 		return engine.ErrConflict
 	}
 	if !t.validateWithLocks(locked) {
 		t.unlock(locked)
+		t.cause = engine.CauseValidation
 		t.finish(false)
 		return engine.ErrConflict
 	}
@@ -377,6 +401,7 @@ func (t *Txn) Commit() error {
 	}
 	t.release(locked, wv)
 	t.finish(true)
+	eng.metrics.ObserveCommit(time.Since(commitStart))
 	return nil
 }
 
@@ -457,9 +482,12 @@ func (t *Txn) Abort() {
 func (t *Txn) finish(committed bool) {
 	t.done = true
 	s := &t.eng.stats
+	m := &t.eng.metrics
+	m.ObserveAttempt(time.Since(t.began))
 	if committed {
 		s.commits.Add(1)
 	} else {
+		m.RecordAbort(t.cause)
 		s.aborts.Add(1)
 	}
 	s.openRead.Add(t.nOpenRead)

@@ -126,6 +126,12 @@ func (tm *TM) Engine() engine.Engine { return tm.eng }
 // Stats returns cumulative engine counters.
 func (tm *TM) Stats() engine.Stats { return tm.eng.Stats() }
 
+// Metrics returns a snapshot of the engine's observability recorder: abort
+// counts by cause (engine.AbortCauses), and log-scaled histograms of attempt
+// duration, commit duration, and retries per committed transaction. Diff two
+// snapshots with Sub for per-interval figures.
+func (tm *TM) Metrics() engine.MetricsSnapshot { return tm.eng.Metrics().Snapshot() }
+
 // Tx is an in-flight transaction. It is only valid inside the Atomic or
 // ReadOnly body that received it.
 type Tx struct {
