@@ -33,6 +33,7 @@ func benchKernel(b *testing.B, k progs.Kernel, level passes.Level, mk func() eng
 	if _, err := passes.Apply(m, level); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -363,11 +364,13 @@ func BenchmarkAtomicOverhead(b *testing.B) {
 	tm := memtx.New()
 	v := tm.NewVar(1)
 	b.Run("empty", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = tm.Atomic(func(tx *memtx.Tx) error { return nil })
 		}
 	})
 	b.Run("read", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = tm.ReadOnly(func(tx *memtx.Tx) error {
 				_ = v.Get(tx)
@@ -376,6 +379,7 @@ func BenchmarkAtomicOverhead(b *testing.B) {
 		}
 	})
 	b.Run("write", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = tm.Atomic(func(tx *memtx.Tx) error {
 				v.Set(tx, uint64(i))

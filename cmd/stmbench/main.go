@@ -8,6 +8,7 @@
 //	stmbench -quick          # small parameters (seconds, for smoke runs)
 //	stmbench -e e7 -watch 2s # print live per-interval metrics to stderr
 //	stmbench -serve :8080    # expose /metrics (Prometheus) and /stats.json
+//	stmbench -benchjson f.json  # write machine-readable perf points and exit
 //
 // Output is a series of aligned text tables, one per paper table/figure,
 // each annotated with the shape the paper reports so results can be compared
@@ -35,12 +36,37 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("e", "all", "comma-separated experiments to run (e1..e7, or 'all')")
-		quick = flag.Bool("quick", false, "use small test-scale parameters")
-		serve = flag.String("serve", "", "serve live metrics on this address (e.g. :8080) while running")
-		watch = flag.Duration("watch", 0, "print live metrics to stderr at this interval (e.g. 2s)")
+		exps      = flag.String("e", "all", "comma-separated experiments to run (e1..e7, or 'all')")
+		quick     = flag.Bool("quick", false, "use small test-scale parameters")
+		serve     = flag.String("serve", "", "serve live metrics on this address (e.g. :8080) while running")
+		watch     = flag.Duration("watch", 0, "print live metrics to stderr at this interval (e.g. 2s)")
+		benchJSON = flag.String("benchjson", "", "write per-experiment throughput and allocs/op as JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		report, err := harness.BenchJSON(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "stmbench: wrote %d bench points to %s\n", len(report.Results), *benchJSON)
+		return
+	}
 
 	serving := *serve != "" || *watch > 0
 	if serving {

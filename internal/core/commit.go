@@ -98,7 +98,7 @@ func (t *Txn) rollback() {
 		if e.dirty {
 			e.obj.meta.Store(&e.newMeta)
 		} else {
-			e.obj.meta.Store(e.oldMeta)
+			e.obj.meta.Store(&e.oldMeta)
 		}
 	}
 	t.finish(false)
@@ -112,7 +112,12 @@ func (t *Txn) Compact() {
 	if len(t.readLog) < 2 {
 		return
 	}
-	seen := make(map[uint64]struct{}, len(t.readLog))
+	if t.scratch == nil {
+		t.scratch = make(map[uint64]struct{}, len(t.readLog))
+	} else {
+		clear(t.scratch)
+	}
+	seen := t.scratch
 	kept := t.readLog[:0]
 	for _, re := range t.readLog {
 		if _, dup := seen[re.obj.id]; dup {
@@ -159,8 +164,22 @@ func (t *Txn) finish(committed bool) {
 	if cap(t.updateLog) > keepCap {
 		t.updateLog = nil
 	}
+	if len(t.scratch) > keepCap {
+		t.scratch = nil
+	}
+	// A filter table above keepFilterSlots (engines configured with very
+	// large filters) is released rather than pinned by the pool; it is
+	// re-created lazily if the next transaction needs it. Tables at or below
+	// the bound — including the default size — are kept warm.
+	if t.filter != nil && t.filter.Size() > keepFilterSlots {
+		t.filter = nil
+	}
 	t.eng.pool.Put(t)
 }
+
+// keepFilterSlots bounds the duplicate-log filter capacity a pooled
+// transaction may retain: the default filter size (4096 slots, ~100 KiB).
+const keepFilterSlots = 1 << 12
 
 // ReadLogLen reports the current read-log length; exported for the log
 // compaction experiment (E6).

@@ -10,9 +10,37 @@ import (
 // globalIDs hands out object ids and transaction ids. Transaction ids double
 // as allocation fingerprints (Obj.creator) and are never reused, which makes
 // stale ownership records and stale creator tags harmless.
+//
+// The counter is consumed in blocks of idBlockStride (see idAlloc): every
+// transaction and every engine holds a private block and refills it from the
+// global counter only once per stride, so Alloc-heavy transactions on
+// different cores stop ping-ponging this cache line. Blocks abandoned by
+// pooled transactions leave gaps in the id space; gaps are harmless because
+// ids are only ever compared for equality, never for adjacency, and are
+// never reused.
 var globalIDs atomic.Uint64
 
-func nextID() uint64 { return globalIDs.Add(1) }
+// idBlockStride is the number of ids reserved per refill. 1024 keeps global
+// contention at one atomic add per ~1k allocations while wasting at most
+// ~8 KiB of id space (out of 2^64) per idle pooled transaction.
+const idBlockStride = 1024
+
+// idAlloc is a private block of pre-reserved ids. The zero value is an empty
+// block that refills on first take. It is not safe for concurrent use; each
+// transaction (and each engine, mutex-guarded) owns one.
+type idAlloc struct {
+	next, limit uint64
+}
+
+func (a *idAlloc) take() uint64 {
+	if a.next == a.limit {
+		hi := globalIDs.Add(idBlockStride)
+		a.next, a.limit = hi-idBlockStride+1, hi+1
+	}
+	id := a.next
+	a.next++
+	return id
+}
 
 // Engine is the direct-update STM engine. Create one with New; the zero
 // value is not usable.
@@ -26,6 +54,11 @@ type Engine struct {
 	stats   engineStats
 	metrics engine.Metrics
 	signal  commitSignal
+
+	// idMu guards ids, the engine's id block for non-transactional NewObj
+	// calls. Transactions allocate from their own unguarded blocks.
+	idMu sync.Mutex
+	ids  idAlloc
 }
 
 // engineStats holds cumulative counters, updated with atomics when folding in
@@ -56,9 +89,11 @@ func WithContentionManager(cm ContentionManager) Option {
 
 // WithFilterSize sets the per-transaction duplicate-log filter capacity in
 // slots (rounded up to a power of two). Zero disables the filter. The
-// default of 4096 keeps the table small (~100 KiB per pooled transaction)
-// while covering the hot-field working sets of the E1/E2 kernels; E5 sweeps
-// the size.
+// default of 4096 covers the hot-field working sets of the E1/E2 kernels; E5
+// sweeps the size. The table (~100 KiB at the default size) is allocated
+// lazily on a transaction's first duplicate check, so transactions that
+// never log pay nothing, and tables larger than keepFilterSlots are released
+// when the transaction finishes rather than pinned by the pool.
 func WithFilterSize(n int) Option {
 	return func(e *Engine) { e.filterSize = n }
 }
@@ -96,17 +131,27 @@ func (e *Engine) Name() string { return "direct" }
 
 // NewObj allocates a shared object outside any transaction, at version 1.
 func (e *Engine) NewObj(nwords, nrefs int) engine.Handle {
-	return e.newObj(nwords, nrefs, 0)
+	e.idMu.Lock()
+	id := e.ids.take()
+	e.idMu.Unlock()
+	return newObj(id, 0, nwords, nrefs)
 }
 
-func (e *Engine) newObj(nwords, nrefs int, creator uint64) *Obj {
+// versionOne is the initial STM word shared by every freshly allocated
+// object. Version records are immutable once published and are compared by
+// value everywhere except the OpenForUpdate CAS (which retries on pointer
+// mismatch), so sharing one record is safe and saves an allocation per
+// object.
+var versionOne = &ownership{version: 1}
+
+func newObj(id, creator uint64, nwords, nrefs int) *Obj {
 	o := &Obj{
-		id:      nextID(),
+		id:      id,
 		creator: creator,
 		words:   make([]atomic.Uint64, nwords),
 		refs:    make([]atomic.Pointer[Obj], nrefs),
 	}
-	o.meta.Store(&ownership{version: 1})
+	o.meta.Store(versionOne)
 	return o
 }
 

@@ -37,8 +37,9 @@ type Obj struct {
 	refs    []atomic.Pointer[Obj]
 }
 
-// ID returns the object's unique identity. IDs are assigned from a global
-// counter and never reused.
+// ID returns the object's unique identity. IDs are drawn from per-allocator
+// blocks of a global counter and never reused; ids may have gaps but are
+// always unique (see idAlloc).
 func (o *Obj) ID() uint64 { return o.id }
 
 // NumWords returns the number of scalar fields.
@@ -62,14 +63,26 @@ type ownership struct {
 }
 
 // updateEntry is an update-log record: everything needed to release or roll
-// back one owned object. Entries are heap-allocated individually because the
-// object's published ownership record points at them; newMeta is embedded by
-// value and published as &e.newMeta, so commit performs no allocation.
+// back one owned object. All three STM-word records an entry can publish are
+// embedded by value — ownMeta (published at open), newMeta (published on
+// commit or dirty rollback), and oldMeta (published on clean rollback) — so
+// OpenForUpdate, Commit, and rollback perform no per-record allocation.
+//
+// Lifetime rule: entries are served from a per-transaction slab (chunks of
+// slabChunk entries, one make per chunk). Because the published &e.newMeta /
+// &e.oldMeta records escape into object headers and stay reachable for as
+// long as the object lives, a chunk can never be recycled once any of its
+// entries has been published; only the untouched tail of the current chunk
+// carries over to the next attempt. oldMeta holds a *copy* of the displaced
+// version record rather than a pointer to it, so an entry never references a
+// previous owner's entry (or slab chunk) — otherwise each object would pin
+// the slab chunks of its entire update history.
 type updateEntry struct {
 	obj     *Obj
-	oldMeta *ownership // displaced version record (restored on clean abort)
-	newMeta ownership  // pre-built {version+1} record published on commit
-	dirty   bool       // true once any field of obj has been undo-logged
+	oldMeta ownership // copy of the displaced version record (published on clean abort)
+	newMeta ownership // pre-built {version+1} record published on commit
+	ownMeta ownership // the ownership record published at open time
+	dirty   bool      // true once any field of obj has been undo-logged
 }
 
 // readEntry is a read-log record: the object and the version current when it

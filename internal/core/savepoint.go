@@ -60,11 +60,13 @@ func (t *Txn) RollbackTo(sp Savepoint) {
 		if e.dirty {
 			e.obj.meta.Store(&e.newMeta)
 		} else {
-			e.obj.meta.Store(e.oldMeta)
+			e.obj.meta.Store(&e.oldMeta)
 		}
 	}
 	t.updateLog = t.updateLog[:sp.updateLen]
-	t.filter.Reset()
+	if t.filter != nil {
+		t.filter.Reset()
+	}
 }
 
 // commitSignal is the engine-wide commit notification used by blocking

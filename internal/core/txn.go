@@ -25,7 +25,26 @@ type Txn struct {
 	readLog   []readEntry
 	updateLog []*updateEntry
 	undoLog   []undoEntry
-	filter    *filter.Filter
+
+	// filter is the duplicate-log filter, allocated lazily on the first
+	// duplicate check (seen) so that transactions which never log pay
+	// nothing and pooled transactions don't pin an unused table.
+	filter *filter.Filter
+
+	// slab serves update-log entries in chunks of slabChunk; slabUsed is the
+	// index of the next free entry. Used entries are never recycled — their
+	// embedded records escape into object headers (see updateEntry) — but
+	// the untouched tail carries over across attempts, so OpenForUpdate
+	// costs one allocation per slabChunk entries, amortized.
+	slab     []updateEntry
+	slabUsed int
+
+	// ids is this transaction's private block of pre-reserved object ids;
+	// it persists across pool reuse.
+	ids idAlloc
+
+	// scratch is Compact's deduplication set, reused across calls.
+	scratch map[uint64]struct{}
 
 	// opened tracks opened object ids in checked mode only.
 	opened map[uint64]bool // value: true if open for update
@@ -36,8 +55,11 @@ type Txn struct {
 	nCompactions, nReadDropped, nCMWaits    uint64
 }
 
+// slabChunk is the number of update-log entries allocated per slab refill.
+const slabChunk = 64
+
 func newTxn(e *Engine) *Txn {
-	t := &Txn{eng: e, filter: filter.New(e.filterSize)}
+	t := &Txn{eng: e}
 	if e.checked {
 		t.opened = make(map[uint64]bool)
 	}
@@ -45,7 +67,7 @@ func newTxn(e *Engine) *Txn {
 }
 
 func (t *Txn) start(readonly bool) {
-	t.id = nextID()
+	t.id = t.ids.take()
 	t.readonly = readonly
 	t.done = false
 	t.began = time.Now()
@@ -53,13 +75,40 @@ func (t *Txn) start(readonly bool) {
 	t.readLog = t.readLog[:0]
 	t.updateLog = t.updateLog[:0]
 	t.undoLog = t.undoLog[:0]
-	t.filter.Reset()
+	if t.filter != nil {
+		t.filter.Reset()
+	}
 	if t.opened != nil {
 		clear(t.opened)
 	}
 	t.nOpenRead, t.nOpenUpdate, t.nUndo, t.nReadLog = 0, 0, 0, 0
 	t.nFilterHits, t.nLocalSkips = 0, 0
 	t.nCompactions, t.nReadDropped, t.nCMWaits = 0, 0, 0
+}
+
+// seen lazily creates the duplicate-log filter and records the key, reporting
+// whether it was already recorded during this transaction.
+func (t *Txn) seen(obj, field uint64) bool {
+	if t.filter == nil {
+		if t.eng.filterSize <= 0 {
+			return false
+		}
+		t.filter = filter.New(t.eng.filterSize)
+	}
+	return t.filter.Seen(obj, field)
+}
+
+// newEntry returns the next free slab entry, refilling the slab when the
+// current chunk is exhausted. The returned entry's fields are stale; the
+// caller overwrites all of them before publishing.
+func (t *Txn) newEntry() *updateEntry {
+	if t.slabUsed == len(t.slab) {
+		t.slab = make([]updateEntry, slabChunk)
+		t.slabUsed = 0
+	}
+	e := &t.slab[t.slabUsed]
+	t.slabUsed++
+	return e
 }
 
 // ReadOnly implements engine.Txn.
@@ -94,7 +143,7 @@ func (t *Txn) OpenForRead(h engine.Handle) {
 	if m.ownerID == t.id {
 		return // open for update subsumes open for read
 	}
-	if t.filter.Seen(o.id, readSlot) {
+	if t.seen(o.id, readSlot) {
 		t.nFilterHits++
 		return
 	}
@@ -141,14 +190,21 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 			t.nCMWaits++
 			attempt++
 		default:
-			e := &updateEntry{obj: o, oldMeta: m}
+			e := t.newEntry()
+			e.obj = o
+			e.dirty = false
+			// oldMeta copies the displaced version record by value so the
+			// entry never references the previous owner's slab chunk.
+			e.oldMeta = ownership{version: m.version}
 			e.newMeta = ownership{version: m.version + 1}
-			owned := &ownership{version: m.version, ownerID: t.id, entry: e}
-			if o.meta.CompareAndSwap(m, owned) {
+			e.ownMeta = ownership{version: m.version, ownerID: t.id, entry: e}
+			if o.meta.CompareAndSwap(m, &e.ownMeta) {
 				t.updateLog = append(t.updateLog, e)
 				return
 			}
-			// Lost the race; loop to re-examine the new STM word.
+			// Lost the race: the entry was never published, so it can go
+			// straight back to the slab. Loop to re-examine the STM word.
+			t.slabUsed--
 		}
 	}
 }
@@ -160,7 +216,7 @@ func (t *Txn) LogForUndoWord(h engine.Handle, i int) {
 		t.nLocalSkips++
 		return
 	}
-	if t.filter.Seen(o.id, uint64(i)*2) {
+	if t.seen(o.id, uint64(i)*2) {
 		t.nFilterHits++
 		return
 	}
@@ -177,7 +233,7 @@ func (t *Txn) LogForUndoRef(h engine.Handle, i int) {
 		t.nLocalSkips++
 		return
 	}
-	if t.filter.Seen(o.id, uint64(i)*2+1) {
+	if t.seen(o.id, uint64(i)*2+1) {
 		t.nFilterHits++
 		return
 	}
@@ -270,7 +326,7 @@ func (t *Txn) StoreRef(h engine.Handle, i int, r engine.Handle) {
 // paper's transaction-local allocation optimization). If the transaction
 // aborts, the object is unreachable garbage; no rollback is needed.
 func (t *Txn) Alloc(nwords, nrefs int) engine.Handle {
-	return t.eng.newObj(nwords, nrefs, t.id)
+	return newObj(t.ids.take(), t.id, nwords, nrefs)
 }
 
 var _ engine.Txn = (*Txn)(nil)

@@ -8,15 +8,12 @@ import (
 // backoff implements randomized exponential backoff between transaction
 // re-executions. Early retries only yield the processor; once a transaction
 // has conflicted repeatedly it sleeps for a bounded, jittered interval.
+//
+// The zero value is ready to use (and stays on the caller's stack — Run's
+// fast path must not allocate); the RNG is seeded on first use.
 type backoff struct {
 	attempt int
 	rng     uint64
-}
-
-func newBackoff() *backoff {
-	// Seed from the monotonic clock; the quality bar is only "threads
-	// desynchronize", not statistical randomness.
-	return &backoff{rng: uint64(time.Now().UnixNano()) | 1}
 }
 
 const (
@@ -26,6 +23,11 @@ const (
 )
 
 func (b *backoff) next() uint64 {
+	if b.rng == 0 {
+		// Seed from the monotonic clock; the quality bar is only "threads
+		// desynchronize", not statistical randomness.
+		b.rng = uint64(time.Now().UnixNano()) | 1
+	}
 	// xorshift64*
 	x := b.rng
 	x ^= x >> 12

@@ -48,7 +48,7 @@ func RunReadOnly(e Engine, body func(tx Txn) error) error {
 }
 
 func run(e Engine, body func(tx Txn) error, readonly bool) error {
-	backoff := newBackoff()
+	var backoff backoff
 	conflicts := 0
 	for {
 		var tx Txn

@@ -215,7 +215,7 @@ func TestRunAttributesAbortCauses(t *testing.T) {
 }
 
 func TestBackoffEscalates(t *testing.T) {
-	b := newBackoff()
+	var b backoff
 	start := time.Now()
 	for i := 0; i < backoffSpinAttempts; i++ {
 		b.wait() // spin phase: must be fast

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"memtx/internal/core"
+	"memtx/internal/engine"
+	"memtx/internal/ostm"
+	"memtx/internal/progs"
+	"memtx/internal/rawengine"
+	"memtx/internal/til/interp"
+	"memtx/internal/til/parser"
+	"memtx/internal/til/passes"
+	"memtx/internal/wstm"
+)
+
+// BenchPoint is one machine-readable measurement: a (experiment, kernel,
+// engine) cell with time and allocation figures per operation. For E1 rows an
+// operation is one whole kernel run; for overhead rows it is one transaction.
+type BenchPoint struct {
+	Experiment  string  `json:"experiment"`
+	Kernel      string  `json:"kernel"`
+	Engine      string  `json:"engine"`
+	Ops         uint64  `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// BenchReport is the file emitted by `stmbench -benchjson`: environment
+// header, current results, and (optionally, merged in by hand or tooling) the
+// same points measured before a change, for regression comparison across PRs.
+type BenchReport struct {
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Quick     bool         `json:"quick"`
+	Results   []BenchPoint `json:"results"`
+	Baseline  []BenchPoint `json:"baseline_pre_pr,omitempty"`
+	Note      string       `json:"note,omitempty"`
+}
+
+// BenchJSONSchema names the report layout so downstream tooling can detect
+// incompatible changes.
+const BenchJSONSchema = "memtx-bench/1"
+
+// measured wraps a measured section: ns, mallocs, and bytes split over ops.
+func measured(ops uint64, f func() error) (ns, allocs, bytes float64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC() // isolate the measured section from earlier garbage
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err = f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	o := float64(ops)
+	return float64(elapsed.Nanoseconds()) / o,
+		float64(after.Mallocs-before.Mallocs) / o,
+		float64(after.TotalAlloc-before.TotalAlloc) / o,
+		nil
+}
+
+// kernelPoint runs one kernel once on a fresh engine and measures the run
+// call (compilation and loading excluded, matching bench_test.go).
+func kernelPoint(k progs.Kernel, e engine.Engine, size uint64) (BenchPoint, error) {
+	m, err := parser.Parse(k.Name, k.Src)
+	if err != nil {
+		return BenchPoint{}, fmt.Errorf("%s: parse: %w", k.Name, err)
+	}
+	if _, err := passes.Apply(m, passes.LevelFull); err != nil {
+		return BenchPoint{}, fmt.Errorf("%s: passes: %w", k.Name, err)
+	}
+	p, err := interp.Load(m, e)
+	if err != nil {
+		return BenchPoint{}, fmt.Errorf("%s: load: %w", k.Name, err)
+	}
+	mach := p.NewMachine()
+	if k.Init != "" {
+		if _, err := mach.Call(k.Init, interp.Word(k.InitArg)); err != nil {
+			return BenchPoint{}, fmt.Errorf("%s: init: %w", k.Name, err)
+		}
+	}
+	ns, allocs, bytes, err := measured(1, func() error {
+		_, err := mach.Call(k.Run, interp.Word(size))
+		return err
+	})
+	if err != nil {
+		return BenchPoint{}, fmt.Errorf("%s: run: %w", k.Name, err)
+	}
+	return BenchPoint{
+		Experiment:  "E1",
+		Kernel:      k.Name,
+		Engine:      e.Name(),
+		Ops:         1,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+	}, nil
+}
+
+// overheadPoints measures the fixed per-transaction cost of one engine:
+// an empty update transaction, a one-word read-only transaction, and a
+// one-word update transaction — the micro figures the alloc-guard tests bound.
+func overheadPoints(name string, e engine.Engine, iters uint64) ([]BenchPoint, error) {
+	o := e.NewObj(1, 0)
+	micros := []struct {
+		kernel string
+		body   func() error
+	}{
+		{"overhead/empty", func() error {
+			return engine.Run(e, func(tx engine.Txn) error { return nil })
+		}},
+		{"overhead/read", func() error {
+			return engine.RunReadOnly(e, func(tx engine.Txn) error {
+				tx.OpenForRead(o)
+				_ = tx.LoadWord(o, 0)
+				return nil
+			})
+		}},
+		{"overhead/write", func() error {
+			return engine.Run(e, func(tx engine.Txn) error {
+				tx.OpenForUpdate(o)
+				tx.LogForUndoWord(o, 0)
+				tx.StoreWord(o, 0, 1)
+				return nil
+			})
+		}},
+	}
+	var out []BenchPoint
+	for _, mi := range micros {
+		if err := mi.body(); err != nil { // warm the pooled transaction
+			return nil, fmt.Errorf("%s/%s: %w", name, mi.kernel, err)
+		}
+		ns, allocs, bytes, err := measured(iters, func() error {
+			for i := uint64(0); i < iters; i++ {
+				if err := mi.body(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, mi.kernel, err)
+		}
+		out = append(out, BenchPoint{
+			Experiment:  "overhead",
+			Kernel:      mi.kernel,
+			Engine:      name,
+			Ops:         iters,
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
+		})
+	}
+	return out, nil
+}
+
+// BenchJSON measures the E1 kernel grid and the per-engine transaction
+// overhead micros and returns the machine-readable report. quick selects the
+// unit-test problem sizes; the full scale matches EXPERIMENTS.md.
+func BenchJSON(quick bool) (*BenchReport, error) {
+	r := &BenchReport{
+		Schema:    BenchJSONSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+	}
+	engines := []struct {
+		name string
+		mk   func() engine.Engine
+	}{
+		{"raw", func() engine.Engine { return rawengine.New() }},
+		{"direct", func() engine.Engine { return core.New() }},
+		{"wstm", func() engine.Engine { return wstm.New(wstm.WithStripes(1 << 16)) }},
+		{"ostm", func() engine.Engine { return ostm.New() }},
+	}
+	for _, k := range progs.All() {
+		size := kernelSize(k, quick)
+		for _, cfg := range engines {
+			pt, err := kernelPoint(k, cfg.mk(), size)
+			if err != nil {
+				return nil, err
+			}
+			pt.Engine = cfg.name // stable short names, independent of Engine.Name()
+			r.Results = append(r.Results, pt)
+		}
+	}
+	iters := uint64(200_000)
+	if quick {
+		iters = 20_000
+	}
+	for _, cfg := range engines[1:] { // raw has no transactions
+		pts, err := overheadPoints(cfg.name, cfg.mk(), iters)
+		if err != nil {
+			return nil, err
+		}
+		r.Results = append(r.Results, pts...)
+	}
+	return r, nil
+}
+
+// WriteJSON renders the report, indented for reviewable diffs.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -11,7 +11,7 @@
 package ostm
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,7 +19,29 @@ import (
 	"memtx/internal/engine"
 )
 
+// globalIDs hands out object and transaction ids. As in the direct engine,
+// the counter is consumed in blocks of idBlockStride through per-transaction
+// (and per-engine) idAlloc blocks; gaps from abandoned blocks are harmless
+// because ids are unique, never reused, and only compared for equality.
 var globalIDs atomic.Uint64
+
+const idBlockStride = 1024
+
+// idAlloc is a private block of pre-reserved ids; the zero value refills on
+// first take. Not safe for concurrent use.
+type idAlloc struct {
+	next, limit uint64
+}
+
+func (a *idAlloc) take() uint64 {
+	if a.next == a.limit {
+		hi := globalIDs.Add(idBlockStride)
+		a.next, a.limit = hi-idBlockStride+1, hi+1
+	}
+	id := a.next
+	a.next++
+	return id
+}
 
 // Obj is a transactional object under the buffered object engine. meta packs
 // version<<1 | lockedBit.
@@ -38,6 +60,10 @@ type Engine struct {
 	pool    sync.Pool
 	stats   stats
 	metrics engine.Metrics
+
+	// idMu guards ids, the engine's block for non-transactional NewObj.
+	idMu sync.Mutex
+	ids  idAlloc
 }
 
 type stats struct {
@@ -58,12 +84,15 @@ func (e *Engine) Name() string { return "ostm" }
 
 // NewObj implements engine.Engine.
 func (e *Engine) NewObj(nwords, nrefs int) engine.Handle {
-	return e.newObj(nwords, nrefs, 0)
+	e.idMu.Lock()
+	id := e.ids.take()
+	e.idMu.Unlock()
+	return newObj(id, 0, nwords, nrefs)
 }
 
-func (e *Engine) newObj(nwords, nrefs int, creator uint64) *Obj {
+func newObj(id, creator uint64, nwords, nrefs int) *Obj {
 	o := &Obj{
-		id:      globalIDs.Add(1),
+		id:      id,
 		creator: creator,
 		words:   make([]atomic.Uint64, nwords),
 		refs:    make([]atomic.Pointer[Obj], nrefs),
@@ -128,11 +157,27 @@ type Txn struct {
 	shadows map[*Obj]*shadow
 	worder  []*Obj
 
+	// ids is this transaction's private id block; persists across reuse.
+	ids idAlloc
+
+	// shadowFree recycles shadow records across attempts. Shadows never
+	// escape the transaction (commit copies them back field by field), so —
+	// unlike the direct engine's update entries — they are safe to reuse;
+	// OpenForUpdate is allocation-free once the free list and the shadows'
+	// field slices have warmed up to the workload's shape.
+	shadowFree []*shadow
+
+	// orderScratch is the commit-time lock order, reused across attempts.
+	orderScratch []*Obj
+
+	// scratch is Compact's deduplication set, reused across calls.
+	scratch map[*Obj]struct{}
+
 	nOpenRead, nOpenUpdate, nReadLog, nLocalSkips uint64
 }
 
 func (t *Txn) start(readonly bool) {
-	t.id = globalIDs.Add(1)
+	t.id = t.ids.take()
 	t.readonly = readonly
 	t.done = false
 	t.began = time.Now()
@@ -201,11 +246,8 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 		engine.AbandonCause(engine.CauseOwnership,
 			"ostm: object %d locked during open-for-update", o.id)
 	}
-	sh := &shadow{
-		versionAtOpen: m >> 1,
-		words:         make([]uint64, len(o.words)),
-		refs:          make([]*Obj, len(o.refs)),
-	}
+	sh := t.getShadow(len(o.words), len(o.refs))
+	sh.versionAtOpen = m >> 1
 	for i := range o.words {
 		sh.words[i] = o.words[i].Load()
 	}
@@ -220,6 +262,29 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 	}
 	t.shadows[o] = sh
 	t.worder = append(t.worder, o)
+}
+
+// getShadow pops a recycled shadow from the free list (or allocates one) and
+// sizes its field slices for an object of the given shape, reusing slice
+// capacity where possible.
+func (t *Txn) getShadow(nwords, nrefs int) *shadow {
+	var sh *shadow
+	if n := len(t.shadowFree); n > 0 {
+		sh = t.shadowFree[n-1]
+		t.shadowFree[n-1] = nil
+		t.shadowFree = t.shadowFree[:n-1]
+	} else {
+		sh = &shadow{}
+	}
+	if cap(sh.words) < nwords {
+		sh.words = make([]uint64, nwords)
+	}
+	sh.words = sh.words[:nwords]
+	if cap(sh.refs) < nrefs {
+		sh.refs = make([]*Obj, nrefs)
+	}
+	sh.refs = sh.refs[:nrefs]
+	return sh
 }
 
 // LogForUndoWord implements engine.Txn (buffered updates need no undo log).
@@ -301,26 +366,30 @@ func (t *Txn) StoreRef(h engine.Handle, i int, r engine.Handle) {
 
 // Alloc implements engine.Txn.
 func (t *Txn) Alloc(nwords, nrefs int) engine.Handle {
-	return t.eng.newObj(nwords, nrefs, t.id)
+	return newObj(t.ids.take(), t.id, nwords, nrefs)
 }
 
 // Validate implements engine.Txn.
 func (t *Txn) Validate() error {
-	if !t.validCurrent(nil) {
+	if !t.validCurrent(false) {
 		return engine.ErrConflict
 	}
 	return nil
 }
 
-// validCurrent checks the read log; locked holds objects this transaction
-// has locked at commit (nil mid-transaction).
-func (t *Txn) validCurrent(locked map[*Obj]uint64) bool {
+// validCurrent checks the read log. atCommit is true once Commit holds the
+// locks on every shadowed object: a locked entry is then valid if the lock
+// is ours (the object is shadowed — only we could have locked it at its
+// version-at-open) and the shadow was taken at the recorded version.
+func (t *Txn) validCurrent(atCommit bool) bool {
 	for i := range t.readLog {
 		re := &t.readLog[i]
 		m := re.obj.meta.Load()
 		if m&lockedBit != 0 {
-			if pre, mine := locked[re.obj]; mine && pre>>1 == re.seen {
-				continue
+			if atCommit {
+				if sh, mine := t.shadows[re.obj]; mine && sh.versionAtOpen == re.seen {
+					continue
+				}
 			}
 			return false
 		}
@@ -331,12 +400,18 @@ func (t *Txn) validCurrent(locked map[*Obj]uint64) bool {
 	return true
 }
 
-// Compact implements engine.Txn: deduplicate the read log.
+// Compact implements engine.Txn: deduplicate the read log. The dedup set is
+// kept on the transaction and reused across calls.
 func (t *Txn) Compact() {
 	if len(t.readLog) < 2 {
 		return
 	}
-	seen := make(map[*Obj]struct{}, len(t.readLog))
+	if t.scratch == nil {
+		t.scratch = make(map[*Obj]struct{}, len(t.readLog))
+	} else {
+		clear(t.scratch)
+	}
+	seen := t.scratch
 	kept := t.readLog[:0]
 	for _, re := range t.readLog {
 		if _, dup := seen[re.obj]; dup {
@@ -357,7 +432,7 @@ func (t *Txn) Commit() error {
 	commitStart := time.Now()
 	eng := t.eng
 	if len(t.worder) == 0 {
-		ok := t.validCurrent(nil)
+		ok := t.validCurrent(false)
 		if !ok {
 			t.cause = engine.CauseValidation
 		}
@@ -369,24 +444,30 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 
-	order := make([]*Obj, len(t.worder))
-	copy(order, t.worder)
-	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+	order := append(t.orderScratch[:0], t.worder...)
+	t.orderScratch = order
+	slices.SortFunc(order, func(a, b *Obj) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
 
-	locked := make(map[*Obj]uint64, len(order))
-	for _, o := range order {
-		sh := t.shadows[o]
-		pre := sh.versionAtOpen << 1
+	for i, o := range order {
+		pre := t.shadows[o].versionAtOpen << 1
 		if !o.meta.CompareAndSwap(pre, pre|lockedBit) {
-			t.releaseLocked(order, locked, false)
+			t.releaseLocked(order[:i], false)
 			t.cause = engine.CauseOwnership
 			t.finish(false)
 			return engine.ErrConflict
 		}
-		locked[o] = pre
 	}
-	if !t.validCurrent(locked) {
-		t.releaseLocked(order, locked, false)
+	if !t.validCurrent(true) {
+		t.releaseLocked(order, false)
 		t.cause = engine.CauseValidation
 		t.finish(false)
 		return engine.ErrConflict
@@ -400,20 +481,18 @@ func (t *Txn) Commit() error {
 			o.refs[i].Store(sh.refs[i])
 		}
 	}
-	t.releaseLocked(order, locked, true)
+	t.releaseLocked(order, true)
 	t.finish(true)
 	eng.metrics.ObserveCommit(time.Since(commitStart))
 	return nil
 }
 
-// releaseLocked unlocks every object this commit managed to lock, bumping the
-// version on success and restoring it on failure.
-func (t *Txn) releaseLocked(order []*Obj, locked map[*Obj]uint64, committed bool) {
-	for _, o := range order {
-		pre, mine := locked[o]
-		if !mine {
-			continue
-		}
+// releaseLocked unlocks the objects this commit locked (a prefix of the lock
+// order), bumping the version on success and restoring the pre-lock word —
+// recomputed from the shadow's version-at-open — on failure.
+func (t *Txn) releaseLocked(locked []*Obj, committed bool) {
+	for _, o := range locked {
+		pre := t.shadows[o].versionAtOpen << 1
 		if committed {
 			o.meta.Store(pre + (1 << 1)) // version+1, unlocked
 		} else {
@@ -446,12 +525,32 @@ func (t *Txn) finish(committed bool) {
 	s.readLog.Add(t.nReadLog)
 	s.localSkips.Add(t.nLocalSkips)
 	const keepCap = 1 << 14
+	// keepShadows bounds the recycled-shadow free list so a single wide
+	// transaction doesn't pin shadow capacity in the pool forever.
+	const keepShadows = 256
 	if cap(t.readLog) > keepCap {
 		t.readLog = nil
+	}
+	for _, sh := range t.shadows {
+		if len(t.shadowFree) >= keepShadows {
+			break
+		}
+		// Drop the object references (to full capacity — reslicing in
+		// getShadow can expose stale tails) so pooled shadows pin no objects.
+		clear(sh.refs[:cap(sh.refs)])
+		t.shadowFree = append(t.shadowFree, sh)
 	}
 	if len(t.shadows) > keepCap {
 		t.shadows = make(map[*Obj]*shadow)
 		t.worder = nil
+	} else {
+		clear(t.shadows)
+	}
+	if cap(t.orderScratch) > keepCap {
+		t.orderScratch = nil
+	}
+	if len(t.scratch) > keepCap {
+		t.scratch = nil
 	}
 	t.eng.pool.Put(t)
 }

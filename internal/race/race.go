@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the binary was built with the race detector.
+// Allocation-guard tests skip under it: the detector's shadow bookkeeping
+// shows up in testing.AllocsPerRun and would fail exact budgets spuriously.
+package race
+
+// Enabled is true when the race detector is active.
+const Enabled = true

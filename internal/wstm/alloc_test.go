@@ -1,0 +1,107 @@
+package wstm
+
+import (
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"memtx/internal/engine"
+	"memtx/internal/race"
+)
+
+// TestSteadyStateAllocs pins the pooling work on the word-based baseline:
+// once a pooled transaction has warmed its read log, write buffer, and
+// commit-time stripe scratch, read-only transactions allocate nothing and
+// update transactions allocate at most one stray (map-internal) object.
+// Keeping both baselines allocation-free keeps E1's cross-engine comparison
+// about protocol cost, not GC pressure.
+func TestSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	e := New(WithStripes(1 << 16))
+	objs := make([]engine.Handle, 64)
+	for i := range objs {
+		objs[i] = e.NewObj(2, 1)
+	}
+	read := func() {
+		tx := e.BeginReadOnly()
+		for _, o := range objs {
+			tx.OpenForRead(o)
+			_ = tx.LoadWord(o, 0)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	update := func() {
+		tx := e.Begin()
+		for _, o := range objs {
+			tx.OpenForUpdate(o)
+			tx.LogForUndoWord(o, 0)
+			tx.StoreWord(o, 0, 9)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read()
+	update()
+	if avg := testing.AllocsPerRun(100, read); avg != 0 {
+		t.Fatalf("read-only transaction allocates %.2f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, update); avg > 1 {
+		t.Fatalf("update transaction allocates %.2f per run, want <= 1", avg)
+	}
+}
+
+// TestConcurrentAllocUniqueIDs verifies the sharded id allocator: ids drawn
+// concurrently from per-transaction blocks, engine-level blocks, and
+// transaction begins never collide.
+func TestConcurrentAllocUniqueIDs(t *testing.T) {
+	const workers = 8
+	perWorker := 50_000
+	if testing.Short() {
+		perWorker = 10_000
+	}
+	const batch = 500
+
+	e := New(WithStripes(1 << 10))
+	ids := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got := make([]uint64, 0, perWorker+perWorker/batch)
+			for done := 0; done < perWorker; done += batch {
+				err := engine.Run(e, func(tx engine.Txn) error {
+					for i := 0; i < batch; i++ {
+						got = append(got, tx.Alloc(1, 0).(*Obj).id)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got = append(got, e.NewObj(1, 0).(*Obj).id)
+			}
+			ids[w] = got
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	seen := make(map[uint64]struct{}, workers*perWorker)
+	for w := range ids {
+		for _, id := range ids[w] {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("duplicate id %d handed out", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
+}

@@ -15,7 +15,7 @@
 package wstm
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,7 +26,31 @@ import (
 // DefaultStripes is the size of the versioned-lock table.
 const DefaultStripes = 1 << 20
 
+// globalIDs hands out object and transaction ids. As in the direct engine,
+// the counter is consumed in blocks of idBlockStride through per-transaction
+// (and per-engine, for non-transactional NewObj) idAlloc blocks, so the hot
+// allocation paths touch the shared cache line once per ~1k ids. Gaps from
+// abandoned blocks are harmless: ids are unique, never reused, and only
+// compared for equality.
 var globalIDs atomic.Uint64
+
+const idBlockStride = 1024
+
+// idAlloc is a private block of pre-reserved ids; the zero value refills on
+// first take. Not safe for concurrent use.
+type idAlloc struct {
+	next, limit uint64
+}
+
+func (a *idAlloc) take() uint64 {
+	if a.next == a.limit {
+		hi := globalIDs.Add(idBlockStride)
+		a.next, a.limit = hi-idBlockStride+1, hi+1
+	}
+	id := a.next
+	a.next++
+	return id
+}
 
 // Obj is a transactional object under the word-based engine. Fields are
 // atomics because optimistic readers race with commit-time write-back.
@@ -45,6 +69,10 @@ type Engine struct {
 	pool    sync.Pool
 	stats   stats
 	metrics engine.Metrics
+
+	// idMu guards ids, the engine's block for non-transactional NewObj.
+	idMu sync.Mutex
+	ids  idAlloc
 }
 
 // paddedStripe avoids false sharing between adjacent versioned locks.
@@ -94,12 +122,15 @@ func (e *Engine) Name() string { return "wstm" }
 
 // NewObj implements engine.Engine.
 func (e *Engine) NewObj(nwords, nrefs int) engine.Handle {
-	return e.newObj(nwords, nrefs, 0)
+	e.idMu.Lock()
+	id := e.ids.take()
+	e.idMu.Unlock()
+	return newObj(id, 0, nwords, nrefs)
 }
 
-func (e *Engine) newObj(nwords, nrefs int, creator uint64) *Obj {
+func newObj(id, creator uint64, nwords, nrefs int) *Obj {
 	return &Obj{
-		id:      globalIDs.Add(1),
+		id:      id,
 		creator: creator,
 		words:   make([]atomic.Uint64, nwords),
 		refs:    make([]atomic.Pointer[Obj], nrefs),
@@ -173,6 +204,13 @@ type Txn struct {
 	writes map[wkey]wval
 	worder []wkey // write-back order (deterministic)
 
+	// ids is this transaction's private id block; persists across reuse.
+	ids idAlloc
+
+	// lockScratch is the commit-time stripe list, reused across attempts so
+	// commit performs no allocation.
+	lockScratch []lockedStripe
+
 	nOpenRead, nOpenUpdate, nReadLog, nLocalSkips uint64
 }
 
@@ -182,7 +220,7 @@ type readEntry struct {
 }
 
 func (t *Txn) start(readonly bool) {
-	t.id = globalIDs.Add(1)
+	t.id = t.ids.take()
 	t.rv = t.eng.clock.Load()
 	t.readonly = readonly
 	t.done = false
@@ -345,7 +383,7 @@ func (t *Txn) bufferWrite(k wkey, v wval) {
 
 // Alloc implements engine.Txn.
 func (t *Txn) Alloc(nwords, nrefs int) engine.Handle {
-	return t.eng.newObj(nwords, nrefs, t.id)
+	return newObj(t.ids.take(), t.id, nwords, nrefs)
 }
 
 // Validate implements engine.Txn: every read stripe must still be unlocked at
@@ -407,19 +445,35 @@ func (t *Txn) Commit() error {
 
 // lockWriteStripes acquires the distinct stripes covering the write set in
 // ascending index order (avoiding deadlock against other committers). It
-// returns nil if any stripe is already locked by another transaction.
+// returns nil if any stripe is already locked by another transaction. The
+// stripe list lives in lockScratch, reused across attempts; deduplication is
+// sort-then-skip-adjacent rather than a map, so the path is allocation-free
+// once the scratch slice has grown to the write-set size.
 func (t *Txn) lockWriteStripes() []lockedStripe {
-	distinct := make(map[uint64]struct{}, len(t.worder))
-	stripes := make([]lockedStripe, 0, len(t.worder))
+	stripes := t.lockScratch[:0]
 	for _, k := range t.worder {
-		si := t.eng.stripeFor(k.obj, k.slot)
-		if _, dup := distinct[si]; dup {
+		stripes = append(stripes, lockedStripe{idx: t.eng.stripeFor(k.obj, k.slot)})
+	}
+	t.lockScratch = stripes
+	slices.SortFunc(stripes, func(a, b lockedStripe) int {
+		switch {
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
+		default:
+			return 0
+		}
+	})
+	n := 0
+	for i := range stripes {
+		if i > 0 && stripes[i].idx == stripes[n-1].idx {
 			continue
 		}
-		distinct[si] = struct{}{}
-		stripes = append(stripes, lockedStripe{idx: si})
+		stripes[n] = stripes[i]
+		n++
 	}
-	sort.Slice(stripes, func(i, j int) bool { return stripes[i].idx < stripes[j].idx })
+	stripes = stripes[:n]
 	for i := range stripes {
 		s := t.eng.stripe(stripes[i].idx)
 		v := s.Load()
@@ -438,19 +492,27 @@ type lockedStripe struct {
 }
 
 // validateWithLocks re-checks the read set; stripes we hold locked are valid
-// if their pre-lock version matches what the read observed.
+// if their pre-lock version matches what the read observed. locked is sorted
+// by stripe index (lockWriteStripes' order), so membership is a binary
+// search — no allocation.
 func (t *Txn) validateWithLocks(locked []lockedStripe) bool {
-	own := make(map[uint64]uint64, len(locked))
-	for _, l := range locked {
-		own[l.idx] = l.old
-	}
 	for i := range t.reads {
 		re := &t.reads[i]
 		cur := t.eng.stripe(re.stripe).Load()
 		if cur == re.seen {
 			continue
 		}
-		if old, mine := own[re.stripe]; mine && old == re.seen {
+		if j, mine := slices.BinarySearchFunc(locked, re.stripe,
+			func(l lockedStripe, idx uint64) int {
+				switch {
+				case l.idx < idx:
+					return -1
+				case l.idx > idx:
+					return 1
+				default:
+					return 0
+				}
+			}); mine && locked[j].old == re.seen {
 			continue
 		}
 		return false
@@ -497,6 +559,9 @@ func (t *Txn) finish(committed bool) {
 	const keepCap = 1 << 14
 	if cap(t.reads) > keepCap {
 		t.reads = nil
+	}
+	if cap(t.lockScratch) > keepCap {
+		t.lockScratch = nil
 	}
 	if len(t.writes) > keepCap {
 		t.writes = make(map[wkey]wval)
