@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"memtx"
+	"memtx/internal/harness"
+	"memtx/internal/kvload"
+)
+
+// kvOptions carries the -kv* flag values into the kvload runner.
+type kvOptions struct {
+	addr         string // "self" or host:port
+	designs      string // comma-separated, only for self sweeps
+	shards       string // comma-separated, only for self sweeps
+	conns        int
+	keys         int
+	valSize      int
+	readFrac     float64
+	transferFrac float64
+	duration     time.Duration
+	pipeline     int
+	benchJSON    string
+	quick        bool
+}
+
+func (o kvOptions) loadOptions() kvload.Options {
+	lo := kvload.Options{
+		Conns:        o.conns,
+		Keys:         o.keys,
+		ValueSize:    o.valSize,
+		ReadFrac:     o.readFrac,
+		TransferFrac: o.transferFrac,
+		Duration:     o.duration,
+		Pipeline:     o.pipeline,
+	}
+	if o.quick {
+		lo.Duration = 500 * time.Millisecond
+		if o.keys == 10000 {
+			lo.Keys = 1000
+		}
+	}
+	return lo
+}
+
+// runKVLoad drives the stmkvd load mix — in-process across a
+// (design, shard-count) grid for "self", or against one live server — and
+// prints a throughput/latency table. With -benchjson the same points are
+// written as a machine-readable report instead of the experiment grid.
+func runKVLoad(o kvOptions) error {
+	lo := o.loadOptions()
+	var points []kvload.GridPoint
+
+	if o.addr == "self" {
+		designs, err := parseDesigns(o.designs)
+		if err != nil {
+			return err
+		}
+		shards, err := parseInts(o.shards)
+		if err != nil {
+			return err
+		}
+		points, err = kvload.RunSelfGrid(designs, shards, lo)
+		if err != nil {
+			return err
+		}
+	} else {
+		lo.Addr = o.addr
+		if err := kvload.Preload(lo); err != nil {
+			return fmt.Errorf("preload %s: %w", o.addr, err)
+		}
+		res, err := kvload.Run(lo)
+		if err != nil {
+			return err
+		}
+		points = []kvload.GridPoint{{Design: "remote", Shards: 0, Result: res}}
+	}
+
+	printKVTable(points, lo)
+
+	if o.benchJSON != "" {
+		return writeKVBenchJSON(o.benchJSON, points, lo, o.quick)
+	}
+	return nil
+}
+
+func parseDesigns(s string) ([]memtx.Design, error) {
+	var out []memtx.Design
+	for _, name := range strings.Split(s, ",") {
+		d, err := memtx.ParseDesign(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
+	t := &harness.Table{
+		ID: "kvload",
+		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / rest SET",
+			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac),
+		Header: []string{"design", "shards", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "commits"},
+	}
+	for _, p := range points {
+		shards := "-"
+		if p.Shards > 0 {
+			shards = strconv.Itoa(p.Shards)
+		}
+		t.AddRow(
+			p.Design,
+			shards,
+			strconv.FormatUint(p.Result.Ops, 10),
+			fmt.Sprintf("%.0f", p.Result.Throughput),
+			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.5))/1e3),
+			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.99))/1e3),
+			strconv.FormatUint(p.Result.Errors, 10),
+			strconv.FormatUint(p.CommittedTxns, 10),
+		)
+	}
+	t.Fprint(os.Stdout)
+}
+
+func writeKVBenchJSON(path string, points []kvload.GridPoint, lo kvload.Options, quick bool) error {
+	report := harness.NewBenchReport(quick)
+	kernel := fmt.Sprintf("mix/r%.2f-t%.2f/conns%d/pipe%d", lo.ReadFrac, lo.TransferFrac, lo.Conns, lo.Pipeline)
+	for _, p := range points {
+		nsPerOp := 0.0
+		if p.Result.Throughput > 0 {
+			nsPerOp = 1e9 / p.Result.Throughput
+		}
+		report.Results = append(report.Results, harness.BenchPoint{
+			Experiment: "kvload",
+			Kernel:     fmt.Sprintf("%s/shards%d", kernel, p.Shards),
+			Engine:     p.Design,
+			Ops:        p.Result.Ops,
+			NsPerOp:    nsPerOp,
+			OpsPerSec:  p.Result.Throughput,
+			P50Ns:      p.Result.RTT.Quantile(0.5),
+			P99Ns:      p.Result.RTT.Quantile(0.99),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stmbench: wrote %d kvload points to %s\n", len(report.Results), path)
+	return nil
+}

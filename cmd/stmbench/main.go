@@ -9,6 +9,8 @@
 //	stmbench -e e7 -watch 2s # print live per-interval metrics to stderr
 //	stmbench -serve :8080    # expose /metrics (Prometheus) and /stats.json
 //	stmbench -benchjson f.json  # write machine-readable perf points and exit
+//	stmbench -kvload self    # in-process stmkvd load sweep (designs x shards)
+//	stmbench -kvload host:port  # drive a live stmkvd server instead
 //
 // Output is a series of aligned text tables, one per paper table/figure,
 // each annotated with the shape the paper reports so results can be compared
@@ -29,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"memtx/internal/harness"
 	"memtx/internal/obs"
@@ -41,8 +44,40 @@ func main() {
 		serve     = flag.String("serve", "", "serve live metrics on this address (e.g. :8080) while running")
 		watch     = flag.Duration("watch", 0, "print live metrics to stderr at this interval (e.g. 2s)")
 		benchJSON = flag.String("benchjson", "", "write per-experiment throughput and allocs/op as JSON to this file, then exit")
+
+		kvAddr         = flag.String("kvload", "", "drive the stmkvd load mix: 'self' for an in-process sweep, or a host:port")
+		kvDesigns      = flag.String("kv-designs", "direct,wstm,ostm", "engines to sweep with -kvload self")
+		kvShards       = flag.String("kv-shards", "1,4", "shard counts to sweep with -kvload self")
+		kvConns        = flag.Int("kv-conns", 4, "client connections per load run")
+		kvKeys         = flag.Int("kv-keys", 10000, "GET/SET key-space size")
+		kvValSize      = flag.Int("kv-valsize", 64, "SET value size in bytes")
+		kvReadFrac     = flag.Float64("kv-readfrac", 0.8, "fraction of GETs in the mix")
+		kvTransferFrac = flag.Float64("kv-transferfrac", 0.1, "fraction of two-key TRANSFERs in the mix")
+		kvDuration     = flag.Duration("kv-duration", 5*time.Second, "measurement window per cell")
+		kvPipeline     = flag.Int("kv-pipeline", 1, "requests in flight per connection")
 	)
 	flag.Parse()
+
+	if *kvAddr != "" {
+		if err := runKVLoad(kvOptions{
+			addr:         *kvAddr,
+			designs:      *kvDesigns,
+			shards:       *kvShards,
+			conns:        *kvConns,
+			keys:         *kvKeys,
+			valSize:      *kvValSize,
+			readFrac:     *kvReadFrac,
+			transferFrac: *kvTransferFrac,
+			duration:     *kvDuration,
+			pipeline:     *kvPipeline,
+			benchJSON:    *benchJSON,
+			quick:        *quick,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: kvload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		report, err := harness.BenchJSON(*quick)

@@ -1,0 +1,124 @@
+package enginetest
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+
+	"memtx/internal/obs"
+)
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// seriesKey renders one metric's identity: family name plus labels.
+func seriesKey(m obs.Metric) string {
+	k := m.Name
+	for _, l := range m.Labels {
+		k += fmt.Sprintf("{%s=%q}", l.Key, l.Value)
+	}
+	return k
+}
+
+// snapshotSeries indexes one ObsMetrics call by series identity, failing on
+// duplicates and malformed names.
+func snapshotSeries(t *testing.T, src obs.MetricSource) map[string]obs.Metric {
+	t.Helper()
+	out := map[string]obs.Metric{}
+	for _, m := range src.ObsMetrics() {
+		if !promNameRE.MatchString(m.Name) {
+			t.Errorf("metric name %q is not a valid Prometheus family name", m.Name)
+		}
+		if m.Help == "" {
+			t.Errorf("metric %q has empty help text", m.Name)
+		}
+		for _, l := range m.Labels {
+			if !promNameRE.MatchString(l.Key) {
+				t.Errorf("metric %q has invalid label key %q", m.Name, l.Key)
+			}
+		}
+		k := seriesKey(m)
+		if _, dup := out[k]; dup {
+			t.Errorf("duplicate metric series %s", k)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// RunMetricSource is the conformance check for application-level metric
+// sources (the KV store's op counters, the server's connection gauges) —
+// the counterpart of the engine Metrics suite for obs.MetricSource. It
+// pins the contract the exporters rely on:
+//
+//   - every family name and label key is Prometheus-legal, help is set,
+//     and no two metrics share a (name, labels) identity;
+//   - the series set is fixed: snapshots taken while drive runs, and
+//     after it, expose exactly the series of the idle snapshot;
+//   - Counter-kind series never decrease, and a metric never changes kind;
+//   - ObsMetrics is safe to call concurrently with the driven workload
+//     (run under -race this proves snapshot safety).
+//
+// drive must perform enough work to move at least one counter.
+func RunMetricSource(t *testing.T, src obs.MetricSource, drive func()) {
+	base := snapshotSeries(t, src)
+	if len(base) == 0 {
+		t.Fatal("metric source exports no metrics")
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := base
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			cur := snapshotSeries(t, src)
+			checkSeries(t, prev, cur)
+			prev = cur
+		}
+	}()
+
+	drive()
+	close(done)
+	wg.Wait()
+
+	final := snapshotSeries(t, src)
+	checkSeries(t, base, final)
+	moved := false
+	for k, m := range final {
+		if m.Kind == obs.Counter && m.Value > base[k].Value {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("drive() moved no counter; the workload does not exercise the source")
+	}
+}
+
+// checkSeries verifies cur against prev: identical series sets, stable
+// kinds, monotone counters.
+func checkSeries(t *testing.T, prev, cur map[string]obs.Metric) {
+	t.Helper()
+	if len(prev) != len(cur) {
+		t.Errorf("series set changed size: %d -> %d", len(prev), len(cur))
+	}
+	for k, pm := range prev {
+		cm, ok := cur[k]
+		if !ok {
+			t.Errorf("series %s disappeared between snapshots", k)
+			continue
+		}
+		if cm.Kind != pm.Kind {
+			t.Errorf("series %s changed kind %v -> %v", k, pm.Kind, cm.Kind)
+		}
+		if pm.Kind == obs.Counter && cm.Value < pm.Value {
+			t.Errorf("counter %s went backwards: %d -> %d", k, pm.Value, cm.Value)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type BenchPoint struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Closed-loop load points (experiment "kvload") also report wall-clock
+	// throughput and round-trip latency quantiles; zero elsewhere.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	P50Ns     uint64  `json:"p50_ns,omitempty"`
+	P99Ns     uint64  `json:"p99_ns,omitempty"`
 }
 
 // BenchReport is the file emitted by `stmbench -benchjson`: environment
@@ -168,14 +173,7 @@ func overheadPoints(name string, e engine.Engine, iters uint64) ([]BenchPoint, e
 // overhead micros and returns the machine-readable report. quick selects the
 // unit-test problem sizes; the full scale matches EXPERIMENTS.md.
 func BenchJSON(quick bool) (*BenchReport, error) {
-	r := &BenchReport{
-		Schema:    BenchJSONSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     quick,
-	}
+	r := NewBenchReport(quick)
 	engines := []struct {
 		name string
 		mk   func() engine.Engine
@@ -208,6 +206,19 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 		r.Results = append(r.Results, pts...)
 	}
 	return r, nil
+}
+
+// NewBenchReport returns an empty report with the environment header filled
+// in, for callers (like `stmbench -kvload`) that collect their own points.
+func NewBenchReport(quick bool) *BenchReport {
+	return &BenchReport{
+		Schema:    BenchJSONSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+	}
 }
 
 // WriteJSON renders the report, indented for reviewable diffs.

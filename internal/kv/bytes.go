@@ -1,0 +1,89 @@
+package kv
+
+import (
+	"fmt"
+	"strconv"
+
+	"memtx"
+)
+
+// hashKey is FNV-1a 64 with a splitmix-style finalizer. The store slices the
+// low 16 bits for the shard index and bits 16+ for the bucket index, so both
+// ranges need well-mixed entropy.
+func hashKey(k []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range k {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Packed byte records: word 0 holds the byte length, words 1.. hold the
+// payload in little-endian 8-byte chunks. They are written only while
+// transaction-local and never mutated after publication.
+
+// allocBytes packs b into a fresh transaction-local record. All stores are
+// barrier-free (the record is private until commit).
+func allocBytes(tx *memtx.Tx, b []byte) *memtx.Record {
+	r := tx.Alloc(1+(len(b)+7)/8, 0)
+	r.SetWord(tx, 0, uint64(len(b)))
+	for i := 0; i < len(b); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			w |= uint64(b[i+j]) << (8 * uint(j))
+		}
+		r.SetWord(tx, 1+i/8, w)
+	}
+	return r
+}
+
+// readBytes unpacks a byte record into a fresh slice.
+func readBytes(tx *memtx.Tx, r *memtx.Record) []byte {
+	r.OpenForRead(tx)
+	n := int(r.Word(tx, 0))
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		w := r.Word(tx, 1+i/8)
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return out
+}
+
+// recEqual compares a byte record against b without unpacking into a slice.
+func recEqual(tx *memtx.Tx, r *memtx.Record, b []byte) bool {
+	r.OpenForRead(tx)
+	if int(r.Word(tx, 0)) != len(b) {
+		return false
+	}
+	for i := 0; i < len(b); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			w |= uint64(b[i+j]) << (8 * uint(j))
+		}
+		if r.Word(tx, 1+i/8) != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseInt parses a value as decimal text, the integer convention shared by
+// Tx.Int/Add and the server's INCR and TRANSFER commands.
+func ParseInt(b []byte) (int64, error) {
+	v, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("kv: value %q is not an integer", b)
+	}
+	return v, nil
+}
+
+// FormatInt renders v in the decimal text convention.
+func FormatInt(v int64) []byte {
+	return strconv.AppendInt(nil, v, 10)
+}

@@ -1,0 +1,390 @@
+// Package kv is a sharded transactional key-value store built on the public
+// memtx decomposed API — the storage layer of the stmkvd server.
+//
+// Keys map to records in one of a fixed number of shards; each shard is an
+// independent chained hash table rooted in an immutable directory record.
+// All shards live in one transactional memory, so a single transaction can
+// touch keys in any number of shards and still commit or abort atomically —
+// sharding here is purely a contention-spreading device (disjoint keys
+// conflict only when they collide on a bucket header), not a consistency
+// boundary.
+//
+// The layout per shard:
+//
+//	directory (immutable refs) → bucket header (1 ref) → node → node → …
+//
+// A node is [hash | next, key, value] where key and value point at packed
+// byte records that are written only while transaction-local and never
+// mutated after publication. Updates therefore allocate a fresh value
+// record (barrier-free, the paper's newly-allocated-object optimization)
+// and swap one reference, and readers of a published byte record can never
+// observe a torn length/payload pair, in any engine.
+package kv
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"memtx"
+	"memtx/internal/obs"
+)
+
+// node field layout.
+const (
+	nodeHash = 0 // word: full 64-bit key hash (fast reject on chain walks)
+	nodeNext = 0 // ref: next node in chain
+	nodeKey  = 1 // ref: packed key bytes
+	nodeVal  = 2 // ref: packed value bytes
+)
+
+// Op identifies one primitive store operation in the per-type counters.
+type Op int
+
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+	OpCAS
+	NumOps
+)
+
+// String returns the label used in metric export.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "delete"
+	case OpCAS:
+		return "cas"
+	}
+	return "unknown"
+}
+
+// Config sizes a Store.
+type Config struct {
+	// Shards is the number of independent root tables (rounded up to a
+	// power of two; default 16, max 65536).
+	Shards int
+	// Buckets is the number of chains per shard (rounded up to a power of
+	// two; default 1024).
+	Buckets int
+	// Design selects the underlying STM engine (default the paper's
+	// direct-update design).
+	Design memtx.Design
+}
+
+// Store is a sharded transactional map of byte-string keys to byte-string
+// values. It is safe for concurrent use.
+type Store struct {
+	tm      *memtx.TM
+	design  memtx.Design
+	dirs    []*memtx.Record // per-shard directory, immutable after New
+	buckets int
+	ops     [NumOps]atomic.Uint64 // committed primitive ops by type
+}
+
+// New builds a store and its transactional memory.
+func New(cfg Config) *Store {
+	shards := ceilPow2(cfg.Shards, 16)
+	if shards > 1<<16 {
+		shards = 1 << 16
+	}
+	buckets := ceilPow2(cfg.Buckets, 1024)
+	s := &Store{
+		tm:      memtx.New(memtx.WithDesign(cfg.Design)),
+		design:  cfg.Design,
+		dirs:    make([]*memtx.Record, shards),
+		buckets: buckets,
+	}
+	for i := range s.dirs {
+		dir := s.tm.NewRecord(0, buckets)
+		err := s.tm.Atomic(func(tx *memtx.Tx) error {
+			dir.OpenForUpdate(tx)
+			for b := 0; b < buckets; b++ {
+				dir.SetRef(tx, b, tx.Alloc(0, 1))
+			}
+			return nil
+		})
+		if err != nil {
+			panic(fmt.Sprintf("kv: shard %d init: %v", i, err))
+		}
+		s.dirs[i] = dir
+	}
+	return s
+}
+
+func ceilPow2(n, def int) int {
+	if n <= 0 {
+		return def
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// TM returns the store's transactional memory, whose engine carries the
+// transaction-level Stats/Metrics for this store.
+func (s *Store) TM() *memtx.TM { return s.tm }
+
+// Design returns the STM design the store was built with.
+func (s *Store) Design() memtx.Design { return s.design }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.dirs) }
+
+// Buckets returns the per-shard bucket count.
+func (s *Store) Buckets() int { return s.buckets }
+
+// OpCount returns the number of committed primitive operations of one type.
+func (s *Store) OpCount(o Op) uint64 { return s.ops[o].Load() }
+
+// ObsMetrics exports the store's shape and committed op counters; the
+// transaction-level figures come from the engine registered alongside.
+func (s *Store) ObsMetrics() []obs.Metric {
+	ms := []obs.Metric{
+		{Name: "stmkv_shards", Help: "Configured shard count.", Kind: obs.Gauge, Value: uint64(len(s.dirs))},
+		{Name: "stmkv_buckets_per_shard", Help: "Configured chains per shard.", Kind: obs.Gauge, Value: uint64(s.buckets)},
+	}
+	for o := Op(0); o < NumOps; o++ {
+		ms = append(ms, obs.Metric{
+			Name:   "stmkv_ops_total",
+			Help:   "Committed primitive store operations, by type.",
+			Kind:   obs.Counter,
+			Labels: []obs.Label{{Key: "op", Value: o.String()}},
+			Value:  s.ops[o].Load(),
+		})
+	}
+	return ms
+}
+
+// Tx is one key-value transaction attempt. It is only valid inside the
+// Atomic or View body that received it.
+type Tx struct {
+	s      *Store
+	m      *memtx.Tx
+	counts [NumOps]uint32
+}
+
+// Atomic runs body as one transaction over the whole store: every Get, Set,
+// Delete, and CompareAndSet inside body commits or aborts together,
+// regardless of how many shards the keys hit. A non-nil error from body
+// aborts and is returned unchanged. Per-type op counters fold in only after
+// a successful commit, so retried attempts are not double-counted.
+func (s *Store) Atomic(body func(t *Tx) error) error {
+	var last *Tx
+	err := s.tm.Atomic(func(m *memtx.Tx) error {
+		t := &Tx{s: s, m: m}
+		last = t
+		return body(t)
+	})
+	if err == nil {
+		s.fold(last)
+	}
+	return err
+}
+
+// View runs body as a read-only transaction (cheaper protocol; mutating
+// operations panic).
+func (s *Store) View(body func(t *Tx) error) error {
+	var last *Tx
+	err := s.tm.ReadOnly(func(m *memtx.Tx) error {
+		t := &Tx{s: s, m: m}
+		last = t
+		return body(t)
+	})
+	if err == nil {
+		s.fold(last)
+	}
+	return err
+}
+
+func (s *Store) fold(t *Tx) {
+	if t == nil {
+		return
+	}
+	for i, c := range t.counts {
+		if c > 0 {
+			s.ops[i].Add(uint64(c))
+		}
+	}
+}
+
+// lookup walks the chain for key. It returns the bucket header, the node
+// holding key (nil if absent), and the preceding node (nil when the match
+// heads the chain).
+func (t *Tx) lookup(h uint64, key []byte) (bucket, node, prev *memtx.Record) {
+	dir := t.s.dirs[h&uint64(len(t.s.dirs)-1)]
+	dir.OpenForRead(t.m)
+	bucket = dir.Ref(t.m, int((h>>16)&uint64(t.s.buckets-1)))
+	bucket.OpenForRead(t.m)
+	for n := bucket.Ref(t.m, 0); n != nil; {
+		n.OpenForRead(t.m)
+		if n.Word(t.m, nodeHash) == h && recEqual(t.m, n.Ref(t.m, nodeKey), key) {
+			return bucket, n, prev
+		}
+		prev, n = n, n.Ref(t.m, nodeNext)
+	}
+	return bucket, nil, nil
+}
+
+// Get returns the value stored under key.
+func (t *Tx) Get(key []byte) ([]byte, bool) {
+	t.counts[OpGet]++
+	_, n, _ := t.lookup(hashKey(key), key)
+	if n == nil {
+		return nil, false
+	}
+	return readBytes(t.m, n.Ref(t.m, nodeVal)), true
+}
+
+// Set stores val under key, inserting or overwriting.
+func (t *Tx) Set(key, val []byte) {
+	t.counts[OpSet]++
+	h := hashKey(key)
+	bucket, n, _ := t.lookup(h, key)
+	v := allocBytes(t.m, val)
+	if n != nil {
+		n.OpenForUpdate(t.m)
+		n.SetRef(t.m, nodeVal, v)
+		return
+	}
+	// Fresh node: transaction-local, so only the bucket header needs
+	// barriers.
+	n = t.m.Alloc(1, 3)
+	n.SetWord(t.m, nodeHash, h)
+	n.SetRef(t.m, nodeKey, allocBytes(t.m, key))
+	n.SetRef(t.m, nodeVal, v)
+	bucket.OpenForUpdate(t.m)
+	n.SetRef(t.m, nodeNext, bucket.Ref(t.m, 0))
+	bucket.SetRef(t.m, 0, n)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tx) Delete(key []byte) bool {
+	t.counts[OpDelete]++
+	bucket, n, prev := t.lookup(hashKey(key), key)
+	if n == nil {
+		return false
+	}
+	next := n.Ref(t.m, nodeNext)
+	if prev == nil {
+		bucket.OpenForUpdate(t.m)
+		bucket.SetRef(t.m, 0, next)
+	} else {
+		prev.OpenForUpdate(t.m)
+		prev.SetRef(t.m, nodeNext, next)
+	}
+	return true
+}
+
+// CompareAndSet replaces key's value with new only if the current value
+// equals old; it reports whether the swap happened. A missing key never
+// matches.
+func (t *Tx) CompareAndSet(key, old, new []byte) bool {
+	t.counts[OpCAS]++
+	_, n, _ := t.lookup(hashKey(key), key)
+	if n == nil {
+		return false
+	}
+	if !recEqual(t.m, n.Ref(t.m, nodeVal), old) {
+		return false
+	}
+	n.OpenForUpdate(t.m)
+	n.SetRef(t.m, nodeVal, allocBytes(t.m, new))
+	return true
+}
+
+// Int reads key's value as a decimal integer; a missing key reads as 0. A
+// value that does not parse is an error (which aborts the transaction when
+// returned from the body).
+func (t *Tx) Int(key []byte) (int64, error) {
+	v, ok := t.Get(key)
+	if !ok {
+		return 0, nil
+	}
+	return ParseInt(v)
+}
+
+// SetInt stores v as decimal text under key.
+func (t *Tx) SetInt(key []byte, v int64) { t.Set(key, FormatInt(v)) }
+
+// Add adds delta to key's integer value (missing keys start at 0) and
+// returns the new value.
+func (t *Tx) Add(key []byte, delta int64) (int64, error) {
+	v, err := t.Int(key)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	t.SetInt(key, v)
+	return v, nil
+}
+
+// Len counts all keys by scanning every shard inside the transaction. It is
+// a test/diagnostic helper: it reads every bucket header, so it conflicts
+// with every concurrent insert and delete.
+func (t *Tx) Len() int {
+	total := 0
+	for _, dir := range t.s.dirs {
+		dir.OpenForRead(t.m)
+		for b := 0; b < t.s.buckets; b++ {
+			hdr := dir.Ref(t.m, b)
+			hdr.OpenForRead(t.m)
+			for n := hdr.Ref(t.m, 0); n != nil; {
+				n.OpenForRead(t.m)
+				total++
+				n = n.Ref(t.m, nodeNext)
+			}
+		}
+	}
+	return total
+}
+
+// Get is Tx.Get in its own read-only transaction.
+func (s *Store) Get(key []byte) (val []byte, ok bool) {
+	_ = s.View(func(t *Tx) error {
+		val, ok = t.Get(key)
+		return nil
+	})
+	return val, ok
+}
+
+// Set is Tx.Set in its own transaction.
+func (s *Store) Set(key, val []byte) {
+	_ = s.Atomic(func(t *Tx) error {
+		t.Set(key, val)
+		return nil
+	})
+}
+
+// Delete is Tx.Delete in its own transaction.
+func (s *Store) Delete(key []byte) (removed bool) {
+	_ = s.Atomic(func(t *Tx) error {
+		removed = t.Delete(key)
+		return nil
+	})
+	return removed
+}
+
+// CompareAndSet is Tx.CompareAndSet in its own transaction.
+func (s *Store) CompareAndSet(key, old, new []byte) (swapped bool) {
+	_ = s.Atomic(func(t *Tx) error {
+		swapped = t.CompareAndSet(key, old, new)
+		return nil
+	})
+	return swapped
+}
+
+// Len is Tx.Len in its own read-only transaction.
+func (s *Store) Len() (n int) {
+	_ = s.View(func(t *Tx) error {
+		n = t.Len()
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,315 @@
+package kvload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memtx"
+	"memtx/internal/engine"
+	"memtx/internal/kv"
+	"memtx/internal/server"
+	"memtx/internal/server/wire"
+)
+
+// Options configures one closed-loop load run against a live server.
+type Options struct {
+	// Addr is the server's host:port.
+	Addr string
+	// Conns is the number of concurrent client connections (default 4).
+	Conns int
+	// Keys is the size of the GET/SET key space (default 10000).
+	Keys int
+	// ValueSize is the SET payload size in bytes (default 64).
+	ValueSize int
+	// ReadFrac is the fraction of operations that are GETs (default 0.8;
+	// negative disables reads entirely).
+	ReadFrac float64
+	// TransferFrac is the fraction of operations that are two-key TRANSFERs
+	// over the account key space (default 0.1; negative disables transfers).
+	// The remainder are SETs.
+	TransferFrac float64
+	// Accounts is the size of the TRANSFER account space (default 256).
+	Accounts int
+	// InitialBalance seeds each account (default 1000).
+	InitialBalance int64
+	// Duration is how long to drive load (default 5s).
+	Duration time.Duration
+	// Pipeline is the number of requests in flight per connection
+	// (default 1: strict request/response).
+	Pipeline int
+	// Seed makes key choice deterministic across runs (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Keys <= 0 {
+		o.Keys = 10000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 64
+	}
+	switch {
+	case o.ReadFrac == 0:
+		o.ReadFrac = 0.8
+	case o.ReadFrac < 0:
+		o.ReadFrac = 0
+	case o.ReadFrac > 1:
+		o.ReadFrac = 1
+	}
+	switch {
+	case o.TransferFrac == 0:
+		o.TransferFrac = 0.1
+	case o.TransferFrac < 0:
+		o.TransferFrac = 0
+	}
+	if o.ReadFrac+o.TransferFrac > 1 {
+		o.TransferFrac = 1 - o.ReadFrac
+	}
+	if o.Accounts <= 0 {
+		o.Accounts = 256
+	}
+	if o.InitialBalance <= 0 {
+		o.InitialBalance = 1000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result summarizes one load run.
+type Result struct {
+	Ops        uint64                   // operations completed
+	Errors     uint64                   // ERR responses (always a bug: the mix sends only valid commands)
+	Elapsed    time.Duration            // wall-clock measurement window
+	Throughput float64                  // operations per second
+	RTT        engine.HistogramSnapshot // per round-trip latency, ns (one round trip = Pipeline ops)
+}
+
+func key(i int) []byte  { return []byte(fmt.Sprintf("key-%07d", i)) }
+func acct(i int) []byte { return []byte(fmt.Sprintf("acct-%05d", i)) }
+
+// Preload seeds the key and account spaces through one pipelined
+// connection so a load run starts from a fully populated store.
+func Preload(o Options) error {
+	o = o.withDefaults()
+	c, err := Dial(o.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	val := patternValue(o.ValueSize, 0)
+	const batch = 64
+	pairs := make([][]byte, 0, 2*batch)
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		err := c.MSet(pairs...)
+		pairs = pairs[:0]
+		return err
+	}
+	for i := 0; i < o.Keys; i++ {
+		pairs = append(pairs, key(i), val)
+		if len(pairs) == 2*batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	bal := kv.FormatInt(o.InitialBalance)
+	for i := 0; i < o.Accounts; i++ {
+		pairs = append(pairs, acct(i), bal)
+		if len(pairs) == 2*batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// patternValue builds a deterministic payload of n bytes.
+func patternValue(n int, salt byte) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(i)*31 + salt
+	}
+	return v
+}
+
+// Run drives the configured mix against a live server and reports
+// aggregate throughput and per-round-trip latency. The store should be
+// seeded first (Preload); Run does not seed, so back-to-back runs measure
+// a warm server.
+func Run(o Options) (*Result, error) {
+	o = o.withDefaults()
+	clients := make([]*Client, o.Conns)
+	for i := range clients {
+		c, err := Dial(o.Addr)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	var (
+		ops    atomic.Uint64
+		errs   atomic.Uint64
+		rtt    engine.Histogram
+		wg     sync.WaitGroup
+		runErr atomic.Value
+	)
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(c *Client, seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			val := patternValue(o.ValueSize, byte(seed))
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				n, err := issueBatch(c, r, o, val)
+				if err != nil {
+					runErr.Store(err)
+					return
+				}
+				rtt.ObserveDuration(time.Since(t0))
+				ops.Add(uint64(n.ok))
+				errs.Add(uint64(n.errs))
+			}
+		}(c, o.Seed+int64(i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err, _ := runErr.Load().(error); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Ops:     ops.Load(),
+		Errors:  errs.Load(),
+		Elapsed: elapsed,
+		RTT:     rtt.Snapshot(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+type batchCount struct{ ok, errs int }
+
+// issueBatch pipelines one window of Pipeline requests and reads all
+// responses.
+func issueBatch(c *Client, r *rand.Rand, o Options, val []byte) (batchCount, error) {
+	for i := 0; i < o.Pipeline; i++ {
+		p := r.Float64()
+		var err error
+		switch {
+		case p < o.ReadFrac:
+			err = c.Send("GET", wire.Blob(key(r.Intn(o.Keys))))
+		case p < o.ReadFrac+o.TransferFrac:
+			src, dst := r.Intn(o.Accounts), r.Intn(o.Accounts)
+			amount := wire.Bare(string(kv.FormatInt(1 + int64(r.Intn(10)))))
+			err = c.Send("TRANSFER", wire.Blob(acct(src)), wire.Blob(acct(dst)), amount)
+		default:
+			err = c.Send("SET", wire.Blob(key(r.Intn(o.Keys))), wire.Blob(val))
+		}
+		if err != nil {
+			return batchCount{}, err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return batchCount{}, err
+	}
+	var n batchCount
+	for i := 0; i < o.Pipeline; i++ {
+		_, err := c.Recv()
+		if err != nil {
+			if _, remote := err.(*RemoteError); remote {
+				n.errs++
+				continue
+			}
+			return n, err
+		}
+		n.ok++
+	}
+	return n, nil
+}
+
+// GridPoint is one (design, shard-count) cell of a self-hosted sweep.
+type GridPoint struct {
+	Design string
+	Shards int
+	Result *Result
+	// CommittedTxns is the engine's commit counter after the run — the
+	// cross-check that the measured ops really ran as transactions.
+	CommittedTxns uint64
+}
+
+// RunSelfGrid measures the load mix against in-process servers, one per
+// (design, shard-count) combination — the path `stmbench -kvload self`
+// and the BENCH_PR3.json recording use. Each cell builds a fresh store
+// and server on a loopback listener, preloads it, drives Run, and drains.
+func RunSelfGrid(designs []memtx.Design, shardCounts []int, o Options) ([]GridPoint, error) {
+	var points []GridPoint
+	for _, d := range designs {
+		for _, shards := range shardCounts {
+			res, committed, err := runSelfCell(d, shards, o)
+			if err != nil {
+				return nil, fmt.Errorf("kvload: design %v shards %d: %w", d, shards, err)
+			}
+			points = append(points, GridPoint{
+				Design:        d.String(),
+				Shards:        shards,
+				Result:        res,
+				CommittedTxns: committed,
+			})
+		}
+	}
+	return points, nil
+}
+
+func runSelfCell(d memtx.Design, shards int, o Options) (*Result, uint64, error) {
+	store := kv.New(kv.Config{Shards: shards, Design: d})
+	srv := server.New(store, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, 0, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	o.Addr = ln.Addr().String()
+	if err := Preload(o); err != nil {
+		return nil, 0, err
+	}
+	res, err := Run(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, store.TM().Stats().Commits, nil
+}

@@ -1,0 +1,62 @@
+package kvload
+
+import (
+	"testing"
+	"time"
+
+	"memtx"
+)
+
+// TestRunSelfGrid smoke-tests the full self-hosted path: store + server on
+// loopback, preload, a short load run, and the engine commit cross-check.
+func TestRunSelfGrid(t *testing.T) {
+	o := Options{
+		Conns:     2,
+		Keys:      200,
+		ValueSize: 16,
+		Accounts:  16,
+		Duration:  200 * time.Millisecond,
+		Pipeline:  4,
+	}
+	points, err := RunSelfGrid([]memtx.Design{memtx.DirectUpdate}, []int{1, 4}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d grid points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Design != "direct" {
+			t.Errorf("design = %q", p.Design)
+		}
+		if p.Result.Ops == 0 {
+			t.Errorf("shards=%d: zero ops completed", p.Shards)
+		}
+		if p.Result.Errors != 0 {
+			t.Errorf("shards=%d: %d ERR responses from a valid mix", p.Shards, p.Result.Errors)
+		}
+		if p.CommittedTxns == 0 {
+			t.Errorf("shards=%d: engine shows zero commits", p.Shards)
+		}
+		if p.Result.Throughput <= 0 {
+			t.Errorf("shards=%d: throughput = %v", p.Shards, p.Result.Throughput)
+		}
+	}
+}
+
+// TestOptionsDefaults pins the defaulting rules the CLI flags rely on.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Conns != 4 || o.Keys != 10000 || o.ValueSize != 64 || o.Pipeline != 1 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	if o.ReadFrac != 0.8 || o.TransferFrac != 0.1 {
+		t.Errorf("unexpected mix defaults: read=%v transfer=%v", o.ReadFrac, o.TransferFrac)
+	}
+	// An explicit read fraction that would push the mix over 1.0 clamps the
+	// transfer share instead of silently exceeding it.
+	o = Options{ReadFrac: 0.95, TransferFrac: 0.2}.withDefaults()
+	if o.ReadFrac+o.TransferFrac > 1 {
+		t.Errorf("mix exceeds 1: read=%v transfer=%v", o.ReadFrac, o.TransferFrac)
+	}
+}

@@ -24,6 +24,7 @@ import (
 type Registry struct {
 	mu      sync.Mutex
 	entries []regEntry
+	sources sourceSet
 }
 
 type regEntry struct {
@@ -186,9 +187,20 @@ type engineJSON struct {
 // WriteJSON renders the snapshots as an indented JSON document:
 // {"engines": [...]}.
 func WriteJSON(w io.Writer, snaps []EngineSnapshot) error {
+	return WriteJSONWithSources(w, snaps, nil)
+}
+
+// WriteJSONWithSources renders engine and application-source snapshots as
+// one indented JSON document: {"engines": [...], "sources": [...]} (the
+// sources key is omitted when there are none).
+func WriteJSONWithSources(w io.Writer, snaps []EngineSnapshot, sources []SourceSnapshot) error {
 	out := struct {
 		Engines []engineJSON `json:"engines"`
+		Sources []sourceJSON `json:"sources,omitempty"`
 	}{Engines: make([]engineJSON, 0, len(snaps))}
+	for _, s := range sources {
+		out.Sources = append(out.Sources, toSourceJSON(s))
+	}
 	for _, s := range snaps {
 		causes := make(map[string]uint64, engine.NumAbortCauses)
 		for _, c := range engine.AbortCauses {
@@ -215,10 +227,11 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, r.Snapshot())
+		_ = WriteSourcesPrometheus(w, r.SnapshotSources())
 	})
 	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = WriteJSON(w, r.Snapshot())
+		_ = WriteJSONWithSources(w, r.Snapshot(), r.SnapshotSources())
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MetricKind distinguishes monotonically non-decreasing counters from
+// free-moving gauges in the exported TYPE lines.
+type MetricKind uint8
+
+const (
+	// Counter is a monotonically non-decreasing cumulative count.
+	Counter MetricKind = iota
+	// Gauge is an instantaneous level (active connections, queue depth).
+	Gauge
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k MetricKind) String() string {
+	if k == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// Metric is one exported sample from an application-level MetricSource:
+// a Prometheus family name plus optional labels and the current value.
+// Every sample additionally receives a source="<registered name>" label on
+// export, so two sources may share family names.
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   MetricKind
+	Labels []Label
+	Value  uint64
+}
+
+// MetricSource exposes application-level metrics (server connection gauges,
+// KV op counters) alongside the engine Stats/Metrics the registry already
+// exports. Implementations must be safe for concurrent use: ObsMetrics is
+// called from HTTP scrape handlers while the application runs.
+//
+// Conventions (pinned by enginetest.RunMetricSource):
+//
+//   - the set of (Name, Labels) series is fixed for the source's lifetime;
+//   - Counter-kind values never decrease between calls;
+//   - Name is a valid Prometheus family name and Help is non-empty.
+type MetricSource interface {
+	ObsMetrics() []Metric
+}
+
+// SourceSnapshot pairs one registered source's name with a point-in-time
+// copy of its metrics.
+type SourceSnapshot struct {
+	Name    string
+	Metrics []Metric
+}
+
+type srcEntry struct {
+	name string
+	src  MetricSource
+}
+
+type sourceSet struct {
+	mu      sync.Mutex
+	entries []srcEntry
+}
+
+// RegisterSource adds an application-level metric source under name.
+// Like Register, re-registering a name replaces the previous source.
+func (r *Registry) RegisterSource(name string, src MetricSource) {
+	r.sources.mu.Lock()
+	defer r.sources.mu.Unlock()
+	for i := range r.sources.entries {
+		if r.sources.entries[i].name == name {
+			r.sources.entries[i].src = src
+			return
+		}
+	}
+	r.sources.entries = append(r.sources.entries, srcEntry{name, src})
+}
+
+// SnapshotSources captures every registered source, sorted by name.
+func (r *Registry) SnapshotSources() []SourceSnapshot {
+	r.sources.mu.Lock()
+	entries := make([]srcEntry, len(r.sources.entries))
+	copy(entries, r.sources.entries)
+	r.sources.mu.Unlock()
+
+	snaps := make([]SourceSnapshot, 0, len(entries))
+	for _, e := range entries {
+		snaps = append(snaps, SourceSnapshot{Name: e.name, Metrics: e.src.ObsMetrics()})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	return snaps
+}
+
+// WriteSourcesPrometheus renders source snapshots in the Prometheus text
+// exposition format. HELP/TYPE are emitted once per family (first
+// occurrence wins), and every sample carries a source label ahead of its
+// own labels.
+func WriteSourcesPrometheus(w io.Writer, snaps []SourceSnapshot) error {
+	type sample struct {
+		source string
+		m      Metric
+	}
+	var order []string
+	families := map[string][]sample{}
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			if _, ok := families[m.Name]; !ok {
+				order = append(order, m.Name)
+			}
+			families[m.Name] = append(families[m.Name], sample{s.Name, m})
+		}
+	}
+	for _, fam := range order {
+		samples := families[fam]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam, samples[0].m.Help, fam, samples[0].m.Kind)
+		for _, sm := range samples {
+			fmt.Fprintf(w, "%s{source=%q", fam, sm.source)
+			for _, l := range sm.m.Labels {
+				fmt.Fprintf(w, ",%s=%q", l.Key, l.Value)
+			}
+			fmt.Fprintf(w, "} %d\n", sm.m.Value)
+		}
+	}
+	return nil
+}
+
+// sourceJSON is the JSON view of one source: metrics keyed by family name
+// plus a {k="v"} label suffix when labelled.
+type sourceJSON struct {
+	Name    string            `json:"name"`
+	Metrics map[string]uint64 `json:"metrics"`
+}
+
+func toSourceJSON(s SourceSnapshot) sourceJSON {
+	out := sourceJSON{Name: s.Name, Metrics: make(map[string]uint64, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		key := m.Name
+		for _, l := range m.Labels {
+			key += fmt.Sprintf("{%s=%q}", l.Key, l.Value)
+		}
+		out.Metrics[key] = m.Value
+	}
+	return out
+}

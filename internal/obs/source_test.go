@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeSource is a deterministic MetricSource for exporter tests.
+type fakeSource struct {
+	conns uint64
+	ops   map[string]uint64
+}
+
+func (f *fakeSource) ObsMetrics() []Metric {
+	ms := []Metric{
+		{Name: "test_connections_active", Help: "Open connections.", Kind: Gauge, Value: f.conns},
+	}
+	for _, op := range []string{"get", "set"} {
+		ms = append(ms, Metric{
+			Name:   "test_ops_total",
+			Help:   "Ops by type.",
+			Kind:   Counter,
+			Labels: []Label{{Key: "op", Value: op}},
+			Value:  f.ops[op],
+		})
+	}
+	return ms
+}
+
+func TestRegisterSourceReplaceAndSort(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSource("zeta", &fakeSource{conns: 1, ops: map[string]uint64{}})
+	r.RegisterSource("alpha", &fakeSource{conns: 2, ops: map[string]uint64{}})
+	r.RegisterSource("zeta", &fakeSource{conns: 9, ops: map[string]uint64{}})
+	snaps := r.SnapshotSources()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d source snapshots, want 2", len(snaps))
+	}
+	if snaps[0].Name != "alpha" || snaps[1].Name != "zeta" {
+		t.Fatalf("not sorted: %s, %s", snaps[0].Name, snaps[1].Name)
+	}
+	if snaps[1].Metrics[0].Value != 9 {
+		t.Fatalf("re-registering did not replace: %+v", snaps[1].Metrics[0])
+	}
+}
+
+func TestWriteSourcesPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSource("kvd", &fakeSource{conns: 3, ops: map[string]uint64{"get": 7, "set": 2}})
+	r.RegisterSource("kvd2", &fakeSource{conns: 1, ops: map[string]uint64{"get": 5}})
+	var buf bytes.Buffer
+	if err := WriteSourcesPrometheus(&buf, r.SnapshotSources()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_connections_active Open connections.",
+		"# TYPE test_connections_active gauge",
+		"# TYPE test_ops_total counter",
+		`test_connections_active{source="kvd"} 3`,
+		`test_ops_total{source="kvd",op="get"} 7`,
+		`test_ops_total{source="kvd",op="set"} 2`,
+		`test_ops_total{source="kvd2",op="get"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus source output missing %q\n---\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with two sources exporting
+	// the same family.
+	if n := strings.Count(out, "# TYPE test_ops_total counter"); n != 1 {
+		t.Errorf("TYPE line for shared family appears %d times, want 1", n)
+	}
+}
+
+func TestWriteJSONWithSources(t *testing.T) {
+	r := NewRegistry()
+	r.Register("direct", populate(t))
+	r.RegisterSource("kvd", &fakeSource{conns: 4, ops: map[string]uint64{"get": 11, "set": 6}})
+	var buf bytes.Buffer
+	if err := WriteJSONWithSources(&buf, r.Snapshot(), r.SnapshotSources()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Engines []struct {
+			Name string `json:"name"`
+		} `json:"engines"`
+		Sources []struct {
+			Name    string            `json:"name"`
+			Metrics map[string]uint64 `json:"metrics"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Engines) != 1 || len(doc.Sources) != 1 {
+		t.Fatalf("got %d engines, %d sources", len(doc.Engines), len(doc.Sources))
+	}
+	s := doc.Sources[0]
+	if s.Name != "kvd" {
+		t.Fatalf("source name = %q", s.Name)
+	}
+	if s.Metrics[`test_ops_total{op="get"}`] != 11 || s.Metrics["test_connections_active"] != 4 {
+		t.Fatalf("source metrics = %v", s.Metrics)
+	}
+}
+
+func TestHandlerServesSources(t *testing.T) {
+	r := NewRegistry()
+	r.Register("direct", populate(t))
+	r.RegisterSource("kvd", &fakeSource{conns: 2, ops: map[string]uint64{"get": 3}})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":    `test_ops_total{source="kvd",op="get"} 3`,
+		"/stats.json": `"sources"`,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s missing %q\n---\n%s", path, want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,515 @@
+// Package server is stmkvd's TCP front end: it speaks the length-prefixed
+// wire protocol (internal/server/wire) and executes commands against a
+// sharded transactional store (internal/kv).
+//
+// Each accepted connection is served by one goroutine that reads request
+// frames, executes them in order, and writes response frames in the same
+// order — so clients may pipeline arbitrarily many requests. Responses are
+// buffered and flushed only when the input buffer drains, which keeps
+// syscall counts low under pipelining without adding latency to lone
+// requests.
+//
+// Commands that run transactions pass through a semaphore bounding the
+// number of in-flight store transactions across all connections
+// (Config.MaxInflight): past the bound, connections queue — visible as the
+// stmkvd_txns_queued gauge — instead of piling more conflicting
+// transactions onto the engine. Shutdown performs a graceful drain: stop
+// accepting, let every connection finish the requests it has already
+// received, flush, then close.
+//
+// # Commands
+//
+//	PING                       → PONG
+//	GET k                      → VAL $n:v | NIL
+//	SET k v                    → OK
+//	DEL k                      → :1 | :0
+//	CAS k old new              → :1 | :0
+//	INCR k delta               → :new            (decimal integer values)
+//	TRANSFER src dst amount    → :1 | :0         (:0 = insufficient funds)
+//	MGET k1 … kn               → VALS a1 … an    (ai = $n:v | NIL)
+//	MSET k1 v1 … kn vn         → OK
+//
+// Every multi-key command is one atomic transaction. Malformed command
+// bodies get an ERR $n:msg response on a still-usable connection; framing
+// errors are unrecoverable and close it.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memtx/internal/kv"
+	"memtx/internal/obs"
+	"memtx/internal/server/wire"
+)
+
+// Cmd identifies one protocol command in the per-type counters.
+type Cmd int
+
+const (
+	CmdPing Cmd = iota
+	CmdGet
+	CmdSet
+	CmdDel
+	CmdCAS
+	CmdIncr
+	CmdTransfer
+	CmdMGet
+	CmdMSet
+	CmdUnknown
+	NumCmds
+)
+
+var cmdNames = [NumCmds]string{
+	"ping", "get", "set", "del", "cas", "incr", "transfer", "mget", "mset", "unknown",
+}
+
+// String returns the label used in metric export.
+func (c Cmd) String() string { return cmdNames[c] }
+
+// Config tunes a Server; the zero value is usable.
+type Config struct {
+	// MaxInflight bounds concurrently executing store transactions across
+	// all connections (default 128).
+	MaxInflight int
+	// MaxFrame bounds accepted request frame bodies (default
+	// wire.DefaultMaxFrame).
+	MaxFrame int
+	// ErrorLog receives accept and per-connection I/O errors (default: the
+	// log package's standard logger).
+	ErrorLog *log.Logger
+}
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves the stmkvd protocol over TCP. Create with New, start with
+// Serve or ListenAndServe, stop with Shutdown.
+type Server struct {
+	store    *kv.Store
+	maxFrame int
+	errorLog *log.Logger
+	sem      chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+
+	connsTotal  atomic.Uint64
+	protoErrors atomic.Uint64
+	cmds        [NumCmds]atomic.Uint64
+	active      atomic.Int64
+	queued      atomic.Int64
+	inflight    atomic.Int64
+}
+
+// New builds a server over store.
+func New(store *kv.Store, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 128
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.ErrorLog == nil {
+		cfg.ErrorLog = log.Default()
+	}
+	return &Server{
+		store:    store,
+		maxFrame: cfg.MaxFrame,
+		errorLog: cfg.ErrorLog,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// Store returns the server's store.
+func (s *Server) Store() *kv.Store { return s.store }
+
+// CmdCount returns the number of completed commands of one type.
+func (s *Server) CmdCount(c Cmd) uint64 { return s.cmds[c].Load() }
+
+// ObsMetrics exports the server's connection and queueing figures for the
+// obs registry.
+func (s *Server) ObsMetrics() []obs.Metric {
+	gauge := func(v int64) uint64 {
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
+	ms := []obs.Metric{
+		{Name: "stmkvd_connections_active", Help: "Currently open client connections.", Kind: obs.Gauge, Value: gauge(s.active.Load())},
+		{Name: "stmkvd_connections_total", Help: "Client connections accepted.", Kind: obs.Counter, Value: s.connsTotal.Load()},
+		{Name: "stmkvd_protocol_errors_total", Help: "Malformed frames and command bodies received.", Kind: obs.Counter, Value: s.protoErrors.Load()},
+		{Name: "stmkvd_txns_queued", Help: "Commands waiting for an in-flight transaction slot.", Kind: obs.Gauge, Value: gauge(s.queued.Load())},
+		{Name: "stmkvd_txns_inflight", Help: "Store transactions currently executing.", Kind: obs.Gauge, Value: gauge(s.inflight.Load())},
+	}
+	for c := Cmd(0); c < NumCmds; c++ {
+		ms = append(ms, obs.Metric{
+			Name:   "stmkvd_commands_total",
+			Help:   "Completed protocol commands, by type.",
+			Kind:   obs.Counter,
+			Labels: []obs.Label{{Key: "cmd", Value: c.String()}},
+			Value:  s.cmds[c].Load(),
+		})
+	}
+	return ms
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown; it returns
+// ErrServerClosed after a graceful stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown gracefully drains the server: stop accepting, let every
+// connection finish the frames it has already received, then close. If ctx
+// expires first the remaining connections are closed hard and ctx's error
+// is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Unblock readers parked in ReadFrame; their loops notice the drain,
+	// finish buffered requests, flush, and exit.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Unix(0, 1))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// serveConn runs one connection's read-execute-respond loop.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	br := bufio.NewReaderSize(c, 32<<10)
+	bw := bufio.NewWriterSize(c, 32<<10)
+	var out []byte
+	for {
+		// During a drain, serve the requests already buffered (they were
+		// received before the drain) and stop once the buffer is empty.
+		if s.isDraining() && br.Buffered() == 0 {
+			break
+		}
+		body, err := wire.ReadFrame(br, s.maxFrame)
+		if err != nil {
+			if err == io.EOF {
+				break // clean disconnect between frames
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				break // drain poke
+			}
+			// Framing is lost: report once, then close.
+			s.protoErrors.Add(1)
+			out = wire.AppendFrame(out[:0], errBody(err))
+			_, _ = bw.Write(out)
+			break
+		}
+		resp := s.dispatch(body)
+		out = wire.AppendFrame(out[:0], resp)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		// Flush only when no further pipelined request is already buffered.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+	_ = bw.Flush()
+}
+
+// Response bodies reused across commands.
+var (
+	bodyPong = []byte("PONG")
+	bodyOK   = []byte("OK")
+	bodyNil  = []byte("NIL")
+	bodyInt0 = []byte(":0")
+	bodyInt1 = []byte(":1")
+)
+
+func errBody(err error) []byte {
+	return wire.AppendCommand(nil, "ERR", wire.Blob([]byte(err.Error())))
+}
+
+func intBody(v int64) []byte {
+	if v == 0 {
+		return bodyInt0
+	}
+	if v == 1 {
+		return bodyInt1
+	}
+	return append([]byte(":"), kv.FormatInt(v)...)
+}
+
+var errArity = errors.New("server: wrong number of arguments")
+
+// acquire blocks until an in-flight transaction slot is free.
+func (s *Server) acquire() {
+	s.queued.Add(1)
+	s.sem <- struct{}{}
+	s.queued.Add(-1)
+	s.inflight.Add(1)
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// dispatch parses and executes one command body, returning the response
+// body.
+func (s *Server) dispatch(body []byte) []byte {
+	cmd, err := wire.ParseCommand(body)
+	if err != nil {
+		// The frame was well-formed, so the connection is still usable.
+		s.protoErrors.Add(1)
+		return errBody(err)
+	}
+	id, resp := s.execute(cmd)
+	s.cmds[id].Add(1)
+	return resp
+}
+
+func (s *Server) execute(cmd wire.Command) (Cmd, []byte) {
+	args := cmd.Args
+	switch strings.ToUpper(cmd.Name) {
+	case "PING":
+		if len(args) != 0 {
+			return CmdPing, errBody(errArity)
+		}
+		return CmdPing, bodyPong
+
+	case "GET":
+		if len(args) != 1 {
+			return CmdGet, errBody(errArity)
+		}
+		s.acquire()
+		v, ok := s.store.Get(args[0].B)
+		s.release()
+		if !ok {
+			return CmdGet, bodyNil
+		}
+		return CmdGet, wire.AppendCommand(nil, "VAL", wire.Blob(v))
+
+	case "SET":
+		if len(args) != 2 {
+			return CmdSet, errBody(errArity)
+		}
+		s.acquire()
+		s.store.Set(args[0].B, args[1].B)
+		s.release()
+		return CmdSet, bodyOK
+
+	case "DEL":
+		if len(args) != 1 {
+			return CmdDel, errBody(errArity)
+		}
+		s.acquire()
+		removed := s.store.Delete(args[0].B)
+		s.release()
+		if removed {
+			return CmdDel, bodyInt1
+		}
+		return CmdDel, bodyInt0
+
+	case "CAS":
+		if len(args) != 3 {
+			return CmdCAS, errBody(errArity)
+		}
+		s.acquire()
+		swapped := s.store.CompareAndSet(args[0].B, args[1].B, args[2].B)
+		s.release()
+		if swapped {
+			return CmdCAS, bodyInt1
+		}
+		return CmdCAS, bodyInt0
+
+	case "INCR":
+		if len(args) != 2 {
+			return CmdIncr, errBody(errArity)
+		}
+		delta, err := kv.ParseInt(args[1].B)
+		if err != nil {
+			return CmdIncr, errBody(err)
+		}
+		var after int64
+		s.acquire()
+		err = s.store.Atomic(func(t *kv.Tx) error {
+			after, err = t.Add(args[0].B, delta)
+			return err
+		})
+		s.release()
+		if err != nil {
+			return CmdIncr, errBody(err)
+		}
+		return CmdIncr, intBody(after)
+
+	case "TRANSFER":
+		if len(args) != 3 {
+			return CmdTransfer, errBody(errArity)
+		}
+		amount, err := kv.ParseInt(args[2].B)
+		if err != nil {
+			return CmdTransfer, errBody(err)
+		}
+		if amount < 0 {
+			return CmdTransfer, errBody(errors.New("server: negative transfer amount"))
+		}
+		ok := false
+		s.acquire()
+		err = s.store.Atomic(func(t *kv.Tx) error {
+			ok = false
+			src, err := t.Int(args[0].B)
+			if err != nil {
+				return err
+			}
+			if src < amount {
+				return nil // insufficient funds: commit unchanged
+			}
+			t.SetInt(args[0].B, src-amount)
+			dst, err := t.Int(args[1].B)
+			if err != nil {
+				return err
+			}
+			t.SetInt(args[1].B, dst+amount)
+			ok = true
+			return nil
+		})
+		s.release()
+		if err != nil {
+			return CmdTransfer, errBody(err)
+		}
+		if ok {
+			return CmdTransfer, bodyInt1
+		}
+		return CmdTransfer, bodyInt0
+
+	case "MGET":
+		if len(args) == 0 {
+			return CmdMGet, errBody(errArity)
+		}
+		vals := make([]wire.Arg, len(args))
+		s.acquire()
+		_ = s.store.View(func(t *kv.Tx) error {
+			for i, a := range args {
+				if v, ok := t.Get(a.B); ok {
+					vals[i] = wire.Blob(v)
+				} else {
+					vals[i] = wire.Bare("NIL")
+				}
+			}
+			return nil
+		})
+		s.release()
+		return CmdMGet, wire.AppendCommand(nil, "VALS", vals...)
+
+	case "MSET":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return CmdMSet, errBody(errArity)
+		}
+		s.acquire()
+		_ = s.store.Atomic(func(t *kv.Tx) error {
+			for i := 0; i < len(args); i += 2 {
+				t.Set(args[i].B, args[i+1].B)
+			}
+			return nil
+		})
+		s.release()
+		return CmdMSet, bodyOK
+
+	default:
+		return CmdUnknown, errBody(errors.New("server: unknown command " + cmd.Name))
+	}
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame asserts the framing layer's total-function contract on
+// arbitrary byte streams, mirroring the TIL parser fuzz harness: ReadFrame
+// must either return an error or a body within the limit, never panic, and
+// every accepted body must re-frame to bytes that parse back to the same
+// body (frames are a fixpoint).
+//
+// Run with `go test -fuzz=FuzzReadFrame ./internal/server/wire` to explore;
+// the seed corpus of valid and truncated frames runs as part of the normal
+// test suite.
+func FuzzReadFrame(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("4 PING\n"),
+		[]byte("0 \n"),
+		AppendFrame(nil, AppendCommand(nil, "SET", Blob([]byte("k")), Blob([]byte("v")))),
+		AppendFrame(AppendFrame(nil, []byte("4 PING")), []byte("3 GET")), // nested frame-looking bodies
+		[]byte("4 PIN"),          // truncated body
+		[]byte("4 PING"),         // missing LF
+		[]byte("10 PING\n"),      // declared size too long
+		[]byte("99999999 x\n"),   // huge declared size
+		[]byte("007 AB CDE\n"),   // leading zeros
+		[]byte(" 4 PING\n"),      // leading space
+		[]byte("4\tPING\n"),      // tab separator
+		[]byte("-1 x\n"),         // negative size
+		[]byte("4 PING\r\n"),     // CRLF termination
+		{},                       // empty stream
+		[]byte("3"),              // stream ends inside size
+		[]byte("2 ab\n2 cd\n2 "), // two frames then truncation
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		br := bufio.NewReader(bytes.NewReader(stream))
+		for {
+			body, err := ReadFrame(br, limit)
+			if err != nil {
+				if err == io.EOF && br.Buffered() == 0 {
+					return // clean end between frames
+				}
+				return // rejecting is fine; panicking is not
+			}
+			if len(body) > limit {
+				t.Fatalf("accepted body of %d bytes over limit %d", len(body), limit)
+			}
+			reframed := AppendFrame(nil, body)
+			body2, err := ReadFrame(bufio.NewReader(bytes.NewReader(reframed)), limit)
+			if err != nil {
+				t.Fatalf("re-framed body does not re-parse: %v\nbody: %q", err, body)
+			}
+			if !bytes.Equal(body, body2) {
+				t.Fatalf("frame round trip not a fixpoint: %q vs %q", body, body2)
+			}
+		}
+	})
+}
+
+// FuzzParseCommand asserts the body grammar's contract: ParseCommand either
+// rejects or yields a command that AppendCommand re-encodes to a body
+// parsing back to the identical command (print/parse fixpoint, like the TIL
+// harness).
+func FuzzParseCommand(f *testing.F) {
+	seeds := []string{
+		"PING",
+		"GET $3:foo",
+		"SET $3:foo $11:hello world",
+		"CAS $1:k $0: $3:new",
+		"INCR $3:ctr 5",
+		"TRANSFER $4:a001 $4:a002 17",
+		"MGET $1:a $1:b $1:c",
+		"VALS NIL $3:NIL",
+		"ERR $11:bad command",
+		":1",
+		"OK",
+		"",
+		"GET",
+		"GET ",
+		" GET",
+		"$3:GET",
+		"GET $99:short",
+		"GET $:x",
+		"SET $3:a b c $3:xyz",
+		"X $0:",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		cmd, err := ParseCommand(body)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		re := AppendCommand(nil, cmd.Name, cmd.Args...) // panics on bad output = bug
+		cmd2, err := ParseCommand(re)
+		if err != nil {
+			t.Fatalf("re-encoded command does not reparse: %v\nbody: %q re: %q", err, body, re)
+		}
+		if cmd2.Name != cmd.Name || len(cmd2.Args) != len(cmd.Args) {
+			t.Fatalf("command round trip mismatch: %+v vs %+v (body %q)", cmd, cmd2, body)
+		}
+		for i := range cmd.Args {
+			if !bytes.Equal(cmd.Args[i].B, cmd2.Args[i].B) || cmd.Args[i].Blob != cmd2.Args[i].Blob {
+				t.Fatalf("arg %d round trip mismatch: %+v vs %+v (body %q)", i, cmd.Args[i], cmd2.Args[i], body)
+			}
+		}
+	})
+}

@@ -1,0 +1,277 @@
+// Package wire defines the stmkvd wire protocol: a small length-prefixed
+// text protocol designed for pipelining. It is shared by the server
+// (internal/server) and the client/load generator (internal/kvload), and it
+// is the layer the protocol fuzz harness exercises.
+//
+// # Framing
+//
+// Every request and every response is one frame:
+//
+//	frame := size SP body LF
+//
+// where size is the decimal byte length of body (no sign, no leading zeros
+// required, at most 8 digits). The trailing LF is not counted in size. A
+// connection is a sequence of frames in each direction; responses are
+// returned in request order, so a client may pipeline any number of request
+// frames before reading responses.
+//
+// # Body grammar
+//
+// A body is a command name followed by arguments, separated by single
+// spaces:
+//
+//	body  := name *(SP arg)
+//	name  := bare
+//	arg   := bare | blob
+//	bare  := 1*barechar          ; any byte except SP, LF, CR; first byte != '$'
+//	blob  := "$" size ":" *OCTET ; exactly size bytes, binary-safe
+//
+// Bare tokens carry commands, integers, and symbols ("GET", ":1", "NIL").
+// Blobs carry keys and values, which may contain arbitrary bytes. The two
+// spellings stay distinguishable after parsing (Arg.Blob), so a stored value
+// that happens to read "NIL" is never confused with the bare NIL marker.
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DefaultMaxFrame bounds the body size ReadFrame accepts unless the caller
+// passes its own limit; it also bounds what a conforming peer may send.
+const DefaultMaxFrame = 1 << 20
+
+// maxSizeDigits bounds the decimal size prefix: 8 digits covers any body up
+// to ~100 MB, far beyond any sane frame limit, while keeping the reader from
+// consuming an unbounded digit run from a hostile peer.
+const maxSizeDigits = 8
+
+// ErrFrameTooLarge is returned by ReadFrame when the declared body size
+// exceeds the limit. The connection cannot be resynchronized afterwards.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ProtocolError describes a malformed frame or body. A peer that receives
+// one has lost framing and should close the connection.
+type ProtocolError struct{ msg string }
+
+func (e *ProtocolError) Error() string { return "wire: " + e.msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{msg: fmt.Sprintf(format, args...)}
+}
+
+// AppendFrame appends one frame carrying body to dst and returns the
+// extended slice.
+func AppendFrame(dst, body []byte) []byte {
+	dst = strconv.AppendUint(dst, uint64(len(body)), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, body...)
+	return append(dst, '\n')
+}
+
+// ReadFrame reads one frame from br and returns its body. max bounds the
+// accepted body size (0 means DefaultMaxFrame). io.EOF is returned
+// unwrapped only when the stream ends cleanly between frames; a stream that
+// ends mid-frame yields io.ErrUnexpectedEOF or a *ProtocolError.
+func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	size, err := readSize(br, ' ')
+	if err != nil {
+		return nil, err
+	}
+	if size > max {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	c, err := br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if c != '\n' {
+		return nil, protoErrf("frame body not terminated by LF (got %q)", c)
+	}
+	return body, nil
+}
+
+// readSize reads a decimal size followed by the given terminator byte. At
+// the start of a frame a clean EOF before any digit is a clean end of
+// stream.
+func readSize(br *bufio.Reader, term byte) (int, error) {
+	size := 0
+	digits := 0
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && digits == 0 && term == ' ' {
+				return 0, io.EOF // clean end between frames
+			}
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if c == term {
+			if digits == 0 {
+				return 0, protoErrf("empty size prefix")
+			}
+			return size, nil
+		}
+		if c < '0' || c > '9' {
+			return 0, protoErrf("bad byte %q in size prefix", c)
+		}
+		if digits++; digits > maxSizeDigits {
+			return 0, protoErrf("size prefix longer than %d digits", maxSizeDigits)
+		}
+		size = size*10 + int(c-'0')
+	}
+}
+
+// Arg is one parsed argument: its bytes plus whether it was spelled as a
+// binary-safe blob or a bare token.
+type Arg struct {
+	B    []byte
+	Blob bool
+}
+
+// Bare wraps a token argument. The string must be a valid bare token
+// (non-empty, no SP/LF/CR, not starting with '$'); AppendCommand panics
+// otherwise, since that is a programming error, not peer input.
+func Bare(s string) Arg { return Arg{B: []byte(s)} }
+
+// Blob wraps a binary-safe argument.
+func Blob(b []byte) Arg { return Arg{B: b, Blob: true} }
+
+// Command is one parsed body: the command name and its arguments.
+type Command struct {
+	Name string
+	Args []Arg
+}
+
+// validBare reports whether b may be emitted as a bare token.
+func validBare(b []byte) bool {
+	if len(b) == 0 || b[0] == '$' {
+		return false
+	}
+	for _, c := range b {
+		if c == ' ' || c == '\n' || c == '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendCommand appends the body encoding of a command to dst and returns
+// the extended slice (body only — frame it with AppendFrame).
+func AppendCommand(dst []byte, name string, args ...Arg) []byte {
+	if !validBare([]byte(name)) {
+		panic("wire: invalid command name " + strconv.Quote(name))
+	}
+	dst = append(dst, name...)
+	for _, a := range args {
+		dst = append(dst, ' ')
+		if a.Blob {
+			dst = strconv.AppendUint(append(dst, '$'), uint64(len(a.B)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, a.B...)
+		} else {
+			if !validBare(a.B) {
+				panic("wire: invalid bare argument " + strconv.Quote(string(a.B)))
+			}
+			dst = append(dst, a.B...)
+		}
+	}
+	return dst
+}
+
+// ParseCommand parses one body. The returned Args alias body's backing
+// array; callers that retain them past the next frame read must copy.
+func ParseCommand(body []byte) (Command, error) {
+	var cmd Command
+	rest := body
+	first := true
+	for {
+		if len(rest) == 0 {
+			if first {
+				return cmd, protoErrf("empty command body")
+			}
+			return cmd, nil
+		}
+		arg, tail, err := parseArg(rest)
+		if err != nil {
+			return cmd, err
+		}
+		rest = tail
+		if first {
+			if arg.Blob {
+				return cmd, protoErrf("command name must be a bare token")
+			}
+			cmd.Name = string(arg.B)
+			first = false
+		} else {
+			cmd.Args = append(cmd.Args, arg)
+		}
+		if len(rest) > 0 {
+			if rest[0] != ' ' {
+				return cmd, protoErrf("arguments must be separated by a single space")
+			}
+			rest = rest[1:]
+			if len(rest) == 0 {
+				return cmd, protoErrf("trailing space after last argument")
+			}
+		}
+	}
+}
+
+// parseArg consumes one bare token or blob from the front of b.
+func parseArg(b []byte) (Arg, []byte, error) {
+	if b[0] == '$' {
+		size := 0
+		digits := 0
+		i := 1
+		for ; i < len(b) && b[i] != ':'; i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				return Arg{}, nil, protoErrf("bad byte %q in blob size", c)
+			}
+			if digits++; digits > maxSizeDigits {
+				return Arg{}, nil, protoErrf("blob size longer than %d digits", maxSizeDigits)
+			}
+			size = size*10 + int(c-'0')
+		}
+		if i == len(b) {
+			return Arg{}, nil, protoErrf("blob size not terminated by ':'")
+		}
+		if digits == 0 {
+			return Arg{}, nil, protoErrf("empty blob size")
+		}
+		i++ // skip ':'
+		if len(b)-i < size {
+			return Arg{}, nil, protoErrf("blob truncated: declared %d bytes, %d remain", size, len(b)-i)
+		}
+		return Arg{B: b[i : i+size], Blob: true}, b[i+size:], nil
+	}
+	i := 0
+	for ; i < len(b) && b[i] != ' '; i++ {
+		if b[i] == '\n' || b[i] == '\r' {
+			return Arg{}, nil, protoErrf("bare token contains line break")
+		}
+	}
+	if i == 0 {
+		return Arg{}, nil, protoErrf("empty bare token")
+	}
+	return Arg{B: b[:i]}, b[i:], nil
+}

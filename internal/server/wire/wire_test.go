@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{
+		[]byte("PING"),
+		[]byte(""),
+		[]byte("SET $3:foo $5:hello"),
+		[]byte("blob with \n newline $2:\x00\xff"),
+		bytes.Repeat([]byte("x"), 10_000),
+	}
+	var stream []byte
+	for _, b := range bodies {
+		stream = AppendFrame(stream, b)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range bodies {
+		got, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br, 0); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		max   int
+	}{
+		{"truncated body", "10 short", 0},
+		{"missing LF", "4 abcdX", 0},
+		{"empty size", " body\n", 0},
+		{"bad size byte", "1x2 a\n", 0},
+		{"size overflow digits", "123456789 x\n", 0},
+		{"over limit", "100 " + strings.Repeat("a", 100) + "\n", 10},
+		{"eof mid size", "12", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			br := bufio.NewReader(strings.NewReader(c.input))
+			_, err := ReadFrame(br, c.max)
+			if err == nil || err == io.EOF {
+				t.Fatalf("ReadFrame(%q) = %v, want a real error", c.input, err)
+			}
+		})
+	}
+
+	br := bufio.NewReader(strings.NewReader("100 x\n"))
+	if _, err := ReadFrame(br, 10); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	cases := []Command{
+		{Name: "PING"},
+		{Name: "GET", Args: []Arg{Blob([]byte("key"))}},
+		{Name: "SET", Args: []Arg{Blob([]byte("k")), Blob([]byte("v with spaces\nand newline"))}},
+		{Name: "CAS", Args: []Arg{Blob(nil), Blob([]byte{0, 255}), Blob([]byte("$3:fake"))}},
+		{Name: "INCR", Args: []Arg{Blob([]byte("ctr")), Bare("-42")}},
+		{Name: "VALS", Args: []Arg{Bare("NIL"), Blob([]byte("NIL"))}},
+		{Name: ":1"},
+	}
+	for _, want := range cases {
+		body := AppendCommand(nil, want.Name, want.Args...)
+		got, err := ParseCommand(body)
+		if err != nil {
+			t.Fatalf("ParseCommand(%q): %v", body, err)
+		}
+		if got.Name != want.Name || len(got.Args) != len(want.Args) {
+			t.Fatalf("ParseCommand(%q) = %+v, want %+v", body, got, want)
+		}
+		for i := range want.Args {
+			if !bytes.Equal(got.Args[i].B, want.Args[i].B) || got.Args[i].Blob != want.Args[i].Blob {
+				t.Fatalf("ParseCommand(%q) arg %d = %+v, want %+v", body, i, got.Args[i], want.Args[i])
+			}
+		}
+	}
+}
+
+func TestParseCommandErrors(t *testing.T) {
+	bad := []string{
+		"",                 // empty body
+		" GET",             // leading space
+		"GET ",             // trailing space
+		"GET  $1:x",        // double space
+		"$3:GET $1:x",      // blob command name
+		"GET $",            // blob size missing
+		"GET $5x:abc",      // bad blob size byte
+		"GET $5:abc",       // blob truncated
+		"GET $123456789:x", // blob size digit overflow
+		"GET a\rb",         // CR in bare token
+	}
+	for _, body := range bad {
+		if _, err := ParseCommand([]byte(body)); err == nil {
+			t.Errorf("ParseCommand(%q) accepted malformed body", body)
+		}
+	}
+}
+
+// TestBlobNilDistinction pins the property the MGET response format relies
+// on: a stored value spelled "NIL" stays distinguishable from the bare NIL
+// marker across an encode/parse round trip.
+func TestBlobNilDistinction(t *testing.T) {
+	body := AppendCommand(nil, "VALS", Bare("NIL"), Blob([]byte("NIL")))
+	cmd, err := ParseCommand(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Args[0].Blob || !cmd.Args[1].Blob {
+		t.Fatalf("blob flags lost in round trip: %+v", cmd.Args)
+	}
+}

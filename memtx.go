@@ -38,6 +38,7 @@ package memtx
 
 import (
 	"errors"
+	"strconv"
 
 	"memtx/internal/core"
 	"memtx/internal/engine"
@@ -59,6 +60,33 @@ const (
 	// shadow copies.
 	BufferedObject
 )
+
+// String returns the short engine name used in benchmark output and
+// command-line flags ("direct", "wstm", "ostm").
+func (d Design) String() string {
+	switch d {
+	case BufferedWord:
+		return "wstm"
+	case BufferedObject:
+		return "ostm"
+	default:
+		return "direct"
+	}
+}
+
+// ParseDesign converts a short engine name back to a Design; it accepts
+// exactly the strings String produces.
+func ParseDesign(s string) (Design, error) {
+	switch s {
+	case "direct":
+		return DirectUpdate, nil
+	case "wstm":
+		return BufferedWord, nil
+	case "ostm":
+		return BufferedObject, nil
+	}
+	return 0, errors.New("memtx: unknown design " + strconv.Quote(s) + " (want direct, wstm, or ostm)")
+}
 
 // Config collects construction options.
 type Config struct {
