@@ -24,6 +24,7 @@ type kvOptions struct {
 	transferFrac float64
 	duration     time.Duration
 	pipeline     int
+	batches      string // comma-separated MaxBatch values, only for self sweeps
 	benchJSON    string
 	quick        bool
 }
@@ -60,11 +61,15 @@ func runKVLoad(o kvOptions) error {
 		if err != nil {
 			return err
 		}
-		shards, err := parseInts(o.shards)
+		shards, err := parseInts("shard count", o.shards)
 		if err != nil {
 			return err
 		}
-		points, err = kvload.RunSelfGrid(designs, shards, lo)
+		batches, err := parseInts("batch bound", o.batches)
+		if err != nil {
+			return err
+		}
+		points, err = kvload.RunSelfGrid(designs, shards, batches, lo)
 		if err != nil {
 			return err
 		}
@@ -100,16 +105,29 @@ func parseDesigns(s string) ([]memtx.Design, error) {
 	return out, nil
 }
 
-func parseInts(s string) ([]int, error) {
+func parseInts(what, s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return nil, fmt.Errorf("bad shard count %q", f)
+			return nil, fmt.Errorf("bad %s %q", what, f)
 		}
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// batchLabel renders a GridPoint.MaxBatch value for tables and kernels:
+// the server default, an explicit bound, or batching off.
+func batchLabel(b int) string {
+	switch {
+	case b == 0:
+		return "def"
+	case b < 0:
+		return "off"
+	default:
+		return strconv.Itoa(b)
+	}
 }
 
 func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
@@ -117,7 +135,7 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		ID: "kvload",
 		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / rest SET",
 			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac),
-		Header: []string{"design", "shards", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "commits"},
+		Header: []string{"design", "shards", "batch", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "commits", "rbatches", "fallbacks"},
 	}
 	for _, p := range points {
 		shards := "-"
@@ -127,12 +145,15 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		t.AddRow(
 			p.Design,
 			shards,
+			batchLabel(p.MaxBatch),
 			strconv.FormatUint(p.Result.Ops, 10),
 			fmt.Sprintf("%.0f", p.Result.Throughput),
 			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.5))/1e3),
 			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.99))/1e3),
 			strconv.FormatUint(p.Result.Errors, 10),
 			strconv.FormatUint(p.CommittedTxns, 10),
+			strconv.FormatUint(p.ReadBatches, 10),
+			strconv.FormatUint(p.BatchFallbacks, 10),
 		)
 	}
 	t.Fprint(os.Stdout)
@@ -146,9 +167,16 @@ func writeKVBenchJSON(path string, points []kvload.GridPoint, lo kvload.Options,
 		if p.Result.Throughput > 0 {
 			nsPerOp = 1e9 / p.Result.Throughput
 		}
+		// The kernel string is the baseline-matching key, so the server's
+		// default batching keeps the historical spelling and only explicit
+		// sweep values grow a suffix.
+		cell := fmt.Sprintf("%s/shards%d", kernel, p.Shards)
+		if p.MaxBatch != 0 {
+			cell += "/batch" + batchLabel(p.MaxBatch)
+		}
 		report.Results = append(report.Results, harness.BenchPoint{
 			Experiment: "kvload",
-			Kernel:     fmt.Sprintf("%s/shards%d", kernel, p.Shards),
+			Kernel:     cell,
 			Engine:     p.Design,
 			Ops:        p.Result.Ops,
 			NsPerOp:    nsPerOp,

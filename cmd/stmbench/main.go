@@ -42,6 +42,7 @@ func main() {
 		exps      = flag.String("e", "all", "comma-separated experiments to run (e1..e7, or 'all')")
 		quick     = flag.Bool("quick", false, "use small test-scale parameters")
 		serve     = flag.String("serve", "", "serve live metrics on this address (e.g. :8080) while running")
+		pprofFlag = flag.Bool("pprof", false, "with -serve, also expose /debug/pprof/ profiling endpoints")
 		watch     = flag.Duration("watch", 0, "print live metrics to stderr at this interval (e.g. 2s)")
 		benchJSON = flag.String("benchjson", "", "write per-experiment throughput and allocs/op as JSON to this file, then exit")
 
@@ -55,6 +56,7 @@ func main() {
 		kvTransferFrac = flag.Float64("kv-transferfrac", 0.1, "fraction of two-key TRANSFERs in the mix")
 		kvDuration     = flag.Duration("kv-duration", 5*time.Second, "measurement window per cell")
 		kvPipeline     = flag.Int("kv-pipeline", 1, "requests in flight per connection")
+		kvBatch        = flag.String("kv-batch", "0", "server read-batch bounds to sweep with -kvload self (0 = server default, -1 = off)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,7 @@ func main() {
 			transferFrac: *kvTransferFrac,
 			duration:     *kvDuration,
 			pipeline:     *kvPipeline,
+			batches:      *kvBatch,
 			benchJSON:    *benchJSON,
 			quick:        *quick,
 		}); err != nil {
@@ -108,14 +111,20 @@ func main() {
 		reg := obs.NewRegistry()
 		harness.SetRegistry(reg)
 		if *serve != "" {
-			srv := &http.Server{Addr: *serve, Handler: reg.Handler()}
+			handler := reg.Handler()
+			what := "/metrics and /stats.json"
+			if *pprofFlag {
+				handler = obs.DebugHandler(handler)
+				what += " and /debug/pprof/"
+			}
+			srv := &http.Server{Addr: *serve, Handler: handler}
 			go func() {
 				if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 					fmt.Fprintf(os.Stderr, "stmbench: serve: %v\n", err)
 					os.Exit(1)
 				}
 			}()
-			fmt.Fprintf(os.Stderr, "stmbench: serving /metrics and /stats.json on %s\n", *serve)
+			fmt.Fprintf(os.Stderr, "stmbench: serving %s on %s\n", what, *serve)
 		}
 		if *watch > 0 {
 			stop := harness.StartWatch(os.Stderr, *watch)

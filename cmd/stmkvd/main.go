@@ -11,6 +11,8 @@
 //	stmkvd -addr :7070 -shards 4         # explicit listen address and shard count
 //	stmkvd -design wstm                  # pick the STM engine (direct, wstm, ostm)
 //	stmkvd -serve-metrics :8080          # expose /metrics and /stats.json
+//	stmkvd -serve-metrics :8080 -pprof   # also expose /debug/pprof/
+//	stmkvd -max-batch 0                  # disable read-snapshot batching
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
 // requests finish, and the process exits once every connection has flushed
@@ -41,7 +43,9 @@ func main() {
 		buckets      = flag.Int("buckets", 1024, "hash buckets per shard (rounded up to a power of two)")
 		design       = flag.String("design", "direct", "STM engine: direct, wstm, or ostm")
 		maxInflight  = flag.Int("max-inflight", 128, "max concurrently executing transactions (0 = default)")
+		maxBatch     = flag.Int("max-batch", server.DefaultMaxBatch, "max pipelined read-only commands coalesced into one snapshot transaction (0 = off)")
 		serveMetrics = flag.String("serve-metrics", "", "serve /metrics and /stats.json on this address (e.g. :8080)")
+		pprofFlag    = flag.Bool("pprof", false, "with -serve-metrics, also expose /debug/pprof/ profiling endpoints")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
@@ -52,20 +56,32 @@ func main() {
 		logger.Fatal(err)
 	}
 	store := kv.New(kv.Config{Shards: *shards, Buckets: *buckets, Design: d})
-	srv := server.New(store, server.Config{MaxInflight: *maxInflight, ErrorLog: logger})
+	batch := *maxBatch
+	if batch <= 0 {
+		batch = -1 // flag 0 means off; Config 0 would mean the default
+	}
+	srv := server.New(store, server.Config{MaxInflight: *maxInflight, MaxBatch: batch, ErrorLog: logger})
 
 	if *serveMetrics != "" {
 		reg := obs.NewRegistry()
 		reg.Register("kv", store.TM().Engine())
 		reg.RegisterSource("kv", store)
 		reg.RegisterSource("kvd", srv)
-		msrv := &http.Server{Addr: *serveMetrics, Handler: reg.Handler()}
+		handler := reg.Handler()
+		what := "/metrics and /stats.json"
+		if *pprofFlag {
+			handler = obs.DebugHandler(handler)
+			what += " and /debug/pprof/"
+		}
+		msrv := &http.Server{Addr: *serveMetrics, Handler: handler}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Fatalf("metrics server: %v", err)
 			}
 		}()
-		logger.Printf("serving /metrics and /stats.json on %s", *serveMetrics)
+		logger.Printf("serving %s on %s", what, *serveMetrics)
+	} else if *pprofFlag {
+		logger.Printf("-pprof ignored without -serve-metrics")
 	}
 
 	done := make(chan error, 1)

@@ -54,6 +54,18 @@ func (t *Txn) Commit() error {
 		panic("core: Commit on finished transaction")
 	}
 	commitStart := time.Now()
+	if t.readonly && !t.roSawOwner && t.eng.valSeq.Load() == t.roSeq {
+		// Read-only fast path: no object this transaction opened was owned
+		// by a writer, and no writer has dirtied or committed anything since
+		// the begin-time valSeq snapshot, so every optimistic read is still
+		// at its recorded version — commit in O(1) without walking the read
+		// log. See Engine.valSeq for why this is sound.
+		eng := t.eng
+		eng.stats.roFastCommits.Add(1)
+		t.finish(true)
+		eng.metrics.ObserveCommit(time.Since(commitStart))
+		return nil
+	}
 	if !t.valid() {
 		t.cause = engine.CauseValidation
 		t.rollback()
@@ -61,6 +73,12 @@ func (t *Txn) Commit() error {
 	}
 	for _, e := range t.updateLog {
 		e.obj.meta.Store(&e.newMeta)
+	}
+	if len(t.updateLog) > 0 {
+		// Invalidate concurrent read-only fast-path snapshots: the objects
+		// released above now carry committed values a pre-commit snapshot
+		// must not silently accept alongside older reads.
+		t.eng.valSeq.Add(1)
 	}
 	eng, published := t.eng, len(t.updateLog) > 0
 	t.finish(true) // recycles t; use the captured engine afterwards

@@ -55,6 +55,15 @@ type Engine struct {
 	metrics engine.Metrics
 	signal  commitSignal
 
+	// valSeq advances whenever shared state may have changed: on the first
+	// in-place write to each owned object (markDirty's clean→dirty
+	// transition, before the write lands) and once per update commit before
+	// its release loop. A read-only transaction snapshots it at begin; if it
+	// is unchanged at commit and no opened object was owned by another
+	// transaction, every optimistic read is still at its recorded version and
+	// per-entry validation can be skipped (the read-only fast path).
+	valSeq atomic.Uint64
+
 	// idMu guards ids, the engine's id block for non-transactional NewObj
 	// calls. Transactions allocate from their own unguarded blocks.
 	idMu sync.Mutex
@@ -76,6 +85,7 @@ type engineStats struct {
 	compactions    atomic.Uint64
 	readLogDropped atomic.Uint64
 	cmWaits        atomic.Uint64
+	roFastCommits  atomic.Uint64
 }
 
 // Option configures an Engine.
@@ -184,6 +194,7 @@ func (e *Engine) Stats() engine.Stats {
 		Compactions:    e.stats.compactions.Load(),
 		ReadLogDropped: e.stats.readLogDropped.Load(),
 		CMWaits:        e.stats.cmWaits.Load(),
+		ROFastCommits:  e.stats.roFastCommits.Load(),
 	}
 	s.Starts = e.stats.starts.Load()
 	return s

@@ -22,6 +22,12 @@ type Txn struct {
 	began    time.Time         // attempt start, for the attempt-latency histogram
 	cause    engine.AbortCause // attributed abort cause if this attempt aborts
 
+	// roSeq is the engine valSeq snapshot taken at begin; roSawOwner records
+	// whether any OpenForRead found the object owned by another transaction.
+	// Together they gate the read-only commit fast path (see Engine.valSeq).
+	roSeq      uint64
+	roSawOwner bool
+
 	readLog   []readEntry
 	updateLog []*updateEntry
 	undoLog   []undoEntry
@@ -72,6 +78,8 @@ func (t *Txn) start(readonly bool) {
 	t.done = false
 	t.began = time.Now()
 	t.cause = engine.CauseExplicit
+	t.roSeq = t.eng.valSeq.Load()
+	t.roSawOwner = false
 	t.readLog = t.readLog[:0]
 	t.updateLog = t.updateLog[:0]
 	t.undoLog = t.undoLog[:0]
@@ -150,6 +158,10 @@ func (t *Txn) OpenForRead(h engine.Handle) {
 	seen := m.version
 	if m.ownerID != 0 {
 		seen = m.entry.oldMeta.version
+		// The owner may have dirtied the object (and bumped valSeq) before
+		// this transaction's roSeq snapshot, so an unchanged valSeq at commit
+		// would not prove this read consistent. Force full validation.
+		t.roSawOwner = true
 	}
 	t.readLog = append(t.readLog, readEntry{obj: o, seen: seen})
 	t.nReadLog++
@@ -245,10 +257,14 @@ func (t *Txn) LogForUndoRef(h engine.Handle, i int) {
 
 // markDirty flags the owned object's update entry so that rollback bumps the
 // version: concurrent optimistic readers may have observed the in-place
-// writes and must fail validation even though the data was restored.
+// writes and must fail validation even though the data was restored. The
+// clean→dirty transition also advances the engine's valSeq *before* the first
+// store lands, so any read-only transaction that can observe the in-place
+// write sees a changed valSeq at commit and takes the full validation path.
 func (t *Txn) markDirty(o *Obj) {
 	m := o.meta.Load()
-	if m.ownerID == t.id {
+	if m.ownerID == t.id && !m.entry.dirty {
+		t.eng.valSeq.Add(1)
 		m.entry.dirty = true
 	}
 }

@@ -155,6 +155,7 @@ type Stats struct {
 	Compactions    uint64 // log compactions performed
 	ReadLogDropped uint64 // read-log entries removed by compaction
 	CMWaits        uint64 // contention-manager waits (spins/yields on an owner)
+	ROFastCommits  uint64 // read-only commits that skipped per-entry validation
 }
 
 // Sub returns the difference s - t, counter by counter. It is used by the
@@ -173,5 +174,6 @@ func (s Stats) Sub(t Stats) Stats {
 		Compactions:    s.Compactions - t.Compactions,
 		ReadLogDropped: s.ReadLogDropped - t.ReadLogDropped,
 		CMWaits:        s.CMWaits - t.CMWaits,
+		ROFastCommits:  s.ROFastCommits - t.ROFastCommits,
 	}
 }

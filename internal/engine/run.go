@@ -47,6 +47,16 @@ func RunReadOnly(e Engine, body func(tx Txn) error) error {
 	return run(e, body, true)
 }
 
+// RunReadOnlyOnce executes body as a single read-only transaction attempt
+// with no retry loop: on conflict it reports conflicted=true and returns,
+// leaving the retry policy to the caller. Serving layers use it to attempt a
+// batched read snapshot and fall back to per-command execution instead of
+// spinning. Like Run, a non-nil body error aborts the attempt — unless the
+// attempt was doomed (failed validation), which is reported as a conflict.
+func RunReadOnlyOnce(e Engine, body func(tx Txn) error) (err error, conflicted bool) {
+	return attempt(e.BeginReadOnly(), body)
+}
+
 func run(e Engine, body func(tx Txn) error, readonly bool) error {
 	var backoff backoff
 	conflicts := 0

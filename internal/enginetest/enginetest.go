@@ -29,6 +29,9 @@ func Run(t *testing.T, f Factory) {
 	t.Run("RefGraph", func(t *testing.T) { testRefGraph(t, f()) })
 	t.Run("AllocPublish", func(t *testing.T) { testAllocPublish(t, f()) })
 	t.Run("ReadOnlyRejectsWrites", func(t *testing.T) { testReadOnlyRejectsWrites(t, f()) })
+	t.Run("ReadOnlyFastPathConflict", func(t *testing.T) { testReadOnlyFastPathConflict(t, f()) })
+	t.Run("ReadOnlyFastPathDirtyWriter", func(t *testing.T) { testReadOnlyFastPathDirtyWriter(t, f()) })
+	t.Run("ReadOnlyFastPathCounts", func(t *testing.T) { testReadOnlyFastPathCounts(t, f()) })
 	t.Run("SequentialModel", func(t *testing.T) { testSequentialModel(t, f()) })
 	t.Run("DoomedErrorRetries", func(t *testing.T) { testDoomedErrorRetries(t, f()) })
 	t.Run("ConcurrentCounter", func(t *testing.T) { testConcurrentCounter(t, f()) })

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
-	"memtx"
+	"memtx/internal/engine"
 )
 
 // hashKey is FNV-1a 64 with a splitmix-style finalizer. The store slices the
@@ -28,26 +28,28 @@ func hashKey(k []byte) uint64 {
 
 // allocBytes packs b into a fresh transaction-local record. All stores are
 // barrier-free (the record is private until commit).
-func allocBytes(tx *memtx.Tx, b []byte) *memtx.Record {
-	r := tx.Alloc(1+(len(b)+7)/8, 0)
-	r.SetWord(tx, 0, uint64(len(b)))
+func allocBytes(raw engine.Txn, b []byte) engine.Handle {
+	r := raw.Alloc(1+(len(b)+7)/8, 0)
+	raw.LogForUndoWord(r, 0)
+	raw.StoreWord(r, 0, uint64(len(b)))
 	for i := 0; i < len(b); i += 8 {
 		var w uint64
 		for j := 0; j < 8 && i+j < len(b); j++ {
 			w |= uint64(b[i+j]) << (8 * uint(j))
 		}
-		r.SetWord(tx, 1+i/8, w)
+		raw.LogForUndoWord(r, 1+i/8)
+		raw.StoreWord(r, 1+i/8, w)
 	}
 	return r
 }
 
 // readBytes unpacks a byte record into a fresh slice.
-func readBytes(tx *memtx.Tx, r *memtx.Record) []byte {
-	r.OpenForRead(tx)
-	n := int(r.Word(tx, 0))
+func readBytes(raw engine.Txn, r engine.Handle) []byte {
+	raw.OpenForRead(r)
+	n := int(raw.LoadWord(r, 0))
 	out := make([]byte, n)
 	for i := 0; i < n; i += 8 {
-		w := r.Word(tx, 1+i/8)
+		w := raw.LoadWord(r, 1+i/8)
 		for j := 0; j < 8 && i+j < n; j++ {
 			out[i+j] = byte(w >> (8 * uint(j)))
 		}
@@ -55,10 +57,29 @@ func readBytes(tx *memtx.Tx, r *memtx.Record) []byte {
 	return out
 }
 
+// appendRecBlob appends a byte record to dst in the wire blob form
+// "$<len>:<bytes>" without any intermediate buffer: the length is read from
+// word 0 first, so the prefix can be emitted before the payload words are
+// decoded straight into dst.
+func appendRecBlob(raw engine.Txn, dst []byte, r engine.Handle) []byte {
+	raw.OpenForRead(r)
+	n := int(raw.LoadWord(r, 0))
+	dst = append(dst, '$')
+	dst = strconv.AppendUint(dst, uint64(n), 10)
+	dst = append(dst, ':')
+	for i := 0; i < n; i += 8 {
+		w := raw.LoadWord(r, 1+i/8)
+		for j := 0; j < 8 && i+j < n; j++ {
+			dst = append(dst, byte(w>>(8*uint(j))))
+		}
+	}
+	return dst
+}
+
 // recEqual compares a byte record against b without unpacking into a slice.
-func recEqual(tx *memtx.Tx, r *memtx.Record, b []byte) bool {
-	r.OpenForRead(tx)
-	if int(r.Word(tx, 0)) != len(b) {
+func recEqual(raw engine.Txn, r engine.Handle, b []byte) bool {
+	raw.OpenForRead(r)
+	if int(raw.LoadWord(r, 0)) != len(b) {
 		return false
 	}
 	for i := 0; i < len(b); i += 8 {
@@ -66,7 +87,7 @@ func recEqual(tx *memtx.Tx, r *memtx.Record, b []byte) bool {
 		for j := 0; j < 8 && i+j < len(b); j++ {
 			w |= uint64(b[i+j]) << (8 * uint(j))
 		}
-		if r.Word(tx, 1+i/8) != w {
+		if raw.LoadWord(r, 1+i/8) != w {
 			return false
 		}
 	}

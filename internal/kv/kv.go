@@ -1,5 +1,9 @@
-// Package kv is a sharded transactional key-value store built on the public
-// memtx decomposed API — the storage layer of the stmkvd server.
+// Package kv is a sharded transactional key-value store — the storage layer
+// of the stmkvd server. Transactions retry through the public memtx API, but
+// the per-operation internals run on the decomposed engine interface
+// (engine.Txn/Handle) directly: walking a hash chain through the Record
+// convenience layer would allocate a wrapper per node visited, and the
+// serving hot path must stay allocation-free.
 //
 // Keys map to records in one of a fixed number of shards; each shard is an
 // independent chained hash table rooted in an immutable directory record.
@@ -26,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"memtx"
+	"memtx/internal/engine"
 	"memtx/internal/obs"
 )
 
@@ -81,7 +86,7 @@ type Config struct {
 type Store struct {
 	tm      *memtx.TM
 	design  memtx.Design
-	dirs    []*memtx.Record // per-shard directory, immutable after New
+	dirs    []engine.Handle // per-shard directory, immutable after New
 	buckets int
 	ops     [NumOps]atomic.Uint64 // committed primitive ops by type
 }
@@ -96,7 +101,7 @@ func New(cfg Config) *Store {
 	s := &Store{
 		tm:      memtx.New(memtx.WithDesign(cfg.Design)),
 		design:  cfg.Design,
-		dirs:    make([]*memtx.Record, shards),
+		dirs:    make([]engine.Handle, shards),
 		buckets: buckets,
 	}
 	for i := range s.dirs {
@@ -111,7 +116,7 @@ func New(cfg Config) *Store {
 		if err != nil {
 			panic(fmt.Sprintf("kv: shard %d init: %v", i, err))
 		}
-		s.dirs[i] = dir
+		s.dirs[i] = dir.Handle()
 	}
 	return s
 }
@@ -163,10 +168,10 @@ func (s *Store) ObsMetrics() []obs.Metric {
 }
 
 // Tx is one key-value transaction attempt. It is only valid inside the
-// Atomic or View body that received it.
+// Atomic, View, or Reader body that received it.
 type Tx struct {
 	s      *Store
-	m      *memtx.Tx
+	raw    engine.Txn
 	counts [NumOps]uint32
 }
 
@@ -178,7 +183,7 @@ type Tx struct {
 func (s *Store) Atomic(body func(t *Tx) error) error {
 	var last *Tx
 	err := s.tm.Atomic(func(m *memtx.Tx) error {
-		t := &Tx{s: s, m: m}
+		t := &Tx{s: s, raw: m.Raw()}
 		last = t
 		return body(t)
 	})
@@ -193,7 +198,7 @@ func (s *Store) Atomic(body func(t *Tx) error) error {
 func (s *Store) View(body func(t *Tx) error) error {
 	var last *Tx
 	err := s.tm.ReadOnly(func(m *memtx.Tx) error {
-		t := &Tx{s: s, m: m}
+		t := &Tx{s: s, raw: m.Raw()}
 		last = t
 		return body(t)
 	})
@@ -201,6 +206,46 @@ func (s *Store) View(body func(t *Tx) error) error {
 		s.fold(last)
 	}
 	return err
+}
+
+// Reader is a reusable single-attempt read-only runner bound to one body.
+// Unlike View it never retries — RunOnce reports a conflict and leaves the
+// fallback policy to the caller — and it holds all per-attempt state inside
+// itself, so a warmed Reader executes with zero heap allocations. The server
+// keeps one per connection to run batched read snapshots.
+//
+// A Reader is not safe for concurrent use; the body must be free of
+// non-transactional side effects other than mutating state the caller
+// discards when RunOnce reports a conflict.
+type Reader struct {
+	s    *Store
+	body func(t *Tx) error
+	wrap func(raw engine.Txn) error
+	t    Tx
+}
+
+// NewReader builds a Reader that executes body on each RunOnce call.
+func (s *Store) NewReader(body func(t *Tx) error) *Reader {
+	r := &Reader{s: s, body: body}
+	r.wrap = func(raw engine.Txn) error {
+		r.t = Tx{s: s, raw: raw}
+		return r.body(&r.t)
+	}
+	return r
+}
+
+// RunOnce executes the body as a single read-only transaction attempt.
+// committed reports whether the attempt validated and committed; false with
+// a nil error means a conflict (or a doomed snapshot), and the caller should
+// fall back to retrying execution. A non-nil error is the body's own error,
+// returned only when the snapshot it was computed from validated.
+func (r *Reader) RunOnce() (committed bool, err error) {
+	err, conflicted := engine.RunReadOnlyOnce(r.s.tm.Engine(), r.wrap)
+	if err != nil || conflicted {
+		return false, err
+	}
+	r.s.fold(&r.t)
+	return true, nil
 }
 
 func (s *Store) fold(t *Tx) {
@@ -217,67 +262,93 @@ func (s *Store) fold(t *Tx) {
 // lookup walks the chain for key. It returns the bucket header, the node
 // holding key (nil if absent), and the preceding node (nil when the match
 // heads the chain).
-func (t *Tx) lookup(h uint64, key []byte) (bucket, node, prev *memtx.Record) {
+func (t *Tx) lookup(h uint64, key []byte) (bucket, node, prev engine.Handle) {
+	raw := t.raw
 	dir := t.s.dirs[h&uint64(len(t.s.dirs)-1)]
-	dir.OpenForRead(t.m)
-	bucket = dir.Ref(t.m, int((h>>16)&uint64(t.s.buckets-1)))
-	bucket.OpenForRead(t.m)
-	for n := bucket.Ref(t.m, 0); n != nil; {
-		n.OpenForRead(t.m)
-		if n.Word(t.m, nodeHash) == h && recEqual(t.m, n.Ref(t.m, nodeKey), key) {
+	raw.OpenForRead(dir)
+	bucket = raw.LoadRef(dir, int((h>>16)&uint64(t.s.buckets-1)))
+	raw.OpenForRead(bucket)
+	for n := raw.LoadRef(bucket, 0); n != nil; {
+		raw.OpenForRead(n)
+		if raw.LoadWord(n, nodeHash) == h && recEqual(raw, raw.LoadRef(n, nodeKey), key) {
 			return bucket, n, prev
 		}
-		prev, n = n, n.Ref(t.m, nodeNext)
+		prev, n = n, raw.LoadRef(n, nodeNext)
 	}
 	return bucket, nil, nil
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The returned slice is freshly
+// allocated; use AppendGetBlob on hot paths that must not allocate.
 func (t *Tx) Get(key []byte) ([]byte, bool) {
 	t.counts[OpGet]++
 	_, n, _ := t.lookup(hashKey(key), key)
 	if n == nil {
 		return nil, false
 	}
-	return readBytes(t.m, n.Ref(t.m, nodeVal)), true
+	return readBytes(t.raw, t.raw.LoadRef(n, nodeVal)), true
+}
+
+// AppendGetBlob appends the value stored under key to dst in the wire
+// protocol's blob form "$<len>:<bytes>" and reports whether the key was
+// present (dst is returned unchanged when it is not). The packed value
+// record is decoded straight into dst, so a sufficiently large dst makes the
+// whole read allocation-free.
+func (t *Tx) AppendGetBlob(dst []byte, key []byte) ([]byte, bool) {
+	t.counts[OpGet]++
+	_, n, _ := t.lookup(hashKey(key), key)
+	if n == nil {
+		return dst, false
+	}
+	return appendRecBlob(t.raw, dst, t.raw.LoadRef(n, nodeVal)), true
 }
 
 // Set stores val under key, inserting or overwriting.
 func (t *Tx) Set(key, val []byte) {
 	t.counts[OpSet]++
+	raw := t.raw
 	h := hashKey(key)
 	bucket, n, _ := t.lookup(h, key)
-	v := allocBytes(t.m, val)
+	v := allocBytes(raw, val)
 	if n != nil {
-		n.OpenForUpdate(t.m)
-		n.SetRef(t.m, nodeVal, v)
+		raw.OpenForUpdate(n)
+		raw.LogForUndoRef(n, nodeVal)
+		raw.StoreRef(n, nodeVal, v)
 		return
 	}
 	// Fresh node: transaction-local, so only the bucket header needs
-	// barriers.
-	n = t.m.Alloc(1, 3)
-	n.SetWord(t.m, nodeHash, h)
-	n.SetRef(t.m, nodeKey, allocBytes(t.m, key))
-	n.SetRef(t.m, nodeVal, v)
-	bucket.OpenForUpdate(t.m)
-	n.SetRef(t.m, nodeNext, bucket.Ref(t.m, 0))
-	bucket.SetRef(t.m, 0, n)
+	// barriers (the undo-log calls on n short-circuit).
+	n = raw.Alloc(1, 3)
+	raw.LogForUndoWord(n, nodeHash)
+	raw.StoreWord(n, nodeHash, h)
+	raw.LogForUndoRef(n, nodeKey)
+	raw.StoreRef(n, nodeKey, allocBytes(raw, key))
+	raw.LogForUndoRef(n, nodeVal)
+	raw.StoreRef(n, nodeVal, v)
+	raw.OpenForUpdate(bucket)
+	raw.LogForUndoRef(n, nodeNext)
+	raw.StoreRef(n, nodeNext, raw.LoadRef(bucket, 0))
+	raw.LogForUndoRef(bucket, 0)
+	raw.StoreRef(bucket, 0, n)
 }
 
 // Delete removes key, reporting whether it was present.
 func (t *Tx) Delete(key []byte) bool {
 	t.counts[OpDelete]++
+	raw := t.raw
 	bucket, n, prev := t.lookup(hashKey(key), key)
 	if n == nil {
 		return false
 	}
-	next := n.Ref(t.m, nodeNext)
+	next := raw.LoadRef(n, nodeNext)
 	if prev == nil {
-		bucket.OpenForUpdate(t.m)
-		bucket.SetRef(t.m, 0, next)
+		raw.OpenForUpdate(bucket)
+		raw.LogForUndoRef(bucket, 0)
+		raw.StoreRef(bucket, 0, next)
 	} else {
-		prev.OpenForUpdate(t.m)
-		prev.SetRef(t.m, nodeNext, next)
+		raw.OpenForUpdate(prev)
+		raw.LogForUndoRef(prev, nodeNext)
+		raw.StoreRef(prev, nodeNext, next)
 	}
 	return true
 }
@@ -287,15 +358,17 @@ func (t *Tx) Delete(key []byte) bool {
 // matches.
 func (t *Tx) CompareAndSet(key, old, new []byte) bool {
 	t.counts[OpCAS]++
+	raw := t.raw
 	_, n, _ := t.lookup(hashKey(key), key)
 	if n == nil {
 		return false
 	}
-	if !recEqual(t.m, n.Ref(t.m, nodeVal), old) {
+	if !recEqual(raw, raw.LoadRef(n, nodeVal), old) {
 		return false
 	}
-	n.OpenForUpdate(t.m)
-	n.SetRef(t.m, nodeVal, allocBytes(t.m, new))
+	raw.OpenForUpdate(n)
+	raw.LogForUndoRef(n, nodeVal)
+	raw.StoreRef(n, nodeVal, allocBytes(raw, new))
 	return true
 }
 
@@ -329,16 +402,17 @@ func (t *Tx) Add(key []byte, delta int64) (int64, error) {
 // a test/diagnostic helper: it reads every bucket header, so it conflicts
 // with every concurrent insert and delete.
 func (t *Tx) Len() int {
+	raw := t.raw
 	total := 0
 	for _, dir := range t.s.dirs {
-		dir.OpenForRead(t.m)
+		raw.OpenForRead(dir)
 		for b := 0; b < t.s.buckets; b++ {
-			hdr := dir.Ref(t.m, b)
-			hdr.OpenForRead(t.m)
-			for n := hdr.Ref(t.m, 0); n != nil; {
-				n.OpenForRead(t.m)
+			hdr := raw.LoadRef(dir, b)
+			raw.OpenForRead(hdr)
+			for n := raw.LoadRef(hdr, 0); n != nil; {
+				raw.OpenForRead(n)
 				total++
-				n = n.Ref(t.m, nodeNext)
+				n = raw.LoadRef(n, nodeNext)
 			}
 		}
 	}

@@ -42,6 +42,11 @@ type Options struct {
 	// Pipeline is the number of requests in flight per connection
 	// (default 1: strict request/response).
 	Pipeline int
+	// MaxBatch is the server-side read-batching bound for self-hosted
+	// cells: 0 keeps the server default, negative disables batching, and a
+	// positive value sets an explicit bound. It has no effect when driving
+	// a remote server, whose batching is fixed by its own flags.
+	MaxBatch int
 	// Seed makes key choice deterministic across runs (default 1).
 	Seed int64
 }
@@ -254,45 +259,59 @@ func issueBatch(c *Client, r *rand.Rand, o Options, val []byte) (batchCount, err
 	return n, nil
 }
 
-// GridPoint is one (design, shard-count) cell of a self-hosted sweep.
+// GridPoint is one (design, shard-count, batch-bound) cell of a self-hosted
+// sweep.
 type GridPoint struct {
 	Design string
 	Shards int
-	Result *Result
+	// MaxBatch is the server's read-batching bound for this cell, in
+	// Options.MaxBatch's encoding (0 = server default, negative = off).
+	MaxBatch int
+	Result   *Result
 	// CommittedTxns is the engine's commit counter after the run — the
 	// cross-check that the measured ops really ran as transactions.
 	CommittedTxns uint64
+	// ReadBatches and BatchFallbacks are the server's snapshot-batch
+	// counters after the run, recording how much coalescing the mix saw.
+	ReadBatches    uint64
+	BatchFallbacks uint64
 }
 
 // RunSelfGrid measures the load mix against in-process servers, one per
-// (design, shard-count) combination — the path `stmbench -kvload self`
-// and the BENCH_PR3.json recording use. Each cell builds a fresh store
-// and server on a loopback listener, preloads it, drives Run, and drains.
-func RunSelfGrid(designs []memtx.Design, shardCounts []int, o Options) ([]GridPoint, error) {
+// (design, shard-count, batch-bound) combination — the path
+// `stmbench -kvload self` and the BENCH_PR*.json recordings use. Each cell
+// builds a fresh store and server on a loopback listener, preloads it,
+// drives Run, and drains. A nil or empty batches slice sweeps only
+// o.MaxBatch, so existing two-dimensional sweeps keep their shape.
+func RunSelfGrid(designs []memtx.Design, shardCounts []int, batches []int, o Options) ([]GridPoint, error) {
+	if len(batches) == 0 {
+		batches = []int{o.MaxBatch}
+	}
 	var points []GridPoint
 	for _, d := range designs {
 		for _, shards := range shardCounts {
-			res, committed, err := runSelfCell(d, shards, o)
-			if err != nil {
-				return nil, fmt.Errorf("kvload: design %v shards %d: %w", d, shards, err)
+			for _, batch := range batches {
+				o.MaxBatch = batch
+				p, err := runSelfCell(d, shards, o)
+				if err != nil {
+					return nil, fmt.Errorf("kvload: design %v shards %d batch %d: %w", d, shards, batch, err)
+				}
+				p.Design = d.String()
+				p.Shards = shards
+				p.MaxBatch = batch
+				points = append(points, p)
 			}
-			points = append(points, GridPoint{
-				Design:        d.String(),
-				Shards:        shards,
-				Result:        res,
-				CommittedTxns: committed,
-			})
 		}
 	}
 	return points, nil
 }
 
-func runSelfCell(d memtx.Design, shards int, o Options) (*Result, uint64, error) {
+func runSelfCell(d memtx.Design, shards int, o Options) (GridPoint, error) {
 	store := kv.New(kv.Config{Shards: shards, Design: d})
-	srv := server.New(store, server.Config{})
+	srv := server.New(store, server.Config{MaxBatch: o.MaxBatch})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, 0, err
+		return GridPoint{}, err
 	}
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
@@ -305,11 +324,17 @@ func runSelfCell(d memtx.Design, shards int, o Options) (*Result, uint64, error)
 
 	o.Addr = ln.Addr().String()
 	if err := Preload(o); err != nil {
-		return nil, 0, err
+		return GridPoint{}, err
 	}
 	res, err := Run(o)
 	if err != nil {
-		return nil, 0, err
+		return GridPoint{}, err
 	}
-	return res, store.TM().Stats().Commits, nil
+	batches, fallbacks := srv.BatchStats()
+	return GridPoint{
+		Result:         res,
+		CommittedTxns:  store.TM().Stats().Commits,
+		ReadBatches:    batches,
+		BatchFallbacks: fallbacks,
+	}, nil
 }

@@ -18,28 +18,34 @@ func TestRunSelfGrid(t *testing.T) {
 		Duration:  200 * time.Millisecond,
 		Pipeline:  4,
 	}
-	points, err := RunSelfGrid([]memtx.Design{memtx.DirectUpdate}, []int{1, 4}, o)
+	points, err := RunSelfGrid([]memtx.Design{memtx.DirectUpdate}, []int{1, 4}, []int{-1, 0}, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 2 {
-		t.Fatalf("got %d grid points, want 2", len(points))
+	if len(points) != 4 {
+		t.Fatalf("got %d grid points, want 4", len(points))
 	}
 	for _, p := range points {
 		if p.Design != "direct" {
 			t.Errorf("design = %q", p.Design)
 		}
 		if p.Result.Ops == 0 {
-			t.Errorf("shards=%d: zero ops completed", p.Shards)
+			t.Errorf("shards=%d batch=%d: zero ops completed", p.Shards, p.MaxBatch)
 		}
 		if p.Result.Errors != 0 {
-			t.Errorf("shards=%d: %d ERR responses from a valid mix", p.Shards, p.Result.Errors)
+			t.Errorf("shards=%d batch=%d: %d ERR responses from a valid mix", p.Shards, p.MaxBatch, p.Result.Errors)
 		}
 		if p.CommittedTxns == 0 {
-			t.Errorf("shards=%d: engine shows zero commits", p.Shards)
+			t.Errorf("shards=%d batch=%d: engine shows zero commits", p.Shards, p.MaxBatch)
 		}
 		if p.Result.Throughput <= 0 {
-			t.Errorf("shards=%d: throughput = %v", p.Shards, p.Result.Throughput)
+			t.Errorf("shards=%d batch=%d: throughput = %v", p.Shards, p.MaxBatch, p.Result.Throughput)
+		}
+		switch {
+		case p.MaxBatch < 0 && p.ReadBatches != 0:
+			t.Errorf("batch=off cell executed %d snapshot batches", p.ReadBatches)
+		case p.MaxBatch == 0 && p.ReadBatches == 0:
+			t.Errorf("batch=default cell executed no snapshot batches under a read-heavy pipelined mix")
 		}
 	}
 }

@@ -95,6 +95,7 @@ var counterFamilies = []struct {
 	{"memtx_compactions_total", "Read-log compaction passes.", func(s engine.Stats) uint64 { return s.Compactions }},
 	{"memtx_read_log_dropped_total", "Read-log entries dropped by compaction.", func(s engine.Stats) uint64 { return s.ReadLogDropped }},
 	{"memtx_cm_waits_total", "Contention-manager waits before retrying an open.", func(s engine.Stats) uint64 { return s.CMWaits }},
+	{"memtx_tx_ro_fast_commits_total", "Read-only commits that skipped per-entry validation.", func(s engine.Stats) uint64 { return s.ROFastCommits }},
 }
 
 // histogramFamilies maps Prometheus histogram families to MetricsSnapshot

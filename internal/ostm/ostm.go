@@ -61,6 +61,15 @@ type Engine struct {
 	stats   stats
 	metrics engine.Metrics
 
+	// valSeq advances once per update commit, after validation passes and
+	// before the first shadow is copied back. A read-only transaction
+	// snapshots it at begin; if it is unchanged at commit, no write-back can
+	// have overlapped its reads (OpenForRead already abandons on a locked
+	// object, so a write-back that both locked and bumped before the snapshot
+	// is ordered entirely before every read), and per-entry validation can be
+	// skipped.
+	valSeq atomic.Uint64
+
 	// idMu guards ids, the engine's block for non-transactional NewObj.
 	idMu sync.Mutex
 	ids  idAlloc
@@ -70,6 +79,7 @@ type stats struct {
 	starts, commits, aborts atomic.Uint64
 	openRead, openUpdate    atomic.Uint64
 	readLog, localSkips     atomic.Uint64
+	roFastCommits           atomic.Uint64
 }
 
 // New returns an object-based buffered-update engine.
@@ -124,6 +134,7 @@ func (e *Engine) Stats() engine.Stats {
 		OpenForUpdate:  e.stats.openUpdate.Load(),
 		ReadLogEntries: e.stats.readLog.Load(),
 		LocalSkips:     e.stats.localSkips.Load(),
+		ROFastCommits:  e.stats.roFastCommits.Load(),
 	}
 	s.Starts = e.stats.starts.Load()
 	return s
@@ -157,6 +168,10 @@ type Txn struct {
 	shadows map[*Obj]*shadow
 	worder  []*Obj
 
+	// roSeq is the engine valSeq snapshot taken at begin; it gates the
+	// read-only commit fast path (see Engine.valSeq).
+	roSeq uint64
+
 	// ids is this transaction's private id block; persists across reuse.
 	ids idAlloc
 
@@ -182,6 +197,7 @@ func (t *Txn) start(readonly bool) {
 	t.done = false
 	t.began = time.Now()
 	t.cause = engine.CauseExplicit
+	t.roSeq = t.eng.valSeq.Load()
 	t.readLog = t.readLog[:0]
 	clear(t.shadows)
 	t.worder = t.worder[:0]
@@ -432,6 +448,15 @@ func (t *Txn) Commit() error {
 	commitStart := time.Now()
 	eng := t.eng
 	if len(t.worder) == 0 {
+		if t.readonly && eng.valSeq.Load() == t.roSeq {
+			// Read-only fast path: no update transaction has copied shadows
+			// back since the begin-time snapshot, so every read is still at
+			// its recorded version — skip the per-entry validation walk.
+			eng.stats.roFastCommits.Add(1)
+			t.finish(true)
+			eng.metrics.ObserveCommit(time.Since(commitStart))
+			return nil
+		}
 		ok := t.validCurrent(false)
 		if !ok {
 			t.cause = engine.CauseValidation
@@ -472,6 +497,10 @@ func (t *Txn) Commit() error {
 		t.finish(false)
 		return engine.ErrConflict
 	}
+	// Invalidate concurrent read-only fast-path snapshots before the first
+	// shadow store lands: any read-only transaction whose reads could race
+	// the write-back below sees a changed valSeq and validates fully.
+	eng.valSeq.Add(1)
 	for _, o := range order {
 		sh := t.shadows[o]
 		for i := range sh.words {

@@ -1,0 +1,78 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"memtx/internal/kv"
+	"memtx/internal/server"
+)
+
+// pipeListener adapts net.Pipe to net.Listener so a server can be driven
+// over synchronous in-memory connections: a client Write returns only once
+// the server has consumed the bytes, which makes "these frames are all
+// buffered server-side" a provable state instead of a TCP timing accident.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn, 1), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// dial hands the server one end of a fresh in-memory connection and returns
+// the other.
+func (l *pipeListener) dial() net.Conn {
+	client, srv := net.Pipe()
+	l.conns <- srv
+	return client
+}
+
+// startPipeServer runs a server over store on an in-memory listener.
+func startPipeServer(t *testing.T, store *kv.Store, cfg server.Config) (*server.Server, *pipeListener) {
+	t.Helper()
+	cfg.ErrorLog = log.New(io.Discard, "", 0)
+	srv := server.New(store, cfg)
+	ln := newPipeListener()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != server.ErrServerClosed {
+			t.Errorf("Serve returned %v, want server.ErrServerClosed", err)
+		}
+	})
+	return srv, ln
+}

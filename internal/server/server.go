@@ -9,6 +9,19 @@
 // syscall counts low under pipelining without adding latency to lone
 // requests.
 //
+// Read-only commands (GET, MGET, PING) take a batched fast path: when a
+// pipelining client has left several of them sitting in the connection's
+// input buffer, up to Config.MaxBatch consecutive ones are coalesced into a
+// single read-only snapshot transaction — one begin/validate/commit covers
+// the whole batch instead of one per command. Responses are assembled
+// directly into per-connection scratch buffers (reused frame, body, and
+// output buffers plus a bound kv.Reader), so the steady-state read path does
+// not allocate. If the snapshot fails commit-time validation the batch's
+// partial output is discarded and every command re-runs through the
+// per-command path, so per-command semantics are unchanged. A write command
+// or malformed body ends the batch and executes after it, in arrival order,
+// preserving strict response ordering.
+//
 // Commands that run transactions pass through a semaphore bounding the
 // number of in-flight store transactions across all connections
 // (Config.MaxInflight): past the bound, connections queue — visible as the
@@ -41,6 +54,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,6 +89,13 @@ var cmdNames = [NumCmds]string{
 // String returns the label used in metric export.
 func (c Cmd) String() string { return cmdNames[c] }
 
+// DefaultMaxBatch is the read-batching bound used when Config.MaxBatch is 0.
+// A batch's read set grows with its size, and a larger read set is both more
+// likely to overlap a concurrent write and more expensive to re-run on
+// fallback, so the default stays well below what a 32 KiB input buffer could
+// physically hold.
+const DefaultMaxBatch = 64
+
 // Config tunes a Server; the zero value is usable.
 type Config struct {
 	// MaxInflight bounds concurrently executing store transactions across
@@ -83,6 +104,11 @@ type Config struct {
 	// MaxFrame bounds accepted request frame bodies (default
 	// wire.DefaultMaxFrame).
 	MaxFrame int
+	// MaxBatch bounds how many consecutive buffered read-only commands
+	// (GET/MGET/PING) are coalesced into one read-only snapshot
+	// transaction. 0 selects DefaultMaxBatch; negative values disable
+	// batching and route every command through the per-command path.
+	MaxBatch int
 	// ErrorLog receives accept and per-connection I/O errors (default: the
 	// log package's standard logger).
 	ErrorLog *log.Logger
@@ -96,6 +122,7 @@ var ErrServerClosed = errors.New("server: closed")
 type Server struct {
 	store    *kv.Store
 	maxFrame int
+	maxBatch int // 0 = batching disabled
 	errorLog *log.Logger
 	sem      chan struct{}
 
@@ -106,12 +133,15 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	connsTotal  atomic.Uint64
-	protoErrors atomic.Uint64
-	cmds        [NumCmds]atomic.Uint64
-	active      atomic.Int64
-	queued      atomic.Int64
-	inflight    atomic.Int64
+	connsTotal     atomic.Uint64
+	protoErrors    atomic.Uint64
+	cmds           [NumCmds]atomic.Uint64
+	batches        atomic.Uint64
+	batchedCmds    atomic.Uint64
+	batchFallbacks atomic.Uint64
+	active         atomic.Int64
+	queued         atomic.Int64
+	inflight       atomic.Int64
 }
 
 // New builds a server over store.
@@ -122,12 +152,19 @@ func New(store *kv.Store, cfg Config) *Server {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxFrame
 	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 0 {
+		cfg.MaxBatch = 0 // batching off
+	}
 	if cfg.ErrorLog == nil {
 		cfg.ErrorLog = log.Default()
 	}
 	return &Server{
 		store:    store,
 		maxFrame: cfg.MaxFrame,
+		maxBatch: cfg.MaxBatch,
 		errorLog: cfg.ErrorLog,
 		sem:      make(chan struct{}, cfg.MaxInflight),
 		conns:    map[net.Conn]struct{}{},
@@ -140,8 +177,14 @@ func (s *Server) Store() *kv.Store { return s.store }
 // CmdCount returns the number of completed commands of one type.
 func (s *Server) CmdCount(c Cmd) uint64 { return s.cmds[c].Load() }
 
-// ObsMetrics exports the server's connection and queueing figures for the
-// obs registry.
+// BatchStats returns the read-batching counters: snapshot batches executed
+// and how many of them failed validation and re-ran per command.
+func (s *Server) BatchStats() (batches, fallbacks uint64) {
+	return s.batches.Load(), s.batchFallbacks.Load()
+}
+
+// ObsMetrics exports the server's connection, queueing, and read-batching
+// figures for the obs registry.
 func (s *Server) ObsMetrics() []obs.Metric {
 	gauge := func(v int64) uint64 {
 		if v < 0 {
@@ -153,6 +196,9 @@ func (s *Server) ObsMetrics() []obs.Metric {
 		{Name: "stmkvd_connections_active", Help: "Currently open client connections.", Kind: obs.Gauge, Value: gauge(s.active.Load())},
 		{Name: "stmkvd_connections_total", Help: "Client connections accepted.", Kind: obs.Counter, Value: s.connsTotal.Load()},
 		{Name: "stmkvd_protocol_errors_total", Help: "Malformed frames and command bodies received.", Kind: obs.Counter, Value: s.protoErrors.Load()},
+		{Name: "stmkvd_read_batches_total", Help: "Read-only snapshot batches executed.", Kind: obs.Counter, Value: s.batches.Load()},
+		{Name: "stmkvd_read_batched_commands_total", Help: "Commands answered through read-only snapshot batches.", Kind: obs.Counter, Value: s.batchedCmds.Load()},
+		{Name: "stmkvd_read_batch_fallbacks_total", Help: "Batches whose snapshot failed validation and re-ran per command.", Kind: obs.Counter, Value: s.batchFallbacks.Load()},
 		{Name: "stmkvd_txns_queued", Help: "Commands waiting for an in-flight transaction slot.", Kind: obs.Gauge, Value: gauge(s.queued.Load())},
 		{Name: "stmkvd_txns_inflight", Help: "Store transactions currently executing.", Kind: obs.Gauge, Value: gauge(s.inflight.Load())},
 	}
@@ -259,28 +305,60 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// batchEntry is one parsed command held during batch collection. Its frame
+// buffer and Args backing array are reused across batches, so steady-state
+// collection reads and parses without allocating.
+type batchEntry struct {
+	frame []byte
+	cmd   wire.Command
+	id    Cmd
+}
+
+// conn is one connection's reusable execution state: response scratch
+// buffers, parsed-command slots for batch collection, and a snapshot reader
+// bound once so repeated batches run without allocating.
+type conn struct {
+	out    []byte       // response frames accumulated this iteration
+	body   []byte       // response body scratch
+	batch  []batchEntry // command slots; len == max(1, Server.maxBatch)
+	n      int          // commands collected into the current batch
+	reader *kv.Reader
+}
+
+func (s *Server) newConn() *conn {
+	slots := s.maxBatch
+	if slots < 1 {
+		slots = 1
+	}
+	c := &conn{batch: make([]batchEntry, slots)}
+	c.reader = s.store.NewReader(c.snapshotBody)
+	return c
+}
+
 // serveConn runs one connection's read-execute-respond loop.
-func (s *Server) serveConn(c net.Conn) {
+func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, c)
+		delete(s.conns, nc)
 		s.mu.Unlock()
-		c.Close()
+		nc.Close()
 	}()
 
-	br := bufio.NewReaderSize(c, 32<<10)
-	bw := bufio.NewWriterSize(c, 32<<10)
-	var out []byte
+	br := bufio.NewReaderSize(nc, 32<<10)
+	bw := bufio.NewWriterSize(nc, 32<<10)
+	c := s.newConn()
 	for {
 		// During a drain, serve the requests already buffered (they were
 		// received before the drain) and stop once the buffer is empty.
 		if s.isDraining() && br.Buffered() == 0 {
 			break
 		}
-		body, err := wire.ReadFrame(br, s.maxFrame)
+		c.out = c.out[:0]
+		e := &c.batch[0]
+		frame, err := wire.ReadFrameInto(br, s.maxFrame, e.frame)
 		if err != nil {
 			if err == io.EOF {
 				break // clean disconnect between frames
@@ -291,14 +369,28 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 			// Framing is lost: report once, then close.
 			s.protoErrors.Add(1)
-			out = wire.AppendFrame(out[:0], errBody(err))
-			_, _ = bw.Write(out)
+			c.out = wire.AppendFrame(c.out, c.errBody(err))
+			_, _ = bw.Write(c.out)
 			break
 		}
-		resp := s.dispatch(body)
-		out = wire.AppendFrame(out[:0], resp)
-		if _, err := bw.Write(out); err != nil {
+		e.frame = frame
+		fatal := false
+		if perr := wire.ParseCommandInto(e.frame, &e.cmd); perr != nil {
+			// The frame was well-formed, so the connection is still usable.
+			s.protoErrors.Add(1)
+			c.out = wire.AppendFrame(c.out, c.errBody(perr))
+		} else if e.id = classify(e.cmd.Name); s.maxBatch > 0 && batchable(e) {
+			fatal = s.collectAndRunBatch(c, br)
+		} else {
+			resp := s.execute(c, &e.cmd, e.id)
+			s.cmds[e.id].Add(1)
+			c.out = wire.AppendFrame(c.out, resp)
+		}
+		if _, err := bw.Write(c.out); err != nil {
 			return
+		}
+		if fatal {
+			break
 		}
 		// Flush only when no further pipelined request is already buffered.
 		if br.Buffered() == 0 {
@@ -310,6 +402,174 @@ func (s *Server) serveConn(c net.Conn) {
 	_ = bw.Flush()
 }
 
+// collectAndRunBatch gathers further batchable commands already sitting in
+// br's buffer into c.batch (slot 0 is parsed), executes the batch, then
+// answers whatever ended collection: a write command runs through the
+// per-command path, a malformed body gets its ERR — both after the batch,
+// preserving arrival order. It never reads from the network: FrameBuffered
+// only admits frames that are fully buffered. The return value reports
+// whether framing was lost and the connection must close.
+func (s *Server) collectAndRunBatch(c *conn, br *bufio.Reader) (fatal bool) {
+	c.n = 1
+	var pending *batchEntry // trailing non-batchable command
+	var pendErr error       // trailing parse error
+	var frameErr error      // framing error: connection closes after the batch
+	for c.n < s.maxBatch && wire.FrameBuffered(br) {
+		e := &c.batch[c.n]
+		frame, err := wire.ReadFrameInto(br, s.maxFrame, e.frame)
+		if err != nil {
+			frameErr = err
+			break
+		}
+		e.frame = frame
+		if err := wire.ParseCommandInto(e.frame, &e.cmd); err != nil {
+			pendErr = err
+			break
+		}
+		e.id = classify(e.cmd.Name)
+		if !batchable(e) {
+			pending = e
+			break
+		}
+		c.n++
+	}
+	s.execBatch(c)
+	switch {
+	case pending != nil:
+		resp := s.execute(c, &pending.cmd, pending.id)
+		s.cmds[pending.id].Add(1)
+		c.out = wire.AppendFrame(c.out, resp)
+	case pendErr != nil:
+		s.protoErrors.Add(1)
+		c.out = wire.AppendFrame(c.out, c.errBody(pendErr))
+	case frameErr != nil:
+		s.protoErrors.Add(1)
+		c.out = wire.AppendFrame(c.out, c.errBody(frameErr))
+		return true
+	}
+	return false
+}
+
+// execBatch answers c.batch[:c.n] — all read-only commands — appending one
+// response frame per command to c.out. GET and MGET entries execute inside
+// one read-only snapshot transaction; if its commit-time validation fails
+// the batch's partial output is discarded and every command re-runs through
+// the per-command path. A batch of only PINGs skips the store entirely.
+func (s *Server) execBatch(c *conn) {
+	n := c.n
+	s.batches.Add(1)
+	s.batchedCmds.Add(uint64(n))
+	needsTxn := false
+	for i := 0; i < n; i++ {
+		if c.batch[i].id != CmdPing {
+			needsTxn = true
+			break
+		}
+	}
+	if !needsTxn {
+		for i := 0; i < n; i++ {
+			c.out = wire.AppendFrame(c.out, bodyPong)
+		}
+	} else {
+		mark := len(c.out)
+		s.acquire()
+		committed, _ := c.reader.RunOnce()
+		s.release()
+		if !committed {
+			s.batchFallbacks.Add(1)
+			c.out = c.out[:mark]
+			for i := 0; i < n; i++ {
+				e := &c.batch[i]
+				c.out = wire.AppendFrame(c.out, s.execute(c, &e.cmd, e.id))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.cmds[c.batch[i].id].Add(1)
+	}
+	c.n = 0
+}
+
+// snapshotBody answers the collected batch against one read-only snapshot,
+// appending response frames to c.out. The snapshot may be doomed when this
+// runs — RunOnce discards the output on validation failure — but it can
+// never tear a value: published byte records are immutable.
+func (c *conn) snapshotBody(t *kv.Tx) error {
+	for i := 0; i < c.n; i++ {
+		e := &c.batch[i]
+		switch e.id {
+		case CmdPing:
+			c.out = wire.AppendFrame(c.out, bodyPong)
+		case CmdGet:
+			c.body = append(c.body[:0], "VAL "...)
+			if b, ok := t.AppendGetBlob(c.body, e.cmd.Args[0].B); ok {
+				c.body = b
+				c.out = wire.AppendFrame(c.out, c.body)
+			} else {
+				c.out = wire.AppendFrame(c.out, bodyNil)
+			}
+		case CmdMGet:
+			c.body = append(c.body[:0], "VALS"...)
+			for _, a := range e.cmd.Args {
+				c.body = append(c.body, ' ')
+				if b, ok := t.AppendGetBlob(c.body, a.B); ok {
+					c.body = b
+				} else {
+					c.body = append(c.body, "NIL"...)
+				}
+			}
+			c.out = wire.AppendFrame(c.out, c.body)
+		}
+	}
+	return nil
+}
+
+// batchable reports whether e may join a read-only snapshot batch: a
+// read-only command with valid arity. Wrong-arity spellings go through the
+// per-command path for their ERR.
+func batchable(e *batchEntry) bool {
+	switch e.id {
+	case CmdPing:
+		return len(e.cmd.Args) == 0
+	case CmdGet:
+		return len(e.cmd.Args) == 1
+	case CmdMGet:
+		return len(e.cmd.Args) >= 1
+	}
+	return false
+}
+
+// classify maps a command name to its Cmd. The canonical upper- and
+// lowercase spellings match without allocating (their names are interned by
+// the parser); mixed-case spellings pay one ToUpper allocation.
+func classify(name string) Cmd {
+	switch name {
+	case "PING", "ping":
+		return CmdPing
+	case "GET", "get":
+		return CmdGet
+	case "SET", "set":
+		return CmdSet
+	case "DEL", "del":
+		return CmdDel
+	case "CAS", "cas":
+		return CmdCAS
+	case "INCR", "incr":
+		return CmdIncr
+	case "TRANSFER", "transfer":
+		return CmdTransfer
+	case "MGET", "mget":
+		return CmdMGet
+	case "MSET", "mset":
+		return CmdMSet
+	default:
+		if up := strings.ToUpper(name); up != name {
+			return classify(up)
+		}
+		return CmdUnknown
+	}
+}
+
 // Response bodies reused across commands.
 var (
 	bodyPong = []byte("PONG")
@@ -319,18 +579,29 @@ var (
 	bodyInt1 = []byte(":1")
 )
 
-func errBody(err error) []byte {
-	return wire.AppendCommand(nil, "ERR", wire.Blob([]byte(err.Error())))
+// errBody renders err as an "ERR $n:msg" body (the encoding AppendCommand
+// would produce) into c's scratch.
+func (c *conn) errBody(err error) []byte {
+	msg := err.Error()
+	c.body = append(c.body[:0], "ERR $"...)
+	c.body = strconv.AppendInt(c.body, int64(len(msg)), 10)
+	c.body = append(c.body, ':')
+	c.body = append(c.body, msg...)
+	return c.body
 }
 
-func intBody(v int64) []byte {
+// intBody renders ":v" into c's scratch; 0 and 1 — the booleans of the
+// protocol — come from static bodies.
+func (c *conn) intBody(v int64) []byte {
 	if v == 0 {
 		return bodyInt0
 	}
 	if v == 1 {
 		return bodyInt1
 	}
-	return append([]byte(":"), kv.FormatInt(v)...)
+	c.body = append(c.body[:0], ':')
+	c.body = strconv.AppendInt(c.body, v, 10)
+	return c.body
 }
 
 var errArity = errors.New("server: wrong number of arguments")
@@ -348,81 +619,72 @@ func (s *Server) release() {
 	<-s.sem
 }
 
-// dispatch parses and executes one command body, returning the response
-// body.
-func (s *Server) dispatch(body []byte) []byte {
-	cmd, err := wire.ParseCommand(body)
-	if err != nil {
-		// The frame was well-formed, so the connection is still usable.
-		s.protoErrors.Add(1)
-		return errBody(err)
-	}
-	id, resp := s.execute(cmd)
-	s.cmds[id].Add(1)
-	return resp
-}
-
-func (s *Server) execute(cmd wire.Command) (Cmd, []byte) {
+// execute runs one command through the per-command path — the only path for
+// writes, and the fallback for reads whose batch failed validation. The
+// returned body may be backed by c's scratch and is valid only until c's
+// next use.
+func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 	args := cmd.Args
-	switch strings.ToUpper(cmd.Name) {
-	case "PING":
+	switch id {
+	case CmdPing:
 		if len(args) != 0 {
-			return CmdPing, errBody(errArity)
+			return c.errBody(errArity)
 		}
-		return CmdPing, bodyPong
+		return bodyPong
 
-	case "GET":
+	case CmdGet:
 		if len(args) != 1 {
-			return CmdGet, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		s.acquire()
 		v, ok := s.store.Get(args[0].B)
 		s.release()
 		if !ok {
-			return CmdGet, bodyNil
+			return bodyNil
 		}
-		return CmdGet, wire.AppendCommand(nil, "VAL", wire.Blob(v))
+		c.body = wire.AppendCommand(c.body[:0], "VAL", wire.Blob(v))
+		return c.body
 
-	case "SET":
+	case CmdSet:
 		if len(args) != 2 {
-			return CmdSet, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		s.acquire()
 		s.store.Set(args[0].B, args[1].B)
 		s.release()
-		return CmdSet, bodyOK
+		return bodyOK
 
-	case "DEL":
+	case CmdDel:
 		if len(args) != 1 {
-			return CmdDel, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		s.acquire()
 		removed := s.store.Delete(args[0].B)
 		s.release()
 		if removed {
-			return CmdDel, bodyInt1
+			return bodyInt1
 		}
-		return CmdDel, bodyInt0
+		return bodyInt0
 
-	case "CAS":
+	case CmdCAS:
 		if len(args) != 3 {
-			return CmdCAS, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		s.acquire()
 		swapped := s.store.CompareAndSet(args[0].B, args[1].B, args[2].B)
 		s.release()
 		if swapped {
-			return CmdCAS, bodyInt1
+			return bodyInt1
 		}
-		return CmdCAS, bodyInt0
+		return bodyInt0
 
-	case "INCR":
+	case CmdIncr:
 		if len(args) != 2 {
-			return CmdIncr, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		delta, err := kv.ParseInt(args[1].B)
 		if err != nil {
-			return CmdIncr, errBody(err)
+			return c.errBody(err)
 		}
 		var after int64
 		s.acquire()
@@ -432,20 +694,20 @@ func (s *Server) execute(cmd wire.Command) (Cmd, []byte) {
 		})
 		s.release()
 		if err != nil {
-			return CmdIncr, errBody(err)
+			return c.errBody(err)
 		}
-		return CmdIncr, intBody(after)
+		return c.intBody(after)
 
-	case "TRANSFER":
+	case CmdTransfer:
 		if len(args) != 3 {
-			return CmdTransfer, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		amount, err := kv.ParseInt(args[2].B)
 		if err != nil {
-			return CmdTransfer, errBody(err)
+			return c.errBody(err)
 		}
 		if amount < 0 {
-			return CmdTransfer, errBody(errors.New("server: negative transfer amount"))
+			return c.errBody(errors.New("server: negative transfer amount"))
 		}
 		ok := false
 		s.acquire()
@@ -469,16 +731,16 @@ func (s *Server) execute(cmd wire.Command) (Cmd, []byte) {
 		})
 		s.release()
 		if err != nil {
-			return CmdTransfer, errBody(err)
+			return c.errBody(err)
 		}
 		if ok {
-			return CmdTransfer, bodyInt1
+			return bodyInt1
 		}
-		return CmdTransfer, bodyInt0
+		return bodyInt0
 
-	case "MGET":
+	case CmdMGet:
 		if len(args) == 0 {
-			return CmdMGet, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		vals := make([]wire.Arg, len(args))
 		s.acquire()
@@ -493,11 +755,12 @@ func (s *Server) execute(cmd wire.Command) (Cmd, []byte) {
 			return nil
 		})
 		s.release()
-		return CmdMGet, wire.AppendCommand(nil, "VALS", vals...)
+		c.body = wire.AppendCommand(c.body[:0], "VALS", vals...)
+		return c.body
 
-	case "MSET":
+	case CmdMSet:
 		if len(args) == 0 || len(args)%2 != 0 {
-			return CmdMSet, errBody(errArity)
+			return c.errBody(errArity)
 		}
 		s.acquire()
 		_ = s.store.Atomic(func(t *kv.Tx) error {
@@ -507,9 +770,9 @@ func (s *Server) execute(cmd wire.Command) (Cmd, []byte) {
 			return nil
 		})
 		s.release()
-		return CmdMSet, bodyOK
+		return bodyOK
 
 	default:
-		return CmdUnknown, errBody(errors.New("server: unknown command " + cmd.Name))
+		return c.errBody(errors.New("server: unknown command " + cmd.Name))
 	}
 }

@@ -34,31 +34,59 @@ func FuzzReadFrame(f *testing.F) {
 		{},                       // empty stream
 		[]byte("3"),              // stream ends inside size
 		[]byte("2 ab\n2 cd\n2 "), // two frames then truncation
+		// Pipelined batches: the shapes the server's read-batching collector
+		// sees sitting in one connection buffer.
+		[]byte("10 GET $3:foo\n10 GET $3:bar\n10 GET $3:baz\n"),
+		[]byte("4 PING\n10 GET $3:foo\n17 SET $3:foo $3:new\n4 PING\n"),
+		[]byte("17 MGET $1:a $1:b $1:c\n10 GET $3:foo\n"),
+		[]byte("10 GET $3:foo\n10 GET $3:ba"), // batch with truncated tail
+		[]byte("10 get $3:foo\n4 ping\n"),     // lowercase pipelined pair
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	const limit = 1 << 16
 	f.Fuzz(func(t *testing.T, stream []byte) {
-		br := bufio.NewReader(bytes.NewReader(stream))
+		bufSize := len(stream) + 16
+		br := bufio.NewReaderSize(bytes.NewReader(stream), bufSize)
+		br2 := bufio.NewReaderSize(bytes.NewReader(stream), bufSize)
+		br.Peek(len(stream)) // buffer the whole stream so FrameBuffered sees every remaining byte
+		var reuse []byte
 		for {
+			fb := FrameBuffered(br)
 			body, err := ReadFrame(br, limit)
+			body2, err2 := ReadFrameInto(br2, limit, reuse)
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("ReadFrame err %v but ReadFrameInto err %v", err, err2)
+			}
+			if err == nil && !bytes.Equal(body, body2) {
+				t.Fatalf("ReadFrameInto body %q differs from ReadFrame body %q", body2, body)
+			}
+			if err2 == nil {
+				reuse = body2
+			}
 			if err != nil {
 				if err == io.EOF && br.Buffered() == 0 {
 					return // clean end between frames
 				}
 				return // rejecting is fine; panicking is not
 			}
+			// The whole remaining stream was buffered, so a successful read
+			// means a complete frame was sitting there — FrameBuffered must
+			// have promised it would not block.
+			if !fb {
+				t.Fatalf("FrameBuffered = false but ReadFrame returned a %d-byte body", len(body))
+			}
 			if len(body) > limit {
 				t.Fatalf("accepted body of %d bytes over limit %d", len(body), limit)
 			}
 			reframed := AppendFrame(nil, body)
-			body2, err := ReadFrame(bufio.NewReader(bytes.NewReader(reframed)), limit)
-			if err != nil {
-				t.Fatalf("re-framed body does not re-parse: %v\nbody: %q", err, body)
+			rebody, rerr := ReadFrame(bufio.NewReader(bytes.NewReader(reframed)), limit)
+			if rerr != nil {
+				t.Fatalf("re-framed body does not re-parse: %v\nbody: %q", rerr, body)
 			}
-			if !bytes.Equal(body, body2) {
-				t.Fatalf("frame round trip not a fixpoint: %q vs %q", body, body2)
+			if !bytes.Equal(body, rebody) {
+				t.Fatalf("frame round trip not a fixpoint: %q vs %q", body, rebody)
 			}
 		}
 	})
@@ -90,12 +118,45 @@ func FuzzParseCommand(f *testing.F) {
 		"GET $:x",
 		"SET $3:a b c $3:xyz",
 		"X $0:",
+		// Bodies from batched/mixed pipelined traffic: lowercase spellings,
+		// wrong arities, and read commands the batching collector classifies.
+		"get $3:foo",
+		"mget $1:a $1:b",
+		"ping",
+		"Get $3:foo",
+		"GET $1:a $1:b",
+		"MGET",
+		"PING $5:extra",
+		"set $3:foo $3:bar",
+		"incr $3:ctr abc",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		cmd, err := ParseCommand(body)
+
+		// ParseCommandInto must behave identically while reusing a warmed
+		// Command (the server's per-connection scratch pattern).
+		var into Command
+		if werr := ParseCommandInto([]byte("SET $1:a $1:b $1:c"), &into); werr != nil {
+			t.Fatalf("warm-up parse failed: %v", werr)
+		}
+		ierr := ParseCommandInto(body, &into)
+		if (err == nil) != (ierr == nil) {
+			t.Fatalf("ParseCommand err %v but ParseCommandInto err %v (body %q)", err, ierr, body)
+		}
+		if err == nil {
+			if into.Name != cmd.Name || len(into.Args) != len(cmd.Args) {
+				t.Fatalf("ParseCommandInto %+v differs from ParseCommand %+v (body %q)", into, cmd, body)
+			}
+			for i := range cmd.Args {
+				if !bytes.Equal(into.Args[i].B, cmd.Args[i].B) || into.Args[i].Blob != cmd.Args[i].Blob {
+					t.Fatalf("ParseCommandInto arg %d %+v differs from %+v (body %q)", i, into.Args[i], cmd.Args[i], body)
+				}
+			}
+		}
+
 		if err != nil {
 			return // rejecting is fine; panicking is not
 		}

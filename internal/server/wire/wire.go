@@ -75,8 +75,21 @@ func AppendFrame(dst, body []byte) []byte {
 // ReadFrame reads one frame from br and returns its body. max bounds the
 // accepted body size (0 means DefaultMaxFrame). io.EOF is returned
 // unwrapped only when the stream ends cleanly between frames; a stream that
-// ends mid-frame yields io.ErrUnexpectedEOF or a *ProtocolError.
+// ends mid-frame yields io.ErrUnexpectedEOF or a *ProtocolError. The body is
+// freshly allocated and safe to retain.
 func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
+	return readFrame(br, max, nil)
+}
+
+// ReadFrameInto is ReadFrame reusing buf's backing array when its capacity
+// suffices, allocating only when the body outgrows it. The returned slice
+// aliases buf in that case, so the caller must not retain a previous frame's
+// body across calls with the same buffer.
+func ReadFrameInto(br *bufio.Reader, max int, buf []byte) ([]byte, error) {
+	return readFrame(br, max, buf)
+}
+
+func readFrame(br *bufio.Reader, max int, buf []byte) ([]byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
@@ -87,7 +100,12 @@ func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
 	if size > max {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, size)
+	var body []byte
+	if cap(buf) >= size {
+		body = buf[:size]
+	} else {
+		body = make([]byte, size)
+	}
 	if _, err := io.ReadFull(br, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -197,43 +215,105 @@ func AppendCommand(dst []byte, name string, args ...Arg) []byte {
 	return dst
 }
 
+// internedNames maps the protocol's command-name spellings to pre-allocated
+// strings so ParseCommandInto can set Command.Name without allocating on the
+// hot path (the compiler elides the []byte→string conversion in the lookup).
+// Unlisted names still parse; they just pay one string allocation.
+var internedNames = map[string]string{
+	"PING": "PING", "ping": "ping",
+	"GET": "GET", "get": "get",
+	"SET": "SET", "set": "set",
+	"DEL": "DEL", "del": "del",
+	"CAS": "CAS", "cas": "cas",
+	"INCR": "INCR", "incr": "incr",
+	"TRANSFER": "TRANSFER", "transfer": "transfer",
+	"MGET": "MGET", "mget": "mget",
+	"MSET": "MSET", "mset": "mset",
+}
+
 // ParseCommand parses one body. The returned Args alias body's backing
 // array; callers that retain them past the next frame read must copy.
 func ParseCommand(body []byte) (Command, error) {
 	var cmd Command
+	err := ParseCommandInto(body, &cmd)
+	return cmd, err
+}
+
+// ParseCommandInto is ParseCommand reusing cmd's Args backing array; it
+// parses identically but stays allocation-free for known command names once
+// the Args slice has warmed up. On error cmd holds the arguments parsed so
+// far, exactly as ParseCommand's partial result does.
+func ParseCommandInto(body []byte, cmd *Command) error {
+	cmd.Name = ""
+	cmd.Args = cmd.Args[:0]
 	rest := body
 	first := true
 	for {
 		if len(rest) == 0 {
 			if first {
-				return cmd, protoErrf("empty command body")
+				return protoErrf("empty command body")
 			}
-			return cmd, nil
+			return nil
 		}
 		arg, tail, err := parseArg(rest)
 		if err != nil {
-			return cmd, err
+			return err
 		}
 		rest = tail
 		if first {
 			if arg.Blob {
-				return cmd, protoErrf("command name must be a bare token")
+				return protoErrf("command name must be a bare token")
 			}
-			cmd.Name = string(arg.B)
+			if s, ok := internedNames[string(arg.B)]; ok {
+				cmd.Name = s
+			} else {
+				cmd.Name = string(arg.B)
+			}
 			first = false
 		} else {
 			cmd.Args = append(cmd.Args, arg)
 		}
 		if len(rest) > 0 {
 			if rest[0] != ' ' {
-				return cmd, protoErrf("arguments must be separated by a single space")
+				return protoErrf("arguments must be separated by a single space")
 			}
 			rest = rest[1:]
 			if len(rest) == 0 {
-				return cmd, protoErrf("trailing space after last argument")
+				return protoErrf("trailing space after last argument")
 			}
 		}
 	}
+}
+
+// FrameBuffered reports whether br's buffer already holds one complete frame
+// — or a malformed size prefix that readFrame rejects without further input —
+// so the next ReadFrame call is guaranteed not to block on the network. It
+// never reads from the underlying connection. A false result means the next
+// frame has not fully arrived (or nothing is buffered at all).
+func FrameBuffered(br *bufio.Reader) bool {
+	n := br.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := br.Peek(n)
+	if err != nil {
+		return false
+	}
+	size := 0
+	for i, c := range buf {
+		if c == ' ' {
+			if i == 0 {
+				return true // empty size prefix: immediate protocol error
+			}
+			// i prefix digits + the space + body + trailing LF.
+			return n >= i+1+size+1
+		}
+		if c < '0' || c > '9' || i >= maxSizeDigits {
+			return true // readSize fails on this byte without blocking
+		}
+		size = size*10 + int(c-'0')
+	}
+	return false // size prefix still incomplete; reading could block
 }
 
 // parseArg consumes one bare token or blob from the front of b.
