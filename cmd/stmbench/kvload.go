@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"memtx"
+	"memtx/internal/chaos"
 	"memtx/internal/harness"
 	"memtx/internal/kvload"
 )
@@ -27,6 +28,15 @@ type kvOptions struct {
 	batches      string // comma-separated MaxBatch values, only for self sweeps
 	benchJSON    string
 	quick        bool
+
+	cmdDeadline   time.Duration
+	queueTimeout  time.Duration
+	verify        bool
+	chaosSeed     uint64
+	chaosAbort    int
+	chaosDelay    int
+	chaosPanic    int
+	chaosDelayMax time.Duration
 }
 
 func (o kvOptions) loadOptions() kvload.Options {
@@ -38,6 +48,14 @@ func (o kvOptions) loadOptions() kvload.Options {
 		TransferFrac: o.transferFrac,
 		Duration:     o.duration,
 		Pipeline:     o.pipeline,
+		CmdDeadline:  o.cmdDeadline,
+		QueueTimeout: o.queueTimeout,
+		Verify:       o.verify,
+	}
+	if o.chaosAbort > 0 || o.chaosDelay > 0 || o.chaosPanic > 0 {
+		cfg := chaos.Uniform(o.chaosSeed,
+			uint32(o.chaosAbort), uint32(o.chaosDelay), uint32(o.chaosPanic), o.chaosDelayMax)
+		lo.Chaos = &cfg
 	}
 	if o.quick {
 		lo.Duration = 500 * time.Millisecond
@@ -81,6 +99,12 @@ func runKVLoad(o kvOptions) error {
 		res, err := kvload.Run(lo)
 		if err != nil {
 			return err
+		}
+		if lo.Verify {
+			if err := kvload.VerifySum(lo); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "stmbench: kvload: account sum verified against %s\n", o.addr)
 		}
 		points = []kvload.GridPoint{{Design: "remote", Shards: 0, Result: res}}
 	}
@@ -135,7 +159,7 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		ID: "kvload",
 		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / rest SET",
 			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac),
-		Header: []string{"design", "shards", "batch", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "commits", "rbatches", "fallbacks"},
+		Header: []string{"design", "shards", "batch", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks"},
 	}
 	for _, p := range points {
 		shards := "-"
@@ -151,6 +175,8 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.5))/1e3),
 			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.99))/1e3),
 			strconv.FormatUint(p.Result.Errors, 10),
+			strconv.FormatUint(p.Result.Busy, 10),
+			strconv.FormatUint(p.Result.Reconnects, 10),
 			strconv.FormatUint(p.CommittedTxns, 10),
 			strconv.FormatUint(p.ReadBatches, 10),
 			strconv.FormatUint(p.BatchFallbacks, 10),

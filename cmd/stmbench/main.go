@@ -57,24 +57,42 @@ func main() {
 		kvDuration     = flag.Duration("kv-duration", 5*time.Second, "measurement window per cell")
 		kvPipeline     = flag.Int("kv-pipeline", 1, "requests in flight per connection")
 		kvBatch        = flag.String("kv-batch", "0", "server read-batch bounds to sweep with -kvload self (0 = server default, -1 = off)")
+
+		kvCmdDeadline  = flag.Duration("kv-cmd-deadline", 0, "self-hosted server per-command deadline (0 = unbounded)")
+		kvQueueTimeout = flag.Duration("kv-queue-timeout", 0, "self-hosted server shed bound: max wait for a txn slot before BUSY (0 = queue forever)")
+		kvVerify       = flag.Bool("kv-verify", false, "audit account-sum conservation after each load run")
+
+		kvChaosSeed     = flag.Uint64("kv-chaos-seed", 1, "fault-injector seed for -kv-chaos-* rates")
+		kvChaosAbort    = flag.Int("kv-chaos-abort", 0, "injected abort rate per point, PPM (self cells only)")
+		kvChaosDelay    = flag.Int("kv-chaos-delay", 0, "injected delay rate per point, PPM (self cells only)")
+		kvChaosPanic    = flag.Int("kv-chaos-panic", 0, "injected panic rate per point, PPM (self cells only)")
+		kvChaosDelayMax = flag.Duration("kv-chaos-delay-max", time.Millisecond, "upper bound on each injected delay")
 	)
 	flag.Parse()
 
 	if *kvAddr != "" {
 		if err := runKVLoad(kvOptions{
-			addr:         *kvAddr,
-			designs:      *kvDesigns,
-			shards:       *kvShards,
-			conns:        *kvConns,
-			keys:         *kvKeys,
-			valSize:      *kvValSize,
-			readFrac:     *kvReadFrac,
-			transferFrac: *kvTransferFrac,
-			duration:     *kvDuration,
-			pipeline:     *kvPipeline,
-			batches:      *kvBatch,
-			benchJSON:    *benchJSON,
-			quick:        *quick,
+			addr:          *kvAddr,
+			designs:       *kvDesigns,
+			shards:        *kvShards,
+			conns:         *kvConns,
+			keys:          *kvKeys,
+			valSize:       *kvValSize,
+			readFrac:      *kvReadFrac,
+			transferFrac:  *kvTransferFrac,
+			duration:      *kvDuration,
+			pipeline:      *kvPipeline,
+			batches:       *kvBatch,
+			benchJSON:     *benchJSON,
+			quick:         *quick,
+			cmdDeadline:   *kvCmdDeadline,
+			queueTimeout:  *kvQueueTimeout,
+			verify:        *kvVerify,
+			chaosSeed:     *kvChaosSeed,
+			chaosAbort:    *kvChaosAbort,
+			chaosDelay:    *kvChaosDelay,
+			chaosPanic:    *kvChaosPanic,
+			chaosDelayMax: *kvChaosDelayMax,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "stmbench: kvload: %v\n", err)
 			os.Exit(1)

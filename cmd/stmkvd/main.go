@@ -13,6 +13,12 @@
 //	stmkvd -serve-metrics :8080          # expose /metrics and /stats.json
 //	stmkvd -serve-metrics :8080 -pprof   # also expose /debug/pprof/
 //	stmkvd -max-batch 0                  # disable read-snapshot batching
+//	stmkvd -cmd-deadline 5ms -queue-timeout 1ms   # bounded commands + load shedding
+//	stmkvd -chaos-abort 20000 -chaos-seed 42      # deterministic fault injection
+//
+// The -chaos-* flags arm the internal fault injector (internal/chaos) at a
+// uniform per-point rate in parts per million; they exist for robustness
+// testing and chaos drills, never for production serving.
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
 // requests finish, and the process exits once every connection has flushed
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"memtx"
+	"memtx/internal/chaos"
 	"memtx/internal/kv"
 	"memtx/internal/obs"
 	"memtx/internal/server"
@@ -47,6 +54,17 @@ func main() {
 		serveMetrics = flag.String("serve-metrics", "", "serve /metrics and /stats.json on this address (e.g. :8080)")
 		pprofFlag    = flag.Bool("pprof", false, "with -serve-metrics, also expose /debug/pprof/ profiling endpoints")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		cmdDeadline  = flag.Duration("cmd-deadline", 0, "per-command transactional deadline; past it the command gets an ERR (0 = unbounded)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max wait for a transaction slot before shedding the command with BUSY (0 = queue forever)")
+		readTimeout  = flag.Duration("read-timeout", 0, "max time a client may take to finish delivering a started frame (0 = unbounded; idle connections are never evicted)")
+		writeTimeout = flag.Duration("write-timeout", 0, "max time per response write before the client is evicted (0 = unbounded)")
+
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injector seed (with any -chaos-* rate > 0)")
+		chaosAbort    = flag.Int("chaos-abort", 0, "injected abort rate per injection point, parts per million")
+		chaosDelay    = flag.Int("chaos-delay", 0, "injected delay rate per injection point, parts per million")
+		chaosPanic    = flag.Int("chaos-panic", 0, "injected panic rate per injection point, parts per million")
+		chaosDelayMax = flag.Duration("chaos-delay-max", time.Millisecond, "upper bound on each injected delay")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "stmkvd: ", log.LstdFlags)
@@ -60,13 +78,33 @@ func main() {
 	if batch <= 0 {
 		batch = -1 // flag 0 means off; Config 0 would mean the default
 	}
-	srv := server.New(store, server.Config{MaxInflight: *maxInflight, MaxBatch: batch, ErrorLog: logger})
+	srv := server.New(store, server.Config{
+		MaxInflight:  *maxInflight,
+		MaxBatch:     batch,
+		ErrorLog:     logger,
+		CmdDeadline:  *cmdDeadline,
+		QueueTimeout: *queueTimeout,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	})
+
+	var injector *chaos.Injector
+	if *chaosAbort > 0 || *chaosDelay > 0 || *chaosPanic > 0 {
+		injector = chaos.New(chaos.Uniform(*chaosSeed,
+			uint32(*chaosAbort), uint32(*chaosDelay), uint32(*chaosPanic), *chaosDelayMax))
+		chaos.Enable(injector)
+		logger.Printf("CHAOS ENABLED: seed=%d abort=%dppm delay=%dppm panic=%dppm delay-max=%v",
+			*chaosSeed, *chaosAbort, *chaosDelay, *chaosPanic, *chaosDelayMax)
+	}
 
 	if *serveMetrics != "" {
 		reg := obs.NewRegistry()
 		reg.Register("kv", store.TM().Engine())
 		reg.RegisterSource("kv", store)
 		reg.RegisterSource("kvd", srv)
+		if injector != nil {
+			reg.RegisterSource("chaos", obs.ChaosSource(injector))
+		}
 		handler := reg.Handler()
 		what := "/metrics and /stats.json"
 		if *pprofFlag {

@@ -1,0 +1,81 @@
+package memtx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"memtx/internal/chaos"
+	"memtx/internal/engine"
+)
+
+func TestAtomicCtxCommits(t *testing.T) {
+	for _, d := range []Design{DirectUpdate, BufferedWord, BufferedObject} {
+		tm := New(WithDesign(d))
+		v := tm.NewVar(1)
+		err := tm.AtomicCtx(context.Background(), TxOptions{MaxAttempts: 5, MaxElapsed: time.Second},
+			func(tx *Tx) error {
+				v.Set(tx, v.Get(tx)+1)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("%s: AtomicCtx: %v", d, err)
+		}
+		var got uint64
+		if err := tm.ReadOnlyCtx(context.Background(), TxOptions{}, func(tx *Tx) error {
+			got = v.Get(tx)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: ReadOnlyCtx: %v", d, err)
+		}
+		if got != 2 {
+			t.Fatalf("%s: v = %d, want 2", d, got)
+		}
+	}
+}
+
+func TestAtomicCtxRetryBudget(t *testing.T) {
+	// Force every attempt to conflict via a 100% chaos abort rate at
+	// commit-time validation, so budget exhaustion is deterministic.
+	tm := New()
+	v := tm.NewVar(1)
+	cfg := chaos.Config{Seed: 1}
+	cfg.Points[chaos.CommitValidate] = chaos.PointConfig{AbortPPM: 1_000_000}
+	chaos.Enable(chaos.New(cfg))
+	defer chaos.Disable()
+
+	calls := 0
+	err := tm.AtomicCtx(context.Background(), TxOptions{MaxAttempts: 3}, func(tx *Tx) error {
+		calls++
+		v.Set(tx, 9)
+		return nil
+	})
+	var te *engine.TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *engine.TimeoutError", err)
+	}
+	if !errors.Is(err, engine.ErrRetryBudget) || te.Attempts != 3 || calls != 3 {
+		t.Fatalf("unwrap=%v attempts=%d calls=%d, want ErrRetryBudget/3/3", errors.Unwrap(te), te.Attempts, calls)
+	}
+
+	chaos.Disable()
+	if err := tm.ReadOnly(func(tx *Tx) error {
+		if got := v.Get(tx); got != 1 {
+			t.Fatalf("v = %d after exhausted budget, want the original 1", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadOnly: %v", err)
+	}
+}
+
+func TestAtomicCtxCanceled(t *testing.T) {
+	tm := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := tm.AtomicCtx(ctx, TxOptions{}, func(tx *Tx) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 )
 
@@ -54,6 +55,11 @@ func (t *Txn) Commit() error {
 		panic("core: Commit on finished transaction")
 	}
 	commitStart := time.Now()
+	if in := chaos.Active(); in != nil {
+		// Before the fast-path check so read-only commits are exercised too;
+		// nothing is owned-for-release yet, so abort/panic unwinds cleanly.
+		in.Step(chaos.CommitValidate)
+	}
 	if t.readonly && !t.roSawOwner && t.eng.valSeq.Load() == t.roSeq {
 		// Read-only fast path: no object this transaction opened was owned
 		// by a writer, and no writer has dirtied or committed anything since
@@ -70,6 +76,11 @@ func (t *Txn) Commit() error {
 		t.cause = engine.CauseValidation
 		t.rollback()
 		return engine.ErrConflict
+	}
+	if in := chaos.Active(); in != nil {
+		// Delay-only by construction (chaos.New clamps WriteBack): stretches
+		// the window where this transaction holds ownership past validation.
+		in.Step(chaos.WriteBack)
 	}
 	for _, e := range t.updateLog {
 		e.obj.meta.Store(&e.newMeta)

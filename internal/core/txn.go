@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 	"memtx/internal/filter"
 )
@@ -21,6 +23,13 @@ type Txn struct {
 	done     bool
 	began    time.Time         // attempt start, for the attempt-latency histogram
 	cause    engine.AbortCause // attributed abort cause if this attempt aborts
+
+	// ctx and deadline are bound by engine.RunCtx (CtxBinder); CM wait
+	// points observe them so an attempt parked behind a stalled owner
+	// honors its budget. Both are cleared on start — transactions begun via
+	// plain Run are unbounded.
+	ctx      context.Context
+	deadline time.Time
 
 	// roSeq is the engine valSeq snapshot taken at begin; roSawOwner records
 	// whether any OpenForRead found the object owned by another transaction.
@@ -78,6 +87,8 @@ func (t *Txn) start(readonly bool) {
 	t.done = false
 	t.began = time.Now()
 	t.cause = engine.CauseExplicit
+	t.ctx = nil
+	t.deadline = time.Time{}
 	t.roSeq = t.eng.valSeq.Load()
 	t.roSawOwner = false
 	t.readLog = t.readLog[:0]
@@ -122,6 +133,30 @@ func (t *Txn) newEntry() *updateEntry {
 // ReadOnly implements engine.Txn.
 func (t *Txn) ReadOnly() bool { return t.readonly }
 
+// BindContext implements engine.CtxBinder: once bound, every CM wait checks
+// the context and deadline and abandons the attempt with CauseDeadline when
+// either has expired, so a budgeted transaction cannot block indefinitely
+// behind a stalled owner.
+func (t *Txn) BindContext(ctx context.Context, deadline time.Time) {
+	t.ctx = ctx
+	t.deadline = deadline
+}
+
+// expireAtWait abandons the attempt with CauseDeadline if the bound context
+// or deadline has expired while the transaction waits on another owner.
+func (t *Txn) expireAtWait(objID, ownerID uint64) {
+	if t.ctx != nil && t.ctx.Err() != nil {
+		t.cause = engine.CauseDeadline
+		engine.AbandonCause(engine.CauseDeadline,
+			"context done waiting on object %d owned by txn %d", objID, ownerID)
+	}
+	if !t.deadline.IsZero() && !time.Now().Before(t.deadline) {
+		t.cause = engine.CauseDeadline
+		engine.AbandonCause(engine.CauseDeadline,
+			"deadline passed waiting on object %d owned by txn %d", objID, ownerID)
+	}
+}
+
 // SetAbortCause implements engine.Txn.
 func (t *Txn) SetAbortCause(c engine.AbortCause) { t.cause = c }
 
@@ -155,6 +190,9 @@ func (t *Txn) OpenForRead(h engine.Handle) {
 		t.nFilterHits++
 		return
 	}
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForRead)
+	}
 	seen := m.version
 	if m.ownerID != 0 {
 		seen = m.entry.oldMeta.version
@@ -187,6 +225,9 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 	if t.opened != nil {
 		t.opened[o.id] = true
 	}
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForUpdate)
+	}
 	attempt := 0
 	for {
 		m := o.meta.Load()
@@ -194,6 +235,10 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 		case m.ownerID == t.id:
 			return // already own it
 		case m.ownerID != 0:
+			t.expireAtWait(o.id, m.ownerID)
+			if in := chaos.Active(); in != nil {
+				in.Step(chaos.CMWait)
+			}
 			if !t.eng.cm.Wait(attempt) {
 				t.cause = engine.CauseCMKill
 				engine.AbandonCause(engine.CauseCMKill,

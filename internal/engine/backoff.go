@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"time"
 )
@@ -50,4 +51,45 @@ func (b *backoff) wait() {
 	window := uint64(1) << uint(shift)
 	d := backoffBaseSleep * time.Duration(1+b.next()%window)
 	time.Sleep(d)
+}
+
+// waitCtx is wait bounded by a context and an absolute deadline (zero means
+// none): the sleep is clamped to the deadline and interrupted by
+// cancellation, so a RunCtx caller re-checks its bounds promptly instead of
+// finishing a multi-millisecond backoff first. The timer allocation is
+// acceptable here — this is the contended slow path, never the first retry.
+func (b *backoff) waitCtx(ctx context.Context, deadline time.Time) {
+	b.attempt++
+	if b.attempt <= backoffSpinAttempts {
+		runtime.Gosched()
+		return
+	}
+	shift := b.attempt - backoffSpinAttempts
+	if shift > backoffMaxShift {
+		shift = backoffMaxShift
+	}
+	window := uint64(1) << uint(shift)
+	d := backoffBaseSleep * time.Duration(1+b.next()%window)
+	if !deadline.IsZero() {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		if d > remain {
+			d = remain
+		}
+	}
+	done := ctx.Done()
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-done:
+		if !t.Stop() {
+			<-t.C
+		}
+	case <-t.C:
+	}
 }

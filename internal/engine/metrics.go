@@ -31,9 +31,13 @@ const (
 	// CauseExplicit: user-invoked Abort, or a body error on a consistent
 	// snapshot (which aborts without retrying).
 	CauseExplicit
+	// CauseDeadline: the attempt was abandoned at a contention-manager wait
+	// because the transaction's bound context was canceled or its RunCtx
+	// deadline passed while it waited on another owner.
+	CauseDeadline
 
 	// NumAbortCauses is the number of causes in the taxonomy.
-	NumAbortCauses = int(CauseExplicit) + 1
+	NumAbortCauses = int(CauseDeadline) + 1
 )
 
 // String returns the short label used in tables and export formats.
@@ -49,6 +53,8 @@ func (c AbortCause) String() string {
 		return "doomed"
 	case CauseExplicit:
 		return "explicit"
+	case CauseDeadline:
+		return "deadline"
 	}
 	return "unknown"
 }
@@ -57,6 +63,7 @@ func (c AbortCause) String() string {
 // reporters.
 var AbortCauses = [NumAbortCauses]AbortCause{
 	CauseValidation, CauseOwnership, CauseCMKill, CauseDoomed, CauseExplicit,
+	CauseDeadline,
 }
 
 // HistogramBuckets is the number of log-scaled buckets. Bucket i counts

@@ -102,6 +102,7 @@ func formatCauses(m engine.MetricsSnapshot) string {
 		engine.CauseCMKill:     "kill",
 		engine.CauseDoomed:     "doom",
 		engine.CauseExplicit:   "expl",
+		engine.CauseDeadline:   "dl",
 	}
 	out := ""
 	for _, c := range engine.AbortCauses {

@@ -26,6 +26,7 @@
 package kv
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -198,6 +199,37 @@ func (s *Store) Atomic(body func(t *Tx) error) error {
 func (s *Store) View(body func(t *Tx) error) error {
 	var last *Tx
 	err := s.tm.ReadOnly(func(m *memtx.Tx) error {
+		t := &Tx{s: s, raw: m.Raw()}
+		last = t
+		return body(t)
+	})
+	if err == nil {
+		s.fold(last)
+	}
+	return err
+}
+
+// AtomicCtx is Atomic bounded by ctx and opts (see memtx.TM.AtomicCtx): on
+// cancellation, deadline expiry, or retry-budget exhaustion it gives up with
+// an *engine.TimeoutError instead of retrying forever. The store is
+// unchanged when it gives up — the failed attempts all rolled back.
+func (s *Store) AtomicCtx(ctx context.Context, opts memtx.TxOptions, body func(t *Tx) error) error {
+	var last *Tx
+	err := s.tm.AtomicCtx(ctx, opts, func(m *memtx.Tx) error {
+		t := &Tx{s: s, raw: m.Raw()}
+		last = t
+		return body(t)
+	})
+	if err == nil {
+		s.fold(last)
+	}
+	return err
+}
+
+// ViewCtx is View bounded by ctx and opts (see AtomicCtx).
+func (s *Store) ViewCtx(ctx context.Context, opts memtx.TxOptions, body func(t *Tx) error) error {
+	var last *Tx
+	err := s.tm.ReadOnlyCtx(ctx, opts, func(m *memtx.Tx) error {
 		t := &Tx{s: s, raw: m.Raw()}
 		last = t
 		return body(t)

@@ -17,6 +17,14 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "kvload: server error: " + e.Msg }
 
+// BusyError is a BUSY response: the server shed the command under overload
+// without executing it, and it may be retried as-is.
+type BusyError struct{}
+
+func (*BusyError) Error() string { return "kvload: server busy, command shed" }
+
+var errBusy = &BusyError{}
+
 // Client is a connection to an stmkvd server. It is not safe for concurrent
 // use; the load generator opens one per worker.
 type Client struct {
@@ -58,7 +66,8 @@ func (c *Client) Send(name string, args ...wire.Arg) error {
 func (c *Client) Flush() error { return c.bw.Flush() }
 
 // Recv reads one response frame. An ERR response is returned as a
-// *RemoteError; transport errors are returned as-is.
+// *RemoteError and a BUSY response as a *BusyError; transport errors are
+// returned as-is.
 func (c *Client) Recv() (wire.Command, error) {
 	body, err := wire.ReadFrame(c.br, wire.DefaultMaxFrame)
 	if err != nil {
@@ -74,6 +83,9 @@ func (c *Client) Recv() (wire.Command, error) {
 			msg = string(resp.Args[0].B)
 		}
 		return resp, &RemoteError{Msg: msg}
+	}
+	if resp.Name == "BUSY" {
+		return resp, errBusy
 	}
 	return resp, nil
 }

@@ -2,6 +2,7 @@ package kvload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"memtx"
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 	"memtx/internal/kv"
 	"memtx/internal/server"
@@ -49,6 +51,20 @@ type Options struct {
 	MaxBatch int
 	// Seed makes key choice deterministic across runs (default 1).
 	Seed int64
+	// CmdDeadline is the self-hosted server's per-command deadline
+	// (0 = unbounded). It has no effect when driving a remote server.
+	CmdDeadline time.Duration
+	// QueueTimeout is the self-hosted server's load-shedding bound
+	// (0 = queue indefinitely). It has no effect when driving a remote
+	// server.
+	QueueTimeout time.Duration
+	// Chaos, when non-nil, enables the fault injector for the measurement
+	// window of each self-hosted cell (after preload, disabled again before
+	// verification). It has no effect when driving a remote server.
+	Chaos *chaos.Config
+	// Verify audits account-sum conservation after each self-hosted cell's
+	// run (see VerifySum). Remote runs call VerifySum explicitly.
+	Verify bool
 }
 
 func (o Options) withDefaults() Options {
@@ -99,7 +115,9 @@ func (o Options) withDefaults() Options {
 // Result summarizes one load run.
 type Result struct {
 	Ops        uint64                   // operations completed
-	Errors     uint64                   // ERR responses (always a bug: the mix sends only valid commands)
+	Errors     uint64                   // ERR responses (a bug unless chaos or a command deadline is active)
+	Busy       uint64                   // BUSY responses: commands shed by the server under overload
+	Reconnects uint64                   // connections re-dialed after a transport failure mid-run
 	Elapsed    time.Duration            // wall-clock measurement window
 	Throughput float64                  // operations per second
 	RTT        engine.HistogramSnapshot // per round-trip latency, ns (one round trip = Pipeline ops)
@@ -116,17 +134,52 @@ func Preload(o Options) error {
 	if err != nil {
 		return err
 	}
-	defer c.Close()
+	defer func() { c.Close() }()
 	val := patternValue(o.ValueSize, 0)
 	const batch = 64
 	pairs := make([][]byte, 0, 2*batch)
+	// Each MSET batch is idempotent, so preload can retry through a server
+	// that is shedding load, enforcing command deadlines, or running a chaos
+	// drill: BUSY and ERR responses retry on the same connection, transport
+	// failures redial first. A big MSET is one big transaction — under a
+	// tight command deadline or a high injected-abort rate it may never fit —
+	// so repeated failures halve the chunk size down to single-key writes,
+	// which always squeeze through.
+	chunk := 2 * batch
 	flush := func() error {
-		if len(pairs) == 0 {
-			return nil
+		fails := 0
+		for sent := 0; sent < len(pairs); {
+			n := chunk
+			if rest := len(pairs) - sent; n > rest {
+				n = rest
+			}
+			err := c.MSet(pairs[sent : sent+n]...)
+			if err == nil {
+				sent += n
+				fails = 0
+				continue
+			}
+			if fails++; fails > 100 {
+				return fmt.Errorf("kvload: preload: %w", err)
+			}
+			if fails%3 == 0 && chunk > 2 {
+				chunk /= 2
+				chunk -= chunk % 2
+			}
+			var re *RemoteError
+			var be *BusyError
+			if !errors.As(err, &re) && !errors.As(err, &be) {
+				c.Close()
+				nc, derr := Dial(o.Addr)
+				if derr != nil {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				c = nc
+			}
 		}
-		err := c.MSet(pairs...)
 		pairs = pairs[:0]
-		return err
+		return nil
 	}
 	for i := 0; i < o.Keys; i++ {
 		pairs = append(pairs, key(i), val)
@@ -167,39 +220,57 @@ func Run(o Options) (*Result, error) {
 	for i := range clients {
 		c, err := Dial(o.Addr)
 		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.Close()
+			}
 			return nil, err
 		}
-		defer c.Close()
 		clients[i] = c
 	}
 
 	var (
-		ops    atomic.Uint64
-		errs   atomic.Uint64
-		rtt    engine.Histogram
-		wg     sync.WaitGroup
-		runErr atomic.Value
+		ops        atomic.Uint64
+		errs       atomic.Uint64
+		busy       atomic.Uint64
+		reconnects atomic.Uint64
+		rtt        engine.Histogram
+		wg         sync.WaitGroup
+		runErr     atomic.Value
 	)
 	start := time.Now()
 	deadline := start.Add(o.Duration)
-	for i, c := range clients {
+	for i := range clients {
 		wg.Add(1)
+		// Each worker owns its connection: a transport failure mid-run (a
+		// chaos-injected kill, a slow-client eviction) is answered by
+		// re-dialing, so a chaotic server degrades throughput instead of
+		// aborting the measurement. Responses lost with the old connection
+		// are simply not counted.
 		go func(c *Client, seed int64) {
 			defer wg.Done()
+			defer func() { c.Close() }()
 			r := rand.New(rand.NewSource(seed))
 			val := patternValue(o.ValueSize, byte(seed))
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
 				n, err := issueBatch(c, r, o, val)
-				if err != nil {
-					runErr.Store(err)
-					return
-				}
-				rtt.ObserveDuration(time.Since(t0))
 				ops.Add(uint64(n.ok))
 				errs.Add(uint64(n.errs))
+				busy.Add(uint64(n.busy))
+				if err != nil {
+					c.Close()
+					nc, derr := Dial(o.Addr)
+					if derr != nil {
+						runErr.Store(derr)
+						return
+					}
+					c = nc
+					reconnects.Add(1)
+					continue
+				}
+				rtt.ObserveDuration(time.Since(t0))
 			}
-		}(c, o.Seed+int64(i))
+		}(clients[i], o.Seed+int64(i))
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -208,10 +279,12 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Ops:     ops.Load(),
-		Errors:  errs.Load(),
-		Elapsed: elapsed,
-		RTT:     rtt.Snapshot(),
+		Ops:        ops.Load(),
+		Errors:     errs.Load(),
+		Busy:       busy.Load(),
+		Reconnects: reconnects.Load(),
+		Elapsed:    elapsed,
+		RTT:        rtt.Snapshot(),
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
@@ -219,7 +292,7 @@ func Run(o Options) (*Result, error) {
 	return res, nil
 }
 
-type batchCount struct{ ok, errs int }
+type batchCount struct{ ok, errs, busy int }
 
 // issueBatch pipelines one window of Pipeline requests and reads all
 // responses.
@@ -252,11 +325,106 @@ func issueBatch(c *Client, r *rand.Rand, o Options, val []byte) (batchCount, err
 				n.errs++
 				continue
 			}
+			if _, shed := err.(*BusyError); shed {
+				n.busy++
+				continue
+			}
 			return n, err
 		}
 		n.ok++
 	}
 	return n, nil
+}
+
+// VerifySum audits conservation after a run: the balances over the account
+// space must still sum to Accounts × InitialBalance. Transient failures
+// (the server may still be shedding right after a chaotic run) are retried
+// briefly, and a whole-space MGET that cannot fit the server's command
+// deadline degrades to chunked reads — consistent here because the load has
+// stopped, though straggling transfers from killed connections can still
+// land mid-pass, so a torn-looking sum is re-read before being reported.
+// A missing account is unambiguous and reported immediately.
+func VerifySum(o Options) error {
+	o = o.withDefaults()
+	keys := make([][]byte, o.Accounts)
+	for i := range keys {
+		keys[i] = acct(i)
+	}
+	want := int64(o.Accounts) * o.InitialBalance
+	var lastErr error
+	chunk := len(keys)
+	for try := 0; try < 8; try++ {
+		if try > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		c, err := Dial(o.Addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		vals, err := readAccounts(&c, o.Addr, keys, &chunk)
+		c.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var sum int64
+		for i, v := range vals {
+			if v == nil {
+				return fmt.Errorf("kvload: verify: account %d missing", i)
+			}
+			n, err := kv.ParseInt(v)
+			if err != nil {
+				return fmt.Errorf("kvload: verify: account %d balance %q: %w", i, v, err)
+			}
+			sum += n
+		}
+		if sum == want {
+			return nil
+		}
+		lastErr = fmt.Errorf("kvload: verify: balance sum %d, want %d: a fault tore a transfer", sum, want)
+	}
+	return fmt.Errorf("kvload: verify failed: %w", lastErr)
+}
+
+// readAccounts reads keys in *chunk-sized MGets, retrying each chunk through
+// BUSY, ERR, and transport failures (redialing *c as needed) and halving
+// *chunk when the server keeps rejecting — the same degradation ladder as
+// Preload, kept across calls so later passes start at a size that fits.
+func readAccounts(c **Client, addr string, keys [][]byte, chunk *int) ([][]byte, error) {
+	vals := make([][]byte, 0, len(keys))
+	fails := 0
+	for read := 0; read < len(keys); {
+		n := *chunk
+		if rest := len(keys) - read; n > rest {
+			n = rest
+		}
+		vs, err := (*c).MGet(keys[read : read+n]...)
+		if err == nil {
+			vals = append(vals, vs...)
+			read += n
+			fails = 0
+			continue
+		}
+		if fails++; fails > 100 {
+			return nil, err
+		}
+		if fails%3 == 0 && *chunk > 1 {
+			*chunk /= 2
+		}
+		var re *RemoteError
+		var be *BusyError
+		if !errors.As(err, &re) && !errors.As(err, &be) {
+			(*c).Close()
+			nc, derr := Dial(addr)
+			if derr != nil {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			*c = nc
+		}
+	}
+	return vals, nil
 }
 
 // GridPoint is one (design, shard-count, batch-bound) cell of a self-hosted
@@ -308,7 +476,11 @@ func RunSelfGrid(designs []memtx.Design, shardCounts []int, batches []int, o Opt
 
 func runSelfCell(d memtx.Design, shards int, o Options) (GridPoint, error) {
 	store := kv.New(kv.Config{Shards: shards, Design: d})
-	srv := server.New(store, server.Config{MaxBatch: o.MaxBatch})
+	srv := server.New(store, server.Config{
+		MaxBatch:     o.MaxBatch,
+		CmdDeadline:  o.CmdDeadline,
+		QueueTimeout: o.QueueTimeout,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return GridPoint{}, err
@@ -326,9 +498,22 @@ func runSelfCell(d memtx.Design, shards int, o Options) (GridPoint, error) {
 	if err := Preload(o); err != nil {
 		return GridPoint{}, err
 	}
+	// Chaos covers only the measurement window: the preload above and the
+	// verification below must see a faithful server.
+	if o.Chaos != nil {
+		chaos.Enable(chaos.New(*o.Chaos))
+	}
 	res, err := Run(o)
+	if o.Chaos != nil {
+		chaos.Disable()
+	}
 	if err != nil {
 		return GridPoint{}, err
+	}
+	if o.Verify {
+		if err := VerifySum(o); err != nil {
+			return GridPoint{}, err
+		}
 	}
 	batches, fallbacks := srv.BatchStats()
 	return GridPoint{

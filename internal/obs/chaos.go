@@ -1,0 +1,31 @@
+package obs
+
+import "memtx/internal/chaos"
+
+// ChaosSource adapts a chaos.Injector into a MetricSource exporting the
+// injection counters as a fixed series set:
+// stmchaos_injections_total{point,action} for every point × fault action.
+// The adapter lives here rather than in internal/chaos so the injector —
+// which is stepped from inside STM hot paths — stays a leaf package.
+func ChaosSource(in *chaos.Injector) MetricSource { return chaosSource{in} }
+
+type chaosSource struct{ in *chaos.Injector }
+
+func (s chaosSource) ObsMetrics() []Metric {
+	ms := make([]Metric, 0, chaos.NumPoints*(chaos.NumActions-1))
+	for p := 0; p < chaos.NumPoints; p++ {
+		for a := 1; a < chaos.NumActions; a++ {
+			ms = append(ms, Metric{
+				Name: "stmchaos_injections_total",
+				Help: "Faults injected by the chaos layer, by point and action.",
+				Kind: Counter,
+				Labels: []Label{
+					{Key: "point", Value: chaos.Point(p).String()},
+					{Key: "action", Value: chaos.Action(a).String()},
+				},
+				Value: s.in.Injected(chaos.Point(p), chaos.Action(a)),
+			})
+		}
+	}
+	return ms
+}

@@ -1,0 +1,45 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"memtx/internal/chaos"
+	"memtx/internal/obs"
+)
+
+// TestChaosSourceFixedSeries asserts the injector exporter follows the
+// fixed-series MetricSource convention: every point × fault-action series
+// exists from the first scrape, in a stable order, and counters only grow.
+func TestChaosSourceFixedSeries(t *testing.T) {
+	in := chaos.New(chaos.Uniform(11, 200_000, 100_000, 50_000, time.Microsecond))
+	src := obs.ChaosSource(in)
+	before := src.ObsMetrics()
+	want := chaos.NumPoints * (chaos.NumActions - 1)
+	if len(before) != want {
+		t.Fatalf("series count %d, want %d", len(before), want)
+	}
+	for i := 0; i < 5_000; i++ {
+		in.Decide(chaos.Point(i % chaos.NumPoints))
+	}
+	after := src.ObsMetrics()
+	if len(after) != want {
+		t.Fatalf("series set changed size: %d", len(after))
+	}
+	var total uint64
+	for i, m := range after {
+		if m.Name != "stmchaos_injections_total" || m.Help == "" {
+			t.Fatalf("bad metric %+v", m)
+		}
+		if m.Labels[0] != before[i].Labels[0] || m.Labels[1] != before[i].Labels[1] {
+			t.Fatalf("series %d labels moved: %v vs %v", i, m.Labels, before[i].Labels)
+		}
+		if m.Value < before[i].Value {
+			t.Fatalf("counter %v decreased", m.Labels)
+		}
+		total += m.Value
+	}
+	if total != in.InjectedTotal() {
+		t.Fatalf("exported total %d != InjectedTotal %d", total, in.InjectedTotal())
+	}
+}

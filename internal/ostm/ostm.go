@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 )
 
@@ -231,6 +232,9 @@ func (t *Txn) OpenForRead(h engine.Handle) {
 	if _, mine := t.shadows[o]; mine {
 		return
 	}
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForRead)
+	}
 	m := o.meta.Load()
 	if m&lockedBit != 0 {
 		t.cause = engine.CauseOwnership
@@ -255,6 +259,9 @@ func (t *Txn) OpenForUpdate(h engine.Handle) {
 	}
 	if _, mine := t.shadows[o]; mine {
 		return
+	}
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForUpdate)
 	}
 	m := o.meta.Load()
 	if m&lockedBit != 0 {
@@ -446,6 +453,11 @@ func (t *Txn) Commit() error {
 		panic("ostm: Commit on finished transaction")
 	}
 	commitStart := time.Now()
+	if in := chaos.Active(); in != nil {
+		// Before any object lock is taken, so an injected abort or panic
+		// unwinds with nothing held.
+		in.Step(chaos.CommitValidate)
+	}
 	eng := t.eng
 	if len(t.worder) == 0 {
 		if t.readonly && eng.valSeq.Load() == t.roSeq {
@@ -496,6 +508,11 @@ func (t *Txn) Commit() error {
 		t.cause = engine.CauseValidation
 		t.finish(false)
 		return engine.ErrConflict
+	}
+	if in := chaos.Active(); in != nil {
+		// Delay-only by construction (chaos.New clamps WriteBack): stretches
+		// the window where the object locks stay held.
+		in.Step(chaos.WriteBack)
 	}
 	// Invalidate concurrent read-only fast-path snapshots before the first
 	// shadow store lands: any read-only transaction whose reads could race

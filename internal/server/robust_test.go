@@ -1,0 +1,196 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"memtx/internal/chaos"
+	"memtx/internal/kv"
+	"memtx/internal/kvload"
+	"memtx/internal/server"
+	"memtx/internal/server/wire"
+)
+
+// TestHandlerPanicRecovery injects a panic into every per-command handler
+// and checks the client gets an ERR on a connection that stays usable.
+func TestHandlerPanicRecovery(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	c := dial(t, addr)
+
+	cfg := chaos.Config{Seed: 7}
+	cfg.Points[chaos.Handler] = chaos.PointConfig{PanicPPM: 1_000_000}
+	chaos.Enable(chaos.New(cfg))
+	defer chaos.Disable()
+
+	err := c.Set([]byte("k"), []byte("v"))
+	var re *kvload.RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "panic") {
+		t.Fatalf("SET under injected panic = %v, want ERR mentioning the panic", err)
+	}
+	chaos.Disable()
+
+	if err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("connection unusable after a recovered panic: %v", err)
+	}
+	if _, panics, _, _ := srv.RobustStats(); panics == 0 {
+		t.Fatal("recovered panic not counted")
+	}
+}
+
+// TestCmdDeadline forces every write attempt to abort so a command can end
+// only by exhausting CmdDeadline, and checks it does — with an ERR, a
+// counted deadline, and a connection that recovers once the chaos stops.
+func TestCmdDeadline(t *testing.T) {
+	srv, addr := startServer(t, server.Config{CmdDeadline: 10 * time.Millisecond})
+	c := dial(t, addr)
+
+	cfg := chaos.Config{Seed: 7}
+	cfg.Points[chaos.OpenForUpdate] = chaos.PointConfig{AbortPPM: 1_000_000}
+	chaos.Enable(chaos.New(cfg))
+	defer chaos.Disable()
+
+	start := time.Now()
+	err := c.Set([]byte("k"), []byte("v"))
+	var re *kvload.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("SET under forced aborts = %v, want ERR", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("deadline ERR took %v; CmdDeadline did not bound the retries", took)
+	}
+	chaos.Disable()
+
+	if err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("SET after chaos: %v", err)
+	}
+	if _, _, deadlines, _ := srv.RobustStats(); deadlines == 0 {
+		t.Fatal("deadline exhaustion not counted")
+	}
+}
+
+// TestSlowClientEviction stalls mid-frame past ReadTimeout and checks the
+// server evicts the connection; an idle connection must survive the same
+// wait untouched.
+func TestSlowClientEviction(t *testing.T) {
+	srv, addr := startServer(t, server.Config{ReadTimeout: 50 * time.Millisecond})
+
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	full := wire.AppendFrame(nil, []byte("PING"))
+	if _, err := nc.Write(full); err != nil {
+		t.Fatal(err)
+	}
+	if body, err := wire.ReadFrame(br, 0); err != nil || string(body) != "PONG" {
+		t.Fatalf("PING = %q, %v", body, err)
+	}
+
+	// Deliver two bytes of the next frame and stall.
+	if _, err := nc.Write(full[:2]); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("server kept a mid-frame staller alive past ReadTimeout")
+	} else {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("server neither answered nor closed the stalled connection")
+		}
+	}
+	if _, _, _, evictions := srv.RobustStats(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+
+	// The idle connection sat just as long with nothing buffered and must
+	// still work.
+	ibr := bufio.NewReader(idle)
+	if _, err := idle.Write(full); err != nil {
+		t.Fatal(err)
+	}
+	if body, err := wire.ReadFrame(ibr, 0); err != nil || string(body) != "PONG" {
+		t.Fatalf("idle connection evicted: %q, %v", body, err)
+	}
+}
+
+// TestShutdownStalledWriter wedges a connection mid-response-write by never
+// reading 50 MiB of pipelined GET responses, then checks Shutdown still
+// completes promptly: the drain poke's write deadline unblocks the writer.
+func TestShutdownStalledWriter(t *testing.T) {
+	store := kv.New(kv.Config{Shards: 2, Buckets: 16})
+	srv := server.New(store, server.Config{ErrorLog: log.New(io.Discard, "", 0)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	store.Set([]byte("big"), bytes.Repeat([]byte("x"), 128<<10))
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	req := wire.AppendFrame(nil, wire.AppendCommand(nil, "GET", wire.Blob([]byte("big"))))
+	for i := 0; i < 400; i++ {
+		if _, err := nc.Write(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the server time to fill the socket buffers and block writing.
+	time.Sleep(300 * time.Millisecond)
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with a stalled writer: %v", err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("Shutdown took %v; the drain write deadline did not fire", took)
+	}
+	if err := <-done; err != server.ErrServerClosed {
+		t.Fatalf("Serve = %v, want server.ErrServerClosed", err)
+	}
+}
+
+// TestBusyIsRetriable checks the client-visible contract of load shedding:
+// a BUSY command did not execute and succeeds verbatim on retry.
+func TestBusyIsRetriable(t *testing.T) {
+	_, addr := startServer(t, server.Config{MaxInflight: 1, QueueTimeout: time.Millisecond})
+	c := dial(t, addr)
+	// With no competing load nothing sheds; this pins the success path of a
+	// shedding-enabled server and the BusyError mapping stays covered by
+	// the in-package and chaos tests.
+	for i := 0; i < 10; i++ {
+		if err := c.Set([]byte("rk"), []byte("rv")); err != nil {
+			var be *kvload.BusyError
+			if errors.As(err, &be) {
+				continue // allowed: retry
+			}
+			t.Fatalf("SET: %v", err)
+		}
+	}
+	if v, ok, err := c.Get([]byte("rk")); err != nil || !ok || string(v) != "rv" {
+		t.Fatalf("GET after retries = %q,%v,%v", v, ok, err)
+	}
+}

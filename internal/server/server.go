@@ -30,6 +30,25 @@
 // accepting, let every connection finish the requests it has already
 // received, flush, then close.
 //
+// # Robustness
+//
+// Under overload or faults the server degrades instead of wedging:
+//
+//   - Load shedding: with Config.QueueTimeout set, a command that cannot
+//     get a transaction slot in time is answered with a retriable BUSY
+//     frame — the command did not execute, and the connection stays usable.
+//   - Command deadlines: with Config.CmdDeadline set, each command's
+//     transactional execution is bounded; a command that exhausts its
+//     deadline (e.g. stuck behind a contended object) gets an ERR response
+//     instead of holding its connection forever. The batched read path is a
+//     single optimistic attempt by construction and is not affected.
+//   - Slow clients: Config.ReadTimeout bounds how long a client may sit
+//     mid-frame (idle connections are never evicted); Config.WriteTimeout
+//     bounds each response write. Either expiring evicts the connection.
+//   - Panic containment: a panicking command handler (including injected
+//     chaos panics) is recovered, its transaction slot released, and the
+//     client answered with ERR on a still-usable connection.
+//
 // # Commands
 //
 //	PING                       → PONG
@@ -51,6 +70,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -60,6 +80,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memtx"
+	"memtx/internal/chaos"
+	"memtx/internal/engine"
 	"memtx/internal/kv"
 	"memtx/internal/obs"
 	"memtx/internal/server/wire"
@@ -112,6 +135,22 @@ type Config struct {
 	// ErrorLog receives accept and per-connection I/O errors (default: the
 	// log package's standard logger).
 	ErrorLog *log.Logger
+	// CmdDeadline bounds each command's transactional execution; past it the
+	// transaction is abandoned and the client gets an ERR response. The
+	// batched read path is a single optimistic attempt by construction, so
+	// only the per-command path is bounded. 0 disables.
+	CmdDeadline time.Duration
+	// QueueTimeout bounds how long a command waits for an in-flight
+	// transaction slot before it is shed with a retriable BUSY response.
+	// 0 means wait indefinitely.
+	QueueTimeout time.Duration
+	// ReadTimeout bounds how long a client may take to deliver the rest of a
+	// frame once its first byte has arrived. Idle connections — nothing
+	// buffered, no partial frame — are never evicted. 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response buffer write; a client that stops
+	// reading past it is evicted. 0 disables.
+	WriteTimeout time.Duration
 }
 
 // ErrServerClosed is returned by Serve after Shutdown begins.
@@ -120,11 +159,15 @@ var ErrServerClosed = errors.New("server: closed")
 // Server serves the stmkvd protocol over TCP. Create with New, start with
 // Serve or ListenAndServe, stop with Shutdown.
 type Server struct {
-	store    *kv.Store
-	maxFrame int
-	maxBatch int // 0 = batching disabled
-	errorLog *log.Logger
-	sem      chan struct{}
+	store        *kv.Store
+	maxFrame     int
+	maxBatch     int // 0 = batching disabled
+	errorLog     *log.Logger
+	sem          chan struct{}
+	cmdDeadline  time.Duration
+	queueTimeout time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -139,6 +182,10 @@ type Server struct {
 	batches        atomic.Uint64
 	batchedCmds    atomic.Uint64
 	batchFallbacks atomic.Uint64
+	shed           atomic.Uint64
+	panics         atomic.Uint64
+	deadlines      atomic.Uint64
+	evictions      atomic.Uint64
 	active         atomic.Int64
 	queued         atomic.Int64
 	inflight       atomic.Int64
@@ -162,12 +209,16 @@ func New(store *kv.Store, cfg Config) *Server {
 		cfg.ErrorLog = log.Default()
 	}
 	return &Server{
-		store:    store,
-		maxFrame: cfg.MaxFrame,
-		maxBatch: cfg.MaxBatch,
-		errorLog: cfg.ErrorLog,
-		sem:      make(chan struct{}, cfg.MaxInflight),
-		conns:    map[net.Conn]struct{}{},
+		store:        store,
+		maxFrame:     cfg.MaxFrame,
+		maxBatch:     cfg.MaxBatch,
+		errorLog:     cfg.ErrorLog,
+		sem:          make(chan struct{}, cfg.MaxInflight),
+		cmdDeadline:  cfg.CmdDeadline,
+		queueTimeout: cfg.QueueTimeout,
+		readTimeout:  cfg.ReadTimeout,
+		writeTimeout: cfg.WriteTimeout,
+		conns:        map[net.Conn]struct{}{},
 	}
 }
 
@@ -181,6 +232,13 @@ func (s *Server) CmdCount(c Cmd) uint64 { return s.cmds[c].Load() }
 // and how many of them failed validation and re-ran per command.
 func (s *Server) BatchStats() (batches, fallbacks uint64) {
 	return s.batches.Load(), s.batchFallbacks.Load()
+}
+
+// RobustStats returns the degradation counters: commands shed with BUSY,
+// handler panics recovered, command-deadline errors returned, and slow
+// clients evicted.
+func (s *Server) RobustStats() (shed, panics, deadlines, evictions uint64) {
+	return s.shed.Load(), s.panics.Load(), s.deadlines.Load(), s.evictions.Load()
 }
 
 // ObsMetrics exports the server's connection, queueing, and read-batching
@@ -201,6 +259,10 @@ func (s *Server) ObsMetrics() []obs.Metric {
 		{Name: "stmkvd_read_batch_fallbacks_total", Help: "Batches whose snapshot failed validation and re-ran per command.", Kind: obs.Counter, Value: s.batchFallbacks.Load()},
 		{Name: "stmkvd_txns_queued", Help: "Commands waiting for an in-flight transaction slot.", Kind: obs.Gauge, Value: gauge(s.queued.Load())},
 		{Name: "stmkvd_txns_inflight", Help: "Store transactions currently executing.", Kind: obs.Gauge, Value: gauge(s.inflight.Load())},
+		{Name: "stmkvd_shed_total", Help: "Commands shed with BUSY after waiting QueueTimeout for a transaction slot.", Kind: obs.Counter, Value: s.shed.Load()},
+		{Name: "stmkvd_panics_recovered_total", Help: "Command handler panics recovered and answered with ERR.", Kind: obs.Counter, Value: s.panics.Load()},
+		{Name: "stmkvd_cmd_deadline_total", Help: "Commands that exhausted CmdDeadline and were answered with ERR.", Kind: obs.Counter, Value: s.deadlines.Load()},
+		{Name: "stmkvd_slow_client_evictions_total", Help: "Connections evicted for overrunning a read or write timeout.", Kind: obs.Counter, Value: s.evictions.Load()},
 	}
 	for c := Cmd(0); c < NumCmds; c++ {
 		ms = append(ms, obs.Metric{
@@ -263,6 +325,11 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
+// drainWriteGrace bounds how long a draining connection may spend writing
+// its final responses to a client that has stopped reading. Without it a
+// stalled client mid-write would hold Shutdown until its context expired.
+const drainWriteGrace = 1 * time.Second
+
 // Shutdown gracefully drains the server: stop accepting, let every
 // connection finish the frames it has already received, then close. If ctx
 // expires first the remaining connections are closed hard and ctx's error
@@ -271,19 +338,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	ln := s.ln
-	conns := make([]net.Conn, 0, len(s.conns))
+	// Poke while still holding s.mu so a connection that observes
+	// draining==false cannot clear its read deadline after we set it here —
+	// serveConn only touches deadlines under the same lock.
+	//
+	// The read poke unblocks readers parked in ReadFrame; their loops notice
+	// the drain, finish buffered requests, flush, and exit. The write
+	// deadline bounds that final flush, so a client that has stopped reading
+	// cannot hold the drain past drainWriteGrace.
 	for c := range s.conns {
-		conns = append(conns, c)
+		_ = c.SetReadDeadline(time.Unix(0, 1))
+		_ = c.SetWriteDeadline(time.Now().Add(drainWriteGrace))
 	}
 	s.mu.Unlock()
 
 	if ln != nil {
 		ln.Close()
-	}
-	// Unblock readers parked in ReadFrame; their loops notice the drain,
-	// finish buffered requests, flush, and exit.
-	for _, c := range conns {
-		_ = c.SetReadDeadline(time.Unix(0, 1))
 	}
 
 	done := make(chan struct{})
@@ -318,11 +388,13 @@ type batchEntry struct {
 // buffers, parsed-command slots for batch collection, and a snapshot reader
 // bound once so repeated batches run without allocating.
 type conn struct {
-	out    []byte       // response frames accumulated this iteration
-	body   []byte       // response body scratch
-	batch  []batchEntry // command slots; len == max(1, Server.maxBatch)
-	n      int          // commands collected into the current batch
-	reader *kv.Reader
+	out      []byte       // response frames accumulated this iteration
+	body     []byte       // response body scratch
+	batch    []batchEntry // command slots; len == max(1, Server.maxBatch)
+	n        int          // commands collected into the current batch
+	reader   *kv.Reader
+	slotHeld bool        // this connection holds a transaction slot
+	qt       *time.Timer // queue-timeout timer, reused across sheds
 }
 
 func (s *Server) newConn() *conn {
@@ -358,6 +430,27 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		c.out = c.out[:0]
 		e := &c.batch[0]
+		if s.readTimeout > 0 && br.Buffered() == 0 {
+			// Idle between frames: wait for the first byte with no deadline
+			// (idle clients are never evicted), then bound delivery of the
+			// rest of the frame. Deadlines move only under s.mu so a drain
+			// poke cannot be overwritten after it was set.
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				break
+			}
+			_ = nc.SetReadDeadline(time.Time{})
+			s.mu.Unlock()
+			if _, err := br.Peek(1); err != nil {
+				break // EOF, drain poke, or a dead peer: nothing to answer
+			}
+			s.mu.Lock()
+			if !s.draining {
+				_ = nc.SetReadDeadline(time.Now().Add(s.readTimeout))
+			}
+			s.mu.Unlock()
+		}
 		frame, err := wire.ReadFrameInto(br, s.maxFrame, e.frame)
 		if err != nil {
 			if err == io.EOF {
@@ -365,13 +458,23 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				break // drain poke
+				if s.isDraining() {
+					break // drain poke
+				}
+				// Mid-frame past ReadTimeout: a stalled or byte-dribbling
+				// client; evict it.
+				s.evictions.Add(1)
+				s.errorLog.Printf("server: evicting slow client %s: %v", nc.RemoteAddr(), err)
+				break
 			}
 			// Framing is lost: report once, then close.
 			s.protoErrors.Add(1)
 			c.out = wire.AppendFrame(c.out, c.errBody(err))
 			_, _ = bw.Write(c.out)
 			break
+		}
+		if connChaos(chaos.FrameRead) {
+			return // injected connection kill after a read
 		}
 		e.frame = frame
 		fatal := false
@@ -386,7 +489,12 @@ func (s *Server) serveConn(nc net.Conn) {
 			s.cmds[e.id].Add(1)
 			c.out = wire.AppendFrame(c.out, resp)
 		}
+		if connChaos(chaos.RespWrite) {
+			return // injected connection kill before a write
+		}
+		s.armWriteDeadline(nc)
 		if _, err := bw.Write(c.out); err != nil {
+			s.writeErr(nc, err)
 			return
 		}
 		if fatal {
@@ -395,11 +503,56 @@ func (s *Server) serveConn(nc net.Conn) {
 		// Flush only when no further pipelined request is already buffered.
 		if br.Buffered() == 0 {
 			if err := bw.Flush(); err != nil {
+				s.writeErr(nc, err)
 				return
 			}
 		}
 	}
+	s.armWriteDeadline(nc)
 	_ = bw.Flush()
+}
+
+// connChaos runs one chaos injection point on the connection's I/O path.
+// Delays sleep in place; aborts and panics both report kill — at the
+// transport layer the only meaningful fault is dropping the connection.
+func connChaos(p chaos.Point) (kill bool) {
+	in := chaos.Active()
+	if in == nil {
+		return false
+	}
+	act, d := in.Decide(p)
+	switch act {
+	case chaos.ActDelay:
+		time.Sleep(d)
+	case chaos.ActAbort, chaos.ActPanic:
+		return true
+	}
+	return false
+}
+
+// armWriteDeadline bounds the next buffered write when WriteTimeout is
+// configured. During a drain the Shutdown poke's drainWriteGrace deadline
+// stays in force.
+func (s *Server) armWriteDeadline(nc net.Conn) {
+	if s.writeTimeout <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.draining {
+		_ = nc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	s.mu.Unlock()
+}
+
+// writeErr classifies a response-write failure: a timeout outside a drain
+// means the client stopped reading and was evicted; anything else is a
+// plain disconnect and stays quiet.
+func (s *Server) writeErr(nc net.Conn, err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && !s.isDraining() {
+		s.evictions.Add(1)
+		s.errorLog.Printf("server: evicting slow client %s: write stalled: %v", nc.RemoteAddr(), err)
+	}
 }
 
 // collectAndRunBatch gathers further batchable commands already sitting in
@@ -470,11 +623,15 @@ func (s *Server) execBatch(c *conn) {
 		for i := 0; i < n; i++ {
 			c.out = wire.AppendFrame(c.out, bodyPong)
 		}
+	} else if !s.acquire(c) {
+		// Shed: every command in the batch gets a retriable BUSY; none ran.
+		for i := 0; i < n; i++ {
+			c.out = wire.AppendFrame(c.out, bodyBusy)
+		}
 	} else {
 		mark := len(c.out)
-		s.acquire()
-		committed, _ := c.reader.RunOnce()
-		s.release()
+		committed := s.runBatchSnapshot(c)
+		s.release(c)
 		if !committed {
 			s.batchFallbacks.Add(1)
 			c.out = c.out[:mark]
@@ -488,6 +645,22 @@ func (s *Server) execBatch(c *conn) {
 		s.cmds[c.batch[i].id].Add(1)
 	}
 	c.n = 0
+}
+
+// runBatchSnapshot runs the batch's snapshot attempt with panic
+// containment: a panic inside the snapshot (chaos-injected or real)
+// releases the transaction slot and reports not-committed, so the batch
+// falls back to per-command execution like a validation failure would.
+func (s *Server) runBatchSnapshot(c *conn) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.release(c)
+			s.panics.Add(1)
+			committed = false
+		}
+	}()
+	committed, _ = c.reader.RunOnce()
+	return committed
 }
 
 // snapshotBody answers the collected batch against one read-only snapshot,
@@ -570,13 +743,15 @@ func classify(name string) Cmd {
 	}
 }
 
-// Response bodies reused across commands.
+// Response bodies reused across commands. BUSY is the retriable shed
+// response: the command did not execute and may be resent as-is.
 var (
 	bodyPong = []byte("PONG")
 	bodyOK   = []byte("OK")
 	bodyNil  = []byte("NIL")
 	bodyInt0 = []byte(":0")
 	bodyInt1 = []byte(":1")
+	bodyBusy = []byte("BUSY")
 )
 
 // errBody renders err as an "ERR $n:msg" body (the encoding AppendCommand
@@ -606,24 +781,102 @@ func (c *conn) intBody(v int64) []byte {
 
 var errArity = errors.New("server: wrong number of arguments")
 
-// acquire blocks until an in-flight transaction slot is free.
-func (s *Server) acquire() {
-	s.queued.Add(1)
-	s.sem <- struct{}{}
-	s.queued.Add(-1)
+// acquire claims an in-flight transaction slot for c, waiting at most
+// QueueTimeout when the server is saturated. It reports false when the
+// command must be shed: the caller answers BUSY without executing. The
+// uncontended path is one nonblocking channel send — no gauge churn, no
+// timer — so an unsaturated server pays nothing for shedding support.
+func (s *Server) acquire(c *conn) bool {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.queued.Add(1)
+		if s.queueTimeout <= 0 {
+			s.sem <- struct{}{}
+		} else {
+			if c.qt == nil {
+				c.qt = time.NewTimer(s.queueTimeout)
+			} else {
+				c.qt.Reset(s.queueTimeout)
+			}
+			select {
+			case s.sem <- struct{}{}:
+				if !c.qt.Stop() {
+					<-c.qt.C
+				}
+			case <-c.qt.C:
+				s.queued.Add(-1)
+				s.shed.Add(1)
+				return false
+			}
+		}
+		s.queued.Add(-1)
+	}
 	s.inflight.Add(1)
+	c.slotHeld = true
+	return true
 }
 
-func (s *Server) release() {
+// release returns c's transaction slot if held. It is idempotent so the
+// panic-recovery paths can release unconditionally without tracking whether
+// the normal path already did.
+func (s *Server) release(c *conn) {
+	if !c.slotHeld {
+		return
+	}
+	c.slotHeld = false
 	s.inflight.Add(-1)
 	<-s.sem
 }
 
+// runAtomic runs body as one write transaction, bounded by CmdDeadline when
+// one is configured.
+func (s *Server) runAtomic(body func(t *kv.Tx) error) error {
+	if s.cmdDeadline <= 0 {
+		return s.store.Atomic(body)
+	}
+	return s.store.AtomicCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, body)
+}
+
+// runView is runAtomic's read-only twin.
+func (s *Server) runView(body func(t *kv.Tx) error) error {
+	if s.cmdDeadline <= 0 {
+		return s.store.View(body)
+	}
+	return s.store.ViewCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, body)
+}
+
+// cmdErr renders a command error, counting deadline/budget exhaustion on
+// the way through.
+func (s *Server) cmdErr(c *conn, err error) []byte {
+	var te *engine.TimeoutError
+	if errors.As(err, &te) {
+		s.deadlines.Add(1)
+	}
+	return c.errBody(err)
+}
+
 // execute runs one command through the per-command path — the only path for
-// writes, and the fallback for reads whose batch failed validation. The
-// returned body may be backed by c's scratch and is valid only until c's
-// next use.
-func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
+// writes, and the fallback for reads whose batch failed validation. It
+// contains handler panics: the transaction slot is released, the panic
+// counted, and the client answered with ERR on a still-usable connection.
+// The returned body may be backed by c's scratch and is valid only until
+// c's next use.
+func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) (resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.release(c)
+			s.panics.Add(1)
+			resp = c.errBody(fmt.Errorf("server: handler panic: %v", r))
+		}
+	}()
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.Handler)
+	}
+	return s.executeCmd(c, cmd, id)
+}
+
+func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 	args := cmd.Args
 	switch id {
 	case CmdPing:
@@ -636,9 +889,19 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if len(args) != 1 {
 			return c.errBody(errArity)
 		}
-		s.acquire()
-		v, ok := s.store.Get(args[0].B)
-		s.release()
+		if !s.acquire(c) {
+			return bodyBusy
+		}
+		var v []byte
+		var ok bool
+		err := s.runView(func(t *kv.Tx) error {
+			v, ok = t.Get(args[0].B)
+			return nil
+		})
+		s.release(c)
+		if err != nil {
+			return s.cmdErr(c, err)
+		}
 		if !ok {
 			return bodyNil
 		}
@@ -649,18 +912,35 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if len(args) != 2 {
 			return c.errBody(errArity)
 		}
-		s.acquire()
-		s.store.Set(args[0].B, args[1].B)
-		s.release()
+		if !s.acquire(c) {
+			return bodyBusy
+		}
+		err := s.runAtomic(func(t *kv.Tx) error {
+			t.Set(args[0].B, args[1].B)
+			return nil
+		})
+		s.release(c)
+		if err != nil {
+			return s.cmdErr(c, err)
+		}
 		return bodyOK
 
 	case CmdDel:
 		if len(args) != 1 {
 			return c.errBody(errArity)
 		}
-		s.acquire()
-		removed := s.store.Delete(args[0].B)
-		s.release()
+		if !s.acquire(c) {
+			return bodyBusy
+		}
+		removed := false
+		err := s.runAtomic(func(t *kv.Tx) error {
+			removed = t.Delete(args[0].B)
+			return nil
+		})
+		s.release(c)
+		if err != nil {
+			return s.cmdErr(c, err)
+		}
 		if removed {
 			return bodyInt1
 		}
@@ -670,9 +950,18 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if len(args) != 3 {
 			return c.errBody(errArity)
 		}
-		s.acquire()
-		swapped := s.store.CompareAndSet(args[0].B, args[1].B, args[2].B)
-		s.release()
+		if !s.acquire(c) {
+			return bodyBusy
+		}
+		swapped := false
+		err := s.runAtomic(func(t *kv.Tx) error {
+			swapped = t.CompareAndSet(args[0].B, args[1].B, args[2].B)
+			return nil
+		})
+		s.release(c)
+		if err != nil {
+			return s.cmdErr(c, err)
+		}
 		if swapped {
 			return bodyInt1
 		}
@@ -686,15 +975,18 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if err != nil {
 			return c.errBody(err)
 		}
+		if !s.acquire(c) {
+			return bodyBusy
+		}
 		var after int64
-		s.acquire()
-		err = s.store.Atomic(func(t *kv.Tx) error {
+		err = s.runAtomic(func(t *kv.Tx) error {
+			var err error
 			after, err = t.Add(args[0].B, delta)
 			return err
 		})
-		s.release()
+		s.release(c)
 		if err != nil {
-			return c.errBody(err)
+			return s.cmdErr(c, err)
 		}
 		return c.intBody(after)
 
@@ -709,9 +1001,11 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if amount < 0 {
 			return c.errBody(errors.New("server: negative transfer amount"))
 		}
+		if !s.acquire(c) {
+			return bodyBusy
+		}
 		ok := false
-		s.acquire()
-		err = s.store.Atomic(func(t *kv.Tx) error {
+		err = s.runAtomic(func(t *kv.Tx) error {
 			ok = false
 			src, err := t.Int(args[0].B)
 			if err != nil {
@@ -729,9 +1023,9 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 			ok = true
 			return nil
 		})
-		s.release()
+		s.release(c)
 		if err != nil {
-			return c.errBody(err)
+			return s.cmdErr(c, err)
 		}
 		if ok {
 			return bodyInt1
@@ -742,9 +1036,11 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if len(args) == 0 {
 			return c.errBody(errArity)
 		}
+		if !s.acquire(c) {
+			return bodyBusy
+		}
 		vals := make([]wire.Arg, len(args))
-		s.acquire()
-		_ = s.store.View(func(t *kv.Tx) error {
+		err := s.runView(func(t *kv.Tx) error {
 			for i, a := range args {
 				if v, ok := t.Get(a.B); ok {
 					vals[i] = wire.Blob(v)
@@ -754,7 +1050,10 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 			}
 			return nil
 		})
-		s.release()
+		s.release(c)
+		if err != nil {
+			return s.cmdErr(c, err)
+		}
 		c.body = wire.AppendCommand(c.body[:0], "VALS", vals...)
 		return c.body
 
@@ -762,14 +1061,19 @@ func (s *Server) execute(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if len(args) == 0 || len(args)%2 != 0 {
 			return c.errBody(errArity)
 		}
-		s.acquire()
-		_ = s.store.Atomic(func(t *kv.Tx) error {
+		if !s.acquire(c) {
+			return bodyBusy
+		}
+		err := s.runAtomic(func(t *kv.Tx) error {
 			for i := 0; i < len(args); i += 2 {
 				t.Set(args[i].B, args[i+1].B)
 			}
 			return nil
 		})
-		s.release()
+		s.release(c)
+		if err != nil {
+			return s.cmdErr(c, err)
+		}
 		return bodyOK
 
 	default:

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"memtx/internal/kv"
+	"memtx/internal/server/wire"
+)
+
+// TestAcquireShedsAfterQueueTimeout exercises the slot path directly: with
+// the semaphore full, acquire must give up after QueueTimeout, count the
+// shed, and leave the gauges clean; release must be idempotent.
+func TestAcquireShedsAfterQueueTimeout(t *testing.T) {
+	store := kv.New(kv.Config{Shards: 1, Buckets: 16})
+	s := New(store, Config{
+		MaxInflight:  1,
+		QueueTimeout: 5 * time.Millisecond,
+		ErrorLog:     log.New(io.Discard, "", 0),
+	})
+
+	holder := s.newConn()
+	if !s.acquire(holder) {
+		t.Fatal("first acquire failed on an idle server")
+	}
+
+	waiter := s.newConn()
+	start := time.Now()
+	if s.acquire(waiter) {
+		t.Fatal("acquire succeeded with the semaphore full")
+	}
+	if waited := time.Since(start); waited < 5*time.Millisecond {
+		t.Fatalf("shed after %v, before QueueTimeout elapsed", waited)
+	}
+	if shed, _, _, _ := s.RobustStats(); shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
+	}
+	if got := s.queued.Load(); got != 0 {
+		t.Fatalf("queued gauge = %d after a shed, want 0", got)
+	}
+
+	s.release(holder)
+	// A second release must be a no-op — the panic-recovery path calls
+	// release unconditionally after the normal path may already have.
+	s.release(holder)
+	if !s.acquire(waiter) {
+		t.Fatal("acquire failed after the slot was released")
+	}
+	s.release(waiter)
+	if got := s.inflight.Load(); got != 0 {
+		t.Fatalf("inflight gauge = %d at rest, want 0", got)
+	}
+}
+
+// TestShedBusyOverWire holds the server's only transaction slot and checks
+// that a write command is answered with a retriable BUSY, and that the
+// connection works normally once the slot frees up.
+func TestShedBusyOverWire(t *testing.T) {
+	store := kv.New(kv.Config{Shards: 1, Buckets: 16})
+	s := New(store, Config{
+		MaxInflight:  1,
+		QueueTimeout: 2 * time.Millisecond,
+		ErrorLog:     log.New(io.Discard, "", 0),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		<-done
+	})
+
+	holder := s.newConn()
+	if !s.acquire(holder) {
+		t.Fatal("could not occupy the transaction slot")
+	}
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	req := wire.AppendFrame(nil, wire.AppendCommand(nil, "SET", wire.Blob([]byte("k")), wire.Blob([]byte("v"))))
+	if _, err := nc.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	body, err := wire.ReadFrame(br, 0)
+	if err != nil || string(body) != "BUSY" {
+		t.Fatalf("SET with slot held = %q, %v; want BUSY", body, err)
+	}
+	if _, ok := store.Get([]byte("k")); ok {
+		t.Fatal("shed SET executed anyway")
+	}
+
+	s.release(holder)
+	if _, err := nc.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	body, err = wire.ReadFrame(br, 0)
+	if err != nil || string(body) != "OK" {
+		t.Fatalf("SET after release = %q, %v; want OK", body, err)
+	}
+	if shed, _, _, _ := s.RobustStats(); shed == 0 {
+		t.Fatal("shed command not counted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"io"
 	"testing"
+	"testing/iotest"
 )
 
 // FuzzReadFrame asserts the framing layer's total-function contract on
@@ -41,6 +42,17 @@ func FuzzReadFrame(f *testing.F) {
 		[]byte("17 MGET $1:a $1:b $1:c\n10 GET $3:foo\n"),
 		[]byte("10 GET $3:foo\n10 GET $3:ba"), // batch with truncated tail
 		[]byte("10 get $3:foo\n4 ping\n"),     // lowercase pipelined pair
+		// Truncations a slow or killed client leaves behind: frames cut off
+		// at every stage — inside the size, after it, mid-name, mid-arg —
+		// which the byte-at-a-time reader below also replays as the worst
+		// possible delivery schedule.
+		[]byte("4 P"),                 // cut mid-name
+		[]byte("10 GET $3:fo"),        // cut one byte short of the body
+		[]byte("12 TRANSFER a"),       // cut mid-args
+		[]byte("17 SET $3:foo $3:ba"), // cut write command
+		[]byte("1048576 "),            // huge size, body never arrives
+		[]byte("5 PING\n"),            // size off by one
+		[]byte("4 PING\n4 PI"),        // good frame then truncated frame
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -50,6 +62,10 @@ func FuzzReadFrame(f *testing.F) {
 		bufSize := len(stream) + 16
 		br := bufio.NewReaderSize(bytes.NewReader(stream), bufSize)
 		br2 := bufio.NewReaderSize(bytes.NewReader(stream), bufSize)
+		// A third reader gets the stream one byte per Read call — the worst
+		// delivery schedule a dribbling client can produce. Framing must be
+		// invariant to how the bytes arrive.
+		br3 := bufio.NewReaderSize(iotest.OneByteReader(bytes.NewReader(stream)), 16)
 		br.Peek(len(stream)) // buffer the whole stream so FrameBuffered sees every remaining byte
 		var reuse []byte
 		for {
@@ -64,6 +80,13 @@ func FuzzReadFrame(f *testing.F) {
 			}
 			if err2 == nil {
 				reuse = body2
+			}
+			body3, err3 := ReadFrame(br3, limit)
+			if (err == nil) != (err3 == nil) {
+				t.Fatalf("byte-at-a-time ReadFrame err %v but buffered err %v", err3, err)
+			}
+			if err == nil && !bytes.Equal(body, body3) {
+				t.Fatalf("byte-at-a-time body %q differs from buffered body %q", body3, body)
 			}
 			if err != nil {
 				if err == io.EOF && br.Buffered() == 0 {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 )
 
@@ -279,6 +280,9 @@ func (t *Txn) LoadWord(h engine.Handle, i int) uint64 {
 	if v, ok := t.writes[wkey{o, slot}]; ok {
 		return v.word
 	}
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForRead)
+	}
 	si := t.eng.stripeFor(o, slot)
 	stripe := t.eng.stripe(si)
 	for {
@@ -313,6 +317,9 @@ func (t *Txn) LoadRef(h engine.Handle, i int) engine.Handle {
 	slot := uint64(i)*2 + 1
 	if v, ok := t.writes[wkey{o, slot}]; ok {
 		return refHandle(v.ref)
+	}
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForRead)
 	}
 	si := t.eng.stripeFor(o, slot)
 	stripe := t.eng.stripe(si)
@@ -377,6 +384,9 @@ func (t *Txn) StoreRef(h engine.Handle, i int, r engine.Handle) {
 }
 
 func (t *Txn) bufferWrite(k wkey, v wval) {
+	if in := chaos.Active(); in != nil {
+		in.Step(chaos.OpenForUpdate)
+	}
 	if _, seen := t.writes[k]; !seen {
 		t.worder = append(t.worder, k)
 	}
@@ -410,6 +420,11 @@ func (t *Txn) Commit() error {
 		panic("wstm: Commit on finished transaction")
 	}
 	commitStart := time.Now()
+	if in := chaos.Active(); in != nil {
+		// Before any stripe is locked, so an injected abort or panic unwinds
+		// with nothing held.
+		in.Step(chaos.CommitValidate)
+	}
 	eng := t.eng
 	if len(t.writes) == 0 {
 		// Reads were validated at access time against rv; nothing to publish.
@@ -434,6 +449,11 @@ func (t *Txn) Commit() error {
 		t.cause = engine.CauseValidation
 		t.finish(false)
 		return engine.ErrConflict
+	}
+	if in := chaos.Active(); in != nil {
+		// Delay-only by construction (chaos.New clamps WriteBack): stretches
+		// the window where the write stripes stay locked.
+		in.Step(chaos.WriteBack)
 	}
 	wv := t.eng.clock.Add(1)
 	for _, k := range t.worder {
