@@ -26,6 +26,7 @@ type kvOptions struct {
 	duration     time.Duration
 	pipeline     int
 	batches      string // comma-separated MaxBatch values, only for self sweeps
+	procs        string // comma-separated GOMAXPROCS values, only for self sweeps
 	benchJSON    string
 	quick        bool
 
@@ -87,7 +88,11 @@ func runKVLoad(o kvOptions) error {
 		if err != nil {
 			return err
 		}
-		points, err = kvload.RunSelfGrid(designs, shards, batches, lo)
+		procs, err := parseInts("procs", o.procs)
+		if err != nil {
+			return err
+		}
+		points, err = kvload.RunSelfGrid(designs, shards, batches, procs, lo)
 		if err != nil {
 			return err
 		}
@@ -159,17 +164,22 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		ID: "kvload",
 		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / rest SET",
 			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac),
-		Header: []string{"design", "shards", "batch", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks"},
+		Header: []string{"design", "shards", "batch", "procs", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks"},
 	}
 	for _, p := range points {
 		shards := "-"
 		if p.Shards > 0 {
 			shards = strconv.Itoa(p.Shards)
 		}
+		procs := "-"
+		if p.Procs > 0 {
+			procs = strconv.Itoa(p.Procs)
+		}
 		t.AddRow(
 			p.Design,
 			shards,
 			batchLabel(p.MaxBatch),
+			procs,
 			strconv.FormatUint(p.Result.Ops, 10),
 			fmt.Sprintf("%.0f", p.Result.Throughput),
 			fmt.Sprintf("%.1f", float64(p.Result.RTT.Quantile(0.5))/1e3),
@@ -199,6 +209,9 @@ func writeKVBenchJSON(path string, points []kvload.GridPoint, lo kvload.Options,
 		cell := fmt.Sprintf("%s/shards%d", kernel, p.Shards)
 		if p.MaxBatch != 0 {
 			cell += "/batch" + batchLabel(p.MaxBatch)
+		}
+		if p.Procs > 0 {
+			cell += fmt.Sprintf("/procs%d", p.Procs)
 		}
 		report.Results = append(report.Results, harness.BenchPoint{
 			Experiment: "kvload",

@@ -57,6 +57,7 @@ func main() {
 		kvDuration     = flag.Duration("kv-duration", 5*time.Second, "measurement window per cell")
 		kvPipeline     = flag.Int("kv-pipeline", 1, "requests in flight per connection")
 		kvBatch        = flag.String("kv-batch", "0", "server read-batch bounds to sweep with -kvload self (0 = server default, -1 = off)")
+		kvProcs        = flag.String("kv-procs", "0", "GOMAXPROCS values to sweep with -kvload self (0 = leave the process default)")
 
 		kvCmdDeadline  = flag.Duration("kv-cmd-deadline", 0, "self-hosted server per-command deadline (0 = unbounded)")
 		kvQueueTimeout = flag.Duration("kv-queue-timeout", 0, "self-hosted server shed bound: max wait for a txn slot before BUSY (0 = queue forever)")
@@ -83,6 +84,7 @@ func main() {
 			duration:      *kvDuration,
 			pipeline:      *kvPipeline,
 			batches:       *kvBatch,
+			procs:         *kvProcs,
 			benchJSON:     *benchJSON,
 			quick:         *quick,
 			cmdDeadline:   *kvCmdDeadline,

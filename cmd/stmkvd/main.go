@@ -99,7 +99,6 @@ func main() {
 
 	if *serveMetrics != "" {
 		reg := obs.NewRegistry()
-		reg.Register("kv", store.TM().Engine())
 		reg.RegisterSource("kv", store)
 		reg.RegisterSource("kvd", srv)
 		if injector != nil {
@@ -145,6 +144,6 @@ func main() {
 		logger.Printf("serve: %v", err)
 		os.Exit(1)
 	}
-	st := store.TM().Stats()
+	st := store.Stats()
 	fmt.Fprintf(os.Stderr, "stmkvd: drained cleanly; %d transactions committed\n", st.Commits)
 }

@@ -72,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
-	st := store.TM().Stats()
+	st := store.Stats()
 	fmt.Printf("server drained; %d transactions committed, %d ops served\n",
 		st.Commits, store.OpCount(kv.OpGet)+store.OpCount(kv.OpSet))
 }

@@ -74,7 +74,7 @@ type Txn struct {
 const slabChunk = 64
 
 func newTxn(e *Engine) *Txn {
-	t := &Txn{eng: e}
+	t := &Txn{eng: e, ids: idAlloc{src: &e.idSrc}}
 	if e.checked {
 		t.opened = make(map[uint64]bool)
 	}

@@ -6,13 +6,13 @@ import (
 	"time"
 )
 
-// backoff implements randomized exponential backoff between transaction
+// Backoff implements randomized exponential backoff between transaction
 // re-executions. Early retries only yield the processor; once a transaction
 // has conflicted repeatedly it sleeps for a bounded, jittered interval.
 //
 // The zero value is ready to use (and stays on the caller's stack — Run's
 // fast path must not allocate); the RNG is seeded on first use.
-type backoff struct {
+type Backoff struct {
 	attempt int
 	rng     uint64
 }
@@ -23,7 +23,7 @@ const (
 	backoffMaxShift     = 14 // cap sleep at base << 14 ≈ 8ms
 )
 
-func (b *backoff) next() uint64 {
+func (b *Backoff) next() uint64 {
 	if b.rng == 0 {
 		// Seed from the monotonic clock; the quality bar is only "threads
 		// desynchronize", not statistical randomness.
@@ -38,7 +38,7 @@ func (b *backoff) next() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-func (b *backoff) wait() {
+func (b *Backoff) Wait() {
 	b.attempt++
 	if b.attempt <= backoffSpinAttempts {
 		runtime.Gosched()
@@ -53,12 +53,12 @@ func (b *backoff) wait() {
 	time.Sleep(d)
 }
 
-// waitCtx is wait bounded by a context and an absolute deadline (zero means
+// WaitCtx is Wait bounded by a context and an absolute deadline (zero means
 // none): the sleep is clamped to the deadline and interrupted by
 // cancellation, so a RunCtx caller re-checks its bounds promptly instead of
 // finishing a multi-millisecond backoff first. The timer allocation is
 // acceptable here — this is the contended slow path, never the first retry.
-func (b *backoff) waitCtx(ctx context.Context, deadline time.Time) {
+func (b *Backoff) WaitCtx(ctx context.Context, deadline time.Time) {
 	b.attempt++
 	if b.attempt <= backoffSpinAttempts {
 		runtime.Gosched()

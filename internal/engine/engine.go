@@ -177,3 +177,23 @@ func (s Stats) Sub(t Stats) Stats {
 		ROFastCommits:  s.ROFastCommits - t.ROFastCommits,
 	}
 }
+
+// Add returns the sum s + t, counter by counter. Sharded stores use it to
+// aggregate per-shard engine statistics into one store-wide view.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Starts:         s.Starts + t.Starts,
+		Commits:        s.Commits + t.Commits,
+		Aborts:         s.Aborts + t.Aborts,
+		OpenForRead:    s.OpenForRead + t.OpenForRead,
+		OpenForUpdate:  s.OpenForUpdate + t.OpenForUpdate,
+		UndoLogged:     s.UndoLogged + t.UndoLogged,
+		ReadLogEntries: s.ReadLogEntries + t.ReadLogEntries,
+		FilterHits:     s.FilterHits + t.FilterHits,
+		LocalSkips:     s.LocalSkips + t.LocalSkips,
+		Compactions:    s.Compactions + t.Compactions,
+		ReadLogDropped: s.ReadLogDropped + t.ReadLogDropped,
+		CMWaits:        s.CMWaits + t.CMWaits,
+		ROFastCommits:  s.ROFastCommits + t.ROFastCommits,
+	}
+}

@@ -54,11 +54,11 @@ func RunReadOnly(e Engine, body func(tx Txn) error) error {
 // spinning. Like Run, a non-nil body error aborts the attempt — unless the
 // attempt was doomed (failed validation), which is reported as a conflict.
 func RunReadOnlyOnce(e Engine, body func(tx Txn) error) (err error, conflicted bool) {
-	return attempt(e.BeginReadOnly(), body)
+	return Attempt(e.BeginReadOnly(), body)
 }
 
 func run(e Engine, body func(tx Txn) error, readonly bool) error {
-	var backoff backoff
+	var backoff Backoff
 	conflicts := 0
 	for {
 		var tx Txn
@@ -67,10 +67,10 @@ func run(e Engine, body func(tx Txn) error, readonly bool) error {
 		} else {
 			tx = e.Begin()
 		}
-		err, conflicted := attempt(tx, body)
+		err, conflicted := Attempt(tx, body)
 		if conflicted {
 			conflicts++
-			backoff.wait()
+			backoff.Wait()
 			continue
 		}
 		if err == nil {
@@ -82,10 +82,14 @@ func run(e Engine, body func(tx Txn) error, readonly bool) error {
 	}
 }
 
-// attempt runs one execution of the body, translating Retry panics and
-// commit conflicts into conflicted=true. Any other panic propagates after the
-// transaction is rolled back.
-func attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
+// Attempt runs one execution of the body on an already-begun transaction,
+// translating Retry panics and commit conflicts into conflicted=true. Any
+// other panic propagates after the transaction is rolled back. It is
+// exported for layers that manage their own begin/retry policy around the
+// standard attempt semantics — the kv store's per-shard commit loops hold
+// shard locks across exactly one attempt, which Run's internal loop cannot
+// express.
+func Attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
 	committed := false
 	defer func() {
 		if committed {

@@ -215,10 +215,10 @@ func TestRunAttributesAbortCauses(t *testing.T) {
 }
 
 func TestBackoffEscalates(t *testing.T) {
-	var b backoff
+	var b Backoff
 	start := time.Now()
 	for i := 0; i < backoffSpinAttempts; i++ {
-		b.wait() // spin phase: must be fast
+		b.Wait() // spin phase: must be fast
 	}
 	if spin := time.Since(start); spin > 50*time.Millisecond {
 		t.Fatalf("spin phase took %v", spin)
@@ -226,7 +226,7 @@ func TestBackoffEscalates(t *testing.T) {
 	// Sleep phase: bounded by base << maxShift per wait.
 	start = time.Now()
 	for i := 0; i < 5; i++ {
-		b.wait()
+		b.Wait()
 	}
 	max := time.Duration(5) * backoffBaseSleep * (1 << backoffMaxShift) * 2
 	if d := time.Since(start); d > max {

@@ -44,6 +44,14 @@ func (e *TimeoutError) Error() string {
 
 func (e *TimeoutError) Unwrap() error { return e.cause }
 
+// NewTimeoutError builds a TimeoutError for retry loops living outside this
+// package (the kv store's per-shard commit loops) that enforce the same
+// bounds as RunCtx. cause should be context.Canceled,
+// context.DeadlineExceeded, or ErrRetryBudget.
+func NewTimeoutError(op string, attempts int, elapsed time.Duration, cause error) *TimeoutError {
+	return &TimeoutError{Op: op, Attempts: attempts, Elapsed: elapsed, cause: cause}
+}
+
 // Timeout reports true: the transaction did not commit but may be retried
 // later.
 func (e *TimeoutError) Timeout() bool { return true }
@@ -89,7 +97,7 @@ func runCtx(ctx context.Context, e Engine, opts RunOptions, body func(tx Txn) er
 		}
 	}
 
-	var backoff backoff
+	var backoff Backoff
 	attempts, conflicts := 0, 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -116,7 +124,7 @@ func runCtx(ctx context.Context, e Engine, opts RunOptions, body func(tx Txn) er
 			cb.BindContext(ctx, deadline)
 		}
 		attempts++
-		err, conflicted := attempt(tx, body)
+		err, conflicted := Attempt(tx, body)
 		if !conflicted {
 			if err == nil {
 				e.Metrics().ObserveRetries(conflicts)
@@ -127,6 +135,6 @@ func runCtx(ctx context.Context, e Engine, opts RunOptions, body func(tx Txn) er
 		if opts.MaxAttempts > 0 && attempts >= opts.MaxAttempts {
 			return &TimeoutError{Op: "max-attempts", Attempts: attempts, Elapsed: time.Since(start), cause: ErrRetryBudget}
 		}
-		backoff.waitCtx(ctx, deadline)
+		backoff.WaitCtx(ctx, deadline)
 	}
 }

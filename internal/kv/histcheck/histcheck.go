@@ -1,0 +1,337 @@
+// Package histcheck is a linearizability-style checker for concurrent
+// key-value operation histories, used to prove the kv store's per-shard
+// transaction managers and cross-shard commit path correct from the
+// client's seat.
+//
+// Worker goroutines record every operation they perform against the store —
+// kind, arguments, observed result — bracketed by two stamps from one
+// shared logical clock (an atomic counter). The stamps order operations the
+// way an external observer could: if operation A returned before operation
+// B was invoked, A's return stamp is smaller than B's call stamp, so any
+// legal linearization must place A before B. Operations whose windows
+// overlap ran concurrently and may linearize in either order.
+//
+// Check then asks whether the recorded history is linearizable against a
+// sequential key-value model. Single-key operations on different keys
+// commute in the model, so the history is first partitioned per key and
+// each per-key subhistory is checked independently (linearizability is
+// compositional over independent objects). Multi-key atomic operations
+// (MSET, MGET) are projected into one recorded operation per touched key
+// sharing the parent's window — sound because an atomic multi-key commit
+// takes effect at a single instant inside that window, which serves as the
+// linearization point of every projection.
+//
+// Within one key the checker runs the classic Wing & Gong search with
+// Lowe-style memoization: repeatedly pick a minimal operation (one invoked
+// before every other pending operation's return), apply it to the model,
+// and backtrack on mismatch, memoizing visited (pending-set, model-state)
+// pairs. To bound the search window, each per-key history is first split at
+// quiescent cuts — stamps where every earlier operation has returned — and
+// the chunks are checked in order, carrying the set of reachable model
+// states across each cut. The search is therefore exponential only in the
+// per-key concurrency (the number of overlapping operations), not in the
+// history length.
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind identifies one key-value operation in a recorded history.
+type Kind uint8
+
+const (
+	// Get observed (Out, OK) for Key.
+	Get Kind = iota
+	// Set wrote Arg to Key (always succeeds).
+	Set
+	// Del deleted Key; OK reports whether it existed.
+	Del
+	// CAS compared Key against Arg and, on match, wrote Arg2; OK reports
+	// whether it swapped.
+	CAS
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Set:
+		return "set"
+	case Del:
+		return "del"
+	case CAS:
+		return "cas"
+	}
+	return "unknown"
+}
+
+// Op is one completed operation in a history.
+type Op struct {
+	Kind Kind
+	Key  string
+	Arg  string // Set: written value; CAS: expected value
+	Arg2 string // CAS: replacement value
+	Out  string // Get: observed value (meaningful when OK)
+	OK   bool   // Get: found; Del: removed; CAS: swapped
+	// Call and Return are logical stamps taken from the Recorder's clock
+	// immediately before invocation and after response. Each stamp is
+	// unique across the whole history.
+	Call, Return int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Get:
+		if o.OK {
+			return fmt.Sprintf("get(%s)=%q [%d,%d]", o.Key, o.Out, o.Call, o.Return)
+		}
+		return fmt.Sprintf("get(%s)=missing [%d,%d]", o.Key, o.Call, o.Return)
+	case Set:
+		return fmt.Sprintf("set(%s,%q) [%d,%d]", o.Key, o.Arg, o.Call, o.Return)
+	case Del:
+		return fmt.Sprintf("del(%s)=%v [%d,%d]", o.Key, o.OK, o.Call, o.Return)
+	case CAS:
+		return fmt.Sprintf("cas(%s,%q->%q)=%v [%d,%d]", o.Key, o.Arg, o.Arg2, o.OK, o.Call, o.Return)
+	}
+	return "unknown"
+}
+
+// Recorder hands out history workers sharing one logical clock. Create
+// with NewRecorder, give each goroutine its own Worker, and collect the
+// merged history with History after all workers are done.
+type Recorder struct {
+	clock   atomic.Int64
+	workers []Worker
+}
+
+// NewRecorder builds a Recorder with n workers.
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{workers: make([]Worker, n)}
+	for i := range r.workers {
+		r.workers[i].rec = r
+	}
+	return r
+}
+
+// Worker returns worker i. Each Worker may be used by only one goroutine.
+func (r *Recorder) Worker(i int) *Worker { return &r.workers[i] }
+
+// Stamp draws the next logical-clock value. Take one immediately before
+// invoking an operation and one immediately after it responds.
+func (r *Recorder) Stamp() int64 { return r.clock.Add(1) }
+
+// History merges every worker's recorded operations. Call only after all
+// worker goroutines have finished.
+func (r *Recorder) History() []Op {
+	var all []Op
+	for i := range r.workers {
+		all = append(all, r.workers[i].ops...)
+	}
+	return all
+}
+
+// Worker accumulates one goroutine's operations.
+type Worker struct {
+	rec *Recorder
+	ops []Op
+}
+
+// Begin stamps an invocation.
+func (w *Worker) Begin() int64 { return w.rec.Stamp() }
+
+// End stamps a response and records the completed operation. The caller
+// fills every field except Return.
+func (w *Worker) End(op Op) {
+	op.Return = w.rec.Stamp()
+	w.ops = append(w.ops, op)
+}
+
+// state is the sequential model of one key: a value that may be absent.
+// The checker's model state must be comparable so it can key memo tables
+// and reachable-state sets.
+type state struct {
+	val    string
+	exists bool
+}
+
+// step applies op to s, reporting whether the op's recorded result is
+// consistent with the model in that state and the resulting state.
+func step(s state, op *Op) (state, bool) {
+	switch op.Kind {
+	case Get:
+		if op.OK != s.exists || (op.OK && op.Out != s.val) {
+			return s, false
+		}
+		return s, true
+	case Set:
+		return state{val: op.Arg, exists: true}, true
+	case Del:
+		if op.OK != s.exists {
+			return s, false
+		}
+		return state{}, true
+	case CAS:
+		match := s.exists && s.val == op.Arg
+		if op.OK != match {
+			return s, false
+		}
+		if match {
+			return state{val: op.Arg2, exists: true}, true
+		}
+		return s, true
+	}
+	return s, false
+}
+
+// Check reports whether the history is linearizable against the sequential
+// key-value model, assuming an initially empty store. On violation the
+// error names the key and its offending subhistory chunk.
+func Check(history []Op) error {
+	perKey := map[string][]*Op{}
+	for i := range history {
+		op := &history[i]
+		if op.Call >= op.Return {
+			return fmt.Errorf("histcheck: malformed op %v: call stamp not before return stamp", op)
+		}
+		perKey[op.Key] = append(perKey[op.Key], op)
+	}
+	keys := make([]string, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic error reporting
+	for _, k := range keys {
+		if err := checkKey(k, perKey[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxWindow bounds how many operations on one key may be in flight at a
+// single instant. A chunk between two quiescent cuts can be arbitrarily
+// long under chained overlap (B starts before A returns, C before B
+// returns, …) — that costs the search nothing, because at each step only
+// the currently-open window supplies candidates. What is exponential is
+// the instantaneous concurrency, so that is what gets bounded; real
+// harness runs keep it at the worker count, far below this.
+const maxWindow = 24
+
+// checkKey verifies one key's subhistory: split at quiescent cuts, then
+// search each chunk, carrying the set of reachable model states.
+func checkKey(key string, ops []*Op) error {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+
+	reachable := map[state]bool{{}: true} // initially absent
+	for start := 0; start < len(ops); {
+		// Grow the chunk until a quiescent cut: every operation so far
+		// returned before the next operation was invoked.
+		maxReturn := ops[start].Return
+		width, inFlight := 1, []int64{ops[start].Return}
+		end := start + 1
+		for end < len(ops) && ops[end].Call < maxReturn {
+			op := ops[end]
+			if op.Return > maxReturn {
+				maxReturn = op.Return
+			}
+			// Track instantaneous concurrency: drop returns that precede
+			// this call, then count this op as open.
+			live := inFlight[:0]
+			for _, r := range inFlight {
+				if r > op.Call {
+					live = append(live, r)
+				}
+			}
+			inFlight = append(live, op.Return)
+			if len(inFlight) > width {
+				width = len(inFlight)
+			}
+			end++
+		}
+		chunk := ops[start:end]
+		if width > maxWindow {
+			return fmt.Errorf("histcheck: key %q has %d simultaneously in-flight operations (window bound %d); reduce workers", key, width, maxWindow)
+		}
+		next := map[state]bool{}
+		for s := range reachable {
+			searchChunk(chunk, s, next)
+		}
+		if len(next) == 0 {
+			return fmt.Errorf("histcheck: key %q is not linearizable; offending chunk:\n%s", key, formatChunk(chunk))
+		}
+		reachable = next
+		start = end
+	}
+	return nil
+}
+
+func formatChunk(chunk []*Op) string {
+	var b []byte
+	for _, op := range chunk {
+		b = append(b, "  "...)
+		b = append(b, op.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// searchChunk explores every legal linearization of chunk from initial
+// state st, adding each reachable final state to finals. The done set is a
+// mutable bitset (chunks can outgrow a machine word under chained
+// overlap); memoization on (done-set, state) keeps revisits out, and the
+// minimal-candidate rule keeps the branching factor at the instantaneous
+// concurrency.
+func searchChunk(chunk []*Op, st state, finals map[state]bool) {
+	done := make([]uint64, (len(chunk)+63)/64)
+	has := func(i int) bool { return done[i>>6]&(1<<(i&63)) != 0 }
+	seen := map[string]bool{}
+	memoKey := func(s state) string {
+		buf := make([]byte, 0, len(done)*8+len(s.val)+1)
+		for _, w := range done {
+			buf = append(buf,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		if s.exists {
+			buf = append(buf, 1)
+			buf = append(buf, s.val...)
+		} else {
+			buf = append(buf, 0)
+		}
+		return string(buf)
+	}
+	var dfs func(remaining int, s state)
+	dfs = func(remaining int, s state) {
+		if remaining == 0 {
+			finals[s] = true
+			return
+		}
+		k := memoKey(s)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		// A pending op may linearize next only if no other pending op
+		// returned before it was invoked.
+		minReturn := int64(1) << 62
+		for i, op := range chunk {
+			if !has(i) && op.Return < minReturn {
+				minReturn = op.Return
+			}
+		}
+		for i, op := range chunk {
+			if has(i) || op.Call > minReturn {
+				continue
+			}
+			if ns, ok := step(s, op); ok {
+				done[i>>6] |= 1 << (i & 63)
+				dfs(remaining-1, ns)
+				done[i>>6] &^= 1 << (i & 63)
+			}
+		}
+	}
+	dfs(len(chunk), st)
+}

@@ -1,17 +1,48 @@
 // Package kv is a sharded transactional key-value store — the storage layer
-// of the stmkvd server. Transactions retry through the public memtx API, but
-// the per-operation internals run on the decomposed engine interface
-// (engine.Txn/Handle) directly: walking a hash chain through the Record
-// convenience layer would allocate a wrapper per node visited, and the
-// serving hot path must stay allocation-free.
+// of the stmkvd server. Transactions retry through loops built on the
+// decomposed engine interface (engine.Txn/Handle) directly: walking a hash
+// chain through the Record convenience layer would allocate a wrapper per
+// node visited, and the serving hot path must stay allocation-free.
 //
-// Keys map to records in one of a fixed number of shards; each shard is an
-// independent chained hash table rooted in an immutable directory record.
-// All shards live in one transactional memory, so a single transaction can
-// touch keys in any number of shards and still commit or abort atomically —
-// sharding here is purely a contention-spreading device (disjoint keys
-// conflict only when they collide on a bucket header), not a consistency
-// boundary.
+// Keys map to records in one of a fixed number of shards. Each shard owns a
+// complete, independent transactional memory — its own engine, version
+// space, id space, and statistics — rooted in an immutable directory record,
+// so single-shard commands never touch shared state outside their shard.
+// Sharding is therefore a real consistency boundary, and transactions come
+// in two flavours:
+//
+//   - Single-shard (AtomicKey/ViewKey, and AtomicKeys/ViewKeys whose keys
+//     co-locate): one transaction on the key's shard engine, committing
+//     entirely locally. Reads need no cross-shard coordination at all;
+//     writes additionally hold the shard's cross-shard gate in shared mode
+//     (see below).
+//
+//   - Cross-shard (AtomicKeys/ViewKeys spanning shards, and the store-wide
+//     Atomic/View): one transaction per involved shard, driven through a
+//     deterministic-order two-phase commit. The involved shards' gates are
+//     acquired in ascending shard-id order (writers exclusively, readers
+//     shared), the body runs against lazily-begun per-shard transactions,
+//     every transaction is validated (prepare), and only then is each
+//     committed in ascending order (publish).
+//
+// The gate discipline is what makes the publish phase infallible: a
+// cross-shard writer's exclusive gates exclude both other cross-shard
+// writers and all single-shard writers (which hold the gate shared), so
+// after prepare validates every shard nothing can invalidate the
+// transactions before they commit. Lock-free readers cannot invalidate a
+// writer in any engine. The only commit-time interference left is the fault
+// injector, whose commit-entry hooks fire before the engine takes any lock,
+// so an injected abort or panic leaves the transaction intact and the
+// publish loop simply re-issues the commit.
+//
+// Cross-shard readers hold the gates shared because a half-published
+// cross-shard write is a real memory state — per-shard validation cannot
+// detect it. With the gates held, per-shard read-only transactions that all
+// validate after every read has completed observe a single consistent cut:
+// at the earliest of their commit instants every shard's reads are
+// simultaneously unchanged. Single-shard readers skip the gate entirely —
+// each shard's publish is one atomic engine commit, so no single-shard
+// snapshot can be torn.
 //
 // The layout per shard:
 //
@@ -27,10 +58,14 @@ package kv
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"memtx"
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 	"memtx/internal/obs"
 )
@@ -71,8 +106,8 @@ func (o Op) String() string {
 
 // Config sizes a Store.
 type Config struct {
-	// Shards is the number of independent root tables (rounded up to a
-	// power of two; default 16, max 65536).
+	// Shards is the number of independent transactional memories (rounded up
+	// to a power of two; default 16, max 65536).
 	Shards int
 	// Buckets is the number of chains per shard (rounded up to a power of
 	// two; default 1024).
@@ -82,17 +117,37 @@ type Config struct {
 	Design memtx.Design
 }
 
+// shard is one independent transactional memory plus its cross-shard gate.
+type shard struct {
+	tm  *memtx.TM
+	eng engine.Engine
+	dir engine.Handle // directory record, immutable after New
+
+	// xmu is the cross-shard commit gate. Single-shard writers hold it
+	// shared for the duration of one commit attempt; cross-shard writers
+	// hold it exclusively (acquired in ascending shard-id order) from before
+	// their first read through the last publish; cross-shard readers hold it
+	// shared for the same span. Single-shard readers never touch it.
+	xmu sync.RWMutex
+}
+
 // Store is a sharded transactional map of byte-string keys to byte-string
 // values. It is safe for concurrent use.
 type Store struct {
-	tm      *memtx.TM
 	design  memtx.Design
-	dirs    []engine.Handle // per-shard directory, immutable after New
+	shards  []shard
+	mask    uint64 // len(shards)-1; key hash low bits select the shard
 	buckets int
 	ops     [NumOps]atomic.Uint64 // committed primitive ops by type
+
+	// Cross-shard path counters (see ObsMetrics).
+	crossCommits    atomic.Uint64 // committed cross-shard transactions
+	crossRetries    atomic.Uint64 // cross-shard attempts retried after conflict
+	publishRedos    atomic.Uint64 // publish-phase commits re-issued after injected faults
+	readerFallbacks atomic.Uint64 // Reader.RunOnce gate acquisitions abandoned
 }
 
-// New builds a store and its transactional memory.
+// New builds a store and one transactional memory per shard.
 func New(cfg Config) *Store {
 	shards := ceilPow2(cfg.Shards, 16)
 	if shards > 1<<16 {
@@ -100,14 +155,17 @@ func New(cfg Config) *Store {
 	}
 	buckets := ceilPow2(cfg.Buckets, 1024)
 	s := &Store{
-		tm:      memtx.New(memtx.WithDesign(cfg.Design)),
 		design:  cfg.Design,
-		dirs:    make([]engine.Handle, shards),
+		shards:  make([]shard, shards),
+		mask:    uint64(shards - 1),
 		buckets: buckets,
 	}
-	for i := range s.dirs {
-		dir := s.tm.NewRecord(0, buckets)
-		err := s.tm.Atomic(func(tx *memtx.Tx) error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.tm = memtx.New(memtx.WithDesign(cfg.Design))
+		sh.eng = sh.tm.Engine()
+		dir := sh.tm.NewRecord(0, buckets)
+		err := sh.tm.Atomic(func(tx *memtx.Tx) error {
 			dir.OpenForUpdate(tx)
 			for b := 0; b < buckets; b++ {
 				dir.SetRef(tx, b, tx.Alloc(0, 1))
@@ -117,7 +175,7 @@ func New(cfg Config) *Store {
 		if err != nil {
 			panic(fmt.Sprintf("kv: shard %d init: %v", i, err))
 		}
-		s.dirs[i] = dir.Handle()
+		sh.dir = dir.Handle()
 	}
 	return s
 }
@@ -133,27 +191,48 @@ func ceilPow2(n, def int) int {
 	return p
 }
 
-// TM returns the store's transactional memory, whose engine carries the
-// transaction-level Stats/Metrics for this store.
-func (s *Store) TM() *memtx.TM { return s.tm }
-
 // Design returns the STM design the store was built with.
 func (s *Store) Design() memtx.Design { return s.design }
 
 // Shards returns the shard count.
-func (s *Store) Shards() int { return len(s.dirs) }
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Buckets returns the per-shard bucket count.
 func (s *Store) Buckets() int { return s.buckets }
 
+// KeyShard returns the shard index key hashes to.
+func (s *Store) KeyShard(key []byte) int { return int(hashKey(key) & s.mask) }
+
+// ShardTM returns shard i's transactional memory, whose engine carries that
+// shard's transaction-level Stats/Metrics.
+func (s *Store) ShardTM(i int) *memtx.TM { return s.shards[i].tm }
+
+// ShardStats returns shard i's cumulative engine counters.
+func (s *Store) ShardStats(i int) engine.Stats { return s.shards[i].eng.Stats() }
+
+// Stats returns the engine counters aggregated across every shard. Shards
+// are snapshotted one after another, so under concurrent load the aggregate
+// is approximate; at quiescence Starts == Commits+Aborts holds exactly.
+func (s *Store) Stats() engine.Stats {
+	var agg engine.Stats
+	for i := range s.shards {
+		agg = agg.Add(s.shards[i].eng.Stats())
+	}
+	return agg
+}
+
 // OpCount returns the number of committed primitive operations of one type.
 func (s *Store) OpCount(o Op) uint64 { return s.ops[o].Load() }
 
-// ObsMetrics exports the store's shape and committed op counters; the
-// transaction-level figures come from the engine registered alongside.
+// CrossCommits returns the number of committed cross-shard transactions.
+func (s *Store) CrossCommits() uint64 { return s.crossCommits.Load() }
+
+// ObsMetrics exports the store's shape, its committed op counters, the
+// cross-shard path counters, and per-shard transaction counters aggregated
+// under a shard label plus store-wide totals.
 func (s *Store) ObsMetrics() []obs.Metric {
 	ms := []obs.Metric{
-		{Name: "stmkv_shards", Help: "Configured shard count.", Kind: obs.Gauge, Value: uint64(len(s.dirs))},
+		{Name: "stmkv_shards", Help: "Configured shard count.", Kind: obs.Gauge, Value: uint64(len(s.shards))},
 		{Name: "stmkv_buckets_per_shard", Help: "Configured chains per shard.", Kind: obs.Gauge, Value: uint64(s.buckets)},
 	}
 	for o := Op(0); o < NumOps; o++ {
@@ -165,48 +244,457 @@ func (s *Store) ObsMetrics() []obs.Metric {
 			Value:  s.ops[o].Load(),
 		})
 	}
+	ms = append(ms,
+		obs.Metric{Name: "stmkv_cross_commits_total", Help: "Committed cross-shard transactions.", Kind: obs.Counter, Value: s.crossCommits.Load()},
+		obs.Metric{Name: "stmkv_cross_retries_total", Help: "Cross-shard transaction attempts retried after conflict.", Kind: obs.Counter, Value: s.crossRetries.Load()},
+		obs.Metric{Name: "stmkv_cross_publish_redos_total", Help: "Publish-phase commits re-issued after injected faults.", Kind: obs.Counter, Value: s.publishRedos.Load()},
+		obs.Metric{Name: "stmkv_reader_fallbacks_total", Help: "Batched snapshot attempts abandoned at the cross-shard gate.", Kind: obs.Counter, Value: s.readerFallbacks.Load()},
+	)
+	var agg engine.Stats
+	for i := range s.shards {
+		st := s.shards[i].eng.Stats()
+		agg.Starts += st.Starts
+		agg.Commits += st.Commits
+		agg.Aborts += st.Aborts
+		shardLbl := []obs.Label{{Key: "shard", Value: fmt.Sprint(i)}}
+		ms = append(ms,
+			obs.Metric{Name: "stmkv_shard_tx_starts_total", Help: "Transaction attempts started, by shard.", Kind: obs.Counter, Labels: shardLbl, Value: st.Starts},
+			obs.Metric{Name: "stmkv_shard_tx_commits_total", Help: "Transaction attempts committed, by shard.", Kind: obs.Counter, Labels: shardLbl, Value: st.Commits},
+			obs.Metric{Name: "stmkv_shard_tx_aborts_total", Help: "Transaction attempts rolled back, by shard.", Kind: obs.Counter, Labels: shardLbl, Value: st.Aborts},
+		)
+	}
+	ms = append(ms,
+		obs.Metric{Name: "stmkv_tx_starts_total", Help: "Transaction attempts started, all shards.", Kind: obs.Counter, Value: agg.Starts},
+		obs.Metric{Name: "stmkv_tx_commits_total", Help: "Transaction attempts committed, all shards.", Kind: obs.Counter, Value: agg.Commits},
+		obs.Metric{Name: "stmkv_tx_aborts_total", Help: "Transaction attempts rolled back, all shards.", Kind: obs.Counter, Value: agg.Aborts},
+	)
 	return ms
 }
 
 // Tx is one key-value transaction attempt. It is only valid inside the
 // Atomic, View, or Reader body that received it.
+//
+// A Tx runs in one of two modes. In single-shard mode (sid >= 0) every key
+// must hash to the pinned shard; a key outside it panics, because the core
+// engines cannot themselves detect a handle from a foreign engine. In
+// multi-shard mode, per-shard transactions begin lazily on first touch,
+// restricted to the declared shard set (allowed; nil means every shard).
 type Tx struct {
-	s      *Store
-	raw    engine.Txn
-	counts [NumOps]uint32
+	s        *Store
+	readonly bool
+
+	sid int        // pinned shard in single-shard mode; -1 in multi-shard mode
+	raw engine.Txn // single-shard transaction (sid >= 0)
+
+	txns    []engine.Txn // multi-shard: lazily-begun per-shard transactions
+	allowed []bool       // multi-shard: declared shard set; nil = all shards
+
+	ctx      context.Context // non-nil on Ctx paths: bound into each begun txn
+	deadline time.Time
+
+	committed []int // publish-order scratch: shards committed this attempt
+	counts    [NumOps]uint32
+}
+
+// txnFor returns the transaction for shard sid, beginning it lazily in
+// multi-shard mode. It enforces the transaction's shard boundary.
+func (t *Tx) txnFor(sid int) engine.Txn {
+	if t.sid >= 0 {
+		if sid != t.sid {
+			panic(fmt.Sprintf("kv: key hashes to shard %d outside this single-shard transaction (shard %d)", sid, t.sid))
+		}
+		return t.raw
+	}
+	if tx := t.txns[sid]; tx != nil {
+		return tx
+	}
+	if t.allowed != nil && !t.allowed[sid] {
+		panic(fmt.Sprintf("kv: key hashes to shard %d outside this transaction's declared shard set", sid))
+	}
+	sh := &t.s.shards[sid]
+	var tx engine.Txn
+	if t.readonly {
+		tx = sh.eng.BeginReadOnly()
+	} else {
+		tx = sh.eng.Begin()
+	}
+	if t.ctx != nil {
+		if cb, ok := tx.(engine.CtxBinder); ok {
+			cb.BindContext(t.ctx, t.deadline)
+		}
+	}
+	t.txns[sid] = tx
+	return tx
+}
+
+// abortFrom rolls back and releases every live transaction for shards >=
+// from, attributing cause. Used both for whole-attempt aborts (from == 0)
+// and to release the unpublished tail after a genuine first-commit conflict.
+func (t *Tx) abortFrom(from int, cause engine.AbortCause) {
+	for sid := from; sid < len(t.txns); sid++ {
+		if tx := t.txns[sid]; tx != nil {
+			tx.SetAbortCause(cause)
+			tx.Abort()
+			t.txns[sid] = nil
+		}
+	}
+}
+
+// resetAttempt prepares the Tx for one multi-shard attempt.
+func (t *Tx) resetAttempt() {
+	t.counts = [NumOps]uint32{}
+	t.committed = t.committed[:0]
+}
+
+// doomed reports whether any live transaction's reads no longer validate —
+// the body's error may have been computed from an inconsistent snapshot.
+func (t *Tx) doomed() bool {
+	if t.sid >= 0 {
+		return t.raw.Validate() != nil
+	}
+	for _, tx := range t.txns {
+		if tx != nil && tx.Validate() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// errInjected distinguishes a commit attempt unwound by the fault injector
+// (transaction still intact, commit re-issuable) from a genuine conflict.
+var errInjected = errors.New("kv: commit unwound by injected fault")
+
+// commitOnce issues one Commit call, translating an injected abort or panic
+// — which every engine raises at commit entry, before taking any lock —
+// into errInjected with the transaction left intact.
+func commitOnce(tx engine.Txn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case *engine.Retry, *chaos.InjectedPanic:
+				err = errInjected
+				return
+			}
+			panic(r)
+		}
+	}()
+	return tx.Commit()
+}
+
+// publishLimit bounds commit re-issues under injected faults. The injector
+// decides per Step, so with any abort probability below 1 the retry
+// succeeds quickly; the bound is a backstop against an always-abort
+// configuration livelocking the publish phase.
+const publishLimit = 1 << 16
+
+// commitPublish commits one shard transaction during the publish phase,
+// re-issuing the commit when the fault injector unwinds it.
+func (t *Tx) commitPublish(tx engine.Txn) error {
+	for redo := 0; ; redo++ {
+		err := commitOnce(tx)
+		if err != errInjected {
+			return err
+		}
+		if redo >= publishLimit {
+			panic("kv: injected faults starved a cross-shard publish; raise the injector's pass probability")
+		}
+		t.s.publishRedos.Add(1)
+	}
+}
+
+// crossAttempt runs one multi-shard attempt: body, prepare (validate all),
+// publish (commit all, ascending). Gate locks are held by the caller.
+func (t *Tx) crossAttempt(body func(*Tx) error) (err error, conflicted bool) {
+	t.resetAttempt()
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		r := recover()
+		if r == nil {
+			return
+		}
+		if rt, ok := r.(*engine.Retry); ok {
+			t.abortFrom(0, rt.Cause)
+			err, conflicted = nil, true
+			return
+		}
+		t.abortFrom(0, engine.CauseExplicit)
+		panic(r)
+	}()
+
+	if err := body(t); err != nil {
+		if t.doomed() {
+			t.abortFrom(0, engine.CauseDoomed)
+			finished = true
+			return nil, true
+		}
+		t.abortFrom(0, engine.CauseExplicit)
+		finished = true
+		return err, false
+	}
+
+	// Prepare: every shard's reads must still validate. The exclusive gates
+	// make this decisive for writers — nothing that could invalidate a
+	// validated shard can run before publish. Read-only attempts skip it:
+	// their commits below only validate, so prepare would double the work.
+	if !t.readonly {
+		for sid := 0; sid < len(t.txns); sid++ {
+			if tx := t.txns[sid]; tx != nil && tx.Validate() != nil {
+				t.abortFrom(0, engine.CauseValidation)
+				finished = true
+				return nil, true
+			}
+		}
+	}
+
+	// Publish: commit in ascending shard order. An injected fault unwinds a
+	// commit before the engine does any work, so commitPublish re-issues it.
+	// A read-only commit can genuinely fail validation at any point (the
+	// shared gates do not exclude single-shard writers) — nothing has been
+	// published, so the whole attempt just retries. A writer's commit can
+	// genuinely fail only before anything published; a conflict after the
+	// first publish would tear the transaction and is treated as a protocol
+	// violation, which the exclusive gates make unreachable.
+	for sid := 0; sid < len(t.txns); sid++ {
+		tx := t.txns[sid]
+		if tx == nil {
+			continue
+		}
+		if err := t.commitPublish(tx); err != nil {
+			t.txns[sid] = nil // Commit rolled this one back
+			if t.readonly || len(t.committed) == 0 {
+				t.abortFrom(sid+1, engine.CauseValidation)
+				finished = true
+				return nil, true
+			}
+			panic(fmt.Sprintf("kv: shard %d commit failed after %d shard(s) published — cross-shard atomicity violated: %v", sid, len(t.committed), err))
+		}
+		t.committed = append(t.committed, sid)
+		t.txns[sid] = nil
+	}
+	finished = true
+	return nil, false
+}
+
+// lockShards acquires the gates for the declared shard set in ascending
+// shard-id order; unlockShards releases them. Ascending acquisition across
+// every path (and every lock kind) makes the gate graph cycle-free, so
+// reversed-key cross-shard transactions cannot deadlock.
+func (s *Store) lockShards(allowed []bool, exclusive bool) {
+	for i := range s.shards {
+		if allowed != nil && !allowed[i] {
+			continue
+		}
+		if exclusive {
+			s.shards[i].xmu.Lock()
+		} else {
+			s.shards[i].xmu.RLock()
+		}
+	}
+}
+
+func (s *Store) unlockShards(allowed []bool, exclusive bool) {
+	for i := range s.shards {
+		if allowed != nil && !allowed[i] {
+			continue
+		}
+		if exclusive {
+			s.shards[i].xmu.Unlock()
+		} else {
+			s.shards[i].xmu.RUnlock()
+		}
+	}
+}
+
+// runLoop is the shared retry loop: lock, one attempt, unlock, backoff;
+// bounded by ctx and opts exactly like engine.RunCtx when either is set.
+// observe is called with the conflict count after a successful attempt.
+// The unlock runs under defer so a panic escaping the attempt (the fault
+// injector's ActPanic, or a protocol violation) cannot leak gate locks.
+func runLoop(ctx context.Context, opts engine.RunOptions,
+	lock, unlock func(),
+	att func(ctx context.Context, deadline time.Time) (error, bool),
+	observe func(conflicts int)) error {
+
+	runOne := func(ctx context.Context, deadline time.Time) (error, bool) {
+		lock()
+		defer unlock()
+		return att(ctx, deadline)
+	}
+
+	if ctx == nil && opts.MaxAttempts == 0 && opts.MaxElapsed == 0 {
+		var b engine.Backoff
+		conflicts := 0
+		for {
+			err, conflicted := runOne(nil, time.Time{})
+			if !conflicted {
+				if err == nil {
+					observe(conflicts)
+				}
+				return err
+			}
+			conflicts++
+			b.Wait()
+		}
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var deadline time.Time
+	budgetDeadline := false
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if opts.MaxElapsed > 0 {
+		if b := start.Add(opts.MaxElapsed); deadline.IsZero() || b.Before(deadline) {
+			deadline, budgetDeadline = b, true
+		}
+	}
+	var b engine.Backoff
+	attempts, conflicts := 0, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			op := "canceled"
+			if errors.Is(err, context.DeadlineExceeded) {
+				op = "deadline"
+			}
+			return engine.NewTimeoutError(op, attempts, time.Since(start), err)
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			if budgetDeadline {
+				return engine.NewTimeoutError("max-elapsed", attempts, time.Since(start), engine.ErrRetryBudget)
+			}
+			return engine.NewTimeoutError("deadline", attempts, time.Since(start), context.DeadlineExceeded)
+		}
+		attempts++
+		err, conflicted := runOne(ctx, deadline)
+		if !conflicted {
+			if err == nil {
+				observe(conflicts)
+			}
+			return err
+		}
+		conflicts++
+		if opts.MaxAttempts > 0 && attempts >= opts.MaxAttempts {
+			return engine.NewTimeoutError("max-attempts", attempts, time.Since(start), engine.ErrRetryBudget)
+		}
+		b.WaitCtx(ctx, deadline)
+	}
+}
+
+func noLock() {}
+
+// runSingle executes body against one shard. Writers hold the shard's gate
+// shared across each attempt so a cross-shard writer's exclusive gate can
+// fence them out of its prepare→publish window; readers run gate-free.
+func (s *Store) runSingle(ctx context.Context, opts engine.RunOptions, sid int, readonly bool, body func(*Tx) error) error {
+	sh := &s.shards[sid]
+	t := Tx{s: s, sid: sid, readonly: readonly}
+	wrap := func(engine.Txn) error { return body(&t) }
+
+	lock, unlock := noLock, noLock
+	if !readonly {
+		lock, unlock = sh.xmu.RLock, sh.xmu.RUnlock
+	}
+	att := func(ctx context.Context, deadline time.Time) (error, bool) {
+		var tx engine.Txn
+		if readonly {
+			tx = sh.eng.BeginReadOnly()
+		} else {
+			tx = sh.eng.Begin()
+		}
+		if ctx != nil {
+			if cb, ok := tx.(engine.CtxBinder); ok {
+				cb.BindContext(ctx, deadline)
+			}
+		}
+		t.raw = tx
+		t.counts = [NumOps]uint32{}
+		return engine.Attempt(tx, wrap)
+	}
+	err := runLoop(ctx, opts, lock, unlock, att, func(conflicts int) {
+		sh.eng.Metrics().ObserveRetries(conflicts)
+		s.fold(&t)
+	})
+	return err
+}
+
+// runCross executes body across the declared shard set (nil = every shard)
+// through the two-phase gate protocol.
+func (s *Store) runCross(ctx context.Context, opts engine.RunOptions, allowed []bool, readonly bool, body func(*Tx) error) error {
+	t := Tx{
+		s:        s,
+		sid:      -1,
+		readonly: readonly,
+		txns:     make([]engine.Txn, len(s.shards)),
+		allowed:  allowed,
+	}
+	exclusive := !readonly
+	att := func(ctx context.Context, deadline time.Time) (error, bool) {
+		t.ctx, t.deadline = ctx, deadline
+		err, conflicted := t.crossAttempt(body)
+		if conflicted {
+			s.crossRetries.Add(1)
+		}
+		return err, conflicted
+	}
+	err := runLoop(ctx, opts,
+		func() { s.lockShards(allowed, exclusive) },
+		func() { s.unlockShards(allowed, exclusive) },
+		att,
+		func(conflicts int) {
+			for _, sid := range t.committed {
+				s.shards[sid].eng.Metrics().ObserveRetries(conflicts)
+			}
+			s.crossCommits.Add(1)
+			s.fold(&t)
+		})
+	return err
+}
+
+// shardSetOf classifies keys: a single shard id (and nil set) when every key
+// co-locates, or (-1, set) spanning multiple shards.
+func (s *Store) shardSetOf(keys [][]byte) (int, []bool) {
+	if len(keys) == 0 {
+		return -1, nil // no keys declared: store-wide
+	}
+	first := s.KeyShard(keys[0])
+	single := true
+	for _, k := range keys[1:] {
+		if s.KeyShard(k) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return first, nil
+	}
+	set := make([]bool, len(s.shards))
+	for _, k := range keys {
+		set[s.KeyShard(k)] = true
+	}
+	return -1, set
 }
 
 // Atomic runs body as one transaction over the whole store: every Get, Set,
 // Delete, and CompareAndSet inside body commits or aborts together,
-// regardless of how many shards the keys hit. A non-nil error from body
-// aborts and is returned unchanged. Per-type op counters fold in only after
-// a successful commit, so retried attempts are not double-counted.
+// regardless of how many shards the keys hit. It acquires every shard's
+// gate exclusively, so it serializes against all writers — prefer AtomicKey
+// or AtomicKeys when the key set is known. A non-nil error from body aborts
+// and is returned unchanged. Per-type op counters fold in only after a
+// successful commit, so retried attempts are not double-counted.
 func (s *Store) Atomic(body func(t *Tx) error) error {
-	var last *Tx
-	err := s.tm.Atomic(func(m *memtx.Tx) error {
-		t := &Tx{s: s, raw: m.Raw()}
-		last = t
-		return body(t)
-	})
-	if err == nil {
-		s.fold(last)
-	}
-	return err
+	return s.runCross(nil, engine.RunOptions{}, nil, false, body)
 }
 
-// View runs body as a read-only transaction (cheaper protocol; mutating
-// operations panic).
+// View runs body as a read-only transaction over the whole store (cheaper
+// protocol; mutating operations panic).
 func (s *Store) View(body func(t *Tx) error) error {
-	var last *Tx
-	err := s.tm.ReadOnly(func(m *memtx.Tx) error {
-		t := &Tx{s: s, raw: m.Raw()}
-		last = t
-		return body(t)
-	})
-	if err == nil {
-		s.fold(last)
-	}
-	return err
+	return s.runCross(nil, engine.RunOptions{}, nil, true, body)
 }
 
 // AtomicCtx is Atomic bounded by ctx and opts (see memtx.TM.AtomicCtx): on
@@ -214,30 +702,77 @@ func (s *Store) View(body func(t *Tx) error) error {
 // an *engine.TimeoutError instead of retrying forever. The store is
 // unchanged when it gives up — the failed attempts all rolled back.
 func (s *Store) AtomicCtx(ctx context.Context, opts memtx.TxOptions, body func(t *Tx) error) error {
-	var last *Tx
-	err := s.tm.AtomicCtx(ctx, opts, func(m *memtx.Tx) error {
-		t := &Tx{s: s, raw: m.Raw()}
-		last = t
-		return body(t)
-	})
-	if err == nil {
-		s.fold(last)
-	}
-	return err
+	return s.runCross(ctx, engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}, nil, false, body)
 }
 
 // ViewCtx is View bounded by ctx and opts (see AtomicCtx).
 func (s *Store) ViewCtx(ctx context.Context, opts memtx.TxOptions, body func(t *Tx) error) error {
-	var last *Tx
-	err := s.tm.ReadOnlyCtx(ctx, opts, func(m *memtx.Tx) error {
-		t := &Tx{s: s, raw: m.Raw()}
-		last = t
-		return body(t)
-	})
-	if err == nil {
-		s.fold(last)
+	return s.runCross(ctx, engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}, nil, true, body)
+}
+
+// AtomicKey runs body as a transaction pinned to key's shard — the
+// single-shard fast path. Every key body touches must hash to the same
+// shard; a key outside it panics.
+func (s *Store) AtomicKey(key []byte, body func(t *Tx) error) error {
+	return s.runSingle(nil, engine.RunOptions{}, s.KeyShard(key), false, body)
+}
+
+// ViewKey is AtomicKey's read-only counterpart. It needs no cross-shard
+// coordination at all: a shard's publish is one atomic engine commit, so a
+// single-shard snapshot can never observe a torn cross-shard write.
+func (s *Store) ViewKey(key []byte, body func(t *Tx) error) error {
+	return s.runSingle(nil, engine.RunOptions{}, s.KeyShard(key), true, body)
+}
+
+// AtomicKeyCtx is AtomicKey bounded by ctx and opts (see AtomicCtx).
+func (s *Store) AtomicKeyCtx(ctx context.Context, opts memtx.TxOptions, key []byte, body func(t *Tx) error) error {
+	return s.runSingle(ctx, engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}, s.KeyShard(key), false, body)
+}
+
+// ViewKeyCtx is ViewKey bounded by ctx and opts (see AtomicCtx).
+func (s *Store) ViewKeyCtx(ctx context.Context, opts memtx.TxOptions, key []byte, body func(t *Tx) error) error {
+	return s.runSingle(ctx, engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}, s.KeyShard(key), true, body)
+}
+
+// AtomicKeys runs body as one atomic transaction over the shards the given
+// keys hash to. When every key co-locates it takes the single-shard fast
+// path; otherwise it runs the cross-shard two-phase protocol over exactly
+// the declared shards. Body may touch any key whose shard is declared.
+func (s *Store) AtomicKeys(keys [][]byte, body func(t *Tx) error) error {
+	sid, set := s.shardSetOf(keys)
+	if sid >= 0 {
+		return s.runSingle(nil, engine.RunOptions{}, sid, false, body)
 	}
-	return err
+	return s.runCross(nil, engine.RunOptions{}, set, false, body)
+}
+
+// ViewKeys is AtomicKeys' read-only counterpart.
+func (s *Store) ViewKeys(keys [][]byte, body func(t *Tx) error) error {
+	sid, set := s.shardSetOf(keys)
+	if sid >= 0 {
+		return s.runSingle(nil, engine.RunOptions{}, sid, true, body)
+	}
+	return s.runCross(nil, engine.RunOptions{}, set, true, body)
+}
+
+// AtomicKeysCtx is AtomicKeys bounded by ctx and opts (see AtomicCtx).
+func (s *Store) AtomicKeysCtx(ctx context.Context, opts memtx.TxOptions, keys [][]byte, body func(t *Tx) error) error {
+	ro := engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}
+	sid, set := s.shardSetOf(keys)
+	if sid >= 0 {
+		return s.runSingle(ctx, ro, sid, false, body)
+	}
+	return s.runCross(ctx, ro, set, false, body)
+}
+
+// ViewKeysCtx is ViewKeys bounded by ctx and opts (see AtomicCtx).
+func (s *Store) ViewKeysCtx(ctx context.Context, opts memtx.TxOptions, keys [][]byte, body func(t *Tx) error) error {
+	ro := engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}
+	sid, set := s.shardSetOf(keys)
+	if sid >= 0 {
+		return s.runSingle(ctx, ro, sid, true, body)
+	}
+	return s.runCross(ctx, ro, set, true, body)
 }
 
 // Reader is a reusable single-attempt read-only runner bound to one body.
@@ -246,44 +781,58 @@ func (s *Store) ViewCtx(ctx context.Context, opts memtx.TxOptions, body func(t *
 // itself, so a warmed Reader executes with zero heap allocations. The server
 // keeps one per connection to run batched read snapshots.
 //
+// RunOnce must be able to read keys from any shard consistently, so it
+// try-acquires every shard's gate in shared mode; if any acquisition would
+// block (a cross-shard writer is active or queued) it reports a conflict
+// immediately rather than waiting.
+//
 // A Reader is not safe for concurrent use; the body must be free of
 // non-transactional side effects other than mutating state the caller
 // discards when RunOnce reports a conflict.
 type Reader struct {
 	s    *Store
 	body func(t *Tx) error
-	wrap func(raw engine.Txn) error
 	t    Tx
 }
 
 // NewReader builds a Reader that executes body on each RunOnce call.
 func (s *Store) NewReader(body func(t *Tx) error) *Reader {
 	r := &Reader{s: s, body: body}
-	r.wrap = func(raw engine.Txn) error {
-		r.t = Tx{s: s, raw: raw}
-		return r.body(&r.t)
-	}
+	r.t = Tx{s: s, sid: -1, readonly: true, txns: make([]engine.Txn, len(s.shards))}
 	return r
 }
 
-// RunOnce executes the body as a single read-only transaction attempt.
-// committed reports whether the attempt validated and committed; false with
-// a nil error means a conflict (or a doomed snapshot), and the caller should
-// fall back to retrying execution. A non-nil error is the body's own error,
-// returned only when the snapshot it was computed from validated.
+// RunOnce executes the body as a single read-only attempt across however
+// many shards it touches. committed reports whether the attempt validated
+// and committed; false with a nil error means a conflict (gate contention, a
+// doomed snapshot, or a racing writer), and the caller should fall back to
+// per-command execution. A non-nil error is the body's own error, returned
+// only when the snapshot it was computed from validated.
 func (r *Reader) RunOnce() (committed bool, err error) {
-	err, conflicted := engine.RunReadOnlyOnce(r.s.tm.Engine(), r.wrap)
+	s := r.s
+	for i := range s.shards {
+		if !s.shards[i].xmu.TryRLock() {
+			for j := i - 1; j >= 0; j-- {
+				s.shards[j].xmu.RUnlock()
+			}
+			s.readerFallbacks.Add(1)
+			return false, nil
+		}
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].xmu.RUnlock()
+		}
+	}()
+	err, conflicted := r.t.crossAttempt(r.body)
 	if err != nil || conflicted {
 		return false, err
 	}
-	r.s.fold(&r.t)
+	s.fold(&r.t)
 	return true, nil
 }
 
 func (s *Store) fold(t *Tx) {
-	if t == nil {
-		return
-	}
 	for i, c := range t.counts {
 		if c > 0 {
 			s.ops[i].Add(uint64(c))
@@ -291,34 +840,35 @@ func (s *Store) fold(t *Tx) {
 	}
 }
 
-// lookup walks the chain for key. It returns the bucket header, the node
-// holding key (nil if absent), and the preceding node (nil when the match
-// heads the chain).
-func (t *Tx) lookup(h uint64, key []byte) (bucket, node, prev engine.Handle) {
-	raw := t.raw
-	dir := t.s.dirs[h&uint64(len(t.s.dirs)-1)]
+// lookup walks the chain for key in the shard its hash selects. It returns
+// the shard transaction, the bucket header, the node holding key (nil if
+// absent), and the preceding node (nil when the match heads the chain).
+func (t *Tx) lookup(h uint64, key []byte) (raw engine.Txn, bucket, node, prev engine.Handle) {
+	sid := int(h & t.s.mask)
+	raw = t.txnFor(sid)
+	dir := t.s.shards[sid].dir
 	raw.OpenForRead(dir)
 	bucket = raw.LoadRef(dir, int((h>>16)&uint64(t.s.buckets-1)))
 	raw.OpenForRead(bucket)
 	for n := raw.LoadRef(bucket, 0); n != nil; {
 		raw.OpenForRead(n)
 		if raw.LoadWord(n, nodeHash) == h && recEqual(raw, raw.LoadRef(n, nodeKey), key) {
-			return bucket, n, prev
+			return raw, bucket, n, prev
 		}
 		prev, n = n, raw.LoadRef(n, nodeNext)
 	}
-	return bucket, nil, nil
+	return raw, bucket, nil, nil
 }
 
 // Get returns the value stored under key. The returned slice is freshly
 // allocated; use AppendGetBlob on hot paths that must not allocate.
 func (t *Tx) Get(key []byte) ([]byte, bool) {
 	t.counts[OpGet]++
-	_, n, _ := t.lookup(hashKey(key), key)
+	raw, _, n, _ := t.lookup(hashKey(key), key)
 	if n == nil {
 		return nil, false
 	}
-	return readBytes(t.raw, t.raw.LoadRef(n, nodeVal)), true
+	return readBytes(raw, raw.LoadRef(n, nodeVal)), true
 }
 
 // AppendGetBlob appends the value stored under key to dst in the wire
@@ -328,19 +878,18 @@ func (t *Tx) Get(key []byte) ([]byte, bool) {
 // whole read allocation-free.
 func (t *Tx) AppendGetBlob(dst []byte, key []byte) ([]byte, bool) {
 	t.counts[OpGet]++
-	_, n, _ := t.lookup(hashKey(key), key)
+	raw, _, n, _ := t.lookup(hashKey(key), key)
 	if n == nil {
 		return dst, false
 	}
-	return appendRecBlob(t.raw, dst, t.raw.LoadRef(n, nodeVal)), true
+	return appendRecBlob(raw, dst, raw.LoadRef(n, nodeVal)), true
 }
 
 // Set stores val under key, inserting or overwriting.
 func (t *Tx) Set(key, val []byte) {
 	t.counts[OpSet]++
-	raw := t.raw
 	h := hashKey(key)
-	bucket, n, _ := t.lookup(h, key)
+	raw, bucket, n, _ := t.lookup(h, key)
 	v := allocBytes(raw, val)
 	if n != nil {
 		raw.OpenForUpdate(n)
@@ -367,8 +916,7 @@ func (t *Tx) Set(key, val []byte) {
 // Delete removes key, reporting whether it was present.
 func (t *Tx) Delete(key []byte) bool {
 	t.counts[OpDelete]++
-	raw := t.raw
-	bucket, n, prev := t.lookup(hashKey(key), key)
+	raw, bucket, n, prev := t.lookup(hashKey(key), key)
 	if n == nil {
 		return false
 	}
@@ -390,8 +938,7 @@ func (t *Tx) Delete(key []byte) bool {
 // matches.
 func (t *Tx) CompareAndSet(key, old, new []byte) bool {
 	t.counts[OpCAS]++
-	raw := t.raw
-	_, n, _ := t.lookup(hashKey(key), key)
+	raw, _, n, _ := t.lookup(hashKey(key), key)
 	if n == nil {
 		return false
 	}
@@ -432,11 +979,13 @@ func (t *Tx) Add(key []byte, delta int64) (int64, error) {
 
 // Len counts all keys by scanning every shard inside the transaction. It is
 // a test/diagnostic helper: it reads every bucket header, so it conflicts
-// with every concurrent insert and delete.
+// with every concurrent insert and delete. It requires a store-wide
+// transaction (Atomic/View); a shard-pinned transaction panics.
 func (t *Tx) Len() int {
-	raw := t.raw
 	total := 0
-	for _, dir := range t.s.dirs {
+	for sid := range t.s.shards {
+		raw := t.txnFor(sid)
+		dir := t.s.shards[sid].dir
 		raw.OpenForRead(dir)
 		for b := 0; b < t.s.buckets; b++ {
 			hdr := raw.LoadRef(dir, b)
@@ -451,42 +1000,42 @@ func (t *Tx) Len() int {
 	return total
 }
 
-// Get is Tx.Get in its own read-only transaction.
+// Get is Tx.Get in its own single-shard read-only transaction.
 func (s *Store) Get(key []byte) (val []byte, ok bool) {
-	_ = s.View(func(t *Tx) error {
+	_ = s.ViewKey(key, func(t *Tx) error {
 		val, ok = t.Get(key)
 		return nil
 	})
 	return val, ok
 }
 
-// Set is Tx.Set in its own transaction.
+// Set is Tx.Set in its own single-shard transaction.
 func (s *Store) Set(key, val []byte) {
-	_ = s.Atomic(func(t *Tx) error {
+	_ = s.AtomicKey(key, func(t *Tx) error {
 		t.Set(key, val)
 		return nil
 	})
 }
 
-// Delete is Tx.Delete in its own transaction.
+// Delete is Tx.Delete in its own single-shard transaction.
 func (s *Store) Delete(key []byte) (removed bool) {
-	_ = s.Atomic(func(t *Tx) error {
+	_ = s.AtomicKey(key, func(t *Tx) error {
 		removed = t.Delete(key)
 		return nil
 	})
 	return removed
 }
 
-// CompareAndSet is Tx.CompareAndSet in its own transaction.
+// CompareAndSet is Tx.CompareAndSet in its own single-shard transaction.
 func (s *Store) CompareAndSet(key, old, new []byte) (swapped bool) {
-	_ = s.Atomic(func(t *Tx) error {
+	_ = s.AtomicKey(key, func(t *Tx) error {
 		swapped = t.CompareAndSet(key, old, new)
 		return nil
 	})
 	return swapped
 }
 
-// Len is Tx.Len in its own read-only transaction.
+// Len is Tx.Len in its own store-wide read-only transaction.
 func (s *Store) Len() (n int) {
 	_ = s.View(func(t *Tx) error {
 		n = t.Len()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -432,6 +433,9 @@ func readAccounts(c **Client, addr string, keys [][]byte, chunk *int) ([][]byte,
 type GridPoint struct {
 	Design string
 	Shards int
+	// Procs is the GOMAXPROCS the cell ran under; 0 means the process
+	// default was left alone.
+	Procs int
 	// MaxBatch is the server's read-batching bound for this cell, in
 	// Options.MaxBatch's encoding (0 = server default, negative = off).
 	MaxBatch int
@@ -446,35 +450,47 @@ type GridPoint struct {
 }
 
 // RunSelfGrid measures the load mix against in-process servers, one per
-// (design, shard-count, batch-bound) combination — the path
+// (design, shard-count, batch-bound, procs) combination — the path
 // `stmbench -kvload self` and the BENCH_PR*.json recordings use. Each cell
 // builds a fresh store and server on a loopback listener, preloads it,
 // drives Run, and drains. A nil or empty batches slice sweeps only
-// o.MaxBatch, so existing two-dimensional sweeps keep their shape.
-func RunSelfGrid(designs []memtx.Design, shardCounts []int, batches []int, o Options) ([]GridPoint, error) {
+// o.MaxBatch, and a nil or empty procs slice leaves GOMAXPROCS alone, so
+// existing lower-dimensional sweeps keep their shape. A positive procs
+// value pins the whole process — server and in-process clients alike —
+// measuring how the sharded store scales with scheduler parallelism.
+func RunSelfGrid(designs []memtx.Design, shardCounts []int, batches []int, procs []int, o Options) ([]GridPoint, error) {
 	if len(batches) == 0 {
 		batches = []int{o.MaxBatch}
+	}
+	if len(procs) == 0 {
+		procs = []int{0}
 	}
 	var points []GridPoint
 	for _, d := range designs {
 		for _, shards := range shardCounts {
 			for _, batch := range batches {
-				o.MaxBatch = batch
-				p, err := runSelfCell(d, shards, o)
-				if err != nil {
-					return nil, fmt.Errorf("kvload: design %v shards %d batch %d: %w", d, shards, batch, err)
+				for _, np := range procs {
+					o.MaxBatch = batch
+					p, err := runSelfCell(d, shards, np, o)
+					if err != nil {
+						return nil, fmt.Errorf("kvload: design %v shards %d batch %d procs %d: %w", d, shards, batch, np, err)
+					}
+					p.Design = d.String()
+					p.Shards = shards
+					p.MaxBatch = batch
+					p.Procs = np
+					points = append(points, p)
 				}
-				p.Design = d.String()
-				p.Shards = shards
-				p.MaxBatch = batch
-				points = append(points, p)
 			}
 		}
 	}
 	return points, nil
 }
 
-func runSelfCell(d memtx.Design, shards int, o Options) (GridPoint, error) {
+func runSelfCell(d memtx.Design, shards, procs int, o Options) (GridPoint, error) {
+	if procs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	}
 	store := kv.New(kv.Config{Shards: shards, Design: d})
 	srv := server.New(store, server.Config{
 		MaxBatch:     o.MaxBatch,
@@ -518,7 +534,7 @@ func runSelfCell(d memtx.Design, shards int, o Options) (GridPoint, error) {
 	batches, fallbacks := srv.BatchStats()
 	return GridPoint{
 		Result:         res,
-		CommittedTxns:  store.TM().Stats().Commits,
+		CommittedTxns:  store.Stats().Commits,
 		ReadBatches:    batches,
 		BatchFallbacks: fallbacks,
 	}, nil

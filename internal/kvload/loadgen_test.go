@@ -18,12 +18,12 @@ func TestRunSelfGrid(t *testing.T) {
 		Duration:  200 * time.Millisecond,
 		Pipeline:  4,
 	}
-	points, err := RunSelfGrid([]memtx.Design{memtx.DirectUpdate}, []int{1, 4}, []int{-1, 0}, o)
+	points, err := RunSelfGrid([]memtx.Design{memtx.DirectUpdate}, []int{1, 4}, []int{-1, 0}, []int{0, 1}, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 4 {
-		t.Fatalf("got %d grid points, want 4", len(points))
+	if len(points) != 8 {
+		t.Fatalf("got %d grid points, want 8", len(points))
 	}
 	for _, p := range points {
 		if p.Design != "direct" {

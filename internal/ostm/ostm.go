@@ -20,23 +20,27 @@ import (
 	"memtx/internal/engine"
 )
 
-// globalIDs hands out object and transaction ids. As in the direct engine,
-// the counter is consumed in blocks of idBlockStride through per-transaction
-// (and per-engine) idAlloc blocks; gaps from abandoned blocks are harmless
-// because ids are unique, never reused, and only compared for equality.
-var globalIDs atomic.Uint64
+// Each Engine hands out object and transaction ids from its own counter
+// (Engine.idSrc). As in the direct engine, the counter is consumed in
+// blocks of idBlockStride through per-transaction (and per-engine) idAlloc
+// blocks. Ids are only compared for equality within one engine, so
+// independent engines may repeat numeric ids; gaps from abandoned blocks
+// are harmless because ids are unique per engine, never reused, and only
+// compared for equality.
 
 const idBlockStride = 1024
 
-// idAlloc is a private block of pre-reserved ids; the zero value refills on
-// first take. Not safe for concurrent use.
+// idAlloc is a private block of pre-reserved ids refilled from src (the
+// owning engine's counter); bind src before the first take. Not safe for
+// concurrent use.
 type idAlloc struct {
+	src         *atomic.Uint64
 	next, limit uint64
 }
 
 func (a *idAlloc) take() uint64 {
 	if a.next == a.limit {
-		hi := globalIDs.Add(idBlockStride)
+		hi := a.src.Add(idBlockStride)
 		a.next, a.limit = hi-idBlockStride+1, hi+1
 	}
 	id := a.next
@@ -71,6 +75,10 @@ type Engine struct {
 	// skipped.
 	valSeq atomic.Uint64
 
+	// idSrc is this engine's id counter; every transaction block and the
+	// engine's own block refill from it.
+	idSrc atomic.Uint64
+
 	// idMu guards ids, the engine's block for non-transactional NewObj.
 	idMu sync.Mutex
 	ids  idAlloc
@@ -86,7 +94,10 @@ type stats struct {
 // New returns an object-based buffered-update engine.
 func New() *Engine {
 	e := &Engine{}
-	e.pool.New = func() any { return &Txn{eng: e, shadows: make(map[*Obj]*shadow)} }
+	e.ids.src = &e.idSrc
+	e.pool.New = func() any {
+		return &Txn{eng: e, shadows: make(map[*Obj]*shadow), ids: idAlloc{src: &e.idSrc}}
+	}
 	return e
 }
 

@@ -142,10 +142,9 @@ func TestChaosServerInvariants(t *testing.T) {
 
 	// Connections from mid-pipeline kills may still be draining their
 	// doomed responses; wait for the engine to quiesce before auditing.
-	tm := store.TM()
 	quiesceBy := time.Now().Add(10 * time.Second)
 	for {
-		st := tm.Stats()
+		st := store.Stats()
 		if st.Starts == st.Commits+st.Aborts {
 			break
 		}

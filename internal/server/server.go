@@ -392,6 +392,7 @@ type conn struct {
 	body     []byte       // response body scratch
 	batch    []batchEntry // command slots; len == max(1, Server.maxBatch)
 	n        int          // commands collected into the current batch
+	keys     [][]byte     // multi-key command scratch (shard routing)
 	reader   *kv.Reader
 	slotHeld bool        // this connection holds a transaction slot
 	qt       *time.Timer // queue-timeout timer, reused across sheds
@@ -829,21 +830,39 @@ func (s *Server) release(c *conn) {
 	<-s.sem
 }
 
-// runAtomic runs body as one write transaction, bounded by CmdDeadline when
-// one is configured.
-func (s *Server) runAtomic(body func(t *kv.Tx) error) error {
+// runAtomicKey runs body as one write transaction pinned to key's shard,
+// bounded by CmdDeadline when one is configured. Single-key commands never
+// touch any state outside that shard.
+func (s *Server) runAtomicKey(key []byte, body func(t *kv.Tx) error) error {
 	if s.cmdDeadline <= 0 {
-		return s.store.Atomic(body)
+		return s.store.AtomicKey(key, body)
 	}
-	return s.store.AtomicCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, body)
+	return s.store.AtomicKeyCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, key, body)
 }
 
-// runView is runAtomic's read-only twin.
-func (s *Server) runView(body func(t *kv.Tx) error) error {
+// runViewKey is runAtomicKey's read-only twin.
+func (s *Server) runViewKey(key []byte, body func(t *kv.Tx) error) error {
 	if s.cmdDeadline <= 0 {
-		return s.store.View(body)
+		return s.store.ViewKey(key, body)
 	}
-	return s.store.ViewCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, body)
+	return s.store.ViewKeyCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, key, body)
+}
+
+// runAtomicKeys runs body atomically over the shards keys hash to: locally
+// when they co-locate, through the cross-shard commit path otherwise.
+func (s *Server) runAtomicKeys(keys [][]byte, body func(t *kv.Tx) error) error {
+	if s.cmdDeadline <= 0 {
+		return s.store.AtomicKeys(keys, body)
+	}
+	return s.store.AtomicKeysCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, keys, body)
+}
+
+// runViewKeys is runAtomicKeys' read-only twin.
+func (s *Server) runViewKeys(keys [][]byte, body func(t *kv.Tx) error) error {
+	if s.cmdDeadline <= 0 {
+		return s.store.ViewKeys(keys, body)
+	}
+	return s.store.ViewKeysCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, keys, body)
 }
 
 // cmdErr renders a command error, counting deadline/budget exhaustion on
@@ -894,7 +913,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 		}
 		var v []byte
 		var ok bool
-		err := s.runView(func(t *kv.Tx) error {
+		err := s.runViewKey(args[0].B, func(t *kv.Tx) error {
 			v, ok = t.Get(args[0].B)
 			return nil
 		})
@@ -915,7 +934,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if !s.acquire(c) {
 			return bodyBusy
 		}
-		err := s.runAtomic(func(t *kv.Tx) error {
+		err := s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
 			t.Set(args[0].B, args[1].B)
 			return nil
 		})
@@ -933,7 +952,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		removed := false
-		err := s.runAtomic(func(t *kv.Tx) error {
+		err := s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
 			removed = t.Delete(args[0].B)
 			return nil
 		})
@@ -954,7 +973,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		swapped := false
-		err := s.runAtomic(func(t *kv.Tx) error {
+		err := s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
 			swapped = t.CompareAndSet(args[0].B, args[1].B, args[2].B)
 			return nil
 		})
@@ -979,7 +998,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		var after int64
-		err = s.runAtomic(func(t *kv.Tx) error {
+		err = s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
 			var err error
 			after, err = t.Add(args[0].B, delta)
 			return err
@@ -1005,7 +1024,8 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		ok := false
-		err = s.runAtomic(func(t *kv.Tx) error {
+		c.keys = append(c.keys[:0], args[0].B, args[1].B)
+		err = s.runAtomicKeys(c.keys, func(t *kv.Tx) error {
 			ok = false
 			src, err := t.Int(args[0].B)
 			if err != nil {
@@ -1040,7 +1060,11 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		vals := make([]wire.Arg, len(args))
-		err := s.runView(func(t *kv.Tx) error {
+		c.keys = c.keys[:0]
+		for _, a := range args {
+			c.keys = append(c.keys, a.B)
+		}
+		err := s.runViewKeys(c.keys, func(t *kv.Tx) error {
 			for i, a := range args {
 				if v, ok := t.Get(a.B); ok {
 					vals[i] = wire.Blob(v)
@@ -1064,7 +1088,11 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if !s.acquire(c) {
 			return bodyBusy
 		}
-		err := s.runAtomic(func(t *kv.Tx) error {
+		c.keys = c.keys[:0]
+		for i := 0; i < len(args); i += 2 {
+			c.keys = append(c.keys, args[i].B)
+		}
+		err := s.runAtomicKeys(c.keys, func(t *kv.Tx) error {
 			for i := 0; i < len(args); i += 2 {
 				t.Set(args[i].B, args[i+1].B)
 			}

@@ -27,25 +27,28 @@ import (
 // DefaultStripes is the size of the versioned-lock table.
 const DefaultStripes = 1 << 20
 
-// globalIDs hands out object and transaction ids. As in the direct engine,
-// the counter is consumed in blocks of idBlockStride through per-transaction
-// (and per-engine, for non-transactional NewObj) idAlloc blocks, so the hot
-// allocation paths touch the shared cache line once per ~1k ids. Gaps from
-// abandoned blocks are harmless: ids are unique, never reused, and only
-// compared for equality.
-var globalIDs atomic.Uint64
+// Each Engine hands out object and transaction ids from its own counter
+// (Engine.idSrc). As in the direct engine, the counter is consumed in
+// blocks of idBlockStride through per-transaction (and per-engine, for
+// non-transactional NewObj) idAlloc blocks, so the hot allocation paths
+// touch the engine's cache line once per ~1k ids. Ids are only compared for
+// equality within one engine, so independent engines may repeat numeric
+// ids; gaps from abandoned blocks are harmless: ids are unique per engine,
+// never reused, and only compared for equality.
 
 const idBlockStride = 1024
 
-// idAlloc is a private block of pre-reserved ids; the zero value refills on
-// first take. Not safe for concurrent use.
+// idAlloc is a private block of pre-reserved ids refilled from src (the
+// owning engine's counter); bind src before the first take. Not safe for
+// concurrent use.
 type idAlloc struct {
+	src         *atomic.Uint64
 	next, limit uint64
 }
 
 func (a *idAlloc) take() uint64 {
 	if a.next == a.limit {
-		hi := globalIDs.Add(idBlockStride)
+		hi := a.src.Add(idBlockStride)
 		a.next, a.limit = hi-idBlockStride+1, hi+1
 	}
 	id := a.next
@@ -70,6 +73,10 @@ type Engine struct {
 	pool    sync.Pool
 	stats   stats
 	metrics engine.Metrics
+
+	// idSrc is this engine's id counter; every transaction block and the
+	// engine's own block refill from it.
+	idSrc atomic.Uint64
 
 	// idMu guards ids, the engine's block for non-transactional NewObj.
 	idMu sync.Mutex
@@ -115,7 +122,10 @@ func New(opts ...Option) *Engine {
 		e.stripes = make([]paddedStripe, DefaultStripes)
 		e.mask = DefaultStripes - 1
 	}
-	e.pool.New = func() any { return &Txn{eng: e, writes: make(map[wkey]wval)} }
+	e.ids.src = &e.idSrc
+	e.pool.New = func() any {
+		return &Txn{eng: e, writes: make(map[wkey]wval), ids: idAlloc{src: &e.idSrc}}
+	}
 	return e
 }
 
