@@ -23,9 +23,14 @@ type kvOptions struct {
 	valSize      int
 	readFrac     float64
 	transferFrac float64
+	incrFrac     float64
+	mixes        string // comma-separated YCSB-style presets; empty = explicit fractions
+	dists        string // comma-separated key distributions
 	duration     time.Duration
 	pipeline     int
 	batches      string // comma-separated MaxBatch values, only for self sweeps
+	writeBatches string // comma-separated MaxWriteBatch values, only for self sweeps
+	cms          string // comma-separated CM policies, only for self sweeps
 	procs        string // comma-separated GOMAXPROCS values, only for self sweeps
 	benchJSON    string
 	quick        bool
@@ -47,6 +52,7 @@ func (o kvOptions) loadOptions() kvload.Options {
 		ValueSize:    o.valSize,
 		ReadFrac:     o.readFrac,
 		TransferFrac: o.transferFrac,
+		IncrFrac:     o.incrFrac,
 		Duration:     o.duration,
 		Pipeline:     o.pipeline,
 		CmdDeadline:  o.cmdDeadline,
@@ -73,6 +79,14 @@ func (o kvOptions) loadOptions() kvload.Options {
 // written as a machine-readable report instead of the experiment grid.
 func runKVLoad(o kvOptions) error {
 	lo := o.loadOptions()
+	dists, err := parseDists(o.dists)
+	if err != nil {
+		return err
+	}
+	mixes := []string{""}
+	if strings.TrimSpace(o.mixes) != "" {
+		mixes = strings.Split(o.mixes, ",")
+	}
 	var points []kvload.GridPoint
 
 	if o.addr == "self" {
@@ -88,16 +102,50 @@ func runKVLoad(o kvOptions) error {
 		if err != nil {
 			return err
 		}
+		wbatches, err := parseInts("write-batch bound", o.writeBatches)
+		if err != nil {
+			return err
+		}
 		procs, err := parseInts("procs", o.procs)
 		if err != nil {
 			return err
 		}
-		points, err = kvload.RunSelfGrid(designs, shards, batches, procs, lo)
+		cms, err := parseCMs(o.cms)
 		if err != nil {
 			return err
 		}
+		sw := kvload.Sweep{
+			Designs:      designs,
+			Shards:       shards,
+			Batches:      batches,
+			Procs:        procs,
+			Dists:        dists,
+			CMs:          cms,
+			WriteBatches: wbatches,
+		}
+		// The mix presets rewrite the operation fractions, so they sweep
+		// here as an outer loop over otherwise-identical grids.
+		for _, mix := range mixes {
+			mlo := lo
+			if m := strings.TrimSpace(mix); m != "" {
+				if err := mlo.ApplyMix(m); err != nil {
+					return err
+				}
+			}
+			ps, err := kvload.RunSweep(sw, mlo)
+			if err != nil {
+				return err
+			}
+			points = append(points, ps...)
+		}
 	} else {
 		lo.Addr = o.addr
+		lo.Dist = dists[0]
+		if m := strings.TrimSpace(mixes[0]); m != "" {
+			if err := lo.ApplyMix(m); err != nil {
+				return err
+			}
+		}
 		if err := kvload.Preload(lo); err != nil {
 			return fmt.Errorf("preload %s: %w", o.addr, err)
 		}
@@ -111,7 +159,7 @@ func runKVLoad(o kvOptions) error {
 			}
 			fmt.Fprintf(os.Stderr, "stmbench: kvload: account sum verified against %s\n", o.addr)
 		}
-		points = []kvload.GridPoint{{Design: "remote", Shards: 0, Result: res}}
+		points = []kvload.GridPoint{{Design: "remote", Shards: 0, Dist: lo.Dist.String(), Mix: lo.Mix, Result: res}}
 	}
 
 	printKVTable(points, lo)
@@ -120,6 +168,30 @@ func runKVLoad(o kvOptions) error {
 		return writeKVBenchJSON(o.benchJSON, points, lo, o.quick)
 	}
 	return nil
+}
+
+func parseDists(s string) ([]kvload.Dist, error) {
+	var out []kvload.Dist
+	for _, f := range strings.Split(s, ",") {
+		d, err := kvload.ParseDist(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func parseCMs(s string) ([]memtx.CMPolicy, error) {
+	var out []memtx.CMPolicy
+	for _, f := range strings.Split(s, ",") {
+		p, err := memtx.ParseCMPolicy(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func parseDesigns(s string) ([]memtx.Design, error) {
@@ -162,9 +234,9 @@ func batchLabel(b int) string {
 func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 	t := &harness.Table{
 		ID: "kvload",
-		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / rest SET",
-			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac),
-		Header: []string{"design", "shards", "batch", "procs", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks"},
+		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / %.0f%% INCR / rest SET",
+			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac, 100*lo.IncrFrac),
+		Header: []string{"design", "shards", "dist", "mix", "cm", "batch", "wbatch", "procs", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks", "wbatches", "wfall", "cmdefer", "ewma(ppm)"},
 	}
 	for _, p := range points {
 		shards := "-"
@@ -175,10 +247,22 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		if p.Procs > 0 {
 			procs = strconv.Itoa(p.Procs)
 		}
+		mix := p.Mix
+		if mix == "" {
+			mix = "-"
+		}
+		cm := p.CM
+		if cm == "" {
+			cm = "-"
+		}
 		t.AddRow(
 			p.Design,
 			shards,
+			p.Dist,
+			mix,
+			cm,
 			batchLabel(p.MaxBatch),
+			batchLabel(p.MaxWriteBatch),
 			procs,
 			strconv.FormatUint(p.Result.Ops, 10),
 			fmt.Sprintf("%.0f", p.Result.Throughput),
@@ -190,6 +274,10 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 			strconv.FormatUint(p.CommittedTxns, 10),
 			strconv.FormatUint(p.ReadBatches, 10),
 			strconv.FormatUint(p.BatchFallbacks, 10),
+			strconv.FormatUint(p.WriteBatches, 10),
+			strconv.FormatUint(p.WriteBatchFallbacks, 10),
+			strconv.FormatUint(p.CMStats.KarmaDefers, 10),
+			strconv.FormatUint(p.CMStats.AbortEWMAPpm, 10),
 		)
 	}
 	t.Fprint(os.Stdout)
@@ -197,18 +285,34 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 
 func writeKVBenchJSON(path string, points []kvload.GridPoint, lo kvload.Options, quick bool) error {
 	report := harness.NewBenchReport(quick)
-	kernel := fmt.Sprintf("mix/r%.2f-t%.2f/conns%d/pipe%d", lo.ReadFrac, lo.TransferFrac, lo.Conns, lo.Pipeline)
 	for _, p := range points {
 		nsPerOp := 0.0
 		if p.Result.Throughput > 0 {
 			nsPerOp = 1e9 / p.Result.Throughput
 		}
-		// The kernel string is the baseline-matching key, so the server's
-		// default batching keeps the historical spelling and only explicit
-		// sweep values grow a suffix.
-		cell := fmt.Sprintf("%s/shards%d", kernel, p.Shards)
+		// The kernel string is the baseline-matching key, so defaults — the
+		// explicit-fraction mix spelling, uniform keys, fixed CM, server
+		// default batching — keep the historical spelling, and only
+		// non-default sweep values grow a segment.
+		mix := fmt.Sprintf("r%.2f-t%.2f", lo.ReadFrac, lo.TransferFrac)
+		if p.Mix != "" {
+			mix = p.Mix
+		}
+		if lo.IncrFrac > 0 {
+			mix += fmt.Sprintf("-i%.2f", lo.IncrFrac)
+		}
+		cell := fmt.Sprintf("mix/%s/conns%d/pipe%d/shards%d", mix, lo.Conns, lo.Pipeline, p.Shards)
+		if p.Dist != "" && p.Dist != "uniform" {
+			cell += "/dist-" + p.Dist
+		}
+		if p.CM != "" && p.CM != "fixed" {
+			cell += "/cm-" + p.CM
+		}
 		if p.MaxBatch != 0 {
 			cell += "/batch" + batchLabel(p.MaxBatch)
+		}
+		if p.MaxWriteBatch != 0 {
+			cell += "/wbatch" + batchLabel(p.MaxWriteBatch)
 		}
 		if p.Procs > 0 {
 			cell += fmt.Sprintf("/procs%d", p.Procs)

@@ -54,9 +54,14 @@ func main() {
 		kvValSize      = flag.Int("kv-valsize", 64, "SET value size in bytes")
 		kvReadFrac     = flag.Float64("kv-readfrac", 0.8, "fraction of GETs in the mix")
 		kvTransferFrac = flag.Float64("kv-transferfrac", 0.1, "fraction of two-key TRANSFERs in the mix")
+		kvIncrFrac     = flag.Float64("kv-incrfrac", 0, "fraction of INCRs over the counter key space in the mix")
+		kvMix          = flag.String("kv-mix", "", "YCSB-style mix presets to sweep (ycsb-a, ycsb-b, ycsb-c; comma-separated; overrides -kv-readfrac/-kv-transferfrac)")
+		kvDist         = flag.String("kv-dist", "uniform", "key distributions to sweep: uniform, zipf:THETA, hot:FRAC (comma-separated)")
 		kvDuration     = flag.Duration("kv-duration", 5*time.Second, "measurement window per cell")
 		kvPipeline     = flag.Int("kv-pipeline", 1, "requests in flight per connection")
 		kvBatch        = flag.String("kv-batch", "0", "server read-batch bounds to sweep with -kvload self (0 = server default, -1 = off)")
+		kvWriteBatch   = flag.String("kv-write-batch", "0", "server write-batch bounds to sweep with -kvload self (0 = server default, -1 = off)")
+		kvCM           = flag.String("kv-cm", "fixed", "contention-management policies to sweep with -kvload self (fixed, adaptive; comma-separated)")
 		kvProcs        = flag.String("kv-procs", "0", "GOMAXPROCS values to sweep with -kvload self (0 = leave the process default)")
 
 		kvCmdDeadline  = flag.Duration("kv-cmd-deadline", 0, "self-hosted server per-command deadline (0 = unbounded)")
@@ -81,9 +86,14 @@ func main() {
 			valSize:       *kvValSize,
 			readFrac:      *kvReadFrac,
 			transferFrac:  *kvTransferFrac,
+			incrFrac:      *kvIncrFrac,
+			mixes:         *kvMix,
+			dists:         *kvDist,
 			duration:      *kvDuration,
 			pipeline:      *kvPipeline,
 			batches:       *kvBatch,
+			writeBatches:  *kvWriteBatch,
+			cms:           *kvCM,
 			procs:         *kvProcs,
 			benchJSON:     *benchJSON,
 			quick:         *quick,

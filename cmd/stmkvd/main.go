@@ -10,9 +10,11 @@
 //	stmkvd                               # serve on :7070, 16 shards, direct engine
 //	stmkvd -addr :7070 -shards 4         # explicit listen address and shard count
 //	stmkvd -design wstm                  # pick the STM engine (direct, wstm, ostm)
+//	stmkvd -cm adaptive                  # adaptive contention management
 //	stmkvd -serve-metrics :8080          # expose /metrics and /stats.json
 //	stmkvd -serve-metrics :8080 -pprof   # also expose /debug/pprof/
 //	stmkvd -max-batch 0                  # disable read-snapshot batching
+//	stmkvd -max-write-batch 0            # disable hot-key write batching
 //	stmkvd -cmd-deadline 5ms -queue-timeout 1ms   # bounded commands + load shedding
 //	stmkvd -chaos-abort 20000 -chaos-seed 42      # deterministic fault injection
 //
@@ -49,8 +51,10 @@ func main() {
 		shards       = flag.Int("shards", 16, "number of store shards (rounded up to a power of two)")
 		buckets      = flag.Int("buckets", 1024, "hash buckets per shard (rounded up to a power of two)")
 		design       = flag.String("design", "direct", "STM engine: direct, wstm, or ostm")
+		cmPolicy     = flag.String("cm", "fixed", "contention management policy: fixed or adaptive")
 		maxInflight  = flag.Int("max-inflight", 128, "max concurrently executing transactions (0 = default)")
 		maxBatch     = flag.Int("max-batch", server.DefaultMaxBatch, "max pipelined read-only commands coalesced into one snapshot transaction (0 = off)")
+		maxWBatch    = flag.Int("max-write-batch", server.DefaultMaxWriteBatch, "max pipelined same-shard SET/INCR commands coalesced into one write transaction (0 = off)")
 		serveMetrics = flag.String("serve-metrics", "", "serve /metrics and /stats.json on this address (e.g. :8080)")
 		pprofFlag    = flag.Bool("pprof", false, "with -serve-metrics, also expose /debug/pprof/ profiling endpoints")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on shutdown")
@@ -73,19 +77,28 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	store := kv.New(kv.Config{Shards: *shards, Buckets: *buckets, Design: d})
+	cm, err := memtx.ParseCMPolicy(*cmPolicy)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	store := kv.New(kv.Config{Shards: *shards, Buckets: *buckets, Design: d, CM: cm})
 	batch := *maxBatch
 	if batch <= 0 {
 		batch = -1 // flag 0 means off; Config 0 would mean the default
 	}
+	wbatch := *maxWBatch
+	if wbatch <= 0 {
+		wbatch = -1
+	}
 	srv := server.New(store, server.Config{
-		MaxInflight:  *maxInflight,
-		MaxBatch:     batch,
-		ErrorLog:     logger,
-		CmdDeadline:  *cmdDeadline,
-		QueueTimeout: *queueTimeout,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
+		MaxInflight:   *maxInflight,
+		MaxBatch:      batch,
+		MaxWriteBatch: wbatch,
+		ErrorLog:      logger,
+		CmdDeadline:   *cmdDeadline,
+		QueueTimeout:  *queueTimeout,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
 	})
 
 	var injector *chaos.Injector
@@ -123,7 +136,7 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	logger.Printf("serving on %s (%d shards, %s engine)", *addr, store.Shards(), d)
+	logger.Printf("serving on %s (%d shards, %s engine, %s cm)", *addr, store.Shards(), d, cm)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

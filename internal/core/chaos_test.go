@@ -35,11 +35,23 @@ func chaosTransferConfig(seed uint64) chaos.Config {
 // is conserved, and no object is left owned (a leaked ownership record would
 // wedge every later writer).
 func TestChaosTransferInvariants(t *testing.T) {
+	runChaosTransferInvariants(t, New())
+}
+
+// TestChaosTransferInvariantsAdaptiveCM repeats the chaos hammer with the
+// adaptive contention-management policy enabled: injected aborts drive the
+// EWMA and karma paths hard, and the same rollback invariants must hold.
+func TestChaosTransferInvariantsAdaptiveCM(t *testing.T) {
+	e := New()
+	e.CM().SetPolicy(engine.CMAdaptive)
+	runChaosTransferInvariants(t, e)
+}
+
+func runChaosTransferInvariants(t *testing.T, e *Engine) {
 	const (
 		accounts = 64
 		initBal  = 1000
 	)
-	e := New()
 	objs := make([]*Obj, accounts)
 	for i := range objs {
 		h := e.NewObj(1, 0)
@@ -158,6 +170,16 @@ func TestChaosTransferInvariants(t *testing.T) {
 	}
 	if byCause != s.Aborts {
 		t.Fatalf("per-cause abort total %d != stats aborts %d", byCause, s.Aborts)
+	}
+
+	// The contention controller saw every attempt, and with this much
+	// injected conflict its abort estimate must have moved off zero.
+	cs := e.CM().Stats()
+	if cs.Outcomes == 0 {
+		t.Fatal("contention controller observed no outcomes")
+	}
+	if s.Aborts > 0 && cs.AbortEWMAPpm == 0 {
+		t.Fatal("aborts occurred but the abort-rate EWMA stayed zero")
 	}
 }
 

@@ -11,10 +11,13 @@ import (
 // has conflicted repeatedly it sleeps for a bounded, jittered interval.
 //
 // The zero value is ready to use (and stays on the caller's stack — Run's
-// fast path must not allocate); the RNG is seeded on first use.
+// fast path must not allocate); the RNG is seeded on first use. Binding a CM
+// controller makes the spin threshold and sleep cap adaptive and accounts
+// every wait in the stm_cm_* counters.
 type Backoff struct {
 	attempt int
 	rng     uint64
+	cm      *CM // optional knob source + wait accounting; nil = fixed defaults
 }
 
 const (
@@ -22,6 +25,10 @@ const (
 	backoffBaseSleep    = 500 * time.Nanosecond
 	backoffMaxShift     = 14 // cap sleep at base << 14 ≈ 8ms
 )
+
+// Bind attaches a CM controller: subsequent waits consult its (possibly
+// adaptive) spin/cap knobs and are counted in its stm_cm_* metrics.
+func (b *Backoff) Bind(cm *CM) { b.cm = cm }
 
 func (b *Backoff) next() uint64 {
 	if b.rng == 0 {
@@ -38,18 +45,39 @@ func (b *Backoff) next() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-func (b *Backoff) Wait() {
+// duration advances the attempt counter and computes how long this wait
+// should sleep; zero means "yield only" (still within the spin threshold).
+// Both Wait and WaitCtx are thin wrappers around it.
+func (b *Backoff) duration() time.Duration {
 	b.attempt++
-	if b.attempt <= backoffSpinAttempts {
-		runtime.Gosched()
-		return
+	spin, maxShift := backoffSpinAttempts, backoffMaxShift
+	if b.cm != nil {
+		spin, maxShift = b.cm.spinLimitNow(), b.cm.capShiftNow()
 	}
-	shift := b.attempt - backoffSpinAttempts
-	if shift > backoffMaxShift {
-		shift = backoffMaxShift
+	if b.attempt <= spin {
+		if b.cm != nil {
+			b.cm.noteSpin()
+		}
+		return 0
+	}
+	shift := b.attempt - spin
+	if shift > maxShift {
+		shift = maxShift
 	}
 	window := uint64(1) << uint(shift)
 	d := backoffBaseSleep * time.Duration(1+b.next()%window)
+	if b.cm != nil {
+		b.cm.noteSleep(d)
+	}
+	return d
+}
+
+func (b *Backoff) Wait() {
+	d := b.duration()
+	if d == 0 {
+		runtime.Gosched()
+		return
+	}
 	time.Sleep(d)
 }
 
@@ -59,17 +87,11 @@ func (b *Backoff) Wait() {
 // finishing a multi-millisecond backoff first. The timer allocation is
 // acceptable here — this is the contended slow path, never the first retry.
 func (b *Backoff) WaitCtx(ctx context.Context, deadline time.Time) {
-	b.attempt++
-	if b.attempt <= backoffSpinAttempts {
+	d := b.duration()
+	if d == 0 {
 		runtime.Gosched()
 		return
 	}
-	shift := b.attempt - backoffSpinAttempts
-	if shift > backoffMaxShift {
-		shift = backoffMaxShift
-	}
-	window := uint64(1) << uint(shift)
-	d := backoffBaseSleep * time.Duration(1+b.next()%window)
 	if !deadline.IsZero() {
 		remain := time.Until(deadline)
 		if remain <= 0 {

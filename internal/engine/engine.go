@@ -51,6 +51,12 @@ type Engine interface {
 	// counters and latency/retry histograms. The returned pointer is live
 	// for the engine's lifetime; call Snapshot on it to read.
 	Metrics() *Metrics
+
+	// CM returns the engine's contention-management controller: the pacing
+	// policy (fixed or adaptive), the abort-rate estimator behind it, and
+	// the stm_cm_* counters. Like Metrics, the returned pointer is live for
+	// the engine's lifetime.
+	CM() *CM
 }
 
 // Txn is a single transaction attempt. A Txn must be used by one goroutine at

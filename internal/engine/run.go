@@ -58,7 +58,9 @@ func RunReadOnlyOnce(e Engine, body func(tx Txn) error) (err error, conflicted b
 }
 
 func run(e Engine, body func(tx Txn) error, readonly bool) error {
+	cm := e.CM()
 	var backoff Backoff
+	backoff.Bind(cm)
 	conflicts := 0
 	for {
 		var tx Txn
@@ -67,7 +69,13 @@ func run(e Engine, body func(tx Txn) error, readonly bool) error {
 		} else {
 			tx = e.Begin()
 		}
+		if conflicts > 0 {
+			if ks, ok := tx.(KarmaSetter); ok {
+				ks.SetKarma(conflicts)
+			}
+		}
 		err, conflicted := Attempt(tx, body)
+		cm.ObserveOutcome(conflicted)
 		if conflicted {
 			conflicts++
 			backoff.Wait()

@@ -39,12 +39,14 @@ type fakeEngine struct {
 	txns    []*fakeTxn
 	next    int
 	metrics Metrics
+	cm      CM
 }
 
 func (e *fakeEngine) Name() string           { return "fake" }
 func (e *fakeEngine) NewObj(int, int) Handle { return nil }
 func (e *fakeEngine) Stats() Stats           { return Stats{} }
 func (e *fakeEngine) Metrics() *Metrics      { return &e.metrics }
+func (e *fakeEngine) CM() *CM                { return &e.cm }
 func (e *fakeEngine) BeginReadOnly() Txn     { return e.Begin() }
 func (e *fakeEngine) Begin() Txn {
 	t := e.txns[e.next]

@@ -97,7 +97,9 @@ func runCtx(ctx context.Context, e Engine, opts RunOptions, body func(tx Txn) er
 		}
 	}
 
+	cm := e.CM()
 	var backoff Backoff
+	backoff.Bind(cm)
 	attempts, conflicts := 0, 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -123,8 +125,14 @@ func runCtx(ctx context.Context, e Engine, opts RunOptions, body func(tx Txn) er
 		if cb, ok := tx.(CtxBinder); ok {
 			cb.BindContext(ctx, deadline)
 		}
+		if conflicts > 0 {
+			if ks, ok := tx.(KarmaSetter); ok {
+				ks.SetKarma(conflicts)
+			}
+		}
 		attempts++
 		err, conflicted := Attempt(tx, body)
+		cm.ObserveOutcome(conflicted)
 		if !conflicted {
 			if err == nil {
 				e.Metrics().ObserveRetries(conflicts)

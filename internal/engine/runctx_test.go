@@ -151,5 +151,6 @@ func (e *binderEngine) Name() string           { return "binder-fake" }
 func (e *binderEngine) NewObj(int, int) Handle { return nil }
 func (e *binderEngine) Stats() Stats           { return Stats{} }
 func (e *binderEngine) Metrics() *Metrics      { return e.inner.Metrics() }
+func (e *binderEngine) CM() *CM                { return e.inner.CM() }
 func (e *binderEngine) Begin() Txn             { return e.tx }
 func (e *binderEngine) BeginReadOnly() Txn     { return e.tx }

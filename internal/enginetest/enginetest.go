@@ -39,6 +39,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("ConcurrentDisjoint", func(t *testing.T) { testConcurrentDisjoint(t, f()) })
 	t.Run("MetricsQuiescent", func(t *testing.T) { testMetricsQuiescent(t, f()) })
 	t.Run("MetricsConcurrent", func(t *testing.T) { testMetricsConcurrent(t, f()) })
+	t.Run("CMStats", func(t *testing.T) { testCMStats(t, f()) })
 }
 
 // write is a helper that opens, undo-logs, and stores one word.

@@ -115,6 +115,9 @@ type Config struct {
 	// Design selects the underlying STM engine (default the paper's
 	// direct-update design).
 	Design memtx.Design
+	// CM selects each shard TM's contention-management pacing policy
+	// (default memtx.CMFixed).
+	CM memtx.CMPolicy
 }
 
 // shard is one independent transactional memory plus its cross-shard gate.
@@ -162,7 +165,7 @@ func New(cfg Config) *Store {
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.tm = memtx.New(memtx.WithDesign(cfg.Design))
+		sh.tm = memtx.New(memtx.WithDesign(cfg.Design), memtx.WithCMPolicy(cfg.CM))
 		sh.eng = sh.tm.Engine()
 		dir := sh.tm.NewRecord(0, buckets)
 		err := sh.tm.Atomic(func(tx *memtx.Tx) error {
@@ -221,6 +224,16 @@ func (s *Store) Stats() engine.Stats {
 	return agg
 }
 
+// CMStats returns the contention-management controller stats aggregated
+// across every shard (counters sum; gauges keep the maximum).
+func (s *Store) CMStats() engine.CMStats {
+	var agg engine.CMStats
+	for i := range s.shards {
+		agg = agg.Add(s.shards[i].eng.CM().Stats())
+	}
+	return agg
+}
+
 // OpCount returns the number of committed primitive operations of one type.
 func (s *Store) OpCount(o Op) uint64 { return s.ops[o].Load() }
 
@@ -268,6 +281,18 @@ func (s *Store) ObsMetrics() []obs.Metric {
 		obs.Metric{Name: "stmkv_tx_commits_total", Help: "Transaction attempts committed, all shards.", Kind: obs.Counter, Value: agg.Commits},
 		obs.Metric{Name: "stmkv_tx_aborts_total", Help: "Transaction attempts rolled back, all shards.", Kind: obs.Counter, Value: agg.Aborts},
 	)
+	cm := s.CMStats()
+	ms = append(ms,
+		obs.Metric{Name: "stmkv_cm_policy_adaptive", Help: "1 when any shard runs the adaptive contention-management policy.", Kind: obs.Gauge, Value: cm.PolicyAdaptive},
+		obs.Metric{Name: "stmkv_cm_outcomes_total", Help: "Attempt outcomes observed by the contention controllers, all shards.", Kind: obs.Counter, Value: cm.Outcomes},
+		obs.Metric{Name: "stmkv_cm_waits_total", Help: "Backoff waits between transaction attempts, all shards.", Kind: obs.Counter, Value: cm.Waits},
+		obs.Metric{Name: "stmkv_cm_spins_total", Help: "Backoff waits satisfied by yielding, all shards.", Kind: obs.Counter, Value: cm.Spins},
+		obs.Metric{Name: "stmkv_cm_sleeps_total", Help: "Backoff waits that slept, all shards.", Kind: obs.Counter, Value: cm.Sleeps},
+		obs.Metric{Name: "stmkv_cm_sleep_ns_total", Help: "Total backoff sleep time, ns, all shards.", Kind: obs.Counter, Value: cm.SleepNanos},
+		obs.Metric{Name: "stmkv_cm_karma_defers_total", Help: "Ownership waits extended by karma priority, all shards.", Kind: obs.Counter, Value: cm.KarmaDefers},
+		obs.Metric{Name: "stmkv_cm_adaptations_total", Help: "Pacing-knob recomputations that changed a knob, all shards.", Kind: obs.Counter, Value: cm.Adaptations},
+		obs.Metric{Name: "stmkv_cm_abort_ewma_ppm", Help: "Abort-rate estimate, ppm (most contended shard).", Kind: obs.Gauge, Value: cm.AbortEWMAPpm},
+	)
 	return ms
 }
 
@@ -291,6 +316,7 @@ type Tx struct {
 
 	ctx      context.Context // non-nil on Ctx paths: bound into each begun txn
 	deadline time.Time
+	karma    int // attempts already lost; threaded into each begun txn
 
 	committed []int // publish-order scratch: shards committed this attempt
 	counts    [NumOps]uint32
@@ -321,6 +347,11 @@ func (t *Tx) txnFor(sid int) engine.Txn {
 	if t.ctx != nil {
 		if cb, ok := tx.(engine.CtxBinder); ok {
 			cb.BindContext(t.ctx, t.deadline)
+		}
+	}
+	if t.karma > 0 {
+		if ks, ok := tx.(engine.KarmaSetter); ok {
+			ks.SetKarma(t.karma)
 		}
 	}
 	t.txns[sid] = tx
@@ -513,22 +544,28 @@ func (s *Store) unlockShards(allowed []bool, exclusive bool) {
 // observe is called with the conflict count after a successful attempt.
 // The unlock runs under defer so a panic escaping the attempt (the fault
 // injector's ActPanic, or a protocol violation) cannot leak gate locks.
-func runLoop(ctx context.Context, opts engine.RunOptions,
+// cm is the contention-management controller pacing the backoff (and fed
+// every attempt outcome); karma hands the attempt callback the number of
+// attempts already lost, for engines with karma-priority waits.
+func runLoop(ctx context.Context, opts engine.RunOptions, cm *engine.CM,
 	lock, unlock func(),
-	att func(ctx context.Context, deadline time.Time) (error, bool),
+	att func(ctx context.Context, deadline time.Time, karma int) (error, bool),
 	observe func(conflicts int)) error {
 
-	runOne := func(ctx context.Context, deadline time.Time) (error, bool) {
+	runOne := func(ctx context.Context, deadline time.Time, karma int) (error, bool) {
 		lock()
 		defer unlock()
-		return att(ctx, deadline)
+		err, conflicted := att(ctx, deadline, karma)
+		cm.ObserveOutcome(conflicted)
+		return err, conflicted
 	}
 
 	if ctx == nil && opts.MaxAttempts == 0 && opts.MaxElapsed == 0 {
 		var b engine.Backoff
+		b.Bind(cm)
 		conflicts := 0
 		for {
-			err, conflicted := runOne(nil, time.Time{})
+			err, conflicted := runOne(nil, time.Time{}, conflicts)
 			if !conflicted {
 				if err == nil {
 					observe(conflicts)
@@ -555,6 +592,7 @@ func runLoop(ctx context.Context, opts engine.RunOptions,
 		}
 	}
 	var b engine.Backoff
+	b.Bind(cm)
 	attempts, conflicts := 0, 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -571,7 +609,7 @@ func runLoop(ctx context.Context, opts engine.RunOptions,
 			return engine.NewTimeoutError("deadline", attempts, time.Since(start), context.DeadlineExceeded)
 		}
 		attempts++
-		err, conflicted := runOne(ctx, deadline)
+		err, conflicted := runOne(ctx, deadline, conflicts)
 		if !conflicted {
 			if err == nil {
 				observe(conflicts)
@@ -600,7 +638,7 @@ func (s *Store) runSingle(ctx context.Context, opts engine.RunOptions, sid int, 
 	if !readonly {
 		lock, unlock = sh.xmu.RLock, sh.xmu.RUnlock
 	}
-	att := func(ctx context.Context, deadline time.Time) (error, bool) {
+	att := func(ctx context.Context, deadline time.Time, karma int) (error, bool) {
 		var tx engine.Txn
 		if readonly {
 			tx = sh.eng.BeginReadOnly()
@@ -612,11 +650,16 @@ func (s *Store) runSingle(ctx context.Context, opts engine.RunOptions, sid int, 
 				cb.BindContext(ctx, deadline)
 			}
 		}
+		if karma > 0 {
+			if ks, ok := tx.(engine.KarmaSetter); ok {
+				ks.SetKarma(karma)
+			}
+		}
 		t.raw = tx
 		t.counts = [NumOps]uint32{}
 		return engine.Attempt(tx, wrap)
 	}
-	err := runLoop(ctx, opts, lock, unlock, att, func(conflicts int) {
+	err := runLoop(ctx, opts, sh.eng.CM(), lock, unlock, att, func(conflicts int) {
 		sh.eng.Metrics().ObserveRetries(conflicts)
 		s.fold(&t)
 	})
@@ -634,15 +677,26 @@ func (s *Store) runCross(ctx context.Context, opts engine.RunOptions, allowed []
 		allowed:  allowed,
 	}
 	exclusive := !readonly
-	att := func(ctx context.Context, deadline time.Time) (error, bool) {
+	att := func(ctx context.Context, deadline time.Time, karma int) (error, bool) {
 		t.ctx, t.deadline = ctx, deadline
+		t.karma = karma
 		err, conflicted := t.crossAttempt(body)
 		if conflicted {
 			s.crossRetries.Add(1)
 		}
 		return err, conflicted
 	}
-	err := runLoop(ctx, opts,
+	// Cross-shard attempts are paced by the first involved shard's
+	// controller: the set is locked in ascending order, so that shard sees
+	// every such transaction and its abort-rate estimate covers them.
+	cmSid := 0
+	for i := range s.shards {
+		if allowed == nil || allowed[i] {
+			cmSid = i
+			break
+		}
+	}
+	err := runLoop(ctx, opts, s.shards[cmSid].eng.CM(),
 		func() { s.lockShards(allowed, exclusive) },
 		func() { s.unlockShards(allowed, exclusive) },
 		att,

@@ -1,0 +1,132 @@
+package kvload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DistKind names a key-popularity distribution.
+type DistKind int
+
+const (
+	// DistUniform draws every key with equal probability.
+	DistUniform DistKind = iota
+	// DistZipf draws key rank i with probability proportional to
+	// 1/(i+1)^Theta — rank 0 is the hottest key. Theta 0 degenerates to
+	// uniform; YCSB's default skew is Theta ≈ 0.99.
+	DistZipf
+	// DistHot sends HotFrac of all draws to key 0 and spreads the rest
+	// uniformly — the single-celebrity-key worst case.
+	DistHot
+)
+
+// Dist describes how keys are drawn from a keyspace. The zero value is
+// uniform, so existing callers keep their behavior.
+type Dist struct {
+	Kind    DistKind
+	Theta   float64 // DistZipf: skew exponent, >= 0
+	HotFrac float64 // DistHot: probability mass on key 0, in [0,1]
+}
+
+// String renders the spelling ParseDist accepts, used as the grid label.
+func (d Dist) String() string {
+	switch d.Kind {
+	case DistZipf:
+		return fmt.Sprintf("zipf:%.2f", d.Theta)
+	case DistHot:
+		return fmt.Sprintf("hot:%.2f", d.HotFrac)
+	default:
+		return "uniform"
+	}
+}
+
+// ParseDist parses a key-distribution spelling: "uniform", "zipf:THETA"
+// (e.g. zipf:0.99), or "hot:FRAC" (e.g. hot:0.5).
+func ParseDist(s string) (Dist, error) {
+	switch {
+	case s == "" || s == "uniform":
+		return Dist{}, nil
+	case strings.HasPrefix(s, "zipf:"):
+		theta, err := strconv.ParseFloat(s[len("zipf:"):], 64)
+		if err != nil || theta < 0 || math.IsInf(theta, 0) || math.IsNaN(theta) {
+			return Dist{}, fmt.Errorf("kvload: bad zipf theta in %q", s)
+		}
+		return Dist{Kind: DistZipf, Theta: theta}, nil
+	case strings.HasPrefix(s, "hot:"):
+		frac, err := strconv.ParseFloat(s[len("hot:"):], 64)
+		if err != nil || frac < 0 || frac > 1 || math.IsNaN(frac) {
+			return Dist{}, fmt.Errorf("kvload: bad hot fraction in %q", s)
+		}
+		return Dist{Kind: DistHot, HotFrac: frac}, nil
+	default:
+		return Dist{}, fmt.Errorf("kvload: unknown distribution %q (want uniform, zipf:THETA, or hot:FRAC)", s)
+	}
+}
+
+// Sampler draws key indexes in [0,n) under one distribution. Zipf sampling
+// inverts a precomputed CDF table with a binary search, which keeps every
+// theta >= 0 valid (math/rand's Zipf requires s > 1) and makes a draw one
+// Float64 plus O(log n) comparisons. A Sampler is immutable after
+// construction and safe to share; the caller supplies the rand.Rand, so each
+// worker keeps its own deterministic stream.
+type Sampler struct {
+	n       int
+	kind    DistKind
+	hotFrac float64
+	cdf     []float64 // DistZipf: cdf[i] = P(rank <= i), cdf[n-1] = 1
+}
+
+// NewSampler builds a sampler over n keys. A zipf with theta 0 and a hot
+// with fraction 0 both collapse to uniform, keeping the table out of the
+// unskewed path.
+func NewSampler(d Dist, n int) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sampler{n: n, kind: d.Kind, hotFrac: d.HotFrac}
+	switch d.Kind {
+	case DistZipf:
+		if d.Theta == 0 {
+			s.kind = DistUniform
+			break
+		}
+		cdf := make([]float64, n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += 1 / math.Pow(float64(i+1), d.Theta)
+			cdf[i] = sum
+		}
+		for i := range cdf {
+			cdf[i] /= sum
+		}
+		s.cdf = cdf
+	case DistHot:
+		if d.HotFrac == 0 {
+			s.kind = DistUniform
+		}
+	}
+	return s
+}
+
+// Next draws one key index from r.
+func (s *Sampler) Next(r *rand.Rand) int {
+	switch s.kind {
+	case DistZipf:
+		p := r.Float64()
+		return sort.SearchFloat64s(s.cdf, p)
+	case DistHot:
+		if r.Float64() < s.hotFrac {
+			return 0
+		}
+		return r.Intn(s.n)
+	default:
+		return r.Intn(s.n)
+	}
+}
+
+// N returns the keyspace size the sampler draws from.
+func (s *Sampler) N() int { return s.n }

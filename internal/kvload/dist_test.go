@@ -1,0 +1,162 @@
+package kvload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseDist(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Dist
+		str  string
+	}{
+		{"", Dist{}, "uniform"},
+		{"uniform", Dist{}, "uniform"},
+		{"zipf:0.99", Dist{Kind: DistZipf, Theta: 0.99}, "zipf:0.99"},
+		{"zipf:0", Dist{Kind: DistZipf, Theta: 0}, "zipf:0.00"},
+		{"zipf:1.2", Dist{Kind: DistZipf, Theta: 1.2}, "zipf:1.20"},
+		{"hot:0.5", Dist{Kind: DistHot, HotFrac: 0.5}, "hot:0.50"},
+	}
+	for _, c := range cases {
+		d, err := ParseDist(c.in)
+		if err != nil {
+			t.Errorf("ParseDist(%q): %v", c.in, err)
+			continue
+		}
+		if d != c.want {
+			t.Errorf("ParseDist(%q) = %+v, want %+v", c.in, d, c.want)
+		}
+		if d.String() != c.str {
+			t.Errorf("ParseDist(%q).String() = %q, want %q", c.in, d.String(), c.str)
+		}
+	}
+	for _, bad := range []string{"zipf", "zipf:", "zipf:-1", "zipf:x", "hot:1.5", "hot:-0.1", "latest", "zipf:0.9:extra"} {
+		if _, err := ParseDist(bad); err == nil {
+			t.Errorf("ParseDist(%q) accepted", bad)
+		}
+	}
+}
+
+// chiSquare sums (observed-expected)^2/expected over the given expected
+// probabilities for total draws.
+func chiSquare(counts []int, probs []float64, total int) float64 {
+	stat := 0.0
+	for i, p := range probs {
+		exp := p * float64(total)
+		d := float64(counts[i]) - exp
+		stat += d * d / exp
+	}
+	return stat
+}
+
+// zipfProbs returns the exact rank probabilities the sampler is built from.
+func zipfProbs(n int, theta float64) []float64 {
+	probs := make([]float64, n)
+	sum := 0.0
+	for i := range probs {
+		probs[i] = 1 / math.Pow(float64(i+1), theta)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// TestZipfSamplerFrequencies draws from zipf samplers across thetas and
+// chi-square-tests the empirical rank frequencies against the exact
+// distribution. The keyspace is kept small so every rank has a healthy
+// expected count; the critical values are far above the 99.9th percentile
+// for the degrees of freedom involved, so the test only fails on a broken
+// sampler, not an unlucky seed (which is fixed anyway).
+func TestZipfSamplerFrequencies(t *testing.T) {
+	const n, draws = 50, 200000
+	for _, theta := range []float64{0, 0.5, 0.9, 1.2} {
+		s := NewSampler(Dist{Kind: DistZipf, Theta: theta}, n)
+		r := rand.New(rand.NewSource(42))
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			k := s.Next(r)
+			if k < 0 || k >= n {
+				t.Fatalf("theta=%v: draw %d out of range", theta, k)
+			}
+			counts[k]++
+		}
+		// 49 degrees of freedom: chi2_0.999 ≈ 85. Use 120 for slack.
+		if stat := chiSquare(counts, zipfProbs(n, theta), draws); stat > 120 {
+			t.Errorf("theta=%v: chi-square %v exceeds 120; counts %v", theta, stat, counts[:5])
+		}
+		// Skew direction: with real skew, rank 0 must dominate the tail.
+		if theta > 0 && counts[0] <= counts[n-1] {
+			t.Errorf("theta=%v: rank 0 drawn %d times, tail rank %d", theta, counts[0], counts[n-1])
+		}
+	}
+}
+
+// TestZipfSamplerDeterminism pins that equal seeds give equal draw
+// sequences and different seeds diverge — the property per-connection
+// reproducibility in load runs rests on.
+func TestZipfSamplerDeterminism(t *testing.T) {
+	s := NewSampler(Dist{Kind: DistZipf, Theta: 0.99}, 1000)
+	draw := func(seed int64) []int {
+		r := rand.New(rand.NewSource(seed))
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = s.Next(r)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draw sequences")
+	}
+}
+
+// TestHotSampler checks the hot-key distribution: key 0 receives its
+// configured mass plus its uniform share, everything stays in range.
+func TestHotSampler(t *testing.T) {
+	const n, draws, frac = 100, 100000, 0.3
+	s := NewSampler(Dist{Kind: DistHot, HotFrac: frac}, n)
+	r := rand.New(rand.NewSource(1))
+	hot := 0
+	for i := 0; i < draws; i++ {
+		k := s.Next(r)
+		if k < 0 || k >= n {
+			t.Fatalf("draw %d out of range", k)
+		}
+		if k == 0 {
+			hot++
+		}
+	}
+	want := frac + (1-frac)/n
+	got := float64(hot) / draws
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("hot-key frequency %v, want ≈ %v", got, want)
+	}
+}
+
+// TestUniformCollapse pins that theta-0 zipf and mass-0 hot cost nothing:
+// they collapse to the uniform fast path with no CDF table.
+func TestUniformCollapse(t *testing.T) {
+	if s := NewSampler(Dist{Kind: DistZipf, Theta: 0}, 10); s.kind != DistUniform || s.cdf != nil {
+		t.Errorf("zipf theta 0 did not collapse to uniform: %+v", s)
+	}
+	if s := NewSampler(Dist{Kind: DistHot, HotFrac: 0}, 10); s.kind != DistUniform {
+		t.Errorf("hot frac 0 did not collapse to uniform: %+v", s)
+	}
+}

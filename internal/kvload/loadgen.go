@@ -29,13 +29,26 @@ type Options struct {
 	Keys int
 	// ValueSize is the SET payload size in bytes (default 64).
 	ValueSize int
+	// Dist is the key-popularity distribution every keyed draw uses — GET
+	// and SET keys, TRANSFER accounts, and INCR counters alike. The zero
+	// value is uniform. Preload and VerifySum always cover the full
+	// keyspace regardless of Dist: skew shapes which keys get traffic, not
+	// which keys exist.
+	Dist Dist
+	// Mix is the label of the YCSB-style preset ApplyMix installed, if
+	// any; it only annotates results, the fractions below are what run.
+	Mix string
 	// ReadFrac is the fraction of operations that are GETs (default 0.8;
 	// negative disables reads entirely).
 	ReadFrac float64
 	// TransferFrac is the fraction of operations that are two-key TRANSFERs
 	// over the account key space (default 0.1; negative disables transfers).
-	// The remainder are SETs.
 	TransferFrac float64
+	// IncrFrac is the fraction of operations that are INCRs over a
+	// dedicated counter key space sized like Keys (default 0; negative
+	// disables). Counters live outside the account space so VerifySum's
+	// conservation audit stays exact. The remainder of the mix are SETs.
+	IncrFrac float64
 	// Accounts is the size of the TRANSFER account space (default 256).
 	Accounts int
 	// InitialBalance seeds each account (default 1000).
@@ -50,6 +63,13 @@ type Options struct {
 	// positive value sets an explicit bound. It has no effect when driving
 	// a remote server, whose batching is fixed by its own flags.
 	MaxBatch int
+	// MaxWriteBatch is the server-side write-batching bound for
+	// self-hosted cells, in MaxBatch's encoding. It has no effect when
+	// driving a remote server.
+	MaxWriteBatch int
+	// CM selects the self-hosted server's contention-management policy
+	// (default fixed). It has no effect when driving a remote server.
+	CM memtx.CMPolicy
 	// Seed makes key choice deterministic across runs (default 1).
 	Seed int64
 	// CmdDeadline is the self-hosted server's per-command deadline
@@ -92,8 +112,14 @@ func (o Options) withDefaults() Options {
 	case o.TransferFrac < 0:
 		o.TransferFrac = 0
 	}
+	if o.IncrFrac < 0 {
+		o.IncrFrac = 0
+	}
 	if o.ReadFrac+o.TransferFrac > 1 {
 		o.TransferFrac = 1 - o.ReadFrac
+	}
+	if o.ReadFrac+o.TransferFrac+o.IncrFrac > 1 {
+		o.IncrFrac = 1 - o.ReadFrac - o.TransferFrac
 	}
 	if o.Accounts <= 0 {
 		o.Accounts = 256
@@ -124,8 +150,29 @@ type Result struct {
 	RTT        engine.HistogramSnapshot // per round-trip latency, ns (one round trip = Pipeline ops)
 }
 
+// ApplyMix installs a YCSB-style operation-mix preset: "ycsb-a" is 50/50
+// read/update, "ycsb-b" is 95/5, "ycsb-c" is read-only. Updates are SETs;
+// transfers are turned off so the preset's ratios are exact (set
+// TransferFrac afterwards to reintroduce them).
+func (o *Options) ApplyMix(name string) error {
+	switch name {
+	case "ycsb-a":
+		o.ReadFrac = 0.5
+	case "ycsb-b":
+		o.ReadFrac = 0.95
+	case "ycsb-c":
+		o.ReadFrac = 1.0
+	default:
+		return fmt.Errorf("kvload: unknown mix %q (want ycsb-a, ycsb-b, or ycsb-c)", name)
+	}
+	o.TransferFrac = -1
+	o.Mix = name
+	return nil
+}
+
 func key(i int) []byte  { return []byte(fmt.Sprintf("key-%07d", i)) }
 func acct(i int) []byte { return []byte(fmt.Sprintf("acct-%05d", i)) }
+func ctr(i int) []byte  { return []byte(fmt.Sprintf("ctr-%07d", i)) }
 
 // Preload seeds the key and account spaces through one pipelined
 // connection so a load run starts from a fully populated store.
@@ -199,6 +246,19 @@ func Preload(o Options) error {
 			}
 		}
 	}
+	// Counters, like keys and accounts, are seeded across the full keyspace:
+	// the distribution decides which of them get traffic, never which exist.
+	if o.IncrFrac > 0 {
+		zero := kv.FormatInt(0)
+		for i := 0; i < o.Keys; i++ {
+			pairs = append(pairs, ctr(i), zero)
+			if len(pairs) == 2*batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return flush()
 }
 
@@ -238,6 +298,13 @@ func Run(o Options) (*Result, error) {
 		wg         sync.WaitGroup
 		runErr     atomic.Value
 	)
+	// Samplers are immutable and shared; each worker draws from them with
+	// its own seeded rand, so runs stay deterministic per connection.
+	samp := samplers{
+		keys:  NewSampler(o.Dist, o.Keys),
+		accts: NewSampler(o.Dist, o.Accounts),
+		ctrs:  NewSampler(o.Dist, o.Keys),
+	}
 	start := time.Now()
 	deadline := start.Add(o.Duration)
 	for i := range clients {
@@ -254,7 +321,7 @@ func Run(o Options) (*Result, error) {
 			val := patternValue(o.ValueSize, byte(seed))
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				n, err := issueBatch(c, r, o, val)
+				n, err := issueBatch(c, r, o, samp, val)
 				ops.Add(uint64(n.ok))
 				errs.Add(uint64(n.errs))
 				busy.Add(uint64(n.busy))
@@ -295,21 +362,33 @@ func Run(o Options) (*Result, error) {
 
 type batchCount struct{ ok, errs, busy int }
 
+// samplers bundles the per-keyspace distribution samplers one run shares
+// across its workers.
+type samplers struct {
+	keys  *Sampler
+	accts *Sampler
+	ctrs  *Sampler
+}
+
 // issueBatch pipelines one window of Pipeline requests and reads all
-// responses.
-func issueBatch(c *Client, r *rand.Rand, o Options, val []byte) (batchCount, error) {
+// responses. Every keyed draw goes through the run's distribution sampler,
+// so skew applies uniformly to GET/SET keys, TRANSFER accounts, and INCR
+// counters.
+func issueBatch(c *Client, r *rand.Rand, o Options, samp samplers, val []byte) (batchCount, error) {
 	for i := 0; i < o.Pipeline; i++ {
 		p := r.Float64()
 		var err error
 		switch {
 		case p < o.ReadFrac:
-			err = c.Send("GET", wire.Blob(key(r.Intn(o.Keys))))
+			err = c.Send("GET", wire.Blob(key(samp.keys.Next(r))))
 		case p < o.ReadFrac+o.TransferFrac:
-			src, dst := r.Intn(o.Accounts), r.Intn(o.Accounts)
+			src, dst := samp.accts.Next(r), samp.accts.Next(r)
 			amount := wire.Bare(string(kv.FormatInt(1 + int64(r.Intn(10)))))
 			err = c.Send("TRANSFER", wire.Blob(acct(src)), wire.Blob(acct(dst)), amount)
+		case p < o.ReadFrac+o.TransferFrac+o.IncrFrac:
+			err = c.Send("INCR", wire.Blob(ctr(samp.ctrs.Next(r))), wire.Bare("1"))
 		default:
-			err = c.Send("SET", wire.Blob(key(r.Intn(o.Keys))), wire.Blob(val))
+			err = c.Send("SET", wire.Blob(key(samp.keys.Next(r))), wire.Blob(val))
 		}
 		if err != nil {
 			return batchCount{}, err
@@ -428,8 +507,7 @@ func readAccounts(c **Client, addr string, keys [][]byte, chunk *int) ([][]byte,
 	return vals, nil
 }
 
-// GridPoint is one (design, shard-count, batch-bound) cell of a self-hosted
-// sweep.
+// GridPoint is one cell of a self-hosted sweep.
 type GridPoint struct {
 	Design string
 	Shards int
@@ -439,7 +517,15 @@ type GridPoint struct {
 	// MaxBatch is the server's read-batching bound for this cell, in
 	// Options.MaxBatch's encoding (0 = server default, negative = off).
 	MaxBatch int
-	Result   *Result
+	// MaxWriteBatch is the server's write-batching bound, same encoding.
+	MaxWriteBatch int
+	// Dist labels the key distribution the cell ran under (Dist.String).
+	Dist string
+	// Mix labels the YCSB-style preset, if one was applied.
+	Mix string
+	// CM labels the contention-management policy the cell's engines ran.
+	CM     string
+	Result *Result
 	// CommittedTxns is the engine's commit counter after the run — the
 	// cross-check that the measured ops really ran as transactions.
 	CommittedTxns uint64
@@ -447,39 +533,93 @@ type GridPoint struct {
 	// counters after the run, recording how much coalescing the mix saw.
 	ReadBatches    uint64
 	BatchFallbacks uint64
+	// WriteBatches, WriteBatchedCmds, and WriteBatchFallbacks are the
+	// server's write-coalescing counters after the run.
+	WriteBatches        uint64
+	WriteBatchedCmds    uint64
+	WriteBatchFallbacks uint64
+	// CMStats aggregates the store's contention-management counters —
+	// outcomes observed, waits paced, karma deferrals, adaptations — the
+	// abort-cause columns of the skew experiments.
+	CMStats engine.CMStats
+}
+
+// Sweep enumerates the dimensions of a self-hosted grid run. Every slice
+// left nil or empty collapses to the corresponding Options field, so a
+// sweep names only the dimensions it varies.
+type Sweep struct {
+	Designs      []memtx.Design
+	Shards       []int
+	Batches      []int // read-batch bounds, Options.MaxBatch encoding
+	Procs        []int // GOMAXPROCS values; 0 leaves the default
+	Dists        []Dist
+	CMs          []memtx.CMPolicy
+	WriteBatches []int // write-batch bounds, Options.MaxWriteBatch encoding
 }
 
 // RunSelfGrid measures the load mix against in-process servers, one per
-// (design, shard-count, batch-bound, procs) combination — the path
-// `stmbench -kvload self` and the BENCH_PR*.json recordings use. Each cell
-// builds a fresh store and server on a loopback listener, preloads it,
-// drives Run, and drains. A nil or empty batches slice sweeps only
-// o.MaxBatch, and a nil or empty procs slice leaves GOMAXPROCS alone, so
-// existing lower-dimensional sweeps keep their shape. A positive procs
-// value pins the whole process — server and in-process clients alike —
-// measuring how the sharded store scales with scheduler parallelism.
+// (design, shard-count, batch-bound, procs) combination — kept as the
+// narrow entry point for existing callers; RunSweep adds the skew
+// dimensions.
 func RunSelfGrid(designs []memtx.Design, shardCounts []int, batches []int, procs []int, o Options) ([]GridPoint, error) {
-	if len(batches) == 0 {
-		batches = []int{o.MaxBatch}
+	return RunSweep(Sweep{Designs: designs, Shards: shardCounts, Batches: batches, Procs: procs}, o)
+}
+
+// RunSweep measures the load mix against in-process servers, one per cell
+// of the sweep's cartesian product — the path `stmbench -kvload self` and
+// the BENCH_PR*.json recordings use. Each cell builds a fresh store and
+// server on a loopback listener, preloads it, drives Run, and drains. A
+// positive procs value pins the whole process — server and in-process
+// clients alike — measuring how the sharded store scales with scheduler
+// parallelism.
+func RunSweep(sw Sweep, o Options) ([]GridPoint, error) {
+	if len(sw.Shards) == 0 {
+		sw.Shards = []int{0}
 	}
-	if len(procs) == 0 {
-		procs = []int{0}
+	if len(sw.Batches) == 0 {
+		sw.Batches = []int{o.MaxBatch}
+	}
+	if len(sw.Procs) == 0 {
+		sw.Procs = []int{0}
+	}
+	if len(sw.Dists) == 0 {
+		sw.Dists = []Dist{o.Dist}
+	}
+	if len(sw.CMs) == 0 {
+		sw.CMs = []memtx.CMPolicy{o.CM}
+	}
+	if len(sw.WriteBatches) == 0 {
+		sw.WriteBatches = []int{o.MaxWriteBatch}
 	}
 	var points []GridPoint
-	for _, d := range designs {
-		for _, shards := range shardCounts {
-			for _, batch := range batches {
-				for _, np := range procs {
-					o.MaxBatch = batch
-					p, err := runSelfCell(d, shards, np, o)
-					if err != nil {
-						return nil, fmt.Errorf("kvload: design %v shards %d batch %d procs %d: %w", d, shards, batch, np, err)
+	for _, d := range sw.Designs {
+		for _, shards := range sw.Shards {
+			for _, batch := range sw.Batches {
+				for _, np := range sw.Procs {
+					for _, dist := range sw.Dists {
+						for _, cm := range sw.CMs {
+							for _, wbatch := range sw.WriteBatches {
+								o.MaxBatch = batch
+								o.MaxWriteBatch = wbatch
+								o.Dist = dist
+								o.CM = cm
+								p, err := runSelfCell(d, shards, np, o)
+								if err != nil {
+									return nil, fmt.Errorf("kvload: design %v shards %d batch %d procs %d dist %v cm %v wbatch %d: %w",
+										d, shards, batch, np, dist, cm, wbatch, err)
+								}
+								p.Design = d.String()
+								p.Shards = shards
+								p.MaxBatch = batch
+								p.Procs = np
+								p.MaxWriteBatch = wbatch
+								p.Dist = dist.String()
+								p.Mix = o.Mix
+								p.CM = cm.String()
+								points = append(points, p)
+							}
+						}
 					}
-					p.Design = d.String()
-					p.Shards = shards
-					p.MaxBatch = batch
-					p.Procs = np
-					points = append(points, p)
 				}
 			}
 		}
@@ -491,11 +631,12 @@ func runSelfCell(d memtx.Design, shards, procs int, o Options) (GridPoint, error
 	if procs > 0 {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 	}
-	store := kv.New(kv.Config{Shards: shards, Design: d})
+	store := kv.New(kv.Config{Shards: shards, Design: d, CM: o.CM})
 	srv := server.New(store, server.Config{
-		MaxBatch:     o.MaxBatch,
-		CmdDeadline:  o.CmdDeadline,
-		QueueTimeout: o.QueueTimeout,
+		MaxBatch:      o.MaxBatch,
+		MaxWriteBatch: o.MaxWriteBatch,
+		CmdDeadline:   o.CmdDeadline,
+		QueueTimeout:  o.QueueTimeout,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -532,10 +673,15 @@ func runSelfCell(d memtx.Design, shards, procs int, o Options) (GridPoint, error
 		}
 	}
 	batches, fallbacks := srv.BatchStats()
+	wbatches, wcmds, wfallbacks := srv.WriteBatchStats()
 	return GridPoint{
-		Result:         res,
-		CommittedTxns:  store.Stats().Commits,
-		ReadBatches:    batches,
-		BatchFallbacks: fallbacks,
+		Result:              res,
+		CommittedTxns:       store.Stats().Commits,
+		ReadBatches:         batches,
+		BatchFallbacks:      fallbacks,
+		WriteBatches:        wbatches,
+		WriteBatchedCmds:    wcmds,
+		WriteBatchFallbacks: wfallbacks,
+		CMStats:             store.CMStats(),
 	}, nil
 }

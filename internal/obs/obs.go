@@ -51,11 +51,12 @@ func (r *Registry) Register(name string, e engine.Engine) {
 }
 
 // EngineSnapshot pairs one registered engine's name with a point-in-time copy
-// of its counters and metrics.
+// of its counters, metrics, and contention-management controller.
 type EngineSnapshot struct {
 	Name    string
 	Stats   engine.Stats
 	Metrics engine.MetricsSnapshot
+	CM      engine.CMStats
 }
 
 // Snapshot captures every registered engine, sorted by name so output is
@@ -72,6 +73,7 @@ func (r *Registry) Snapshot() []EngineSnapshot {
 			Name:    e.name,
 			Stats:   e.eng.Stats(),
 			Metrics: e.eng.Metrics().Snapshot(),
+			CM:      e.eng.CM().Stats(),
 		})
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
@@ -112,15 +114,46 @@ var histogramFamilies = []struct {
 		func(m engine.MetricsSnapshot) engine.HistogramSnapshot { return m.Retries }},
 }
 
+// cmFamilies maps the stm_cm_* Prometheus families to CMStats accessors.
+var cmFamilies = []struct {
+	name, help string
+	gauge      bool
+	get        func(engine.CMStats) uint64
+}{
+	{"stm_cm_policy_adaptive", "1 when the adaptive contention-management policy is enabled.", true, func(c engine.CMStats) uint64 { return c.PolicyAdaptive }},
+	{"stm_cm_outcomes_total", "Attempt outcomes observed by the contention controller.", false, func(c engine.CMStats) uint64 { return c.Outcomes }},
+	{"stm_cm_waits_total", "Backoff waits between transaction attempts.", false, func(c engine.CMStats) uint64 { return c.Waits }},
+	{"stm_cm_spins_total", "Backoff waits satisfied by yielding.", false, func(c engine.CMStats) uint64 { return c.Spins }},
+	{"stm_cm_sleeps_total", "Backoff waits that slept.", false, func(c engine.CMStats) uint64 { return c.Sleeps }},
+	{"stm_cm_sleep_ns_total", "Total backoff sleep time, ns.", false, func(c engine.CMStats) uint64 { return c.SleepNanos }},
+	{"stm_cm_karma_defers_total", "Ownership waits extended by karma priority.", false, func(c engine.CMStats) uint64 { return c.KarmaDefers }},
+	{"stm_cm_adaptations_total", "Pacing-knob recomputations that changed a knob.", false, func(c engine.CMStats) uint64 { return c.Adaptations }},
+	{"stm_cm_abort_ewma_ppm", "Abort-rate estimate, parts per million.", true, func(c engine.CMStats) uint64 { return c.AbortEWMAPpm }},
+	{"stm_cm_spin_limit", "Current spin-vs-sleep threshold.", true, func(c engine.CMStats) uint64 { return c.SpinLimit }},
+	{"stm_cm_cap_shift", "Current backoff cap shift.", true, func(c engine.CMStats) uint64 { return c.CapShift }},
+}
+
 // WritePrometheus renders the snapshots in the Prometheus text exposition
 // format (version 0.0.4): counter families labelled by engine, aborts
-// additionally labelled by cause, and the three latency/retry histograms with
-// cumulative le buckets.
+// additionally labelled by cause, the stm_cm_* contention-management
+// families, and the three latency/retry histograms with cumulative le
+// buckets.
 func WritePrometheus(w io.Writer, snaps []EngineSnapshot) error {
 	for _, f := range counterFamilies {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
 		for _, s := range snaps {
 			fmt.Fprintf(w, "%s{engine=%q} %d\n", f.name, s.Name, f.get(s.Stats))
+		}
+	}
+
+	for _, f := range cmFamilies {
+		kind := "counter"
+		if f.gauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind)
+		for _, s := range snaps {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", f.name, s.Name, f.get(s.CM))
 		}
 	}
 
@@ -179,6 +212,7 @@ func toHistogramJSON(h engine.HistogramSnapshot) histogramJSON {
 type engineJSON struct {
 	Name             string            `json:"name"`
 	Stats            engine.Stats      `json:"stats"`
+	CM               engine.CMStats    `json:"cm"`
 	AbortsByCause    map[string]uint64 `json:"aborts_by_cause"`
 	AttemptNanos     histogramJSON     `json:"attempt_ns"`
 	CommitNanos      histogramJSON     `json:"commit_ns"`
@@ -210,6 +244,7 @@ func WriteJSONWithSources(w io.Writer, snaps []EngineSnapshot, sources []SourceS
 		out.Engines = append(out.Engines, engineJSON{
 			Name:             s.Name,
 			Stats:            s.Stats,
+			CM:               s.CM,
 			AbortsByCause:    causes,
 			AttemptNanos:     toHistogramJSON(s.Metrics.Attempts),
 			CommitNanos:      toHistogramJSON(s.Metrics.Commits),

@@ -65,6 +65,7 @@ type Engine struct {
 	pool    sync.Pool
 	stats   stats
 	metrics engine.Metrics
+	cm      engine.CM
 
 	// valSeq advances once per update commit, after validation passes and
 	// before the first shadow is copied back. A read-only transaction
@@ -154,6 +155,10 @@ func (e *Engine) Stats() engine.Stats {
 
 // Metrics implements engine.Engine.
 func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
+
+// CM implements engine.Engine. ostm has no in-attempt wait points — conflicts
+// abandon immediately — so the controller paces only the retry-loop backoff.
+func (e *Engine) CM() *engine.CM { return &e.cm }
 
 // shadow is a private copy of an object opened for update.
 type shadow struct {

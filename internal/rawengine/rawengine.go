@@ -20,6 +20,7 @@ type Obj struct {
 type Engine struct {
 	starts, commits uint64
 	metrics         engine.Metrics
+	cm              engine.CM
 }
 
 // New returns a raw engine.
@@ -54,6 +55,10 @@ func (e *Engine) Stats() engine.Stats {
 // (no timing on the uninstrumented baseline); the recorder exists only so
 // the engine satisfies the interface.
 func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
+
+// CM implements engine.Engine. The raw engine never conflicts, so the
+// controller only ever observes committed outcomes.
+func (e *Engine) CM() *engine.CM { return &e.cm }
 
 type rawTxn struct{ e *Engine }
 

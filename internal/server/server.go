@@ -22,6 +22,19 @@
 // or malformed body ends the batch and executes after it, in arrival order,
 // preserving strict response ordering.
 //
+// Write commands get the mirror-image treatment: up to Config.MaxWriteBatch
+// consecutive buffered SET/INCR commands whose keys hash to the same shard
+// coalesce into a single shard-local write transaction — the shape a hot-key
+// pipelined increment burst takes under a skewed workload, where per-command
+// execution would pay one begin/acquire/commit per increment on the same
+// contended object. Strict in-order pipelining makes the coalescing
+// invisible: no other command from this connection can interleave with the
+// burst, so executing it as one atomic step produces byte-identical
+// responses. The transaction body rebuilds the batch's responses from
+// scratch on every attempt, and if the transaction fails outright (deadline,
+// injected panic) the batch's output is discarded and every command re-runs
+// through the per-command path, each succeeding or failing on its own.
+//
 // Commands that run transactions pass through a semaphore bounding the
 // number of in-flight store transactions across all connections
 // (Config.MaxInflight): past the bound, connections queue — visible as the
@@ -119,6 +132,12 @@ func (c Cmd) String() string { return cmdNames[c] }
 // physically hold.
 const DefaultMaxBatch = 64
 
+// DefaultMaxWriteBatch is the write-batching bound used when
+// Config.MaxWriteBatch is 0. A write batch holds object ownership for the
+// whole burst and its write set is re-executed wholesale on conflict, so the
+// default stays well below the read-batch bound.
+const DefaultMaxWriteBatch = 16
+
 // Config tunes a Server; the zero value is usable.
 type Config struct {
 	// MaxInflight bounds concurrently executing store transactions across
@@ -132,6 +151,11 @@ type Config struct {
 	// transaction. 0 selects DefaultMaxBatch; negative values disable
 	// batching and route every command through the per-command path.
 	MaxBatch int
+	// MaxWriteBatch bounds how many consecutive buffered same-shard write
+	// commands (SET/INCR) are coalesced into one shard-local write
+	// transaction. 0 selects DefaultMaxWriteBatch; negative values disable
+	// write batching.
+	MaxWriteBatch int
 	// ErrorLog receives accept and per-connection I/O errors (default: the
 	// log package's standard logger).
 	ErrorLog *log.Logger
@@ -159,10 +183,11 @@ var ErrServerClosed = errors.New("server: closed")
 // Server serves the stmkvd protocol over TCP. Create with New, start with
 // Serve or ListenAndServe, stop with Shutdown.
 type Server struct {
-	store        *kv.Store
-	maxFrame     int
-	maxBatch     int // 0 = batching disabled
-	errorLog     *log.Logger
+	store         *kv.Store
+	maxFrame      int
+	maxBatch      int // 0 = read batching disabled
+	maxWriteBatch int // 0 = write batching disabled
+	errorLog      *log.Logger
 	sem          chan struct{}
 	cmdDeadline  time.Duration
 	queueTimeout time.Duration
@@ -182,6 +207,10 @@ type Server struct {
 	batches        atomic.Uint64
 	batchedCmds    atomic.Uint64
 	batchFallbacks atomic.Uint64
+
+	writeBatches        atomic.Uint64
+	writeBatchedCmds    atomic.Uint64
+	writeBatchFallbacks atomic.Uint64
 	shed           atomic.Uint64
 	panics         atomic.Uint64
 	deadlines      atomic.Uint64
@@ -203,22 +232,29 @@ func New(store *kv.Store, cfg Config) *Server {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.MaxBatch < 0 {
-		cfg.MaxBatch = 0 // batching off
+		cfg.MaxBatch = 0 // read batching off
+	}
+	if cfg.MaxWriteBatch == 0 {
+		cfg.MaxWriteBatch = DefaultMaxWriteBatch
+	}
+	if cfg.MaxWriteBatch < 0 {
+		cfg.MaxWriteBatch = 0 // write batching off
 	}
 	if cfg.ErrorLog == nil {
 		cfg.ErrorLog = log.Default()
 	}
 	return &Server{
-		store:        store,
-		maxFrame:     cfg.MaxFrame,
-		maxBatch:     cfg.MaxBatch,
-		errorLog:     cfg.ErrorLog,
-		sem:          make(chan struct{}, cfg.MaxInflight),
-		cmdDeadline:  cfg.CmdDeadline,
-		queueTimeout: cfg.QueueTimeout,
-		readTimeout:  cfg.ReadTimeout,
-		writeTimeout: cfg.WriteTimeout,
-		conns:        map[net.Conn]struct{}{},
+		store:         store,
+		maxFrame:      cfg.MaxFrame,
+		maxBatch:      cfg.MaxBatch,
+		maxWriteBatch: cfg.MaxWriteBatch,
+		errorLog:      cfg.ErrorLog,
+		sem:           make(chan struct{}, cfg.MaxInflight),
+		cmdDeadline:   cfg.CmdDeadline,
+		queueTimeout:  cfg.QueueTimeout,
+		readTimeout:   cfg.ReadTimeout,
+		writeTimeout:  cfg.WriteTimeout,
+		conns:         map[net.Conn]struct{}{},
 	}
 }
 
@@ -232,6 +268,13 @@ func (s *Server) CmdCount(c Cmd) uint64 { return s.cmds[c].Load() }
 // and how many of them failed validation and re-ran per command.
 func (s *Server) BatchStats() (batches, fallbacks uint64) {
 	return s.batches.Load(), s.batchFallbacks.Load()
+}
+
+// WriteBatchStats returns the write-batching counters: shard-local write
+// batches executed, commands answered through them, and batches whose
+// transaction failed and re-ran per command.
+func (s *Server) WriteBatchStats() (batches, cmds, fallbacks uint64) {
+	return s.writeBatches.Load(), s.writeBatchedCmds.Load(), s.writeBatchFallbacks.Load()
 }
 
 // RobustStats returns the degradation counters: commands shed with BUSY,
@@ -257,6 +300,9 @@ func (s *Server) ObsMetrics() []obs.Metric {
 		{Name: "stmkvd_read_batches_total", Help: "Read-only snapshot batches executed.", Kind: obs.Counter, Value: s.batches.Load()},
 		{Name: "stmkvd_read_batched_commands_total", Help: "Commands answered through read-only snapshot batches.", Kind: obs.Counter, Value: s.batchedCmds.Load()},
 		{Name: "stmkvd_read_batch_fallbacks_total", Help: "Batches whose snapshot failed validation and re-ran per command.", Kind: obs.Counter, Value: s.batchFallbacks.Load()},
+		{Name: "stmkvd_write_batches_total", Help: "Shard-local write batches executed.", Kind: obs.Counter, Value: s.writeBatches.Load()},
+		{Name: "stmkvd_write_batched_commands_total", Help: "Commands answered through shard-local write batches.", Kind: obs.Counter, Value: s.writeBatchedCmds.Load()},
+		{Name: "stmkvd_write_batch_fallbacks_total", Help: "Write batches whose transaction failed and re-ran per command.", Kind: obs.Counter, Value: s.writeBatchFallbacks.Load()},
 		{Name: "stmkvd_txns_queued", Help: "Commands waiting for an in-flight transaction slot.", Kind: obs.Gauge, Value: gauge(s.queued.Load())},
 		{Name: "stmkvd_txns_inflight", Help: "Store transactions currently executing.", Kind: obs.Gauge, Value: gauge(s.inflight.Load())},
 		{Name: "stmkvd_shed_total", Help: "Commands shed with BUSY after waiting QueueTimeout for a transaction slot.", Kind: obs.Counter, Value: s.shed.Load()},
@@ -382,6 +428,7 @@ type batchEntry struct {
 	frame []byte
 	cmd   wire.Command
 	id    Cmd
+	delta int64 // parsed INCR delta (write batches only)
 }
 
 // conn is one connection's reusable execution state: response scratch
@@ -390,21 +437,27 @@ type batchEntry struct {
 type conn struct {
 	out      []byte       // response frames accumulated this iteration
 	body     []byte       // response body scratch
-	batch    []batchEntry // command slots; len == max(1, Server.maxBatch)
+	batch    []batchEntry // command slots; len == max(1, maxBatch, maxWriteBatch)
 	n        int          // commands collected into the current batch
+	wmark    int          // c.out length at write-batch start (attempt reset point)
 	keys     [][]byte     // multi-key command scratch (shard routing)
 	reader   *kv.Reader
-	slotHeld bool        // this connection holds a transaction slot
-	qt       *time.Timer // queue-timeout timer, reused across sheds
+	wbody    func(t *kv.Tx) error // bound writeBatchBody, reused across batches
+	slotHeld bool                 // this connection holds a transaction slot
+	qt       *time.Timer          // queue-timeout timer, reused across sheds
 }
 
 func (s *Server) newConn() *conn {
 	slots := s.maxBatch
+	if s.maxWriteBatch > slots {
+		slots = s.maxWriteBatch
+	}
 	if slots < 1 {
 		slots = 1
 	}
 	c := &conn{batch: make([]batchEntry, slots)}
 	c.reader = s.store.NewReader(c.snapshotBody)
+	c.wbody = c.writeBatchBody
 	return c
 }
 
@@ -483,12 +536,23 @@ func (s *Server) serveConn(nc net.Conn) {
 			// The frame was well-formed, so the connection is still usable.
 			s.protoErrors.Add(1)
 			c.out = wire.AppendFrame(c.out, c.errBody(perr))
-		} else if e.id = classify(e.cmd.Name); s.maxBatch > 0 && batchable(e) {
-			fatal = s.collectAndRunBatch(c, br)
 		} else {
-			resp := s.execute(c, &e.cmd, e.id)
-			s.cmds[e.id].Add(1)
-			c.out = wire.AppendFrame(c.out, resp)
+			e.id = classify(e.cmd.Name)
+			// A command that ends one batch may begin a batch of the other
+			// kind (a write after a read burst, a read after a write burst):
+			// the collectors hand it back in slot 0 and dispatch repeats.
+			for handoff := true; handoff; {
+				handoff = false
+				if s.maxBatch > 0 && batchable(e) {
+					fatal, handoff = s.collectAndRunBatch(c, br)
+				} else if s.maxWriteBatch > 1 && writeBatchable(e) {
+					fatal, handoff = s.collectAndRunWriteBatch(c, br)
+				} else {
+					resp := s.execute(c, &e.cmd, e.id)
+					s.cmds[e.id].Add(1)
+					c.out = wire.AppendFrame(c.out, resp)
+				}
+			}
 		}
 		if connChaos(chaos.RespWrite) {
 			return // injected connection kill before a write
@@ -558,12 +622,14 @@ func (s *Server) writeErr(nc net.Conn, err error) {
 
 // collectAndRunBatch gathers further batchable commands already sitting in
 // br's buffer into c.batch (slot 0 is parsed), executes the batch, then
-// answers whatever ended collection: a write command runs through the
-// per-command path, a malformed body gets its ERR — both after the batch,
-// preserving arrival order. It never reads from the network: FrameBuffered
-// only admits frames that are fully buffered. The return value reports
-// whether framing was lost and the connection must close.
-func (s *Server) collectAndRunBatch(c *conn, br *bufio.Reader) (fatal bool) {
+// answers whatever ended collection: a command that can start a write batch
+// is swapped into slot 0 and handed back to the dispatcher (handoff true),
+// any other command runs through the per-command path, a malformed body gets
+// its ERR — always after the batch, preserving arrival order. It never reads
+// from the network: FrameBuffered only admits frames that are fully
+// buffered. fatal reports that framing was lost and the connection must
+// close.
+func (s *Server) collectAndRunBatch(c *conn, br *bufio.Reader) (fatal, handoff bool) {
 	c.n = 1
 	var pending *batchEntry // trailing non-batchable command
 	var pendErr error       // trailing parse error
@@ -587,9 +653,14 @@ func (s *Server) collectAndRunBatch(c *conn, br *bufio.Reader) (fatal bool) {
 		}
 		c.n++
 	}
+	pendIdx := c.n
 	s.execBatch(c)
 	switch {
 	case pending != nil:
+		if s.maxWriteBatch > 1 && writeBatchable(pending) {
+			c.batch[0], c.batch[pendIdx] = c.batch[pendIdx], c.batch[0]
+			return false, true
+		}
 		resp := s.execute(c, &pending.cmd, pending.id)
 		s.cmds[pending.id].Add(1)
 		c.out = wire.AppendFrame(c.out, resp)
@@ -599,9 +670,9 @@ func (s *Server) collectAndRunBatch(c *conn, br *bufio.Reader) (fatal bool) {
 	case frameErr != nil:
 		s.protoErrors.Add(1)
 		c.out = wire.AppendFrame(c.out, c.errBody(frameErr))
-		return true
+		return true, false
 	}
-	return false
+	return false, false
 }
 
 // execBatch answers c.batch[:c.n] — all read-only commands — appending one
@@ -711,6 +782,168 @@ func batchable(e *batchEntry) bool {
 		return len(e.cmd.Args) >= 1
 	}
 	return false
+}
+
+// writeBatchable reports whether e may join a shard-local write batch: a
+// single-key unconditional write with valid arity and, for INCR, a parseable
+// delta (stashed in e.delta). Everything else — including a malformed delta,
+// which earns its ERR without touching the store — goes through the
+// per-command path.
+func writeBatchable(e *batchEntry) bool {
+	switch e.id {
+	case CmdSet:
+		return len(e.cmd.Args) == 2
+	case CmdIncr:
+		if len(e.cmd.Args) != 2 {
+			return false
+		}
+		d, err := kv.ParseInt(e.cmd.Args[1].B)
+		if err != nil {
+			return false
+		}
+		e.delta = d
+		return true
+	}
+	return false
+}
+
+// collectAndRunWriteBatch is collectAndRunBatch's write-side twin: it
+// gathers further write commands already sitting in br's buffer whose keys
+// hash to slot 0's shard, executes the batch as one shard-local write
+// transaction, then answers whatever ended collection after the batch,
+// preserving arrival order. A trailing command that can itself start a batch
+// — a read, or a write on a different shard — is handed back to the
+// dispatcher in slot 0. Like the read path it never reads from the network,
+// so collection cannot block mid-batch.
+func (s *Server) collectAndRunWriteBatch(c *conn, br *bufio.Reader) (fatal, handoff bool) {
+	c.n = 1
+	shard := s.store.KeyShard(c.batch[0].cmd.Args[0].B)
+	var pending *batchEntry // trailing non-batchable or cross-shard command
+	var pendErr error       // trailing parse error
+	var frameErr error      // framing error: connection closes after the batch
+	for c.n < s.maxWriteBatch && wire.FrameBuffered(br) {
+		e := &c.batch[c.n]
+		frame, err := wire.ReadFrameInto(br, s.maxFrame, e.frame)
+		if err != nil {
+			frameErr = err
+			break
+		}
+		e.frame = frame
+		if err := wire.ParseCommandInto(e.frame, &e.cmd); err != nil {
+			pendErr = err
+			break
+		}
+		e.id = classify(e.cmd.Name)
+		if !writeBatchable(e) || s.store.KeyShard(e.cmd.Args[0].B) != shard {
+			pending = e
+			break
+		}
+		c.n++
+	}
+	pendIdx := c.n
+	s.execWriteBatch(c)
+	switch {
+	case pending != nil:
+		if (s.maxBatch > 0 && batchable(pending)) || writeBatchable(pending) {
+			c.batch[0], c.batch[pendIdx] = c.batch[pendIdx], c.batch[0]
+			return false, true
+		}
+		resp := s.execute(c, &pending.cmd, pending.id)
+		s.cmds[pending.id].Add(1)
+		c.out = wire.AppendFrame(c.out, resp)
+	case pendErr != nil:
+		s.protoErrors.Add(1)
+		c.out = wire.AppendFrame(c.out, c.errBody(pendErr))
+	case frameErr != nil:
+		s.protoErrors.Add(1)
+		c.out = wire.AppendFrame(c.out, c.errBody(frameErr))
+		return true, false
+	}
+	return false, false
+}
+
+// execWriteBatch answers c.batch[:c.n] — consecutive same-shard SET/INCR
+// commands — appending one response frame per command to c.out. Two or more
+// commands run inside one shard-local write transaction, so a pipelined
+// hot-key burst pays one begin/acquire/commit instead of one per command. If
+// the transaction fails (deadline, panic) the batch's partial output is
+// discarded and every command re-runs through the per-command path, each
+// succeeding or failing on its own. A lone write skips the batch machinery.
+func (s *Server) execWriteBatch(c *conn) {
+	n := c.n
+	if n == 1 {
+		c.n = 0
+		e := &c.batch[0]
+		resp := s.execute(c, &e.cmd, e.id)
+		s.cmds[e.id].Add(1)
+		c.out = wire.AppendFrame(c.out, resp)
+		return
+	}
+	s.writeBatches.Add(1)
+	s.writeBatchedCmds.Add(uint64(n))
+	if !s.acquire(c) {
+		// Shed: every command in the batch gets a retriable BUSY; none ran.
+		for i := 0; i < n; i++ {
+			c.out = wire.AppendFrame(c.out, bodyBusy)
+		}
+	} else {
+		c.wmark = len(c.out)
+		err := s.runWriteBatchTxn(c)
+		s.release(c)
+		if err != nil {
+			s.writeBatchFallbacks.Add(1)
+			c.out = c.out[:c.wmark]
+			for i := 0; i < n; i++ {
+				e := &c.batch[i]
+				c.out = wire.AppendFrame(c.out, s.execute(c, &e.cmd, e.id))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.cmds[c.batch[i].id].Add(1)
+	}
+	c.n = 0
+}
+
+// runWriteBatchTxn runs the batch's transaction with panic containment: a
+// panic inside the body (chaos-injected or real) releases the transaction
+// slot, is counted, and reports an error so the batch falls back to
+// per-command execution — where each command gets its own containment.
+func (s *Server) runWriteBatchTxn(c *conn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.release(c)
+			s.panics.Add(1)
+			err = fmt.Errorf("server: write batch panic: %v", r)
+		}
+	}()
+	return s.runAtomicKey(c.batch[0].cmd.Args[0].B, c.wbody)
+}
+
+// writeBatchBody applies the collected batch inside one write transaction,
+// appending response frames to c.out. The body may re-run on conflict, so it
+// truncates c.out back to the batch's start each attempt — output from a
+// doomed attempt is never visible to the client. An INCR over a non-integer
+// value aborts the whole transaction; the fallback then re-runs each command
+// alone, so the SETs land and the INCR earns its ERR exactly as an unbatched
+// pipeline would.
+func (c *conn) writeBatchBody(t *kv.Tx) error {
+	c.out = c.out[:c.wmark]
+	for i := 0; i < c.n; i++ {
+		e := &c.batch[i]
+		switch e.id {
+		case CmdSet:
+			t.Set(e.cmd.Args[0].B, e.cmd.Args[1].B)
+			c.out = wire.AppendFrame(c.out, bodyOK)
+		case CmdIncr:
+			after, err := t.Add(e.cmd.Args[0].B, e.delta)
+			if err != nil {
+				return err
+			}
+			c.out = wire.AppendFrame(c.out, c.intBody(after))
+		}
+	}
+	return nil
 }
 
 // classify maps a command name to its Cmd. The canonical upper- and

@@ -73,6 +73,7 @@ type Engine struct {
 	pool    sync.Pool
 	stats   stats
 	metrics engine.Metrics
+	cm      engine.CM
 
 	// idSrc is this engine's id counter; every transaction block and the
 	// engine's own block refill from it.
@@ -180,6 +181,10 @@ func (e *Engine) Stats() engine.Stats {
 
 // Metrics implements engine.Engine.
 func (e *Engine) Metrics() *engine.Metrics { return &e.metrics }
+
+// CM implements engine.Engine. wstm has no in-attempt wait points — conflicts
+// abandon immediately — so the controller paces only the retry-loop backoff.
+func (e *Engine) CM() *engine.CM { return &e.cm }
 
 // stripeFor hashes an object field to the index of its versioned lock.
 func (e *Engine) stripeFor(o *Obj, slot uint64) uint64 {
