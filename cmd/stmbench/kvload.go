@@ -32,6 +32,9 @@ type kvOptions struct {
 	writeBatches string // comma-separated MaxWriteBatch values, only for self sweeps
 	cms          string // comma-separated CM policies, only for self sweeps
 	procs        string // comma-separated GOMAXPROCS values, only for self sweeps
+	walBatches   string // comma-separated WAL fsync batches (-1 = off), only for self sweeps
+	walInterval  time.Duration
+	maxInflight  int // self-hosted server txn-concurrency bound (0 = default)
 	benchJSON    string
 	quick        bool
 
@@ -58,6 +61,8 @@ func (o kvOptions) loadOptions() kvload.Options {
 		CmdDeadline:  o.cmdDeadline,
 		QueueTimeout: o.queueTimeout,
 		Verify:       o.verify,
+		WALInterval:  o.walInterval,
+		MaxInflight:  o.maxInflight,
 	}
 	if o.chaosAbort > 0 || o.chaosDelay > 0 || o.chaosPanic > 0 {
 		cfg := chaos.Uniform(o.chaosSeed,
@@ -114,6 +119,10 @@ func runKVLoad(o kvOptions) error {
 		if err != nil {
 			return err
 		}
+		walBatches, err := parseInts("wal batch", o.walBatches)
+		if err != nil {
+			return err
+		}
 		sw := kvload.Sweep{
 			Designs:      designs,
 			Shards:       shards,
@@ -122,6 +131,7 @@ func runKVLoad(o kvOptions) error {
 			Dists:        dists,
 			CMs:          cms,
 			WriteBatches: wbatches,
+			WALBatches:   walBatches,
 		}
 		// The mix presets rewrite the operation fractions, so they sweep
 		// here as an outer loop over otherwise-identical grids.
@@ -236,7 +246,7 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		ID: "kvload",
 		Title: fmt.Sprintf("kvload: %d conns, pipeline %d, %.0f%% GET / %.0f%% TRANSFER / %.0f%% INCR / rest SET",
 			lo.Conns, lo.Pipeline, 100*lo.ReadFrac, 100*lo.TransferFrac, 100*lo.IncrFrac),
-		Header: []string{"design", "shards", "dist", "mix", "cm", "batch", "wbatch", "procs", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks", "wbatches", "wfall", "cmdefer", "ewma(ppm)"},
+		Header: []string{"design", "shards", "dist", "mix", "cm", "batch", "wbatch", "wal", "procs", "ops", "ops/sec", "p50(us)", "p99(us)", "errs", "busy", "reconn", "commits", "rbatches", "fallbacks", "wbatches", "wfall", "fsyncs", "grp", "cmdefer", "ewma(ppm)"},
 	}
 	for _, p := range points {
 		shards := "-"
@@ -255,6 +265,15 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 		if cm == "" {
 			cm = "-"
 		}
+		wal := "off"
+		if p.WALBatch > 0 {
+			wal = strconv.Itoa(p.WALBatch)
+		}
+		// Achieved group-commit amortization: records made durable per fsync.
+		grp := "-"
+		if p.WALFsyncs > 0 {
+			grp = fmt.Sprintf("%.1f", float64(p.WALGroupRecs)/float64(p.WALFsyncs))
+		}
 		t.AddRow(
 			p.Design,
 			shards,
@@ -263,6 +282,7 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 			cm,
 			batchLabel(p.MaxBatch),
 			batchLabel(p.MaxWriteBatch),
+			wal,
 			procs,
 			strconv.FormatUint(p.Result.Ops, 10),
 			fmt.Sprintf("%.0f", p.Result.Throughput),
@@ -276,6 +296,8 @@ func printKVTable(points []kvload.GridPoint, lo kvload.Options) {
 			strconv.FormatUint(p.BatchFallbacks, 10),
 			strconv.FormatUint(p.WriteBatches, 10),
 			strconv.FormatUint(p.WriteBatchFallbacks, 10),
+			strconv.FormatUint(p.WALFsyncs, 10),
+			grp,
 			strconv.FormatUint(p.CMStats.KarmaDefers, 10),
 			strconv.FormatUint(p.CMStats.AbortEWMAPpm, 10),
 		)
@@ -313,6 +335,9 @@ func writeKVBenchJSON(path string, points []kvload.GridPoint, lo kvload.Options,
 		}
 		if p.MaxWriteBatch != 0 {
 			cell += "/wbatch" + batchLabel(p.MaxWriteBatch)
+		}
+		if p.WALBatch > 0 {
+			cell += fmt.Sprintf("/wal%d", p.WALBatch)
 		}
 		if p.Procs > 0 {
 			cell += fmt.Sprintf("/procs%d", p.Procs)

@@ -63,6 +63,9 @@ func main() {
 		kvWriteBatch   = flag.String("kv-write-batch", "0", "server write-batch bounds to sweep with -kvload self (0 = server default, -1 = off)")
 		kvCM           = flag.String("kv-cm", "fixed", "contention-management policies to sweep with -kvload self (fixed, adaptive; comma-separated)")
 		kvProcs        = flag.String("kv-procs", "0", "GOMAXPROCS values to sweep with -kvload self (0 = leave the process default)")
+		kvWALBatch     = flag.String("kv-wal-batch", "-1", "WAL group-commit fsync batches to sweep with -kvload self (-1 = durability off; comma-separated)")
+		kvWALInterval  = flag.Duration("kv-wal-interval", time.Millisecond, "WAL group-commit fsync interval for -kv-wal-batch cells")
+		kvMaxInflight  = flag.Int("kv-max-inflight", 0, "self-hosted server transaction-concurrency bound (0 = server default)")
 
 		kvCmdDeadline  = flag.Duration("kv-cmd-deadline", 0, "self-hosted server per-command deadline (0 = unbounded)")
 		kvQueueTimeout = flag.Duration("kv-queue-timeout", 0, "self-hosted server shed bound: max wait for a txn slot before BUSY (0 = queue forever)")
@@ -95,6 +98,9 @@ func main() {
 			writeBatches:  *kvWriteBatch,
 			cms:           *kvCM,
 			procs:         *kvProcs,
+			walBatches:    *kvWALBatch,
+			walInterval:   *kvWALInterval,
+			maxInflight:   *kvMaxInflight,
 			benchJSON:     *benchJSON,
 			quick:         *quick,
 			cmdDeadline:   *kvCmdDeadline,

@@ -16,6 +16,8 @@
 //	stmkvd -max-batch 0                  # disable read-snapshot batching
 //	stmkvd -max-write-batch 0            # disable hot-key write batching
 //	stmkvd -cmd-deadline 5ms -queue-timeout 1ms   # bounded commands + load shedding
+//	stmkvd -wal-dir /var/lib/stmkvd/wal  # durable: log commits, replay on boot
+//	stmkvd -wal-dir wal -wal-fsync-batch 64 -snapshot-every 30s   # tuned group commit
 //	stmkvd -chaos-abort 20000 -chaos-seed 42      # deterministic fault injection
 //
 // The -chaos-* flags arm the internal fault injector (internal/chaos) at a
@@ -64,6 +66,12 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 0, "max time a client may take to finish delivering a started frame (0 = unbounded; idle connections are never evicted)")
 		writeTimeout = flag.Duration("write-timeout", 0, "max time per response write before the client is evicted (0 = unbounded)")
 
+		walDir        = flag.String("wal-dir", "", "write-ahead-log directory; enables durability (replay on boot, log on commit)")
+		walBatch      = flag.Int("wal-fsync-batch", 8, "group-commit batch: fsync once per this many records (1 = per commit, 0 = never fsync)")
+		walInterval   = flag.Duration("wal-fsync-interval", time.Millisecond, "max time a commit waits for its group to fill before fsyncing anyway")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "log segment rotation threshold in bytes (0 = 64 MiB)")
+		snapshotEvery = flag.Duration("snapshot-every", time.Minute, "interval between snapshot checkpoints (truncating covered log segments; 0 = never)")
+
 		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injector seed (with any -chaos-* rate > 0)")
 		chaosAbort    = flag.Int("chaos-abort", 0, "injected abort rate per injection point, parts per million")
 		chaosDelay    = flag.Int("chaos-delay", 0, "injected delay rate per injection point, parts per million")
@@ -81,7 +89,27 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	store := kv.New(kv.Config{Shards: *shards, Buckets: *buckets, Design: d, CM: cm})
+	cfg := kv.Config{Shards: *shards, Buckets: *buckets, Design: d, CM: cm}
+	var store *kv.Store
+	if *walDir != "" {
+		bootStart := time.Now()
+		var stats *kv.RecoveryStats
+		store, stats, err = kv.Open(cfg, kv.DurableConfig{
+			Dir:           *walDir,
+			FsyncBatch:    *walBatch,
+			FsyncInterval: *walInterval,
+			SegmentBytes:  *walSegBytes,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			logger.Fatalf("wal recovery: %v", err)
+		}
+		logger.Printf("wal: recovered %s in %v (%d snapshot pairs, %d records, %d rescued, %d torn tails)",
+			*walDir, time.Since(bootStart).Round(time.Millisecond),
+			stats.SnapshotPairs, stats.Records, stats.Rescued, stats.TornTails)
+	} else {
+		store = kv.New(cfg)
+	}
 	batch := *maxBatch
 	if batch <= 0 {
 		batch = -1 // flag 0 means off; Config 0 would mean the default
@@ -114,6 +142,9 @@ func main() {
 		reg := obs.NewRegistry()
 		reg.RegisterSource("kv", store)
 		reg.RegisterSource("kvd", srv)
+		if m := store.WAL(); m != nil {
+			reg.RegisterSource("wal", m)
+		}
 		if injector != nil {
 			reg.RegisterSource("chaos", obs.ChaosSource(injector))
 		}
@@ -155,6 +186,12 @@ func main() {
 	}
 	if err := <-done; err != server.ErrServerClosed {
 		logger.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	// Every in-flight request has finished; flush and fsync the WAL's pending
+	// groups so no acknowledged write rides out the shutdown in a buffer.
+	if err := store.Close(); err != nil {
+		logger.Printf("wal close: %v", err)
 		os.Exit(1)
 	}
 	st := store.Stats()

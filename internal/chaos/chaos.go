@@ -60,9 +60,21 @@ const (
 	// Handler fires before each command executes; a panic decision exercises
 	// the server's panic recovery.
 	Handler
+	// WALAppend fires after a committed write-set is appended to the shard's
+	// log buffer. The transaction is already committed in memory, so only
+	// delays are legal — New clamps abort and panic rates to zero.
+	WALAppend
+	// WALFsync fires in the group-commit leader just before the fsync, while
+	// followers are parked on it. Delay-only, like WALAppend: the records
+	// being flushed are committed state.
+	WALFsync
+	// SnapshotWrite fires at the start of a snapshot checkpoint attempt; an
+	// injected abort skips the attempt (a later one retries), and a panic is
+	// recovered by the checkpointer.
+	SnapshotWrite
 
 	// NumPoints is the number of named injection points.
-	NumPoints = int(Handler) + 1
+	NumPoints = int(SnapshotWrite) + 1
 )
 
 // String returns the metric label for the point.
@@ -84,6 +96,12 @@ func (p Point) String() string {
 		return "resp_write"
 	case Handler:
 		return "handler"
+	case WALAppend:
+		return "wal_append"
+	case WALFsync:
+		return "wal_fsync"
+	case SnapshotWrite:
+		return "snapshot_write"
 	}
 	return "unknown"
 }
@@ -152,10 +170,13 @@ func Uniform(seed uint64, abortPPM, delayPPM, panicPPM uint32, maxDelay time.Dur
 		pc.DelayPPM = delayPPM
 		pc.MaxDelay = maxDelay
 		switch Point(p) {
-		case WriteBack:
+		case WriteBack, WALAppend, WALFsync:
 		case FrameRead, RespWrite:
 			pc.AbortPPM = abortPPM
 		case Handler:
+			pc.PanicPPM = panicPPM
+		case SnapshotWrite:
+			pc.AbortPPM = abortPPM
 			pc.PanicPPM = panicPPM
 		default:
 			pc.AbortPPM = abortPPM
@@ -184,13 +205,16 @@ type Injector struct {
 	injected [NumPoints][NumActions]atomic.Uint64
 }
 
-// New builds an injector. Abort and panic rates at WriteBack are clamped to
-// zero: that point runs while the committing transaction holds locks or
-// ownership records, and unwinding there would corrupt committed state.
+// New builds an injector. Abort and panic rates at WriteBack, WALAppend, and
+// WALFsync are clamped to zero: those points run on behalf of transactions
+// that are already committed (or committing with locks held), and unwinding
+// there would corrupt or silently drop committed state.
 func New(cfg Config) *Injector {
 	in := &Injector{seed: cfg.Seed, points: cfg.Points}
-	in.points[WriteBack].AbortPPM = 0
-	in.points[WriteBack].PanicPPM = 0
+	for _, p := range []Point{WriteBack, WALAppend, WALFsync} {
+		in.points[p].AbortPPM = 0
+		in.points[p].PanicPPM = 0
+	}
 	return in
 }
 

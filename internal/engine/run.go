@@ -98,6 +98,16 @@ func run(e Engine, body func(tx Txn) error, readonly bool) error {
 // shard locks across exactly one attempt, which Run's internal loop cannot
 // express.
 func Attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
+	return AttemptWith(tx, body, nil)
+}
+
+// AttemptWith is Attempt with the commit step swapped out: when commit is
+// non-nil it runs in place of tx.Commit() and must call it. The kv store's
+// durable commit path uses this to couple the engine commit with the
+// write-ahead-log append under one shard-local mutex, so log order matches
+// commit order. The hook observes the same contract as tx.Commit — returning
+// ErrConflict counts as a conflicted attempt.
+func AttemptWith(tx Txn, body func(tx Txn) error, commit func(tx Txn) error) (err error, conflicted bool) {
 	committed := false
 	defer func() {
 		if committed {
@@ -134,7 +144,11 @@ func Attempt(tx Txn, body func(tx Txn) error) (err error, conflicted bool) {
 		}
 		return err, false
 	}
-	err = tx.Commit()
+	if commit != nil {
+		err = commit(tx)
+	} else {
+		err = tx.Commit()
+	}
 	committed = true
 	if err == ErrConflict {
 		return nil, true

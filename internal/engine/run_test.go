@@ -244,3 +244,59 @@ func TestStatsSub(t *testing.T) {
 		t.Fatalf("Sub = %+v", d)
 	}
 }
+
+func TestAttemptWithCommitHook(t *testing.T) {
+	tx := &fakeTxn{}
+	hooked := false
+	err, conflicted := AttemptWith(tx, func(Txn) error { return nil }, func(inner Txn) error {
+		hooked = true
+		return inner.Commit()
+	})
+	if err != nil || conflicted {
+		t.Fatalf("err=%v conflicted=%v", err, conflicted)
+	}
+	if !hooked || !tx.committed {
+		t.Fatalf("hooked=%v committed=%v", hooked, tx.committed)
+	}
+}
+
+func TestAttemptWithHookConflict(t *testing.T) {
+	tx := &fakeTxn{}
+	err, conflicted := AttemptWith(tx, func(Txn) error { return nil }, func(Txn) error {
+		return ErrConflict
+	})
+	if err != nil || !conflicted {
+		t.Fatalf("hook ErrConflict: err=%v conflicted=%v", err, conflicted)
+	}
+}
+
+func TestAttemptWithHookSkippedOnBodyError(t *testing.T) {
+	tx := &fakeTxn{}
+	boom := errors.New("boom")
+	hooked := false
+	err, conflicted := AttemptWith(tx, func(Txn) error { return boom }, func(Txn) error {
+		hooked = true
+		return nil
+	})
+	if err != boom || conflicted || hooked {
+		t.Fatalf("err=%v conflicted=%v hooked=%v", err, conflicted, hooked)
+	}
+	if !tx.aborted {
+		t.Fatal("failed body was not rolled back")
+	}
+}
+
+func TestAttemptWithHookSkippedOnRetry(t *testing.T) {
+	tx := &fakeTxn{}
+	hooked := false
+	err, conflicted := AttemptWith(tx, func(Txn) error {
+		Abandon("scripted conflict")
+		return nil
+	}, func(Txn) error {
+		hooked = true
+		return nil
+	})
+	if err != nil || !conflicted || hooked {
+		t.Fatalf("err=%v conflicted=%v hooked=%v", err, conflicted, hooked)
+	}
+}

@@ -1,0 +1,672 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"memtx/internal/engine"
+	"memtx/internal/wal"
+)
+
+// DurableConfig enables the write-ahead log for a store opened with Open.
+type DurableConfig struct {
+	// Dir is the WAL root directory (required).
+	Dir string
+	// FsyncBatch / FsyncInterval / SegmentBytes configure group commit and
+	// rotation; see wal.Options.
+	FsyncBatch    int
+	FsyncInterval time.Duration
+	SegmentBytes  int64
+	// SnapshotEvery starts a background checkpointer writing per-shard
+	// snapshots (and truncating covered log segments) on this period.
+	// 0 disables periodic checkpoints; Checkpoint can still be called.
+	SnapshotEvery time.Duration
+}
+
+// RecoveryStats reports what replay-on-boot found.
+type RecoveryStats struct {
+	// SnapshotPairs is the number of key/value pairs loaded from snapshots.
+	SnapshotPairs uint64
+	// Records is the number of log records applied (own-log replay).
+	Records uint64
+	// Rescued is the number of cross-shard records a shard recovered from a
+	// peer's log because its own copy was lost in the crash.
+	Rescued uint64
+	// TornTails is the number of shards whose last segment ended in a torn
+	// record (truncated during the scan).
+	TornTails int
+	// LastLSN is each shard's highest recovered LSN.
+	LastLSN []uint64
+}
+
+// walEff is one captured write effect: the absolute set/delete the operation
+// performed, tagged with the shard the key hashes to. Effects are recorded
+// only when a WAL is attached and encode into log records at commit.
+type walEff struct {
+	sid int
+	del bool
+	key []byte
+	val []byte
+}
+
+// walSync names one (shard, LSN) the transaction must make durable before
+// the caller is acknowledged.
+type walSync struct {
+	sid int
+	lsn uint64
+}
+
+// logEffect captures one write effect if a WAL is attached. Key and val must
+// stay valid until the attempt commits or aborts (callers pass the same
+// slices the engine write consumed).
+func (t *Tx) logEffect(sid int, del bool, key, val []byte) {
+	if t.s.wal == nil || t.readonly {
+		return
+	}
+	t.effs = append(t.effs, walEff{sid: sid, del: del, key: key, val: val})
+}
+
+// encodeEffs renders the captured effects for one shard (or all, sid < 0)
+// into the reusable wal.Op scratch.
+func (t *Tx) encodeEffs(sid int) []wal.Op {
+	t.encOps = t.encOps[:0]
+	for _, e := range t.effs {
+		if sid >= 0 && e.sid != sid {
+			continue
+		}
+		t.encOps = append(t.encOps, wal.Op{Del: e.del, Key: e.key, Val: e.val})
+	}
+	return t.encOps
+}
+
+// durableCommitSingle is the commit hook for single-shard writers: it couples
+// the engine commit and the WAL append under the shard's wmu, so the log's
+// record order matches the engine's commit order. The append only buffers;
+// the caller syncs after the gate is released. A commit-entry chaos panic
+// unwinds through here with wmu released by the defer.
+func (s *Store) durableCommitSingle(sid int, t *Tx, tx engine.Txn) error {
+	if len(t.effs) == 0 {
+		return tx.Commit()
+	}
+	sh := &s.shards[sid]
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	lsn, err := s.wal.Log(sid).AppendCommit(t.encodeEffs(sid))
+	if err != nil {
+		// The engine commit is already published; a wedged log cannot undo
+		// it. Surface the error — the client must not treat the write as
+		// durable — and leave the sticky log failure to fail fast from here.
+		return err
+	}
+	t.syncs = append(t.syncs, walSync{sid: sid, lsn: lsn})
+	return nil
+}
+
+// walAppendCross logs a committed cross-shard transaction. Called from
+// crossAttempt after the publish loop, still under the exclusive gates —
+// which also serialize these appends against single-shard writers (they hold
+// the gate shared around their whole attempt), so no wmu is needed.
+//
+// A transaction touching one shard gets a plain commit record. Otherwise the
+// full op list plus a participant table of reserved (shard, LSN) pairs is
+// appended identically to every participant's log: recovery applies the
+// transaction if any participant's durable copy survives, so a crash between
+// the appends cannot tear it.
+func (t *Tx) walAppendCross() error {
+	s := t.s
+	t.partScratch = t.partScratch[:0]
+	for _, e := range t.effs {
+		found := false
+		for _, p := range t.partScratch {
+			if p.Shard == e.sid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.partScratch = append(t.partScratch, wal.Part{Shard: e.sid})
+		}
+	}
+	if len(t.partScratch) == 1 {
+		sid := t.partScratch[0].Shard
+		lsn, err := s.wal.Log(sid).AppendCommit(t.encodeEffs(sid))
+		if err != nil {
+			return err
+		}
+		t.syncs = append(t.syncs, walSync{sid: sid, lsn: lsn})
+		return nil
+	}
+	sort.Slice(t.partScratch, func(i, j int) bool { return t.partScratch[i].Shard < t.partScratch[j].Shard })
+	xid := s.wal.NextXID()
+	for i := range t.partScratch {
+		t.partScratch[i].LSN = s.wal.Log(t.partScratch[i].Shard).NextLSN()
+	}
+	// Register before the first append: once a copy exists a checkpointer
+	// could otherwise cover and truncate it while a peer's copy is still
+	// buffered, losing the record a rescue would need.
+	parts := append([]wal.Part(nil), t.partScratch...)
+	s.registerInflight(xid, parts)
+	t.xid = xid
+	ops := t.encodeEffs(-1)
+	var firstErr error
+	for _, p := range parts {
+		if err := s.wal.Log(p.Shard).AppendXCommit(p.LSN, xid, parts, ops); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		t.syncs = append(t.syncs, walSync{sid: p.Shard, lsn: p.LSN})
+	}
+	return firstErr
+}
+
+// walSyncAll blocks until every (shard, LSN) the attempt appended is durable,
+// then retires the in-flight registration. Runs after the gates are released,
+// so parked syncs never hold up other transactions' commits.
+func (s *Store) walSyncAll(t *Tx) error {
+	var err error
+	switch len(t.syncs) {
+	case 0:
+	case 1:
+		err = s.wal.Log(t.syncs[0].sid).Sync(t.syncs[0].lsn)
+	default:
+		var wg sync.WaitGroup
+		errs := make([]error, len(t.syncs))
+		for i, ws := range t.syncs {
+			wg.Add(1)
+			go func(i int, ws walSync) {
+				defer wg.Done()
+				errs[i] = s.wal.Log(ws.sid).Sync(ws.lsn)
+			}(i, ws)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	if t.xid != 0 {
+		s.doneInflight(t.xid)
+		t.xid = 0
+	}
+	t.syncs = t.syncs[:0]
+	return err
+}
+
+// SyncBatch accumulates the durability waits of a pipelined window. Each
+// deferred commit notes its appended (shard, LSN) pairs here instead of
+// blocking in walSyncAll; Wait then syncs every touched shard's high-water
+// LSN once. A window of N same-shard writes pays one group-commit wait
+// instead of N sequential ones, and — because the issuing goroutine keeps
+// executing instead of parking per command — concurrent windows stack far
+// deeper groups onto each fsync.
+//
+// The durability contract is unchanged: the owner must call Wait (and see it
+// succeed) before releasing any acknowledgment for the writes it noted. A
+// SyncBatch is not safe for concurrent use.
+type SyncBatch struct {
+	s     *Store
+	lsn   []uint64 // per-shard high-water LSN awaiting sync (0 = none)
+	xids  []uint64 // cross-shard commits to retire once durable
+	dirty bool
+}
+
+// NewSyncBatch returns a deferred-sync collector for the store, or nil when
+// the store has no WAL (every method on a nil SyncBatch is a no-op, so
+// callers can hold one unconditionally).
+func (s *Store) NewSyncBatch() *SyncBatch {
+	if s.wal == nil {
+		return nil
+	}
+	return &SyncBatch{s: s, lsn: make([]uint64, len(s.shards))}
+}
+
+// note absorbs t's pending syncs and in-flight registration instead of
+// blocking on them. Called from the run epilogue after the gates are
+// released.
+func (b *SyncBatch) note(t *Tx) {
+	for _, ws := range t.syncs {
+		if ws.lsn > b.lsn[ws.sid] {
+			b.lsn[ws.sid] = ws.lsn
+		}
+	}
+	if len(t.syncs) > 0 || t.xid != 0 {
+		b.dirty = true
+	}
+	t.syncs = t.syncs[:0]
+	if t.xid != 0 {
+		b.xids = append(b.xids, t.xid)
+		t.xid = 0
+	}
+}
+
+// Pending reports whether the batch holds records not yet known durable.
+func (b *SyncBatch) Pending() bool { return b != nil && b.dirty }
+
+// Wait blocks until every record noted since the last Wait is durable, then
+// retires the deferred in-flight registrations. Shards sync in parallel; the
+// first error wins (a failed Wait means the acknowledgments gated on it must
+// not be released — the log is wedged).
+func (b *SyncBatch) Wait() error {
+	if b == nil || !b.dirty {
+		return nil
+	}
+	var err error
+	n, last := 0, -1
+	for sid, lsn := range b.lsn {
+		if lsn != 0 {
+			n++
+			last = sid
+		}
+	}
+	switch n {
+	case 0:
+	case 1:
+		err = b.s.wal.Log(last).Sync(b.lsn[last])
+	default:
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		i := 0
+		for sid, lsn := range b.lsn {
+			if lsn == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i, sid int, lsn uint64) {
+				defer wg.Done()
+				errs[i] = b.s.wal.Log(sid).Sync(lsn)
+			}(i, sid, lsn)
+			i++
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	for _, xid := range b.xids {
+		b.s.doneInflight(xid)
+	}
+	b.xids = b.xids[:0]
+	for i := range b.lsn {
+		b.lsn[i] = 0
+	}
+	b.dirty = false
+	return err
+}
+
+// registerInflight records a cross-shard transaction whose log copies are not
+// all durable yet; minInflightLSN lets the checkpointer avoid truncating a
+// copy a peer might still need for a rescue.
+func (s *Store) registerInflight(xid uint64, parts []wal.Part) {
+	s.wimu.Lock()
+	s.winflight[xid] = parts
+	s.wimu.Unlock()
+}
+
+func (s *Store) doneInflight(xid uint64) {
+	s.wimu.Lock()
+	delete(s.winflight, xid)
+	s.wimu.Unlock()
+}
+
+// minInflightLSN returns the lowest LSN on shard sid belonging to an
+// in-flight cross-shard transaction, or 0 when none.
+func (s *Store) minInflightLSN(sid int) uint64 {
+	s.wimu.Lock()
+	defer s.wimu.Unlock()
+	min := uint64(0)
+	for _, parts := range s.winflight {
+		for _, p := range parts {
+			if p.Shard == sid && (min == 0 || p.LSN < min) {
+				min = p.LSN
+			}
+		}
+	}
+	return min
+}
+
+// Open builds a store like New, then recovers it from the WAL directory —
+// newest valid snapshot first, then the log suffix, rescuing cross-shard
+// records whose local copy was lost — and attaches the log so subsequent
+// writes are durable. The returned stats describe what replay found.
+func Open(cfg Config, dcfg DurableConfig) (*Store, *RecoveryStats, error) {
+	if dcfg.Dir == "" {
+		return nil, nil, errors.New("kv: DurableConfig.Dir is required")
+	}
+	s := New(cfg)
+	opts := wal.Options{
+		Dir:           dcfg.Dir,
+		FsyncBatch:    dcfg.FsyncBatch,
+		FsyncInterval: dcfg.FsyncInterval,
+		SegmentBytes:  dcfg.SegmentBytes,
+	}
+	m, scans, err := wal.Recover(opts, len(s.shards))
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, rescues, nextLSN, maxXID, err := s.replay(m, scans)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Start(nextLSN, maxXID); err != nil {
+		return nil, nil, err
+	}
+	// Persist the rescued records into their home logs before serving: a
+	// second crash must not depend on the peer's copy again (the peer may
+	// checkpoint and truncate it at any time once we are live).
+	for sid, recs := range rescues {
+		for _, rec := range recs {
+			if err := m.Log(sid).AppendRecord(rec); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := m.Flush(); err != nil {
+		return nil, nil, err
+	}
+	m.NoteReplay(stats.Records, stats.Rescued, stats.SnapshotPairs)
+
+	s.wal = m
+	s.winflight = make(map[uint64][]wal.Part)
+	if dcfg.SnapshotEvery > 0 {
+		s.walStop = make(chan struct{})
+		s.walWG.Add(1)
+		go s.checkpointLoop(dcfg.SnapshotEvery)
+	}
+	return s, stats, nil
+}
+
+// applyChunk bounds how many recovered pairs or records apply per replay
+// transaction, keeping undo logs and validation sets small.
+const applyChunk = 256
+
+// replay loads snapshots and applies log records (s.wal is still nil, so the
+// replayed writes are not re-logged). It returns the rescued records each
+// shard must re-append, each shard's next LSN, and the highest xid seen.
+func (s *Store) replay(m *wal.Manager, scans []*wal.ShardScan) (*RecoveryStats, map[int][]wal.Record, []uint64, uint64, error) {
+	nshards := len(s.shards)
+	stats := &RecoveryStats{LastLSN: make([]uint64, nshards)}
+	snapLSN := make([]uint64, nshards)
+
+	// Snapshots first: they are the base state the log suffix replays over.
+	for sid := 0; sid < nshards; sid++ {
+		if scans[sid].TornTail {
+			stats.TornTails++
+		}
+		var batch [][2][]byte
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			b := batch
+			batch = batch[:0]
+			return s.runSingle(nil, engine.RunOptions{}, sid, false, func(t *Tx) error {
+				for _, kv := range b {
+					t.Set(kv[0], kv[1])
+				}
+				return nil
+			})
+		}
+		covered, pairs, ok, err := wal.LoadSnapshot(wal.ShardDir(m.Dir(), sid), func(k, v []byte) error {
+			// The emit slices alias the snapshot file buffer; Set copies them
+			// into engine records, but the batch must copy too because the
+			// flush runs after emit returns.
+			batch = append(batch, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+			if len(batch) >= applyChunk {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, nil, 0, fmt.Errorf("kv: shard %d snapshot load: %w", sid, err)
+		}
+		if err := flush(); err != nil {
+			return nil, nil, nil, 0, err
+		}
+		if ok {
+			snapLSN[sid] = covered
+			stats.SnapshotPairs += pairs
+		}
+	}
+
+	// Index the cross-shard records present in any shard's durable log, so
+	// lost local copies can be rescued from a peer.
+	type xrec struct {
+		rec  wal.Record
+		have map[int]bool
+	}
+	xrecs := map[uint64]*xrec{}
+	var maxXID uint64
+	for sid := 0; sid < nshards; sid++ {
+		for _, rec := range scans[sid].Records {
+			if rec.Kind != wal.KindXCommit {
+				continue
+			}
+			x := xrecs[rec.XID]
+			if x == nil {
+				x = &xrec{rec: rec, have: map[int]bool{}}
+				xrecs[rec.XID] = x
+			}
+			x.have[sid] = true
+			if rec.XID > maxXID {
+				maxXID = rec.XID
+			}
+		}
+	}
+
+	// Build each shard's apply list: its own records past the snapshot, plus
+	// rescued cross-shard records (a participant LSN past the shard's
+	// snapshot with no local copy — the local tail tore before the crash).
+	type applyItem struct {
+		lsn uint64
+		ops []wal.Op
+	}
+	apply := make([][]applyItem, nshards)
+	rescues := map[int][]wal.Record{}
+	for sid := 0; sid < nshards; sid++ {
+		for _, rec := range scans[sid].Records {
+			if rec.LSN <= snapLSN[sid] {
+				continue
+			}
+			apply[sid] = append(apply[sid], applyItem{lsn: rec.LSN, ops: s.shardOps(rec.Ops, sid)})
+			stats.Records++
+		}
+	}
+	for _, x := range xrecs {
+		for _, p := range x.rec.Parts {
+			if p.Shard >= nshards || x.have[p.Shard] || p.LSN <= snapLSN[p.Shard] {
+				continue
+			}
+			apply[p.Shard] = append(apply[p.Shard], applyItem{lsn: p.LSN, ops: s.shardOps(x.rec.Ops, p.Shard)})
+			// The rescued copy is stamped with this shard's LSN when
+			// re-appended to its own log.
+			rec := x.rec
+			rec.LSN = p.LSN
+			rescues[p.Shard] = append(rescues[p.Shard], rec)
+			stats.Rescued++
+		}
+	}
+
+	nextLSN := make([]uint64, nshards)
+	for sid := 0; sid < nshards; sid++ {
+		items := apply[sid]
+		sort.Slice(items, func(i, j int) bool { return items[i].lsn < items[j].lsn })
+		for start := 0; start < len(items); start += applyChunk {
+			end := start + applyChunk
+			if end > len(items) {
+				end = len(items)
+			}
+			chunk := items[start:end]
+			err := s.runSingle(nil, engine.RunOptions{}, sid, false, func(t *Tx) error {
+				for _, it := range chunk {
+					for _, op := range it.ops {
+						if op.Del {
+							t.Delete(op.Key)
+						} else {
+							t.Set(op.Key, op.Val)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, nil, nil, 0, fmt.Errorf("kv: shard %d replay: %w", sid, err)
+			}
+		}
+		// The log reopens one past the shard's own durable tail — NOT past the
+		// rescued LSNs, which are re-appended through the reopened log (their
+		// LSNs always exceed the tail: durability is prefix-shaped, so a lost
+		// local copy means everything after it was lost too).
+		last := snapLSN[sid]
+		if scans[sid].LastLSN > last {
+			last = scans[sid].LastLSN
+		}
+		stats.LastLSN[sid] = last
+		nextLSN[sid] = last + 1
+	}
+	for sid := range rescues {
+		recs := rescues[sid]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].LSN < recs[j].LSN })
+	}
+	return stats, rescues, nextLSN, maxXID, nil
+}
+
+// shardOps filters a record's op list to the ops whose keys hash to sid,
+// copying the slices out of the scan buffer.
+func (s *Store) shardOps(ops []wal.Op, sid int) []wal.Op {
+	var out []wal.Op
+	for _, op := range ops {
+		if s.KeyShard(op.Key) != sid {
+			continue
+		}
+		cp := wal.Op{Del: op.Del, Key: append([]byte(nil), op.Key...)}
+		if !op.Del {
+			cp.Val = append([]byte(nil), op.Val...)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// WAL returns the attached wal manager (nil for a store built with New). The
+// server registers it as a metric source.
+func (s *Store) WAL() *wal.Manager { return s.wal }
+
+// checkpointLoop writes periodic snapshot checkpoints until Close.
+func (s *Store) checkpointLoop(every time.Duration) {
+	defer s.walWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.walStop:
+			return
+		case <-t.C:
+			_ = s.Checkpoint()
+		}
+	}
+}
+
+// snapshotAttempts bounds the optimistic read-only full-scan tries before a
+// checkpoint falls back to holding the shard gate exclusively. The scan
+// reads every bucket header, so any concurrent commit on the shard dooms it;
+// under sustained write load the optimistic path may never win.
+const snapshotAttempts = 4
+
+// Checkpoint writes a snapshot checkpoint for every shard and truncates the
+// log segments it covers. The first error is returned but does not stop the
+// remaining shards; a chaos-skipped shard (wal.ErrSnapshotSkipped) just waits
+// for the next period.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return errors.New("kv: store has no WAL attached")
+	}
+	var firstErr error
+	for sid := range s.shards {
+		err := s.checkpointShard(sid)
+		if err != nil && !errors.Is(err, wal.ErrSnapshotSkipped) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *Store) checkpointShard(sid int) error {
+	l := s.wal.Log(sid)
+	// Read the covered LSN before the scan begins: the snapshot state is a
+	// superset of records <= covered, and replaying the (covered, tail]
+	// suffix over it is idempotent because effects are absolute.
+	covered := l.AppendedLSN()
+	pairs, err := s.collectShardPairs(sid)
+	if err != nil {
+		return err
+	}
+	truncTo := covered
+	if min := s.minInflightLSN(sid); min > 0 && min-1 < truncTo {
+		truncTo = min - 1
+	}
+	return s.wal.Checkpoint(sid, covered, truncTo, func(emit func(k, v []byte) error) error {
+		for _, kv := range pairs {
+			if err := emit(kv[0], kv[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// collectShardPairs snapshots one shard's contents via a read-only
+// transaction: a few optimistic attempts first, then one attempt under the
+// shard's exclusive gate (which no commit can interleave with).
+func (s *Store) collectShardPairs(sid int) ([][2][]byte, error) {
+	var pairs [][2][]byte
+	body := func(t *Tx) error {
+		pairs = pairs[:0]
+		t.scanShard(sid, func(k, v []byte) {
+			pairs = append(pairs, [2][]byte{k, v})
+		})
+		return nil
+	}
+	err := s.runSingle(nil, engine.RunOptions{MaxAttempts: snapshotAttempts}, sid, true, body)
+	if err == nil {
+		return pairs, nil
+	}
+	var te *engine.TimeoutError
+	if !errors.As(err, &te) {
+		return nil, err
+	}
+	sh := &s.shards[sid]
+	sh.xmu.Lock()
+	defer sh.xmu.Unlock()
+	if err := s.runSingle(nil, engine.RunOptions{MaxAttempts: 2}, sid, true, body); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// Close stops the checkpointer and flushes, fsyncs, and closes every shard
+// log. A store built with New closes trivially. The store must be quiescent
+// (no in-flight transactions) when Close is called.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.walStop != nil {
+		close(s.walStop)
+		s.walWG.Wait()
+		s.walStop = nil
+	}
+	return s.wal.Close()
+}

@@ -68,6 +68,7 @@ import (
 	"memtx/internal/chaos"
 	"memtx/internal/engine"
 	"memtx/internal/obs"
+	"memtx/internal/wal"
 )
 
 // node field layout.
@@ -132,6 +133,14 @@ type shard struct {
 	// their first read through the last publish; cross-shard readers hold it
 	// shared for the same span. Single-shard readers never touch it.
 	xmu sync.RWMutex
+
+	// wmu serializes {engine commit; WAL append} for single-shard writers
+	// when a WAL is attached, so the log's record order matches the engine's
+	// commit order. Two single-shard writers both hold xmu shared and could
+	// otherwise interleave their commits and appends in opposite orders.
+	// Cross-shard writers skip it: their exclusive xmu already excludes every
+	// single-shard committer. Untouched when the store has no WAL.
+	wmu sync.Mutex
 }
 
 // Store is a sharded transactional map of byte-string keys to byte-string
@@ -148,6 +157,13 @@ type Store struct {
 	crossRetries    atomic.Uint64 // cross-shard attempts retried after conflict
 	publishRedos    atomic.Uint64 // publish-phase commits re-issued after injected faults
 	readerFallbacks atomic.Uint64 // Reader.RunOnce gate acquisitions abandoned
+
+	// Durability (nil / zero unless the store was built with Open).
+	wal       *wal.Manager
+	walStop   chan struct{} // closes to stop the checkpointer
+	walWG     sync.WaitGroup
+	wimu      sync.Mutex
+	winflight map[uint64][]wal.Part // cross-shard appends not yet fully durable
 }
 
 // New builds a store and one transactional memory per shard.
@@ -275,6 +291,15 @@ func (s *Store) ObsMetrics() []obs.Metric {
 			obs.Metric{Name: "stmkv_shard_tx_commits_total", Help: "Transaction attempts committed, by shard.", Kind: obs.Counter, Labels: shardLbl, Value: st.Commits},
 			obs.Metric{Name: "stmkv_shard_tx_aborts_total", Help: "Transaction attempts rolled back, by shard.", Kind: obs.Counter, Labels: shardLbl, Value: st.Aborts},
 		)
+		if s.wal != nil {
+			ms = append(ms, obs.Metric{
+				Name:   "stmkv_shard_lsn",
+				Help:   "Last committed (appended) WAL LSN, by shard.",
+				Kind:   obs.Gauge,
+				Labels: shardLbl,
+				Value:  s.wal.Log(i).AppendedLSN(),
+			})
+		}
 	}
 	ms = append(ms,
 		obs.Metric{Name: "stmkv_tx_starts_total", Help: "Transaction attempts started, all shards.", Kind: obs.Counter, Value: agg.Starts},
@@ -320,6 +345,13 @@ type Tx struct {
 
 	committed []int // publish-order scratch: shards committed this attempt
 	counts    [NumOps]uint32
+
+	// WAL state (populated only when the store has a log attached).
+	effs        []walEff   // captured write effects, in execution order
+	encOps      []wal.Op   // encode scratch, reused across appends
+	syncs       []walSync  // (shard, LSN) pairs to make durable before ack
+	partScratch []wal.Part // cross-shard participant table scratch
+	xid         uint64     // in-flight cross-shard id; 0 when none
 }
 
 // txnFor returns the transaction for shard sid, beginning it lazily in
@@ -375,6 +407,7 @@ func (t *Tx) abortFrom(from int, cause engine.AbortCause) {
 func (t *Tx) resetAttempt() {
 	t.counts = [NumOps]uint32{}
 	t.committed = t.committed[:0]
+	t.effs = t.effs[:0]
 }
 
 // doomed reports whether any live transaction's reads no longer validate —
@@ -505,6 +538,16 @@ func (t *Tx) crossAttempt(body func(*Tx) error) (err error, conflicted bool) {
 		t.committed = append(t.committed, sid)
 		t.txns[sid] = nil
 	}
+	// Log the committed write-set while the exclusive gates are still held:
+	// they serialize these appends against single-shard committers, so each
+	// participant log's record order matches its engine's commit order. The
+	// appends only buffer; the caller syncs after the gates are released.
+	if t.s.wal != nil && !t.readonly && len(t.effs) > 0 {
+		if werr := t.walAppendCross(); werr != nil {
+			finished = true
+			return werr, false
+		}
+	}
 	finished = true
 	return nil, false
 }
@@ -630,6 +673,13 @@ func noLock() {}
 // shared across each attempt so a cross-shard writer's exclusive gate can
 // fence them out of its prepare→publish window; readers run gate-free.
 func (s *Store) runSingle(ctx context.Context, opts engine.RunOptions, sid int, readonly bool, body func(*Tx) error) error {
+	return s.runSingleSB(ctx, opts, sid, readonly, nil, body)
+}
+
+// runSingleSB is runSingle with an optional deferred-sync target: a non-nil
+// sb absorbs the commit's durability wait (the caller syncs later, before
+// acknowledging) instead of blocking here.
+func (s *Store) runSingleSB(ctx context.Context, opts engine.RunOptions, sid int, readonly bool, sb *SyncBatch, body func(*Tx) error) error {
 	sh := &s.shards[sid]
 	t := Tx{s: s, sid: sid, readonly: readonly}
 	wrap := func(engine.Txn) error { return body(&t) }
@@ -637,6 +687,10 @@ func (s *Store) runSingle(ctx context.Context, opts engine.RunOptions, sid int, 
 	lock, unlock := noLock, noLock
 	if !readonly {
 		lock, unlock = sh.xmu.RLock, sh.xmu.RUnlock
+	}
+	var commit func(engine.Txn) error
+	if s.wal != nil && !readonly {
+		commit = func(tx engine.Txn) error { return s.durableCommitSingle(sid, &t, tx) }
 	}
 	att := func(ctx context.Context, deadline time.Time, karma int) (error, bool) {
 		var tx engine.Txn
@@ -657,18 +711,36 @@ func (s *Store) runSingle(ctx context.Context, opts engine.RunOptions, sid int, 
 		}
 		t.raw = tx
 		t.counts = [NumOps]uint32{}
-		return engine.Attempt(tx, wrap)
+		t.effs = t.effs[:0]
+		return engine.AttemptWith(tx, wrap, commit)
 	}
 	err := runLoop(ctx, opts, sh.eng.CM(), lock, unlock, att, func(conflicts int) {
 		sh.eng.Metrics().ObserveRetries(conflicts)
 		s.fold(&t)
 	})
+	// The fsync wait runs after the gate is released, so parked commits never
+	// hold up other transactions; the write is acknowledged only once its log
+	// record (and its whole group) is durable. A SyncBatch defers that wait
+	// to the caller's acknowledgment boundary instead.
+	if s.wal != nil && !readonly {
+		if sb != nil {
+			sb.note(&t)
+		} else if serr := s.walSyncAll(&t); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
 // runCross executes body across the declared shard set (nil = every shard)
 // through the two-phase gate protocol.
 func (s *Store) runCross(ctx context.Context, opts engine.RunOptions, allowed []bool, readonly bool, body func(*Tx) error) error {
+	return s.runCrossSB(ctx, opts, allowed, readonly, nil, body)
+}
+
+// runCrossSB is runCross with an optional deferred-sync target (see
+// runSingleSB).
+func (s *Store) runCrossSB(ctx context.Context, opts engine.RunOptions, allowed []bool, readonly bool, sb *SyncBatch, body func(*Tx) error) error {
 	t := Tx{
 		s:        s,
 		sid:      -1,
@@ -707,6 +779,13 @@ func (s *Store) runCross(ctx context.Context, opts engine.RunOptions, allowed []
 			s.crossCommits.Add(1)
 			s.fold(&t)
 		})
+	if s.wal != nil && !readonly {
+		if sb != nil {
+			sb.note(&t)
+		} else if serr := s.walSyncAll(&t); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
@@ -829,6 +908,27 @@ func (s *Store) ViewKeysCtx(ctx context.Context, opts memtx.TxOptions, keys [][]
 	return s.runCross(ctx, ro, set, true, body)
 }
 
+// AtomicKeyDefer is AtomicKeyCtx with the commit's durability wait deferred
+// into sb: the transaction commits and its log record is appended, but the
+// call returns without waiting for the fsync. The caller MUST call sb.Wait
+// before acknowledging the write to anyone. A nil ctx is allowed; on a store
+// without a WAL it behaves exactly like AtomicKeyCtx.
+func (s *Store) AtomicKeyDefer(ctx context.Context, opts memtx.TxOptions, key []byte, sb *SyncBatch, body func(t *Tx) error) error {
+	ro := engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}
+	return s.runSingleSB(ctx, ro, s.KeyShard(key), false, sb, body)
+}
+
+// AtomicKeysDefer is AtomicKeysCtx with the commit's durability wait
+// deferred into sb (see AtomicKeyDefer).
+func (s *Store) AtomicKeysDefer(ctx context.Context, opts memtx.TxOptions, keys [][]byte, sb *SyncBatch, body func(t *Tx) error) error {
+	ro := engine.RunOptions{MaxAttempts: opts.MaxAttempts, MaxElapsed: opts.MaxElapsed}
+	sid, set := s.shardSetOf(keys)
+	if sid >= 0 {
+		return s.runSingleSB(ctx, ro, sid, false, sb, body)
+	}
+	return s.runCrossSB(ctx, ro, set, false, sb, body)
+}
+
 // Reader is a reusable single-attempt read-only runner bound to one body.
 // Unlike View it never retries — RunOnce reports a conflict and leaves the
 // fallback policy to the caller — and it holds all per-attempt state inside
@@ -943,6 +1043,7 @@ func (t *Tx) AppendGetBlob(dst []byte, key []byte) ([]byte, bool) {
 func (t *Tx) Set(key, val []byte) {
 	t.counts[OpSet]++
 	h := hashKey(key)
+	t.logEffect(int(h&t.s.mask), false, key, val)
 	raw, bucket, n, _ := t.lookup(h, key)
 	v := allocBytes(raw, val)
 	if n != nil {
@@ -970,10 +1071,12 @@ func (t *Tx) Set(key, val []byte) {
 // Delete removes key, reporting whether it was present.
 func (t *Tx) Delete(key []byte) bool {
 	t.counts[OpDelete]++
-	raw, bucket, n, prev := t.lookup(hashKey(key), key)
+	h := hashKey(key)
+	raw, bucket, n, prev := t.lookup(h, key)
 	if n == nil {
 		return false
 	}
+	t.logEffect(int(h&t.s.mask), true, key, nil)
 	next := raw.LoadRef(n, nodeNext)
 	if prev == nil {
 		raw.OpenForUpdate(bucket)
@@ -992,13 +1095,16 @@ func (t *Tx) Delete(key []byte) bool {
 // matches.
 func (t *Tx) CompareAndSet(key, old, new []byte) bool {
 	t.counts[OpCAS]++
-	raw, _, n, _ := t.lookup(hashKey(key), key)
+	h := hashKey(key)
+	raw, _, n, _ := t.lookup(h, key)
 	if n == nil {
 		return false
 	}
 	if !recEqual(raw, raw.LoadRef(n, nodeVal), old) {
 		return false
 	}
+	// A successful swap logs as an absolute set of the new value.
+	t.logEffect(int(h&t.s.mask), false, key, new)
 	raw.OpenForUpdate(n)
 	raw.LogForUndoRef(n, nodeVal)
 	raw.StoreRef(n, nodeVal, allocBytes(raw, new))
@@ -1052,6 +1158,25 @@ func (t *Tx) Len() int {
 		}
 	}
 	return total
+}
+
+// scanShard walks every chain in one shard, calling fn with a freshly
+// allocated copy of each key/value pair. The checkpointer uses it to collect
+// a shard snapshot; like Len it reads every bucket header, so it conflicts
+// with every concurrent insert and delete on the shard.
+func (t *Tx) scanShard(sid int, fn func(key, val []byte)) {
+	raw := t.txnFor(sid)
+	dir := t.s.shards[sid].dir
+	raw.OpenForRead(dir)
+	for b := 0; b < t.s.buckets; b++ {
+		hdr := raw.LoadRef(dir, b)
+		raw.OpenForRead(hdr)
+		for n := raw.LoadRef(hdr, 0); n != nil; {
+			raw.OpenForRead(n)
+			fn(readBytes(raw, raw.LoadRef(n, nodeKey)), readBytes(raw, raw.LoadRef(n, nodeVal)))
+			n = raw.LoadRef(n, nodeNext)
+		}
+	}
 }
 
 // Get is Tx.Get in its own single-shard read-only transaction.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,21 @@ type Options struct {
 	// (0 = queue indefinitely). It has no effect when driving a remote
 	// server.
 	QueueTimeout time.Duration
+	// MaxInflight bounds concurrently executing transactions on the
+	// self-hosted server (0 = server default). Durable cells hold a slot
+	// across the group-commit wait, so write concurrency — and with it the
+	// achievable fsync amortization — is capped by this bound. It has no
+	// effect when driving a remote server.
+	MaxInflight int
+	// WALBatch enables write-ahead-log durability for self-hosted cells:
+	// 0 (the default) serves from memory only; a positive value attaches a
+	// WAL in a fresh temp directory with that group-commit fsync batch. It
+	// has no effect when driving a remote server, whose durability is fixed
+	// by its own flags.
+	WALBatch int
+	// WALInterval is the group-commit fsync interval for WAL cells
+	// (default 1ms).
+	WALInterval time.Duration
 	// Chaos, when non-nil, enables the fault injector for the measurement
 	// window of each self-hosted cell (after preload, disabled again before
 	// verification). It has no effect when driving a remote server.
@@ -135,6 +151,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.WALInterval <= 0 {
+		o.WALInterval = time.Millisecond
 	}
 	return o
 }
@@ -542,6 +561,15 @@ type GridPoint struct {
 	// outcomes observed, waits paced, karma deferrals, adaptations — the
 	// abort-cause columns of the skew experiments.
 	CMStats engine.CMStats
+	// WALBatch is the durability setting the cell ran under, in the sweep
+	// flag's encoding: -1 = no WAL, otherwise the group-commit fsync batch.
+	WALBatch int
+	// WALAppends, WALFsyncs, and WALGroupRecs are the WAL's append/fsync
+	// counters after the run (zero for -1 cells); GroupRecs / Fsyncs is the
+	// achieved group-commit amortization.
+	WALAppends   uint64
+	WALFsyncs    uint64
+	WALGroupRecs uint64
 }
 
 // Sweep enumerates the dimensions of a self-hosted grid run. Every slice
@@ -555,6 +583,7 @@ type Sweep struct {
 	Dists        []Dist
 	CMs          []memtx.CMPolicy
 	WriteBatches []int // write-batch bounds, Options.MaxWriteBatch encoding
+	WALBatches   []int // durability settings: -1 = no WAL, else fsync batch
 }
 
 // RunSelfGrid measures the load mix against in-process servers, one per
@@ -591,6 +620,13 @@ func RunSweep(sw Sweep, o Options) ([]GridPoint, error) {
 	if len(sw.WriteBatches) == 0 {
 		sw.WriteBatches = []int{o.MaxWriteBatch}
 	}
+	if len(sw.WALBatches) == 0 {
+		wb := -1
+		if o.WALBatch > 0 {
+			wb = o.WALBatch
+		}
+		sw.WALBatches = []int{wb}
+	}
 	var points []GridPoint
 	for _, d := range sw.Designs {
 		for _, shards := range sw.Shards {
@@ -599,24 +635,32 @@ func RunSweep(sw Sweep, o Options) ([]GridPoint, error) {
 					for _, dist := range sw.Dists {
 						for _, cm := range sw.CMs {
 							for _, wbatch := range sw.WriteBatches {
-								o.MaxBatch = batch
-								o.MaxWriteBatch = wbatch
-								o.Dist = dist
-								o.CM = cm
-								p, err := runSelfCell(d, shards, np, o)
-								if err != nil {
-									return nil, fmt.Errorf("kvload: design %v shards %d batch %d procs %d dist %v cm %v wbatch %d: %w",
-										d, shards, batch, np, dist, cm, wbatch, err)
+								for _, wal := range sw.WALBatches {
+									o.MaxBatch = batch
+									o.MaxWriteBatch = wbatch
+									o.Dist = dist
+									o.CM = cm
+									if wal > 0 {
+										o.WALBatch = wal
+									} else {
+										o.WALBatch = 0
+									}
+									p, err := runSelfCell(d, shards, np, o)
+									if err != nil {
+										return nil, fmt.Errorf("kvload: design %v shards %d batch %d procs %d dist %v cm %v wbatch %d wal %d: %w",
+											d, shards, batch, np, dist, cm, wbatch, wal, err)
+									}
+									p.Design = d.String()
+									p.Shards = shards
+									p.MaxBatch = batch
+									p.Procs = np
+									p.MaxWriteBatch = wbatch
+									p.Dist = dist.String()
+									p.Mix = o.Mix
+									p.CM = cm.String()
+									p.WALBatch = wal
+									points = append(points, p)
 								}
-								p.Design = d.String()
-								p.Shards = shards
-								p.MaxBatch = batch
-								p.Procs = np
-								p.MaxWriteBatch = wbatch
-								p.Dist = dist.String()
-								p.Mix = o.Mix
-								p.CM = cm.String()
-								points = append(points, p)
 							}
 						}
 					}
@@ -631,10 +675,30 @@ func runSelfCell(d memtx.Design, shards, procs int, o Options) (GridPoint, error
 	if procs > 0 {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 	}
-	store := kv.New(kv.Config{Shards: shards, Design: d, CM: o.CM})
+	cfg := kv.Config{Shards: shards, Design: d, CM: o.CM}
+	var store *kv.Store
+	if o.WALBatch > 0 {
+		dir, err := os.MkdirTemp("", "stmkv-wal-")
+		if err != nil {
+			return GridPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		store, _, err = kv.Open(cfg, kv.DurableConfig{
+			Dir:           dir,
+			FsyncBatch:    o.WALBatch,
+			FsyncInterval: o.WALInterval,
+		})
+		if err != nil {
+			return GridPoint{}, err
+		}
+	} else {
+		store = kv.New(cfg)
+	}
+	defer store.Close()
 	srv := server.New(store, server.Config{
 		MaxBatch:      o.MaxBatch,
 		MaxWriteBatch: o.MaxWriteBatch,
+		MaxInflight:   o.MaxInflight,
 		CmdDeadline:   o.CmdDeadline,
 		QueueTimeout:  o.QueueTimeout,
 	})
@@ -674,7 +738,7 @@ func runSelfCell(d memtx.Design, shards, procs int, o Options) (GridPoint, error
 	}
 	batches, fallbacks := srv.BatchStats()
 	wbatches, wcmds, wfallbacks := srv.WriteBatchStats()
-	return GridPoint{
+	p := GridPoint{
 		Result:              res,
 		CommittedTxns:       store.Stats().Commits,
 		ReadBatches:         batches,
@@ -683,5 +747,18 @@ func runSelfCell(d memtx.Design, shards, procs int, o Options) (GridPoint, error
 		WriteBatchedCmds:    wcmds,
 		WriteBatchFallbacks: wfallbacks,
 		CMStats:             store.CMStats(),
-	}, nil
+	}
+	if m := store.WAL(); m != nil {
+		for _, met := range m.ObsMetrics() {
+			switch met.Name {
+			case "stmkvd_wal_appends_total":
+				p.WALAppends = met.Value
+			case "stmkvd_wal_fsyncs_total":
+				p.WALFsyncs = met.Value
+			case "stmkvd_wal_group_records_total":
+				p.WALGroupRecs = met.Value
+			}
+		}
+	}
+	return p, nil
 }

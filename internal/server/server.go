@@ -445,6 +445,7 @@ type conn struct {
 	wbody    func(t *kv.Tx) error // bound writeBatchBody, reused across batches
 	slotHeld bool                 // this connection holds a transaction slot
 	qt       *time.Timer          // queue-timeout timer, reused across sheds
+	sb       *kv.SyncBatch        // deferred WAL syncs (nil without durability)
 }
 
 func (s *Server) newConn() *conn {
@@ -458,6 +459,7 @@ func (s *Server) newConn() *conn {
 	c := &conn{batch: make([]batchEntry, slots)}
 	c.reader = s.store.NewReader(c.snapshotBody)
 	c.wbody = c.writeBatchBody
+	c.sb = s.store.NewSyncBatch()
 	return c
 }
 
@@ -476,6 +478,11 @@ func (s *Server) serveConn(nc net.Conn) {
 	br := bufio.NewReaderSize(nc, 32<<10)
 	bw := bufio.NewWriterSize(nc, 32<<10)
 	c := s.newConn()
+	// Retire deferred durability waits even on an abrupt exit (write error,
+	// injected connection kill): the records are already appended, and an
+	// in-flight cross-shard registration left behind would pin log truncation
+	// forever. No response rides on this Wait — the client saw no ACK.
+	defer func() { _ = c.sb.Wait() }()
 	for {
 		// During a drain, serve the requests already buffered (they were
 		// received before the drain) and stop once the buffer is empty.
@@ -558,6 +565,16 @@ func (s *Server) serveConn(nc net.Conn) {
 			return // injected connection kill before a write
 		}
 		s.armWriteDeadline(nc)
+		// No response byte may reach the client before the WAL records backing
+		// it are durable. Deferred syncs drain at the flush boundary below; a
+		// response that would overflow the write buffer (forcing bufio to
+		// flush mid-window) must drain them first.
+		if c.sb.Pending() && bw.Available() < len(c.out) {
+			if err := c.sb.Wait(); err != nil {
+				s.writeErr(nc, err)
+				return
+			}
+		}
 		if _, err := bw.Write(c.out); err != nil {
 			s.writeErr(nc, err)
 			return
@@ -567,6 +584,10 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		// Flush only when no further pipelined request is already buffered.
 		if br.Buffered() == 0 {
+			if err := c.sb.Wait(); err != nil {
+				s.writeErr(nc, err)
+				return
+			}
 			if err := bw.Flush(); err != nil {
 				s.writeErr(nc, err)
 				return
@@ -574,6 +595,13 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 	}
 	s.armWriteDeadline(nc)
+	// A wedged log means the buffered responses' records never became
+	// durable: drop the connection without flushing them (an unacknowledged
+	// write may be retried; an acknowledged-then-lost one is corruption).
+	if err := c.sb.Wait(); err != nil {
+		s.writeErr(nc, err)
+		return
+	}
 	_ = bw.Flush()
 }
 
@@ -917,7 +945,7 @@ func (s *Server) runWriteBatchTxn(c *conn) (err error) {
 			err = fmt.Errorf("server: write batch panic: %v", r)
 		}
 	}()
-	return s.runAtomicKey(c.batch[0].cmd.Args[0].B, c.wbody)
+	return s.runAtomicKey(c, c.batch[0].cmd.Args[0].B, c.wbody)
 }
 
 // writeBatchBody applies the collected batch inside one write transaction,
@@ -1065,12 +1093,22 @@ func (s *Server) release(c *conn) {
 
 // runAtomicKey runs body as one write transaction pinned to key's shard,
 // bounded by CmdDeadline when one is configured. Single-key commands never
-// touch any state outside that shard.
-func (s *Server) runAtomicKey(key []byte, body func(t *kv.Tx) error) error {
+// touch any state outside that shard. On a durable store the commit's fsync
+// wait is deferred into c's SyncBatch — serveConn syncs before any response
+// reaches the wire, so pipelined writes in one window share one group-commit
+// wait per shard instead of parking per command.
+func (s *Server) runAtomicKey(c *conn, key []byte, body func(t *kv.Tx) error) error {
+	opts := memtx.TxOptions{}
+	if s.cmdDeadline > 0 {
+		opts.MaxElapsed = s.cmdDeadline
+	}
+	if c.sb != nil {
+		return s.store.AtomicKeyDefer(nil, opts, key, c.sb, body)
+	}
 	if s.cmdDeadline <= 0 {
 		return s.store.AtomicKey(key, body)
 	}
-	return s.store.AtomicKeyCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, key, body)
+	return s.store.AtomicKeyCtx(context.Background(), opts, key, body)
 }
 
 // runViewKey is runAtomicKey's read-only twin.
@@ -1082,12 +1120,20 @@ func (s *Server) runViewKey(key []byte, body func(t *kv.Tx) error) error {
 }
 
 // runAtomicKeys runs body atomically over the shards keys hash to: locally
-// when they co-locate, through the cross-shard commit path otherwise.
-func (s *Server) runAtomicKeys(keys [][]byte, body func(t *kv.Tx) error) error {
+// when they co-locate, through the cross-shard commit path otherwise. Like
+// runAtomicKey it defers the durability wait into c's SyncBatch.
+func (s *Server) runAtomicKeys(c *conn, keys [][]byte, body func(t *kv.Tx) error) error {
+	opts := memtx.TxOptions{}
+	if s.cmdDeadline > 0 {
+		opts.MaxElapsed = s.cmdDeadline
+	}
+	if c.sb != nil {
+		return s.store.AtomicKeysDefer(nil, opts, keys, c.sb, body)
+	}
 	if s.cmdDeadline <= 0 {
 		return s.store.AtomicKeys(keys, body)
 	}
-	return s.store.AtomicKeysCtx(context.Background(), memtx.TxOptions{MaxElapsed: s.cmdDeadline}, keys, body)
+	return s.store.AtomicKeysCtx(context.Background(), opts, keys, body)
 }
 
 // runViewKeys is runAtomicKeys' read-only twin.
@@ -1167,7 +1213,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 		if !s.acquire(c) {
 			return bodyBusy
 		}
-		err := s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
+		err := s.runAtomicKey(c, args[0].B, func(t *kv.Tx) error {
 			t.Set(args[0].B, args[1].B)
 			return nil
 		})
@@ -1185,7 +1231,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		removed := false
-		err := s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
+		err := s.runAtomicKey(c, args[0].B, func(t *kv.Tx) error {
 			removed = t.Delete(args[0].B)
 			return nil
 		})
@@ -1206,7 +1252,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		swapped := false
-		err := s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
+		err := s.runAtomicKey(c, args[0].B, func(t *kv.Tx) error {
 			swapped = t.CompareAndSet(args[0].B, args[1].B, args[2].B)
 			return nil
 		})
@@ -1231,7 +1277,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 			return bodyBusy
 		}
 		var after int64
-		err = s.runAtomicKey(args[0].B, func(t *kv.Tx) error {
+		err = s.runAtomicKey(c, args[0].B, func(t *kv.Tx) error {
 			var err error
 			after, err = t.Add(args[0].B, delta)
 			return err
@@ -1258,7 +1304,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 		}
 		ok := false
 		c.keys = append(c.keys[:0], args[0].B, args[1].B)
-		err = s.runAtomicKeys(c.keys, func(t *kv.Tx) error {
+		err = s.runAtomicKeys(c, c.keys, func(t *kv.Tx) error {
 			ok = false
 			src, err := t.Int(args[0].B)
 			if err != nil {
@@ -1325,7 +1371,7 @@ func (s *Server) executeCmd(c *conn, cmd *wire.Command, id Cmd) []byte {
 		for i := 0; i < len(args); i += 2 {
 			c.keys = append(c.keys, args[i].B)
 		}
-		err := s.runAtomicKeys(c.keys, func(t *kv.Tx) error {
+		err := s.runAtomicKeys(c, c.keys, func(t *kv.Tx) error {
 			for i := 0; i < len(args); i += 2 {
 				t.Set(args[i].B, args[i+1].B)
 			}

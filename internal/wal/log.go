@@ -1,0 +1,498 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memtx/internal/chaos"
+)
+
+// Options configures a shard log (and, via the Manager, all of them).
+type Options struct {
+	// Dir is the WAL root; each shard logs under Dir/shard-NNNN/.
+	Dir string
+	// FsyncBatch is the target group-commit size: a group leader fsyncs as
+	// soon as this many records are pending, or FsyncInterval elapses,
+	// whichever is first. 1 fsyncs every commit; 0 disables fsync entirely
+	// (records are still written, so a clean shutdown loses nothing, but a
+	// crash can lose the OS-buffered tail).
+	FsyncBatch int
+	// FsyncInterval bounds how long a group leader waits for FsyncBatch
+	// records to accumulate. 0 flushes immediately, so groups form only from
+	// commits that arrive while a previous fsync is in flight.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// 0 means the 64 MiB default.
+	SegmentBytes int64
+}
+
+const defaultSegmentBytes = 64 << 20
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return defaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+const segSuffix = ".seg"
+
+// segName returns the segment file name for a segment whose records all have
+// LSN >= first.
+func segName(first uint64) string {
+	return fmt.Sprintf("%020d%s", first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	s, ok := strings.CutSuffix(name, segSuffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Log is one shard's write-ahead log: an append buffer feeding segmented
+// files, with leader-based group commit. Appends are cheap (encode into an
+// in-memory buffer under a short mutex); durability happens in Sync, where
+// one waiter becomes the group leader, forms a group, writes and fsyncs once,
+// and wakes everyone the fsync covered.
+type Log struct {
+	dir   string
+	opts  Options
+	shard int
+
+	// mu guards the append state: the active file handle is touched only by
+	// the group leader (leadership is exclusive), but buf, LSNs, and the
+	// rotation decision live here.
+	mu       sync.Mutex
+	f        *os.File
+	segSize  int64
+	buf      []byte
+	nextLSN  uint64 // LSN the next append will take
+	appended uint64 // last LSN appended to buf (0 = none yet)
+	pending  int    // records in buf not yet flushed
+	failed   error  // sticky first write/fsync error; the log is wedged after
+
+	// batchFull is signalled (capacity 1, non-blocking) when pending reaches
+	// FsyncBatch, so a waiting group leader can flush early.
+	batchFull chan struct{}
+
+	// Group-commit leadership. synced is the last durable LSN.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	leading bool
+	synced  atomic.Uint64
+
+	appends      atomic.Uint64
+	appendBytes  atomic.Uint64
+	fsyncs       atomic.Uint64
+	flushedRecs  atomic.Uint64
+	maxGroup     atomic.Uint64
+	rotations    atomic.Uint64
+	truncatedSeg atomic.Uint64
+}
+
+// openLog opens a shard log for appending. Recovery has already scanned the
+// directory; nextLSN is one past the last durable (or rescued) record.
+// Appends always go to a fresh segment — existing segments are never
+// reopened for writing, which keeps the torn-tail rule simple (only the last
+// segment may tear).
+func openLog(dir string, shard int, nextLSN uint64, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:       dir,
+		opts:      opts,
+		shard:     shard,
+		nextLSN:   nextLSN,
+		appended:  nextLSN - 1,
+		batchFull: make(chan struct{}, 1),
+	}
+	l.gcond = sync.NewCond(&l.gmu)
+	l.synced.Store(nextLSN - 1)
+	if err := l.openSegment(nextLSN); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openSegment creates a new active segment whose records will all have
+// LSN >= first. Called with l.mu held (or before the log is shared).
+//
+// A segment with this exact name can already exist: a shard that saw no
+// appends since its last boot reopens at the same nextLSN. Segment names are
+// first-LSN lower bounds and nextLSN is one past the highest scanned record,
+// so the colliding segment cannot contain any record — it is safe to replace,
+// but only when actually empty (anything else is a protocol violation).
+func (l *Log) openSegment(first uint64) error {
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if os.IsExist(err) {
+		fi, serr := os.Stat(path)
+		if serr != nil {
+			return serr
+		}
+		if fi.Size() != 0 {
+			return fmt.Errorf("wal: segment %s already exists with %d bytes at next LSN %d", path, fi.Size(), first)
+		}
+		f, err = os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segSize = 0
+	return nil
+}
+
+// NextLSN returns the LSN the next append will take. Cross-shard commits
+// read this under the shard gates to reserve their participant LSNs.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// AppendedLSN returns the last LSN handed out (0 if none).
+func (l *Log) AppendedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// SyncedLSN returns the last durable LSN.
+func (l *Log) SyncedLSN() uint64 { return l.synced.Load() }
+
+// AppendCommit appends a single-shard commit record and returns its LSN. The
+// record is buffered, not yet durable; call Sync(lsn) to wait for it.
+func (l *Log) AppendCommit(ops []Op) (uint64, error) {
+	l.mu.Lock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return 0, err
+	}
+	lsn := l.nextLSN
+	before := len(l.buf)
+	l.buf = AppendCommitRecord(l.buf, lsn, ops)
+	l.noteAppend(lsn, len(l.buf)-before)
+	l.mu.Unlock()
+	l.chaosAppend()
+	return lsn, nil
+}
+
+// AppendXCommit appends a cross-shard commit record at the LSN previously
+// reserved for this shard in parts. The caller holds every participant
+// shard's gate exclusively, so the reservation cannot be stolen; a mismatch
+// is a protocol bug.
+func (l *Log) AppendXCommit(lsn, xid uint64, parts []Part, ops []Op) error {
+	l.mu.Lock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	if lsn != l.nextLSN {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("wal: shard %d xcommit at lsn %d but next is %d", l.shard, lsn, l.nextLSN))
+	}
+	before := len(l.buf)
+	l.buf = AppendXCommitRecord(l.buf, lsn, xid, parts, ops)
+	l.noteAppend(lsn, len(l.buf)-before)
+	l.mu.Unlock()
+	l.chaosAppend()
+	return nil
+}
+
+// AppendRecord re-appends an already-encoded record at an explicit LSN —
+// recovery uses it to persist rescued cross-shard records into the shard's
+// own log. The LSN may leave a gap; it must not go backwards.
+func (l *Log) AppendRecord(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if rec.LSN < l.nextLSN {
+		return fmt.Errorf("wal: shard %d append at lsn %d behind next %d", l.shard, rec.LSN, l.nextLSN)
+	}
+	before := len(l.buf)
+	switch rec.Kind {
+	case KindCommit:
+		l.buf = AppendCommitRecord(l.buf, rec.LSN, rec.Ops)
+	case KindXCommit:
+		l.buf = AppendXCommitRecord(l.buf, rec.LSN, rec.XID, rec.Parts, rec.Ops)
+	default:
+		return fmt.Errorf("wal: cannot re-append record kind %d", rec.Kind)
+	}
+	l.nextLSN = rec.LSN // noteAppend advances past it
+	l.noteAppend(rec.LSN, len(l.buf)-before)
+	return nil
+}
+
+// noteAppend advances the LSN state after an append. Called with l.mu held.
+func (l *Log) noteAppend(lsn uint64, nbytes int) {
+	l.appended = lsn
+	l.nextLSN = lsn + 1
+	l.pending++
+	l.appends.Add(1)
+	l.appendBytes.Add(uint64(nbytes))
+	if l.opts.FsyncBatch > 0 && l.pending >= l.opts.FsyncBatch {
+		select {
+		case l.batchFull <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (l *Log) chaosAppend() {
+	if in := chaos.Active(); in != nil {
+		if _, delay := in.Decide(chaos.WALAppend); delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+}
+
+// Sync blocks until the record at lsn is durable (or written, when fsync is
+// disabled). One waiter at a time leads: it forms a group — waiting up to
+// FsyncInterval for FsyncBatch records — flushes once, and wakes everyone.
+func (l *Log) Sync(lsn uint64) error {
+	for {
+		if l.synced.Load() >= lsn {
+			return l.stickyErr()
+		}
+		l.gmu.Lock()
+		if l.synced.Load() >= lsn {
+			l.gmu.Unlock()
+			return l.stickyErr()
+		}
+		if l.leading {
+			l.gcond.Wait()
+			l.gmu.Unlock()
+			continue
+		}
+		l.leading = true
+		l.gmu.Unlock()
+
+		l.waitGroup(lsn)
+		err := l.flush(l.opts.FsyncBatch != 0)
+
+		l.gmu.Lock()
+		l.leading = false
+		l.gcond.Broadcast()
+		l.gmu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (l *Log) stickyErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// waitGroup lets the group grow: return early once FsyncBatch records are
+// pending, else after FsyncInterval.
+func (l *Log) waitGroup(lsn uint64) {
+	if l.opts.FsyncBatch <= 1 || l.opts.FsyncInterval <= 0 {
+		return
+	}
+	l.mu.Lock()
+	full := l.pending >= l.opts.FsyncBatch
+	// Drain a stale signal from a previous group so it cannot cut this
+	// group's wait short.
+	select {
+	case <-l.batchFull:
+	default:
+	}
+	full = full || l.pending >= l.opts.FsyncBatch
+	l.mu.Unlock()
+	if full {
+		return
+	}
+	timer := time.NewTimer(l.opts.FsyncInterval)
+	defer timer.Stop()
+	select {
+	case <-l.batchFull:
+	case <-timer.C:
+	}
+}
+
+// flush writes the buffered records and (optionally) fsyncs, then advances
+// synced. Only the group leader (or Close, after appends have stopped) calls
+// it, so file writes never race.
+func (l *Log) flush(fsync bool) error {
+	l.mu.Lock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	buf := l.buf
+	l.buf = nil
+	target := l.appended
+	recs := l.pending
+	l.pending = 0
+	rotateAt := uint64(0)
+	if l.segSize+int64(len(buf)) >= l.opts.segmentBytes() {
+		rotateAt = l.nextLSN
+	}
+	l.segSize += int64(len(buf))
+	f := l.f
+	l.mu.Unlock()
+
+	if recs == 0 && !fsync {
+		return nil
+	}
+	// Close set l.f to nil after the final flush; an empty re-flush (a second
+	// Close, or Flush on a closed log) has nothing left to make durable.
+	if f == nil && len(buf) == 0 {
+		return nil
+	}
+	if len(buf) > 0 {
+		if _, err := f.Write(buf); err != nil {
+			return l.fail(err)
+		}
+	}
+	if fsync {
+		if in := chaos.Active(); in != nil {
+			if _, delay := in.Decide(chaos.WALFsync); delay > 0 {
+				time.Sleep(delay)
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return l.fail(err)
+		}
+		l.fsyncs.Add(1)
+	}
+	l.flushedRecs.Add(uint64(recs))
+	for {
+		max := l.maxGroup.Load()
+		if uint64(recs) <= max || l.maxGroup.CompareAndSwap(max, uint64(recs)) {
+			break
+		}
+	}
+	l.synced.Store(target)
+
+	if rotateAt > 0 {
+		if err := l.rotate(rotateAt, f); err != nil {
+			return l.fail(err)
+		}
+	}
+	return nil
+}
+
+// rotate fsyncs and closes the full segment, then opens a fresh one whose
+// records will all have LSN >= next. The old-segment fsync before the new
+// segment exists is what keeps durability prefix-shaped across files.
+func (l *Log) rotate(next uint64, old *os.File) error {
+	if err := old.Sync(); err != nil {
+		return err
+	}
+	if err := old.Close(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.openSegment(next); err != nil {
+		return err
+	}
+	l.rotations.Add(1)
+	return nil
+}
+
+func (l *Log) fail(err error) error {
+	l.mu.Lock()
+	if l.failed == nil {
+		l.failed = fmt.Errorf("wal: shard %d log failed: %w", l.shard, err)
+	}
+	err = l.failed
+	l.mu.Unlock()
+	return err
+}
+
+// Flush makes everything appended so far durable (an unconditional fsync,
+// even when FsyncBatch is 0). Drain and Close use it so a graceful shutdown
+// never loses acknowledged writes.
+func (l *Log) Flush() error {
+	l.gmu.Lock()
+	for l.leading {
+		l.gcond.Wait()
+	}
+	l.leading = true
+	l.gmu.Unlock()
+
+	err := l.flush(true)
+
+	l.gmu.Lock()
+	l.leading = false
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+	return err
+}
+
+// Close flushes and fsyncs outstanding records and closes the active
+// segment. The log must not be appended to afterwards.
+func (l *Log) Close() error {
+	err := l.Flush()
+	l.mu.Lock()
+	f := l.f
+	l.f = nil
+	l.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Truncate deletes every non-active segment fully covered by a checkpoint at
+// covered: segment i can go once the next segment's first LSN is <= covered+1
+// (all of i's records are <= covered).
+func (l *Log) Truncate(covered uint64) error {
+	names, err := segNames(l.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(names); i++ {
+		if names[i+1] > covered+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(names[i]))); err != nil {
+			return err
+		}
+		l.truncatedSeg.Add(1)
+	}
+	return nil
+}
+
+// segNames lists the segment first-LSNs in dir, ascending.
+func segNames(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []uint64
+	for _, e := range ents {
+		if n, ok := parseSegName(e.Name()); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names, nil
+}

@@ -1,0 +1,234 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"memtx/internal/chaos"
+	"memtx/internal/obs"
+)
+
+// Manager owns every shard's Log plus the WAL-wide state: the cross-shard
+// transaction id counter, recovery statistics, and the exported metrics.
+//
+// Lifecycle: Recover scans the directory tree (read-only, tolerating a torn
+// tail per shard); the store applies snapshots and records and computes the
+// per-shard next LSNs; Start then opens the logs for appending.
+type Manager struct {
+	opts    Options
+	nshards int
+	logs    []*Log
+	xid     atomic.Uint64
+
+	replayRecords atomic.Uint64
+	replayRescued atomic.Uint64
+	replayPairs   atomic.Uint64
+	tornTails     atomic.Uint64
+	snapshots     atomic.Uint64
+	snapshotSkips atomic.Uint64
+	snapDurNs     atomic.Uint64
+	snapLastNs    atomic.Uint64
+}
+
+const metaName = "META"
+
+// writeMeta records the layout parameters recovery depends on. The shard
+// count is load-bearing: records carry no shard id (a key's shard is derived
+// from its hash), so reopening a WAL directory with a different shard count
+// would silently misroute every record.
+func checkMeta(dir string, shards int) error {
+	path := filepath.Join(dir, metaName)
+	want := fmt.Sprintf("memtx-wal v1 shards %d\n", shards)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	}
+	if err != nil {
+		return err
+	}
+	if string(b) != want {
+		return fmt.Errorf("wal: %s mismatch: dir has %q, store wants %q (shard count must not change across reboots)", path, string(b), want)
+	}
+	return nil
+}
+
+// ShardDir returns shard i's log directory under the WAL root.
+func ShardDir(root string, shard int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%04d", shard))
+}
+
+// Recover builds a Manager and scans every shard's log directory. The
+// returned scans hold each shard's decoded records (torn tails already
+// truncated); the logs are not yet open for appending — apply the scans,
+// then call Start.
+func Recover(opts Options, shards int) (*Manager, []*ShardScan, error) {
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := checkMeta(opts.Dir, shards); err != nil {
+		return nil, nil, err
+	}
+	m := &Manager{opts: opts, nshards: shards, logs: make([]*Log, shards)}
+	scans := make([]*ShardScan, shards)
+	for i := 0; i < shards; i++ {
+		sc, err := ScanShard(ShardDir(opts.Dir, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		if sc.TornTail {
+			m.tornTails.Add(1)
+		}
+		scans[i] = sc
+	}
+	return m, scans, nil
+}
+
+// Start opens every shard log for appending; nextLSN[i] is one past shard
+// i's last recovered (or rescued) record. The cross-shard id counter resumes
+// past maxXID.
+func (m *Manager) Start(nextLSN []uint64, maxXID uint64) error {
+	for i := 0; i < m.nshards; i++ {
+		l, err := openLog(ShardDir(m.opts.Dir, i), i, nextLSN[i], m.opts)
+		if err != nil {
+			return err
+		}
+		m.logs[i] = l
+	}
+	m.xid.Store(maxXID)
+	return nil
+}
+
+// Log returns shard i's log.
+func (m *Manager) Log(i int) *Log { return m.logs[i] }
+
+// Dir returns the WAL root directory.
+func (m *Manager) Dir() string { return m.opts.Dir }
+
+// NextXID allocates a cross-shard transaction id.
+func (m *Manager) NextXID() uint64 { return m.xid.Add(1) }
+
+// NoteReplay accumulates recovery statistics for the metrics export.
+func (m *Manager) NoteReplay(records, rescued, pairs uint64) {
+	m.replayRecords.Add(records)
+	m.replayRescued.Add(rescued)
+	m.replayPairs.Add(pairs)
+}
+
+// Checkpoint writes a snapshot for shard i covering every record with
+// LSN <= covered, then truncates segments up to truncTo (<= covered: the
+// store clamps truncation below any cross-shard record whose peer copies are
+// not yet durable, since a peer may need this shard's copy for a rescue).
+// An injected chaos fault — ErrSnapshotSkipped or an InjectedPanic, which is
+// recovered here — is counted and returned; nothing was written.
+func (m *Manager) Checkpoint(shard int, covered, truncTo uint64, pairs func(emit func(key, val []byte) error) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*chaos.InjectedPanic); ok {
+				m.snapshotSkips.Add(1)
+				err = ErrSnapshotSkipped
+				return
+			}
+			panic(r)
+		}
+	}()
+	start := time.Now()
+	if err := WriteSnapshot(ShardDir(m.opts.Dir, shard), covered, pairs); err != nil {
+		m.snapshotSkips.Add(1)
+		return err
+	}
+	d := uint64(time.Since(start).Nanoseconds())
+	m.snapshots.Add(1)
+	m.snapDurNs.Add(d)
+	m.snapLastNs.Store(d)
+	if truncTo > covered {
+		truncTo = covered
+	}
+	return m.logs[shard].Truncate(truncTo)
+}
+
+// Flush makes every shard's appended records durable.
+func (m *Manager) Flush() error {
+	var first error
+	for _, l := range m.logs {
+		if l == nil {
+			continue
+		}
+		if err := l.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes and closes every shard log.
+func (m *Manager) Close() error {
+	var first error
+	for _, l := range m.logs {
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ObsMetrics exports the stmkvd_wal_* family: append/fsync/group counters
+// summed across shards, replay and snapshot statistics, and per-shard
+// durable LSN gauges.
+func (m *Manager) ObsMetrics() []obs.Metric {
+	var appends, bytes, fsyncs, flushed, rotations, truncated, maxGroup uint64
+	for _, l := range m.logs {
+		if l == nil {
+			continue
+		}
+		appends += l.appends.Load()
+		bytes += l.appendBytes.Load()
+		fsyncs += l.fsyncs.Load()
+		flushed += l.flushedRecs.Load()
+		rotations += l.rotations.Load()
+		truncated += l.truncatedSeg.Load()
+		if g := l.maxGroup.Load(); g > maxGroup {
+			maxGroup = g
+		}
+	}
+	ms := []obs.Metric{
+		{Name: "stmkvd_wal_appends_total", Help: "Records appended to the write-ahead log.", Kind: obs.Counter, Value: appends},
+		{Name: "stmkvd_wal_append_bytes_total", Help: "Bytes appended to the write-ahead log.", Kind: obs.Counter, Value: bytes},
+		{Name: "stmkvd_wal_fsyncs_total", Help: "Group-commit fsyncs issued.", Kind: obs.Counter, Value: fsyncs},
+		{Name: "stmkvd_wal_group_records_total", Help: "Records made durable by group-commit flushes.", Kind: obs.Counter, Value: flushed},
+		{Name: "stmkvd_wal_group_max", Help: "Largest group-commit flush observed, in records.", Kind: obs.Gauge, Value: maxGroup},
+		{Name: "stmkvd_wal_rotations_total", Help: "Log segment rotations.", Kind: obs.Counter, Value: rotations},
+		{Name: "stmkvd_wal_truncated_segments_total", Help: "Log segments deleted after a covering checkpoint.", Kind: obs.Counter, Value: truncated},
+		{Name: "stmkvd_wal_replay_records_total", Help: "Log records replayed at boot.", Kind: obs.Counter, Value: m.replayRecords.Load()},
+		{Name: "stmkvd_wal_replay_rescued_total", Help: "Cross-shard records recovered from a peer shard's log at boot.", Kind: obs.Counter, Value: m.replayRescued.Load()},
+		{Name: "stmkvd_wal_replay_snapshot_pairs_total", Help: "Key/value pairs loaded from snapshots at boot.", Kind: obs.Counter, Value: m.replayPairs.Load()},
+		{Name: "stmkvd_wal_torn_tails_total", Help: "Torn tail records truncated during recovery.", Kind: obs.Counter, Value: m.tornTails.Load()},
+		{Name: "stmkvd_wal_snapshots_total", Help: "Snapshot checkpoints written.", Kind: obs.Counter, Value: m.snapshots.Load()},
+		{Name: "stmkvd_wal_snapshot_skips_total", Help: "Snapshot checkpoint attempts skipped or failed.", Kind: obs.Counter, Value: m.snapshotSkips.Load()},
+		{Name: "stmkvd_wal_snapshot_duration_ns_total", Help: "Cumulative wall time spent writing snapshots.", Kind: obs.Counter, Value: m.snapDurNs.Load()},
+		{Name: "stmkvd_wal_snapshot_last_ns", Help: "Duration of the most recent snapshot write.", Kind: obs.Gauge, Value: m.snapLastNs.Load()},
+	}
+	for i, l := range m.logs {
+		v := uint64(0)
+		if l != nil {
+			v = l.SyncedLSN()
+		}
+		ms = append(ms, obs.Metric{
+			Name:   "stmkvd_wal_durable_lsn",
+			Help:   "Last durable LSN per shard.",
+			Kind:   obs.Gauge,
+			Labels: []obs.Label{{Key: "shard", Value: strconv.Itoa(i)}},
+			Value:  v,
+		})
+	}
+	return ms
+}

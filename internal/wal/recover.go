@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ShardScan is the result of scanning one shard's log directory.
+type ShardScan struct {
+	// Records holds every decoded record, in LSN order. Ops alias the
+	// segment buffers held alive by the scan; apply them before dropping it.
+	Records []Record
+	// LastLSN is the highest record LSN seen (0 if none).
+	LastLSN uint64
+	// TornBytes counts bytes truncated from the tail of the last segment.
+	TornBytes int64
+	// TornTail reports whether a torn tail record was found and truncated.
+	TornTail bool
+}
+
+// ScanShard reads every log segment in dir, in order, validating frames and
+// enforcing strictly increasing LSNs across the whole log (gaps are legal —
+// cross-shard reservations and rescues leave them). A bad frame at the tail
+// of the *last* segment is the normal crash artifact: it is truncated from
+// the file and the scan succeeds. A bad frame anywhere else, or a
+// non-monotonic LSN, is corruption and fails the scan.
+func ScanShard(dir string) (*ShardScan, error) {
+	sc := &ShardScan{}
+	names, err := segNames(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return sc, nil
+		}
+		return nil, err
+	}
+	for i, first := range names {
+		last := i == len(names)-1
+		path := filepath.Join(dir, segName(first))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for {
+			payload, rest, ok, ferr := NextFrame(b[off:])
+			if ferr != nil {
+				if !last {
+					return nil, fmt.Errorf("wal: %s: corrupt frame at offset %d (not the last segment): %w", path, off, ferr)
+				}
+				sc.TornBytes = int64(len(b) - off)
+				sc.TornTail = true
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if !ok {
+				break
+			}
+			rec, derr := DecodeRecord(payload)
+			if derr != nil {
+				// The frame CRC passed but the payload is malformed — that is
+				// corruption (or a version skew), not a torn tail.
+				return nil, fmt.Errorf("wal: %s: bad record at offset %d: %w", path, off, derr)
+			}
+			if rec.LSN < first || rec.LSN <= sc.LastLSN {
+				return nil, fmt.Errorf("wal: %s: record lsn %d out of order (segment start %d, previous %d)", path, rec.LSN, first, sc.LastLSN)
+			}
+			sc.Records = append(sc.Records, rec)
+			sc.LastLSN = rec.LSN
+			off = len(b) - len(rest)
+		}
+	}
+	return sc, nil
+}

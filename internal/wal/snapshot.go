@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"memtx/internal/chaos"
+)
+
+const (
+	snapSuffix = ".snap"
+	snapMagic  = 0x73746d6b767773_31 // "stmkvws1"
+	// snapPairFrameBytes batches pairs so a large snapshot is many modest
+	// frames rather than one giant one.
+	snapPairFrameBytes = 32 << 10
+)
+
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("%020d%s", lsn, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	s, ok := strings.CutSuffix(name, snapSuffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ErrSnapshotSkipped reports that a chaos fault cancelled the checkpoint
+// attempt before any file was touched; a later attempt retries.
+var ErrSnapshotSkipped = errors.New("wal: snapshot attempt skipped by injected fault")
+
+// WriteSnapshot writes a checkpoint covering every record with LSN <= covered
+// for one shard: pairs are streamed through emit, framed in batches, and the
+// file lands atomically (tmp + fsync + rename + dir fsync), so a valid .snap
+// is always complete. Older snapshots are removed after the new one is
+// durable.
+func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) error {
+	if in := chaos.Active(); in != nil {
+		act, delay := in.Decide(chaos.SnapshotWrite)
+		switch act {
+		case chaos.ActAbort:
+			return ErrSnapshotSkipped
+		case chaos.ActDelay:
+			time.Sleep(delay)
+		case chaos.ActPanic:
+			panic(&chaos.InjectedPanic{Point: chaos.SnapshotWrite})
+		}
+	}
+	final := filepath.Join(dir, snapName(covered))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op once renamed
+
+	var buf []byte
+	buf, start := beginFrame(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, covered)
+	buf = append(buf, byte(kindSnapHeader))
+	buf = binary.LittleEndian.AppendUint64(buf, snapMagic)
+	buf = sealFrame(buf, start)
+
+	// Pair frames carry no count — the frame length bounds the body, and
+	// pairs are decoded until it is exhausted.
+	var total uint64
+	var pbuf []byte
+	var npairs int
+	pstart := 0
+	openPairs := func() {
+		pbuf, pstart = beginFrame(pbuf)
+		pbuf = binary.LittleEndian.AppendUint64(pbuf, covered)
+		pbuf = append(pbuf, byte(kindSnapPairs))
+		npairs = 0
+	}
+	flushPairs := func() error {
+		if npairs == 0 {
+			pbuf = pbuf[:0]
+			return nil
+		}
+		pbuf = sealFrame(pbuf, pstart)
+		_, err := f.Write(pbuf)
+		pbuf = pbuf[:0]
+		return err
+	}
+	openPairs()
+	emit := func(key, val []byte) error {
+		pbuf = binary.AppendUvarint(pbuf, uint64(len(key)))
+		pbuf = append(pbuf, key...)
+		pbuf = binary.AppendUvarint(pbuf, uint64(len(val)))
+		pbuf = append(pbuf, val...)
+		npairs++
+		total++
+		if len(pbuf)-pstart >= snapPairFrameBytes {
+			if err := flushPairs(); err != nil {
+				return err
+			}
+			openPairs()
+		}
+		return nil
+	}
+
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := pairs(emit); err != nil {
+		f.Close()
+		return err
+	}
+	if err := flushPairs(); err != nil {
+		f.Close()
+		return err
+	}
+
+	buf = buf[:0]
+	buf, start = beginFrame(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, covered)
+	buf = append(buf, byte(kindSnapFooter))
+	buf = binary.LittleEndian.AppendUint64(buf, total)
+	buf = sealFrame(buf, start)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// The new snapshot is durable; older ones are dead weight.
+	names, err := snapNames(dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if n < covered {
+			if err := os.Remove(filepath.Join(dir, snapName(n))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// snapNames lists snapshot LSNs in dir, ascending.
+func snapNames(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []uint64
+	for _, e := range ents {
+		if n, ok := parseSnapName(e.Name()); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names, nil
+}
+
+// LoadSnapshot opens the newest valid snapshot in dir and streams its pairs
+// through emit, returning the covered LSN and pair count. A snapshot that
+// fails validation (bad frame, wrong magic, footer count mismatch) is skipped
+// in favor of the next older one — the rename protocol makes that shape disk
+// corruption, not a normal crash artifact. ok is false when no valid
+// snapshot exists.
+func LoadSnapshot(dir string, emit func(key, val []byte) error) (covered uint64, pairs uint64, ok bool, err error) {
+	names, err := snapNames(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, false, nil
+		}
+		return 0, 0, false, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		covered = names[i]
+		path := filepath.Join(dir, snapName(covered))
+		// Validate the whole file before emitting anything, so a corrupt
+		// snapshot cannot half-apply before the fallback to an older one.
+		if _, verr := readSnapshot(path, covered, func(_, _ []byte) error { return nil }); verr != nil {
+			continue
+		}
+		pairs, err = readSnapshot(path, covered, emit)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return covered, pairs, true, nil
+	}
+	return 0, 0, false, nil
+}
+
+func readSnapshot(path string, covered uint64, emit func(key, val []byte) error) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var total, counted uint64
+	sawHeader, sawFooter := false, false
+	for {
+		payload, rest, ok, err := NextFrame(b)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		b = rest
+		if len(payload) < minPayloadLen {
+			return 0, errors.New("wal: short snapshot frame")
+		}
+		lsn, kind, body := payloadHeader(payload)
+		if lsn != covered {
+			return 0, fmt.Errorf("wal: snapshot frame lsn %d != %d", lsn, covered)
+		}
+		switch kind {
+		case kindSnapHeader:
+			if sawHeader || len(body) != 8 || binary.LittleEndian.Uint64(body) != snapMagic {
+				return 0, errors.New("wal: bad snapshot header")
+			}
+			sawHeader = true
+		case kindSnapPairs:
+			if !sawHeader || sawFooter {
+				return 0, errors.New("wal: snapshot pairs out of order")
+			}
+			for len(body) > 0 {
+				var key, val []byte
+				var err error
+				if key, body, err = decodeBytes(body); err != nil {
+					return 0, err
+				}
+				if val, body, err = decodeBytes(body); err != nil {
+					return 0, err
+				}
+				if err := emit(key, val); err != nil {
+					return 0, err
+				}
+				counted++
+			}
+		case kindSnapFooter:
+			if !sawHeader || sawFooter || len(body) != 8 {
+				return 0, errors.New("wal: bad snapshot footer")
+			}
+			total = binary.LittleEndian.Uint64(body)
+			sawFooter = true
+		default:
+			return 0, fmt.Errorf("wal: unexpected snapshot frame kind %d", kind)
+		}
+	}
+	if !sawHeader || !sawFooter {
+		return 0, errors.New("wal: incomplete snapshot")
+	}
+	if counted != total {
+		return 0, fmt.Errorf("wal: snapshot pair count %d != footer %d", counted, total)
+	}
+	return counted, nil
+}
