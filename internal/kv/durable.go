@@ -168,8 +168,9 @@ func (t *Tx) walAppendCross() error {
 }
 
 // walSyncAll blocks until every (shard, LSN) the attempt appended is durable,
-// then retires the in-flight registration. Runs after the gates are released,
-// so parked syncs never hold up other transactions' commits.
+// then — on success — retires the in-flight registration. Runs after the
+// gates are released, so parked syncs never hold up other transactions'
+// commits.
 func (s *Store) walSyncAll(t *Tx) error {
 	var err error
 	switch len(t.syncs) {
@@ -195,7 +196,15 @@ func (s *Store) walSyncAll(t *Tx) error {
 		}
 	}
 	if t.xid != 0 {
-		s.doneInflight(t.xid)
+		// Retire only on success. A failed Sync means some participant's
+		// xcommit copy may never become durable; leaving the registration
+		// pinned keeps minInflightLSN clamping checkpoint truncation on the
+		// healthy peers, so the surviving durable copies a post-crash rescue
+		// needs cannot be deleted. The log is sticky-wedged, so the pin is
+		// permanent — by design.
+		if err == nil {
+			s.doneInflight(t.xid)
+		}
 		t.xid = 0
 	}
 	t.syncs = t.syncs[:0]
@@ -253,9 +262,9 @@ func (b *SyncBatch) note(t *Tx) {
 func (b *SyncBatch) Pending() bool { return b != nil && b.dirty }
 
 // Wait blocks until every record noted since the last Wait is durable, then
-// retires the deferred in-flight registrations. Shards sync in parallel; the
-// first error wins (a failed Wait means the acknowledgments gated on it must
-// not be released — the log is wedged).
+// (on success) retires the deferred in-flight registrations. Shards sync in
+// parallel; the first error wins (a failed Wait means the acknowledgments
+// gated on it must not be released — the log is wedged).
 func (b *SyncBatch) Wait() error {
 	if b == nil || !b.dirty {
 		return nil
@@ -295,8 +304,15 @@ func (b *SyncBatch) Wait() error {
 			}
 		}
 	}
-	for _, xid := range b.xids {
-		b.s.doneInflight(xid)
+	// Retire the deferred registrations only when every shard synced: after a
+	// failed Sync a participant's xcommit copy may never be durable, and the
+	// still-pinned registrations stop checkpoints on the healthy peers from
+	// truncating the surviving copies a post-crash rescue would need (the
+	// wedged log makes the pin permanent — see walSyncAll).
+	if err == nil {
+		for _, xid := range b.xids {
+			b.s.doneInflight(xid)
+		}
 	}
 	b.xids = b.xids[:0]
 	for i := range b.lsn {
@@ -611,6 +627,28 @@ func (s *Store) checkpointShard(sid int) error {
 	covered := l.AppendedLSN()
 	pairs, err := s.collectShardPairs(sid)
 	if err != nil {
+		return err
+	}
+	// The scan can also observe effects of records appended *after* covered —
+	// and, because engines publish before they append, even effects whose
+	// append was still in flight when the scan validated. Before the snapshot
+	// becomes durable the log must be durable through every record the scan
+	// could have seen, or a crash would recover snapshot state (e.g. one
+	// shard's half of a cross-shard TRANSFER) with no durable record backing
+	// it anywhere. The barrier: every publish+append runs either under the
+	// shard's exclusive gate (cross-shard) or under wmu while holding the gate
+	// shared (single-shard), so briefly holding the gate shared plus wmu waits
+	// out any section whose publish the scan observed; the AppendedLSN read
+	// under both locks then bounds all observed effects, and syncing through
+	// it before WriteSnapshot's rename restores the recovery invariant. The
+	// minInflightLSN clamp below only protects truncation, not this.
+	sh := &s.shards[sid]
+	sh.xmu.RLock()
+	sh.wmu.Lock()
+	observed := l.AppendedLSN()
+	sh.wmu.Unlock()
+	sh.xmu.RUnlock()
+	if err := l.Sync(observed); err != nil {
 		return err
 	}
 	truncTo := covered

@@ -446,3 +446,113 @@ func TestDeferredSyncNilStore(t *testing.T) {
 		t.Fatalf("deferred write lost: %q %v", v, ok)
 	}
 }
+
+// TestCheckpointSyncsLogBeforeSnapshot pins the snapshot durability ordering:
+// a checkpoint must make the log durable through every record whose effects
+// its scan could have observed *before* the snapshot lands. Otherwise a crash
+// after the rename but before the group fsync would recover snapshot state
+// (e.g. one shard's half of a cross-shard transfer) backed by no durable
+// record anywhere. Deferred commits leave records appended-but-unsynced, so
+// the checkpoint itself must close the gap.
+func TestCheckpointSyncsLogBeforeSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// Nothing syncs until someone calls Sync (batch too large to fill); the
+	// small interval only bounds how long a group leader lingers.
+	s, _, err := Open(Config{Shards: 4, Buckets: 64},
+		DurableConfig{Dir: dir, FsyncBatch: 1 << 20, FsyncInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeStore(t, s)
+
+	sb := s.NewSyncBatch()
+	for i := 0; i < 32; i++ {
+		key := []byte(fmt.Sprintf("cp%04d", i))
+		err := s.AtomicKeyDefer(nil, memtx.TxOptions{}, key, sb, func(tx *Tx) error {
+			tx.Set(key, []byte("v"))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := crossPair(t, s)
+	err = s.AtomicKeysDefer(nil, memtx.TxOptions{}, [][]byte{a, b}, sb, func(tx *Tx) error {
+		tx.Set(a, []byte("1"))
+		tx.Set(b, []byte("2"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	behind := false
+	for i := 0; i < s.Shards(); i++ {
+		l := s.WAL().Log(i)
+		if l.SyncedLSN() < l.AppendedLSN() {
+			behind = true
+		}
+	}
+	if !behind {
+		t.Fatal("every record already durable before the checkpoint; nothing to test")
+	}
+
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Quiescent store: the scan observed every published effect, so the log
+	// must now be durable through each shard's full appended prefix.
+	for i := 0; i < s.Shards(); i++ {
+		l := s.WAL().Log(i)
+		if l.SyncedLSN() < l.AppendedLSN() {
+			t.Fatalf("shard %d: snapshot written with synced %d < appended %d — snapshot may hold non-durable effects",
+				i, l.SyncedLSN(), l.AppendedLSN())
+		}
+	}
+	if err := sb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedSyncKeepsInflightPinned pins the wedged-log truncation guard: a
+// cross-shard commit whose durability wait fails must keep its in-flight
+// registration (and so its minInflightLSN truncation pin) forever — with one
+// participant's xcommit copy possibly never durable, a checkpoint on a
+// healthy peer must not delete the surviving copy a post-crash rescue needs.
+func TestFailedSyncKeepsInflightPinned(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1 forces a rotation on every flush; deleting a shard's log
+	// directory then wedges that log at the next Sync (the rotation cannot
+	// create the next segment), without disturbing the already-open file.
+	s, _, err := Open(Config{Shards: 4, Buckets: 64},
+		DurableConfig{Dir: dir, FsyncBatch: 1, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb := s.NewSyncBatch()
+	a, b := crossPair(t, s)
+	err = s.AtomicKeysDefer(nil, memtx.TxOptions{}, [][]byte{a, b}, sb, func(tx *Tx) error {
+		tx.Set(a, []byte("1"))
+		tx.Set(b, []byte("2"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidA, sidB := s.KeyShard(a), s.KeyShard(b)
+	if s.minInflightLSN(sidA) == 0 || s.minInflightLSN(sidB) == 0 {
+		t.Fatal("deferred cross-shard commit not registered in-flight")
+	}
+	if err := os.RemoveAll(wal.ShardDir(dir, sidA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Wait(); err == nil {
+		t.Fatal("Wait succeeded with shard A's log directory gone")
+	}
+	// The registration must survive the failed Wait on every participant:
+	// shard B's checkpoints stay clamped below the xcommit record.
+	if s.minInflightLSN(sidA) == 0 || s.minInflightLSN(sidB) == 0 {
+		t.Fatal("failed Wait retired the in-flight registration; a healthy peer could truncate the only durable xcommit copy")
+	}
+	_ = s.Close() // the wedged log fails the final flush; that is the point
+}

@@ -479,9 +479,11 @@ func (s *Server) serveConn(nc net.Conn) {
 	bw := bufio.NewWriterSize(nc, 32<<10)
 	c := s.newConn()
 	// Retire deferred durability waits even on an abrupt exit (write error,
-	// injected connection kill): the records are already appended, and an
-	// in-flight cross-shard registration left behind would pin log truncation
-	// forever. No response rides on this Wait — the client saw no ACK.
+	// injected connection kill): the records are already appended, and a
+	// successfully-synced cross-shard registration left behind would pin log
+	// truncation for no reason. No response rides on this Wait — the client
+	// saw no ACK. (On a failed Wait the registrations deliberately stay
+	// pinned; see kv.SyncBatch.Wait.)
 	defer func() { _ = c.sb.Wait() }()
 	for {
 		// During a drain, serve the requests already buffered (they were
