@@ -70,7 +70,10 @@ func main() {
 		walBatch      = flag.Int("wal-fsync-batch", 8, "group-commit batch: fsync once per this many records (1 = per commit, 0 = never fsync)")
 		walInterval   = flag.Duration("wal-fsync-interval", time.Millisecond, "max time a commit waits for its group to fill before fsyncing anyway")
 		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "log segment rotation threshold in bytes (0 = 64 MiB)")
+		walQueue      = flag.Int("wal-append-queue", 0, "per-shard append-pipeline depth: records are encoded outside and written off the shard critical section (0 = default 1024, negative = legacy buffered appends under the shard lock)")
 		snapshotEvery = flag.Duration("snapshot-every", time.Minute, "interval between snapshot checkpoints (truncating covered log segments; 0 = never)")
+		walIncrSnaps  = flag.Bool("wal-incremental-snapshots", false, "checkpoint by merging only dirtied keys into the previous snapshot instead of rescanning the shard")
+		walFullEvery  = flag.Int("wal-full-snapshot-every", 0, "with -wal-incremental-snapshots, force a full-scan snapshot every Nth checkpoint per shard (0 = default 8)")
 
 		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injector seed (with any -chaos-* rate > 0)")
 		chaosAbort    = flag.Int("chaos-abort", 0, "injected abort rate per injection point, parts per million")
@@ -95,11 +98,14 @@ func main() {
 		bootStart := time.Now()
 		var stats *kv.RecoveryStats
 		store, stats, err = kv.Open(cfg, kv.DurableConfig{
-			Dir:           *walDir,
-			FsyncBatch:    *walBatch,
-			FsyncInterval: *walInterval,
-			SegmentBytes:  *walSegBytes,
-			SnapshotEvery: *snapshotEvery,
+			Dir:                  *walDir,
+			FsyncBatch:           *walBatch,
+			FsyncInterval:        *walInterval,
+			SegmentBytes:         *walSegBytes,
+			AppendQueue:          *walQueue,
+			SnapshotEvery:        *snapshotEvery,
+			IncrementalSnapshots: *walIncrSnaps,
+			FullSnapshotEvery:    *walFullEvery,
 		})
 		if err != nil {
 			logger.Fatalf("wal recovery: %v", err)

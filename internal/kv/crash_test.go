@@ -3,8 +3,6 @@ package kv
 import (
 	"fmt"
 	"os"
-	"os/exec"
-	"syscall"
 	"testing"
 	"time"
 )
@@ -81,62 +79,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Skip("crash drill re-executes the test binary")
 	}
 	dir := t.TempDir()
-	for cycle := 0; cycle < 3; cycle++ {
-		cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRecoveryDaemon$", "-test.v")
-		cmd.Env = append(os.Environ(), crashEnvDir+"="+dir)
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		// Wait for the child to finish recovery+seeding, let it run under
-		// load, then kill it mid-stride.
-		ready := make(chan error, 1)
-		go func() {
-			buf := make([]byte, 1)
-			line := ""
-			for {
-				if _, err := stdout.Read(buf); err != nil {
-					ready <- fmt.Errorf("child died before ready: %v", err)
-					return
-				}
-				if buf[0] == '\n' {
-					if line == "CHILD-READY" {
-						ready <- nil
-						go func() { // drain so the child never blocks on stdout
-							b := make([]byte, 4096)
-							for {
-								if _, err := stdout.Read(b); err != nil {
-									return
-								}
-							}
-						}()
-						return
-					}
-					line = ""
-					continue
-				}
-				line += string(buf[:1])
-			}
-		}()
-		select {
-		case err := <-ready:
-			if err != nil {
-				t.Fatal(err)
-			}
-		case <-time.After(30 * time.Second):
-			_ = cmd.Process.Kill()
-			t.Fatal("child never became ready")
-		}
-		time.Sleep(time.Duration(50+cycle*75) * time.Millisecond)
-		if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
-			t.Fatal(err)
-		}
-		_ = cmd.Wait()
-	}
+	runCrashCycles(t, dir, crashEnvDir, "TestCrashRecoveryDaemon", 3)
 
 	// Final recovery in-process: the transfer sum must be conserved.
 	s, stats, err := Open(Config{Shards: 4, Buckets: 256},

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"memtx/internal/chaos"
 	"memtx/internal/engine"
 	"memtx/internal/wal"
 )
@@ -20,10 +21,21 @@ type DurableConfig struct {
 	FsyncBatch    int
 	FsyncInterval time.Duration
 	SegmentBytes  int64
+	// AppendQueue sizes the per-shard append pipeline (see wal.Options):
+	// 0 selects the default, a negative value disables the pipeline.
+	AppendQueue int
 	// SnapshotEvery starts a background checkpointer writing per-shard
 	// snapshots (and truncating covered log segments) on this period.
 	// 0 disables periodic checkpoints; Checkpoint can still be called.
 	SnapshotEvery time.Duration
+	// IncrementalSnapshots makes checkpoints serialize only keys dirtied
+	// since the shard's last snapshot, merging them into the previous
+	// snapshot file; a full-scan snapshot is still taken periodically (and
+	// whenever the dirty set overflows or no previous snapshot exists).
+	IncrementalSnapshots bool
+	// FullSnapshotEvery forces a full-scan snapshot every Nth checkpoint per
+	// shard when IncrementalSnapshots is on. 0 means the default (8).
+	FullSnapshotEvery int
 }
 
 // RecoveryStats reports what replay-on-boot found.
@@ -59,6 +71,42 @@ type walSync struct {
 	lsn uint64
 }
 
+// walScratch pools a transaction's WAL slices (effect capture, encode
+// scratch, durability waits, participant table) so the durable hot path does
+// not allocate them per commit. Borrowed by the run loops when the store has
+// a WAL and the transaction writes; released after the durability wait is
+// either done or handed to a SyncBatch.
+type walScratch struct {
+	effs        []walEff
+	encOps      []wal.Op
+	syncs       []walSync
+	partScratch []wal.Part
+}
+
+var walScratchPool = sync.Pool{New: func() any { return new(walScratch) }}
+
+func (t *Tx) borrowWALScratch() *walScratch {
+	ws := walScratchPool.Get().(*walScratch)
+	t.effs = ws.effs[:0]
+	t.encOps = ws.encOps[:0]
+	t.syncs = ws.syncs[:0]
+	t.partScratch = ws.partScratch[:0]
+	return ws
+}
+
+// release returns the scratch to the pool. The effect and encode slices are
+// cleared first so pooled entries do not pin caller key/value buffers.
+func (ws *walScratch) release(t *Tx) {
+	clear(t.effs[:cap(t.effs)])
+	clear(t.encOps[:cap(t.encOps)])
+	ws.effs = t.effs[:0]
+	ws.encOps = t.encOps[:0]
+	ws.syncs = t.syncs[:0]
+	ws.partScratch = t.partScratch[:0]
+	t.effs, t.encOps, t.syncs, t.partScratch = nil, nil, nil, nil
+	walScratchPool.Put(ws)
+}
+
 // logEffect captures one write effect if a WAL is attached. Key and val must
 // stay valid until the attempt commits or aborts (callers pass the same
 // slices the engine write consumed).
@@ -82,22 +130,40 @@ func (t *Tx) encodeEffs(sid int) []wal.Op {
 	return t.encOps
 }
 
+// chaosWALAppend is the WALAppend fault point, injected at record encoding —
+// before the shard's wmu — so chaos delays exercise the pipeline's reorder
+// window without artificially stretching the commit critical section.
+func chaosWALAppend() {
+	if in := chaos.Active(); in != nil {
+		if _, delay := in.Decide(chaos.WALAppend); delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+}
+
 // durableCommitSingle is the commit hook for single-shard writers: it couples
-// the engine commit and the WAL append under the shard's wmu, so the log's
-// record order matches the engine's commit order. The append only buffers;
-// the caller syncs after the gate is released. A commit-entry chaos panic
-// unwinds through here with wmu released by the defer.
+// the engine commit and the WAL LSN reservation under the shard's wmu, so the
+// log's record order matches the engine's commit order. The record is encoded
+// into a pooled buffer *before* wmu is taken, and the append only reserves an
+// LSN and enqueues for the shard's appender goroutine — the critical section
+// never waits on encoding, checksumming, or file I/O. The caller syncs after
+// the gate is released. A commit-entry chaos panic unwinds through here with
+// wmu released by the defer.
 func (s *Store) durableCommitSingle(sid int, t *Tx, tx engine.Txn) error {
 	if len(t.effs) == 0 {
 		return tx.Commit()
 	}
+	enc := wal.EncodeCommit(t.encodeEffs(sid))
+	chaosWALAppend()
 	sh := &s.shards[sid]
 	sh.wmu.Lock()
 	defer sh.wmu.Unlock()
 	if err := tx.Commit(); err != nil {
+		enc.Release()
 		return err
 	}
-	lsn, err := s.wal.Log(sid).AppendCommit(t.encodeEffs(sid))
+	s.markDirty(sid, t)
+	lsn, err := s.wal.Log(sid).Append(enc)
 	if err != nil {
 		// The engine commit is already published; a wedged log cannot undo
 		// it. Surface the error — the client must not treat the write as
@@ -106,6 +172,69 @@ func (s *Store) durableCommitSingle(sid int, t *Tx, tx engine.Txn) error {
 	}
 	t.syncs = append(t.syncs, walSync{sid: sid, lsn: lsn})
 	return nil
+}
+
+// dirtyLimit caps a shard's dirty-key set for incremental checkpoints. Past
+// it the set is dropped and the next checkpoint falls back to a full scan —
+// tracking more keys than a scan would serialize is pure overhead.
+const dirtyLimit = 1 << 17
+
+// markDirty records t's effects on shard sid into the shard's dirty set.
+// Must be called inside the same critical section that reserves the commit's
+// LSN (under wmu for single-shard commits, under the exclusive gate for
+// cross-shard ones) — see the shard.dmu comment for why that makes the
+// checkpoint's dirty-set take consistent with the covered LSN it reads.
+func (s *Store) markDirty(sid int, t *Tx) {
+	if !s.walIncr {
+		return
+	}
+	sh := &s.shards[sid]
+	sh.dmu.Lock()
+	defer sh.dmu.Unlock()
+	if sh.dirtyOver {
+		return
+	}
+	for _, e := range t.effs {
+		if e.sid != sid {
+			continue
+		}
+		if _, ok := sh.dirty[string(e.key)]; ok {
+			continue
+		}
+		if len(sh.dirty) >= dirtyLimit {
+			sh.dirtyOver = true
+			sh.dirty = nil
+			return
+		}
+		if sh.dirty == nil {
+			sh.dirty = make(map[string]struct{})
+		}
+		sh.dirty[string(e.key)] = struct{}{}
+	}
+}
+
+// mergeDirtyBack restores a taken dirty set after a failed checkpoint, so the
+// keys it held are not lost to the next incremental attempt.
+func (sh *shard) mergeDirtyBack(taken map[string]struct{}, takenOver bool) {
+	sh.dmu.Lock()
+	defer sh.dmu.Unlock()
+	if takenOver || sh.dirtyOver {
+		sh.dirtyOver = true
+		sh.dirty = nil
+		return
+	}
+	if sh.dirty == nil {
+		sh.dirty = taken
+		return
+	}
+	for k := range taken {
+		if len(sh.dirty) >= dirtyLimit {
+			sh.dirtyOver = true
+			sh.dirty = nil
+			return
+		}
+		sh.dirty[k] = struct{}{}
+	}
 }
 
 // walAppendCross logs a committed cross-shard transaction. Called from
@@ -132,6 +261,11 @@ func (t *Tx) walAppendCross() error {
 		if !found {
 			t.partScratch = append(t.partScratch, wal.Part{Shard: e.sid})
 		}
+	}
+	// The exclusive gates are the cross-shard LSN-reservation critical
+	// section, so marking here satisfies markDirty's contract.
+	for _, p := range t.partScratch {
+		s.markDirty(p.Shard, t)
 	}
 	if len(t.partScratch) == 1 {
 		sid := t.partScratch[0].Shard
@@ -167,34 +301,73 @@ func (t *Tx) walAppendCross() error {
 	return firstErr
 }
 
+// walSyncWorkers caps the store's shared durability-wait worker pool (one
+// worker can usefully wait per shard; beyond a handful the waits just join
+// the same group commits).
+const walSyncWorkers = 8
+
+// walSyncReq asks a sync worker to make one (log, LSN) durable.
+type walSyncReq struct {
+	l   *wal.Log
+	lsn uint64
+	err *error
+	wg  *sync.WaitGroup
+}
+
+// walSyncWorker drains one durability-wait queue. The channel is passed in
+// rather than read from the store: Close nils s.wsync after closing it, and a
+// worker that is first scheduled after that would otherwise range over nil.
+func (s *Store) walSyncWorker(reqs <-chan walSyncReq) {
+	defer s.walWG.Done()
+	for req := range reqs {
+		*req.err = req.l.Sync(req.lsn)
+		req.wg.Done()
+	}
+}
+
+// syncMany blocks until every (shard, LSN) pair is durable and returns the
+// first error. One or two participants — the overwhelmingly common cases —
+// sync sequentially on the calling goroutine: a goroutine handoff costs more
+// than the second group-commit wait it could overlap. Wider fan-outs park on
+// the store's small worker set instead of spawning a goroutine per
+// participant per commit (the last participant is synced inline, so the
+// caller always does useful waiting too).
+func (s *Store) syncMany(syncs []walSync) error {
+	if len(syncs) <= 2 || s.wsync == nil {
+		var first error
+		for _, ws := range syncs {
+			if err := s.wal.Log(ws.sid).Sync(ws.lsn); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(syncs)-1)
+	for i, ws := range syncs[:len(syncs)-1] {
+		wg.Add(1)
+		s.wsync <- walSyncReq{l: s.wal.Log(ws.sid), lsn: ws.lsn, err: &errs[i], wg: &wg}
+	}
+	last := syncs[len(syncs)-1]
+	err := s.wal.Log(last.sid).Sync(last.lsn)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			if err == nil {
+				err = e
+			}
+			break
+		}
+	}
+	return err
+}
+
 // walSyncAll blocks until every (shard, LSN) the attempt appended is durable,
 // then — on success — retires the in-flight registration. Runs after the
 // gates are released, so parked syncs never hold up other transactions'
 // commits.
 func (s *Store) walSyncAll(t *Tx) error {
-	var err error
-	switch len(t.syncs) {
-	case 0:
-	case 1:
-		err = s.wal.Log(t.syncs[0].sid).Sync(t.syncs[0].lsn)
-	default:
-		var wg sync.WaitGroup
-		errs := make([]error, len(t.syncs))
-		for i, ws := range t.syncs {
-			wg.Add(1)
-			go func(i int, ws walSync) {
-				defer wg.Done()
-				errs[i] = s.wal.Log(ws.sid).Sync(ws.lsn)
-			}(i, ws)
-		}
-		wg.Wait()
-		for _, e := range errs {
-			if e != nil {
-				err = e
-				break
-			}
-		}
-	}
+	err := s.syncMany(t.syncs)
 	if t.xid != 0 {
 		// Retire only on success. A failed Sync means some participant's
 		// xcommit copy may never become durable; leaving the registration
@@ -223,10 +396,11 @@ func (s *Store) walSyncAll(t *Tx) error {
 // succeed) before releasing any acknowledgment for the writes it noted. A
 // SyncBatch is not safe for concurrent use.
 type SyncBatch struct {
-	s     *Store
-	lsn   []uint64 // per-shard high-water LSN awaiting sync (0 = none)
-	xids  []uint64 // cross-shard commits to retire once durable
-	dirty bool
+	s       *Store
+	lsn     []uint64 // per-shard high-water LSN awaiting sync (0 = none)
+	xids    []uint64 // cross-shard commits to retire once durable
+	scratch []walSync
+	dirty   bool
 }
 
 // NewSyncBatch returns a deferred-sync collector for the store, or nil when
@@ -269,41 +443,13 @@ func (b *SyncBatch) Wait() error {
 	if b == nil || !b.dirty {
 		return nil
 	}
-	var err error
-	n, last := 0, -1
+	b.scratch = b.scratch[:0]
 	for sid, lsn := range b.lsn {
 		if lsn != 0 {
-			n++
-			last = sid
+			b.scratch = append(b.scratch, walSync{sid: sid, lsn: lsn})
 		}
 	}
-	switch n {
-	case 0:
-	case 1:
-		err = b.s.wal.Log(last).Sync(b.lsn[last])
-	default:
-		var wg sync.WaitGroup
-		errs := make([]error, n)
-		i := 0
-		for sid, lsn := range b.lsn {
-			if lsn == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(i, sid int, lsn uint64) {
-				defer wg.Done()
-				errs[i] = b.s.wal.Log(sid).Sync(lsn)
-			}(i, sid, lsn)
-			i++
-		}
-		wg.Wait()
-		for _, e := range errs {
-			if e != nil {
-				err = e
-				break
-			}
-		}
-	}
+	err := b.s.syncMany(b.scratch)
 	// Retire the deferred registrations only when every shard synced: after a
 	// failed Sync a participant's xcommit copy may never be durable, and the
 	// still-pinned registrations stop checkpoints on the healthy peers from
@@ -367,6 +513,7 @@ func Open(cfg Config, dcfg DurableConfig) (*Store, *RecoveryStats, error) {
 		FsyncBatch:    dcfg.FsyncBatch,
 		FsyncInterval: dcfg.FsyncInterval,
 		SegmentBytes:  dcfg.SegmentBytes,
+		AppendQueue:   dcfg.AppendQueue,
 	}
 	m, scans, err := wal.Recover(opts, len(s.shards))
 	if err != nil {
@@ -396,6 +543,24 @@ func Open(cfg Config, dcfg DurableConfig) (*Store, *RecoveryStats, error) {
 
 	s.wal = m
 	s.winflight = make(map[uint64][]wal.Part)
+	s.walIncr = dcfg.IncrementalSnapshots
+	s.walFullN = dcfg.FullSnapshotEvery
+	if s.walFullN <= 0 {
+		s.walFullN = 8
+	}
+	if len(s.shards) > 2 {
+		// Shared durability-wait workers for wide cross-shard commits; stores
+		// with <= 2 shards always sync inline (see syncMany).
+		workers := len(s.shards)
+		if workers > walSyncWorkers {
+			workers = walSyncWorkers
+		}
+		s.wsync = make(chan walSyncReq, len(s.shards))
+		for i := 0; i < workers; i++ {
+			s.walWG.Add(1)
+			go s.walSyncWorker(s.wsync)
+		}
+	}
 	if dcfg.SnapshotEvery > 0 {
 		s.walStop = make(chan struct{})
 		s.walWG.Add(1)
@@ -417,44 +582,65 @@ func (s *Store) replay(m *wal.Manager, scans []*wal.ShardScan) (*RecoveryStats, 
 	snapLSN := make([]uint64, nshards)
 
 	// Snapshots first: they are the base state the log suffix replays over.
+	// Shards are independent transactional memories and their snapshot files
+	// are independent, so load them in parallel — boot time is bounded by the
+	// largest shard's snapshot, not the sum.
+	snapPairs := make([]uint64, nshards)
+	loadErrs := make([]error, nshards)
+	var wg sync.WaitGroup
 	for sid := 0; sid < nshards; sid++ {
 		if scans[sid].TornTail {
 			stats.TornTails++
 		}
-		var batch [][2][]byte
-		flush := func() error {
-			if len(batch) == 0 {
-				return nil
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			var batch [][2][]byte
+			flush := func() error {
+				if len(batch) == 0 {
+					return nil
+				}
+				b := batch
+				batch = batch[:0]
+				return s.runSingle(nil, engine.RunOptions{}, sid, false, func(t *Tx) error {
+					for _, kv := range b {
+						t.Set(kv[0], kv[1])
+					}
+					return nil
+				})
 			}
-			b := batch
-			batch = batch[:0]
-			return s.runSingle(nil, engine.RunOptions{}, sid, false, func(t *Tx) error {
-				for _, kv := range b {
-					t.Set(kv[0], kv[1])
+			covered, pairs, ok, err := wal.LoadSnapshot(wal.ShardDir(m.Dir(), sid), func(k, v []byte) error {
+				// The emit slices alias the snapshot file buffer; Set copies
+				// them into engine records, but the batch must copy too
+				// because the flush runs after emit returns.
+				batch = append(batch, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+				if len(batch) >= applyChunk {
+					return flush()
 				}
 				return nil
 			})
-		}
-		covered, pairs, ok, err := wal.LoadSnapshot(wal.ShardDir(m.Dir(), sid), func(k, v []byte) error {
-			// The emit slices alias the snapshot file buffer; Set copies them
-			// into engine records, but the batch must copy too because the
-			// flush runs after emit returns.
-			batch = append(batch, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
-			if len(batch) >= applyChunk {
-				return flush()
+			if err != nil {
+				loadErrs[sid] = fmt.Errorf("kv: shard %d snapshot load: %w", sid, err)
+				return
 			}
-			return nil
-		})
+			if err := flush(); err != nil {
+				loadErrs[sid] = err
+				return
+			}
+			if ok {
+				snapLSN[sid] = covered
+				snapPairs[sid] = pairs
+			}
+		}(sid)
+	}
+	wg.Wait()
+	for _, err := range loadErrs {
 		if err != nil {
-			return nil, nil, nil, 0, fmt.Errorf("kv: shard %d snapshot load: %w", sid, err)
-		}
-		if err := flush(); err != nil {
 			return nil, nil, nil, 0, err
 		}
-		if ok {
-			snapLSN[sid] = covered
-			stats.SnapshotPairs += pairs
-		}
+	}
+	for _, p := range snapPairs {
+		stats.SnapshotPairs += p
 	}
 
 	// Index the cross-shard records present in any shard's durable log, so
@@ -515,42 +701,58 @@ func (s *Store) replay(m *wal.Manager, scans []*wal.ShardScan) (*RecoveryStats, 
 		}
 	}
 
+	// Apply each shard's sorted record suffix in parallel — the rescue index
+	// above is the only cross-shard join, and it is already built. Each
+	// goroutine touches only its own shard's engine and its own slots of the
+	// result slices.
 	nextLSN := make([]uint64, nshards)
+	applyErrs := make([]error, nshards)
 	for sid := 0; sid < nshards; sid++ {
-		items := apply[sid]
-		sort.Slice(items, func(i, j int) bool { return items[i].lsn < items[j].lsn })
-		for start := 0; start < len(items); start += applyChunk {
-			end := start + applyChunk
-			if end > len(items) {
-				end = len(items)
-			}
-			chunk := items[start:end]
-			err := s.runSingle(nil, engine.RunOptions{}, sid, false, func(t *Tx) error {
-				for _, it := range chunk {
-					for _, op := range it.ops {
-						if op.Del {
-							t.Delete(op.Key)
-						} else {
-							t.Set(op.Key, op.Val)
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			items := apply[sid]
+			sort.Slice(items, func(i, j int) bool { return items[i].lsn < items[j].lsn })
+			for start := 0; start < len(items); start += applyChunk {
+				end := start + applyChunk
+				if end > len(items) {
+					end = len(items)
+				}
+				chunk := items[start:end]
+				err := s.runSingle(nil, engine.RunOptions{}, sid, false, func(t *Tx) error {
+					for _, it := range chunk {
+						for _, op := range it.ops {
+							if op.Del {
+								t.Delete(op.Key)
+							} else {
+								t.Set(op.Key, op.Val)
+							}
 						}
 					}
+					return nil
+				})
+				if err != nil {
+					applyErrs[sid] = fmt.Errorf("kv: shard %d replay: %w", sid, err)
+					return
 				}
-				return nil
-			})
-			if err != nil {
-				return nil, nil, nil, 0, fmt.Errorf("kv: shard %d replay: %w", sid, err)
 			}
+			// The log reopens one past the shard's own durable tail — NOT past
+			// the rescued LSNs, which are re-appended through the reopened log
+			// (their LSNs always exceed the tail: durability is prefix-shaped,
+			// so a lost local copy means everything after it was lost too).
+			last := snapLSN[sid]
+			if scans[sid].LastLSN > last {
+				last = scans[sid].LastLSN
+			}
+			stats.LastLSN[sid] = last
+			nextLSN[sid] = last + 1
+		}(sid)
+	}
+	wg.Wait()
+	for _, err := range applyErrs {
+		if err != nil {
+			return nil, nil, nil, 0, err
 		}
-		// The log reopens one past the shard's own durable tail — NOT past the
-		// rescued LSNs, which are re-appended through the reopened log (their
-		// LSNs always exceed the tail: durability is prefix-shaped, so a lost
-		// local copy means everything after it was lost too).
-		last := snapLSN[sid]
-		if scans[sid].LastLSN > last {
-			last = scans[sid].LastLSN
-		}
-		stats.LastLSN[sid] = last
-		nextLSN[sid] = last + 1
 	}
 	for sid := range rescues {
 		recs := rescues[sid]
@@ -619,7 +821,105 @@ func (s *Store) Checkpoint() error {
 	return firstErr
 }
 
+// checkpointShard writes one shard's checkpoint: incremental (dirty keys
+// merged into the previous snapshot) when the store was opened with
+// IncrementalSnapshots and the dirty set is trustworthy, a full scan
+// otherwise — including every s.walFullN-th checkpoint, which bounds how long
+// a corrupt-on-disk byte could propagate through merge chains.
 func (s *Store) checkpointShard(sid int) error {
+	sh := &s.shards[sid]
+	sh.cpmu.Lock()
+	defer sh.cpmu.Unlock()
+	if !s.walIncr {
+		return s.checkpointFull(sid)
+	}
+
+	// Take the dirty set atomically with the covered LSN, under the same
+	// locks every LSN reservation runs under (shared gate + wmu covers
+	// single-shard commits; the RLock excludes cross-shard ones). Any record
+	// with LSN <= covered therefore either predates a previous take (its key
+	// is in an already-written snapshot) or is in this taken set; keys
+	// dirtied after the take stay in sh.dirty for the next checkpoint.
+	l := s.wal.Log(sid)
+	sh.xmu.RLock()
+	sh.wmu.Lock()
+	sh.dmu.Lock()
+	covered := l.AppendedLSN()
+	taken := sh.dirty
+	takenOver := sh.dirtyOver
+	sh.dirty = nil
+	sh.dirtyOver = false
+	sh.dmu.Unlock()
+	sh.wmu.Unlock()
+	sh.xmu.RUnlock()
+
+	if !takenOver && sh.snapSince+1 < s.walFullN {
+		err := s.checkpointIncremental(sid, covered, taken)
+		if err == nil {
+			sh.snapSince++
+			return nil
+		}
+		if !errors.Is(err, wal.ErrNoPrevSnapshot) {
+			sh.mergeDirtyBack(taken, takenOver)
+			return err
+		}
+		// No previous snapshot to merge into — fall through to a full scan.
+	}
+	if err := s.checkpointFull(sid); err != nil {
+		// The full scan would have covered everything the taken set named;
+		// now that it failed, those keys must survive for the next attempt.
+		sh.mergeDirtyBack(taken, takenOver)
+		return err
+	}
+	sh.snapSince = 0
+	return nil
+}
+
+// checkpointIncremental writes a snapshot at covered consisting of the
+// previous snapshot minus the dirty keys, plus the dirty keys' live values
+// (dirty keys since deleted are dropped). The values are read after covered
+// was fixed and may reflect later records — those stay in the log and replay
+// idempotently.
+func (s *Store) checkpointIncremental(sid int, covered uint64, dirty map[string]struct{}) error {
+	l := s.wal.Log(sid)
+	pairs, err := s.collectDirtyPairs(sid, dirty)
+	if err != nil {
+		return err
+	}
+	// Same durability barrier as the full path (see checkpointFull): the
+	// value reads can observe effects of records appended after covered, so
+	// the log must be durable through everything they could have seen before
+	// the snapshot lands.
+	sh := &s.shards[sid]
+	sh.xmu.RLock()
+	sh.wmu.Lock()
+	observed := l.AppendedLSN()
+	sh.wmu.Unlock()
+	sh.xmu.RUnlock()
+	if err := l.Sync(observed); err != nil {
+		return err
+	}
+	truncTo := covered
+	if min := s.minInflightLSN(sid); min > 0 && min-1 < truncTo {
+		truncTo = min - 1
+	}
+	return s.wal.CheckpointIncremental(sid, covered, truncTo,
+		func(key []byte) bool {
+			_, isDirty := dirty[string(key)]
+			return isDirty
+		},
+		func(emit func(k, v []byte) error) error {
+			for _, kv := range pairs {
+				if err := emit(kv[0], kv[1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+// checkpointFull writes a full-scan snapshot checkpoint for one shard.
+func (s *Store) checkpointFull(sid int) error {
 	l := s.wal.Log(sid)
 	// Read the covered LSN before the scan begins: the snapshot state is a
 	// superset of records <= covered, and replaying the (covered, tail]
@@ -665,31 +965,69 @@ func (s *Store) checkpointShard(sid int) error {
 	})
 }
 
-// collectShardPairs snapshots one shard's contents via a read-only
-// transaction: a few optimistic attempts first, then one attempt under the
-// shard's exclusive gate (which no commit can interleave with).
+// collectShard runs a read-only collection body on one shard: a few
+// optimistic attempts first, then one attempt under the shard's exclusive
+// gate (which no commit can interleave with). The body must tolerate retry.
+func (s *Store) collectShard(sid int, body func(t *Tx) error) error {
+	err := s.runSingle(nil, engine.RunOptions{MaxAttempts: snapshotAttempts}, sid, true, body)
+	if err == nil {
+		return nil
+	}
+	var te *engine.TimeoutError
+	if !errors.As(err, &te) {
+		return err
+	}
+	sh := &s.shards[sid]
+	sh.xmu.Lock()
+	defer sh.xmu.Unlock()
+	return s.runSingle(nil, engine.RunOptions{MaxAttempts: 2}, sid, true, body)
+}
+
+// collectShardPairs snapshots one shard's full contents.
 func (s *Store) collectShardPairs(sid int) ([][2][]byte, error) {
 	var pairs [][2][]byte
-	body := func(t *Tx) error {
+	err := s.collectShard(sid, func(t *Tx) error {
 		pairs = pairs[:0]
 		t.scanShard(sid, func(k, v []byte) {
 			pairs = append(pairs, [2][]byte{k, v})
 		})
 		return nil
-	}
-	err := s.runSingle(nil, engine.RunOptions{MaxAttempts: snapshotAttempts}, sid, true, body)
-	if err == nil {
-		return pairs, nil
-	}
-	var te *engine.TimeoutError
-	if !errors.As(err, &te) {
+	})
+	if err != nil {
 		return nil, err
 	}
-	sh := &s.shards[sid]
-	sh.xmu.Lock()
-	defer sh.xmu.Unlock()
-	if err := s.runSingle(nil, engine.RunOptions{MaxAttempts: 2}, sid, true, body); err != nil {
-		return nil, err
+	return pairs, nil
+}
+
+// collectDirtyPairs reads the live value of each taken dirty key in chunked
+// read-only transactions. A key that was deleted since it was dirtied simply
+// yields no pair — the merge omits it, which is exactly the delete's effect.
+// Returned key and value slices are engine records, stable after commit.
+func (s *Store) collectDirtyPairs(sid int, dirty map[string]struct{}) ([][2][]byte, error) {
+	keys := make([][]byte, 0, len(dirty))
+	for k := range dirty {
+		keys = append(keys, []byte(k))
+	}
+	pairs := make([][2][]byte, 0, len(keys))
+	for start := 0; start < len(keys); start += applyChunk {
+		end := start + applyChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		base := len(pairs)
+		err := s.collectShard(sid, func(t *Tx) error {
+			pairs = pairs[:base]
+			for _, k := range chunk {
+				if v, ok := t.Get(k); ok {
+					pairs = append(pairs, [2][]byte{k, v})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return pairs, nil
 }
@@ -703,8 +1041,14 @@ func (s *Store) Close() error {
 	}
 	if s.walStop != nil {
 		close(s.walStop)
-		s.walWG.Wait()
-		s.walStop = nil
 	}
+	if s.wsync != nil {
+		close(s.wsync)
+	}
+	// Nil the fields only after the workers are gone: the checkpointer still
+	// selects on walStop until it observes the close.
+	s.walWG.Wait()
+	s.walStop = nil
+	s.wsync = nil
 	return s.wal.Close()
 }

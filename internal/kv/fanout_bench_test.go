@@ -1,0 +1,78 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALSyncFanout measures the durability-wait fan-out for cross-shard
+// commits: after the gates drop, the committer must wait for every
+// participant shard's group commit. "seq" waits for the participants one
+// after another on the calling goroutine (each wait eats a full fsync-group
+// latency, so the cost stacks per shard); "pool" parks all but the last wait
+// on the store's shared sync workers so the group commits overlap. The
+// crossover is the point of syncMany's <=2 sequential fast path: at span 2
+// the handoff buys nothing, at wider spans the overlapped waits win by
+// roughly (span-1) fsync intervals.
+func BenchmarkWALSyncFanout(b *testing.B) {
+	s, _, err := Open(Config{Shards: 16, Buckets: 64},
+		DurableConfig{Dir: b.TempDir(), FsyncBatch: 8, FsyncInterval: 200 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	// One key per shard, found by probing the router, so a span-N commit
+	// touches exactly N distinct shards (and therefore N WAL group commits).
+	shardKey := make([][]byte, s.Shards())
+	for probe := 0; ; probe++ {
+		k := []byte(fmt.Sprintf("fan-%05d", probe))
+		sid := s.KeyShard(k)
+		if shardKey[sid] == nil {
+			shardKey[sid] = k
+			s.Set(k, []byte("0"))
+			done := true
+			for _, have := range shardKey {
+				if have == nil {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+
+	pool := s.wsync // saved so "seq" can force the inline path and Close still drains it
+	for _, span := range []int{2, 4, 8} {
+		keys := shardKey[:span]
+		for _, mode := range []string{"seq", "pool"} {
+			b.Run(fmt.Sprintf("span=%d/%s", span, mode), func(b *testing.B) {
+				if mode == "seq" {
+					s.wsync = nil
+				} else {
+					s.wsync = pool
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := s.AtomicKeys(keys, func(t *Tx) error {
+						for _, k := range keys {
+							t.Set(k, []byte("v"))
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	s.wsync = pool
+}

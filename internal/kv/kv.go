@@ -141,6 +141,23 @@ type shard struct {
 	// Cross-shard writers skip it: their exclusive xmu already excludes every
 	// single-shard committer. Untouched when the store has no WAL.
 	wmu sync.Mutex
+
+	// Incremental-checkpoint dirty-key tracking (used only when the store
+	// was opened with IncrementalSnapshots). dmu guards dirty/dirtyOver;
+	// keys are marked inside the same critical section that reserves their
+	// record's LSN (under wmu for single-shard commits, under the exclusive
+	// gate for cross-shard ones), so a checkpoint that takes the dirty set
+	// and reads AppendedLSN under gate+wmu cannot miss a key whose record
+	// is ≤ the LSN it covers. dirtyOver marks an overflowed set: the next
+	// checkpoint must fall back to a full scan.
+	dmu       sync.Mutex
+	dirty     map[string]struct{}
+	dirtyOver bool
+	snapSince int // checkpoints since the last full-scan snapshot
+
+	// cpmu serializes checkpoints of this shard: taking the dirty set and
+	// bumping snapSince are single-owner operations.
+	cpmu sync.Mutex
 }
 
 // Store is a sharded transactional map of byte-string keys to byte-string
@@ -162,8 +179,11 @@ type Store struct {
 	wal       *wal.Manager
 	walStop   chan struct{} // closes to stop the checkpointer
 	walWG     sync.WaitGroup
+	wsync     chan walSyncReq // shared durability-wait worker pool
 	wimu      sync.Mutex
 	winflight map[uint64][]wal.Part // cross-shard appends not yet fully durable
+	walIncr   bool                  // incremental snapshot checkpoints enabled
+	walFullN  int                   // full-scan snapshot every Nth checkpoint
 }
 
 // New builds a store and one transactional memory per shard.
@@ -689,8 +709,10 @@ func (s *Store) runSingleSB(ctx context.Context, opts engine.RunOptions, sid int
 		lock, unlock = sh.xmu.RLock, sh.xmu.RUnlock
 	}
 	var commit func(engine.Txn) error
+	var ws *walScratch
 	if s.wal != nil && !readonly {
 		commit = func(tx engine.Txn) error { return s.durableCommitSingle(sid, &t, tx) }
+		ws = t.borrowWALScratch()
 	}
 	att := func(ctx context.Context, deadline time.Time, karma int) (error, bool) {
 		var tx engine.Txn
@@ -728,6 +750,7 @@ func (s *Store) runSingleSB(ctx context.Context, opts engine.RunOptions, sid int
 		} else if serr := s.walSyncAll(&t); err == nil {
 			err = serr
 		}
+		ws.release(&t)
 	}
 	return err
 }
@@ -749,6 +772,10 @@ func (s *Store) runCrossSB(ctx context.Context, opts engine.RunOptions, allowed 
 		allowed:  allowed,
 	}
 	exclusive := !readonly
+	var ws *walScratch
+	if s.wal != nil && !readonly {
+		ws = t.borrowWALScratch()
+	}
 	att := func(ctx context.Context, deadline time.Time, karma int) (error, bool) {
 		t.ctx, t.deadline = ctx, deadline
 		t.karma = karma
@@ -785,6 +812,7 @@ func (s *Store) runCrossSB(ctx context.Context, opts engine.RunOptions, allowed 
 		} else if serr := s.walSyncAll(&t); err == nil {
 			err = serr
 		}
+		ws.release(&t)
 	}
 	return err
 }

@@ -79,3 +79,43 @@ func TestDispatchAllocs(t *testing.T) {
 		t.Errorf("INCR path allocates %.2f allocs/op, want <= 32", avg)
 	}
 }
+
+// TestDurableSetAllocs pins the durable SET budget end to end: frame read,
+// parse, transaction, pooled WAL record encode, pipeline enqueue, and the
+// group-commit durability wait before the ACK. The WAL layer itself must not
+// add unpooled per-commit allocations on top of the in-memory SET path — the
+// record buffer, effect capture, and sync scratch all come from pools.
+func TestDurableSetAllocs(t *testing.T) {
+	disableGC(t)
+	store, _, err := kv.Open(kv.Config{Shards: 4, Buckets: 64},
+		kv.DurableConfig{Dir: t.TempDir(), FsyncBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := store.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	_, ln := startPipeServer(t, store, server.Config{})
+	conn := ln.dial()
+	t.Cleanup(func() { conn.Close() })
+
+	req := wire.AppendFrame(nil, []byte("SET $1:k $5:hello"))
+	resp := make([]byte, len("2 OK\n"))
+	set := func() {
+		if _, err := conn.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, resp); err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "2 OK\n" {
+			t.Fatalf("response = %q", resp)
+		}
+	}
+	set() // warm connection scratch, pooled transaction, and WAL pools
+	if avg := testing.AllocsPerRun(200, set); avg > 30 {
+		t.Errorf("durable SET path allocates %.2f allocs/op, want <= 30", avg)
+	}
+}

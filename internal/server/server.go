@@ -188,11 +188,11 @@ type Server struct {
 	maxBatch      int // 0 = read batching disabled
 	maxWriteBatch int // 0 = write batching disabled
 	errorLog      *log.Logger
-	sem          chan struct{}
-	cmdDeadline  time.Duration
-	queueTimeout time.Duration
-	readTimeout  time.Duration
-	writeTimeout time.Duration
+	sem           chan struct{}
+	cmdDeadline   time.Duration
+	queueTimeout  time.Duration
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -211,13 +211,13 @@ type Server struct {
 	writeBatches        atomic.Uint64
 	writeBatchedCmds    atomic.Uint64
 	writeBatchFallbacks atomic.Uint64
-	shed           atomic.Uint64
-	panics         atomic.Uint64
-	deadlines      atomic.Uint64
-	evictions      atomic.Uint64
-	active         atomic.Int64
-	queued         atomic.Int64
-	inflight       atomic.Int64
+	shed                atomic.Uint64
+	panics              atomic.Uint64
+	deadlines           atomic.Uint64
+	evictions           atomic.Uint64
+	active              atomic.Int64
+	queued              atomic.Int64
+	inflight            atomic.Int64
 }
 
 // New builds a server over store.

@@ -31,15 +31,35 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size.
 	// 0 means the 64 MiB default.
 	SegmentBytes int64
+	// AppendQueue sizes the append pipeline: appends reserve an LSN and
+	// enqueue a pre-encoded record under the log mutex, and a per-shard
+	// appender goroutine drains the queue in LSN order with vectored batch
+	// writes. 0 selects the default capacity (1024); a negative value
+	// disables the pipeline, making appends encode into the shared buffer
+	// synchronously as in the pre-pipeline path.
+	AppendQueue int
 }
 
-const defaultSegmentBytes = 64 << 20
+const (
+	defaultSegmentBytes = 64 << 20
+	defaultAppendQueue  = 1024
+)
 
 func (o Options) segmentBytes() int64 {
 	if o.SegmentBytes <= 0 {
 		return defaultSegmentBytes
 	}
 	return o.SegmentBytes
+}
+
+func (o Options) queueCap() int {
+	if o.AppendQueue < 0 {
+		return 0
+	}
+	if o.AppendQueue == 0 {
+		return defaultAppendQueue
+	}
+	return o.AppendQueue
 }
 
 const segSuffix = ".seg"
@@ -62,45 +82,71 @@ func parseSegName(name string) (uint64, bool) {
 	return n, true
 }
 
-// Log is one shard's write-ahead log: an append buffer feeding segmented
-// files, with leader-based group commit. Appends are cheap (encode into an
-// in-memory buffer under a short mutex); durability happens in Sync, where
-// one waiter becomes the group leader, forms a group, writes and fsyncs once,
-// and wakes everyone the fsync covered.
+// Log is one shard's write-ahead log: segmented files fed either by an append
+// pipeline (the default) or a shared in-memory buffer, with leader-based
+// group commit on top.
+//
+// In pipeline mode an append only reserves the next LSN and enqueues a
+// pre-encoded record under a short mutex; a dedicated appender goroutine
+// drains the queue in LSN order, seals CRCs, and writes whole batches with
+// one vectored write each. The appender owns all file I/O — segment writes,
+// rotation, and fsyncs — so group-commit leaders post durability requests
+// and wait instead of touching the file themselves. Commit critical sections
+// therefore never wait on I/O; only Sync does.
 type Log struct {
 	dir   string
 	opts  Options
 	shard int
 
-	// mu guards the append state: the active file handle is touched only by
-	// the group leader (leadership is exclusive), but buf, LSNs, and the
-	// rotation decision live here.
+	// mu guards the append state: LSNs, the queue (or buffer), the rotation
+	// decision, and the pipeline's request/progress fields.
 	mu       sync.Mutex
 	f        *os.File
 	segSize  int64
-	buf      []byte
+	buf      []byte // buffered mode only
 	nextLSN  uint64 // LSN the next append will take
-	appended uint64 // last LSN appended to buf (0 = none yet)
-	pending  int    // records in buf not yet flushed
+	appended uint64 // last LSN handed out (0 = none yet)
+	pending  int    // records appended but not yet covered by a flush/sync
 	failed   error  // sticky first write/fsync error; the log is wedged after
+
+	// Append pipeline state (queueCap > 0). The appender goroutine is the
+	// only writer of written/fsynced and the only party doing file I/O.
+	queueCap     int
+	queue        []*Enc     // records reserved but not yet written, LSN order
+	qspare       []*Enc     // double-buffer for queue swaps
+	acond        *sync.Cond // appender wakeup: work queued, sync request, close
+	pcond        *sync.Cond // sync waiters: written/fsynced/failed progressed
+	spaceCond    *sync.Cond // enqueuers blocked on a full queue
+	written      uint64     // last LSN written to the segment file
+	fsynced      uint64     // last LSN covered by a real fsync
+	unsynced     int        // records written but not yet covered by a sync
+	syncReq      uint64     // highest LSN a leader asked to make durable
+	syncForce    bool       // fsync even when FsyncBatch == 0 (Flush/Close)
+	closing      bool
+	iow          iovScratch
+	appenderDone chan struct{}
 
 	// batchFull is signalled (capacity 1, non-blocking) when pending reaches
 	// FsyncBatch, so a waiting group leader can flush early.
 	batchFull chan struct{}
 
-	// Group-commit leadership. synced is the last durable LSN.
+	// Group-commit leadership. synced is the last durable LSN (last written
+	// LSN when fsync is disabled).
 	gmu     sync.Mutex
 	gcond   *sync.Cond
 	leading bool
 	synced  atomic.Uint64
 
-	appends      atomic.Uint64
-	appendBytes  atomic.Uint64
-	fsyncs       atomic.Uint64
-	flushedRecs  atomic.Uint64
-	maxGroup     atomic.Uint64
-	rotations    atomic.Uint64
-	truncatedSeg atomic.Uint64
+	appends       atomic.Uint64
+	appendBytes   atomic.Uint64
+	fsyncs        atomic.Uint64
+	flushedRecs   atomic.Uint64
+	maxGroup      atomic.Uint64
+	rotations     atomic.Uint64
+	truncatedSeg  atomic.Uint64
+	writevCalls   atomic.Uint64
+	writevRecs    atomic.Uint64
+	writevMaxRecs atomic.Uint64
 }
 
 // openLog opens a shard log for appending. Recovery has already scanned the
@@ -118,6 +164,9 @@ func openLog(dir string, shard int, nextLSN uint64, opts Options) (*Log, error) 
 		shard:     shard,
 		nextLSN:   nextLSN,
 		appended:  nextLSN - 1,
+		written:   nextLSN - 1,
+		fsynced:   nextLSN - 1,
+		queueCap:  opts.queueCap(),
 		batchFull: make(chan struct{}, 1),
 	}
 	l.gcond = sync.NewCond(&l.gmu)
@@ -125,8 +174,18 @@ func openLog(dir string, shard int, nextLSN uint64, opts Options) (*Log, error) 
 	if err := l.openSegment(nextLSN); err != nil {
 		return nil, err
 	}
+	if l.pipelined() {
+		l.acond = sync.NewCond(&l.mu)
+		l.pcond = sync.NewCond(&l.mu)
+		l.spaceCond = sync.NewCond(&l.mu)
+		l.appenderDone = make(chan struct{})
+		go l.appendLoop()
+	}
 	return l, nil
 }
+
+// pipelined reports whether the append pipeline is enabled.
+func (l *Log) pipelined() bool { return l.queueCap > 0 }
 
 // openSegment creates a new active segment whose records will all have
 // LSN >= first. Called with l.mu held (or before the log is shared).
@@ -175,71 +234,117 @@ func (l *Log) AppendedLSN() uint64 {
 // SyncedLSN returns the last durable LSN.
 func (l *Log) SyncedLSN() uint64 { return l.synced.Load() }
 
-// AppendCommit appends a single-shard commit record and returns its LSN. The
-// record is buffered, not yet durable; call Sync(lsn) to wait for it.
-func (l *Log) AppendCommit(ops []Op) (uint64, error) {
+// QueueDepth returns the number of records reserved but not yet written
+// (always 0 in buffered mode).
+func (l *Log) QueueDepth() int {
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Append appends a pre-encoded record at the next LSN and returns it. The
+// record is reserved (and, in pipeline mode, queued), not yet durable; call
+// Sync(lsn) to wait for it. The log owns e afterwards.
+func (l *Log) Append(e *Enc) (uint64, error) {
+	return l.appendEnc(e, 0, false, false)
+}
+
+// AppendAt appends a pre-encoded record at the LSN previously reserved for
+// this shard (cross-shard commits reserve via NextLSN under the shard gates,
+// so the reservation cannot be stolen; a mismatch is a protocol bug).
+func (l *Log) AppendAt(lsn uint64, e *Enc) error {
+	_, err := l.appendEnc(e, lsn, true, false)
+	return err
+}
+
+// appendEnc stamps the record's LSN and hands it to the log: queued for the
+// appender in pipeline mode, sealed and copied into the shared buffer in
+// buffered mode. gapOK permits an explicit LSN past nextLSN (recovery
+// re-appending rescued records).
+func (l *Log) appendEnc(e *Enc, lsn uint64, explicit, gapOK bool) (uint64, error) {
+	l.mu.Lock()
+	if l.pipelined() {
+		for len(l.queue) >= l.queueCap && l.failed == nil {
+			l.spaceCond.Wait()
+		}
+	}
 	if l.failed != nil {
 		err := l.failed
 		l.mu.Unlock()
+		e.Release()
 		return 0, err
 	}
-	lsn := l.nextLSN
-	before := len(l.buf)
-	l.buf = AppendCommitRecord(l.buf, lsn, ops)
-	l.noteAppend(lsn, len(l.buf)-before)
+	switch {
+	case !explicit:
+		lsn = l.nextLSN
+	case gapOK:
+		if lsn < l.nextLSN {
+			next := l.nextLSN
+			l.mu.Unlock()
+			e.Release()
+			return 0, fmt.Errorf("wal: shard %d append at lsn %d behind next %d", l.shard, lsn, next)
+		}
+	default:
+		if lsn != l.nextLSN {
+			next := l.nextLSN
+			l.mu.Unlock()
+			e.Release()
+			panic(fmt.Sprintf("wal: shard %d xcommit at lsn %d but next is %d", l.shard, lsn, next))
+		}
+	}
+	e.stamp(lsn)
+	nbytes := len(e.buf)
+	if l.pipelined() {
+		l.queue = append(l.queue, e)
+		l.noteAppend(lsn, nbytes)
+		l.acond.Signal()
+		l.mu.Unlock()
+		return lsn, nil
+	}
+	e.seal()
+	l.buf = append(l.buf, e.buf...)
+	l.noteAppend(lsn, nbytes)
 	l.mu.Unlock()
+	e.Release()
+	return lsn, nil
+}
+
+// AppendCommit appends a single-shard commit record and returns its LSN. The
+// record is not yet durable; call Sync(lsn) to wait for it.
+func (l *Log) AppendCommit(ops []Op) (uint64, error) {
+	lsn, err := l.Append(EncodeCommit(ops))
+	if err != nil {
+		return 0, err
+	}
 	l.chaosAppend()
 	return lsn, nil
 }
 
 // AppendXCommit appends a cross-shard commit record at the LSN previously
-// reserved for this shard in parts. The caller holds every participant
-// shard's gate exclusively, so the reservation cannot be stolen; a mismatch
-// is a protocol bug.
+// reserved for this shard in parts.
 func (l *Log) AppendXCommit(lsn, xid uint64, parts []Part, ops []Op) error {
-	l.mu.Lock()
-	if l.failed != nil {
-		err := l.failed
-		l.mu.Unlock()
+	if err := l.AppendAt(lsn, EncodeXCommit(xid, parts, ops)); err != nil {
 		return err
 	}
-	if lsn != l.nextLSN {
-		l.mu.Unlock()
-		panic(fmt.Sprintf("wal: shard %d xcommit at lsn %d but next is %d", l.shard, lsn, l.nextLSN))
-	}
-	before := len(l.buf)
-	l.buf = AppendXCommitRecord(l.buf, lsn, xid, parts, ops)
-	l.noteAppend(lsn, len(l.buf)-before)
-	l.mu.Unlock()
 	l.chaosAppend()
 	return nil
 }
 
-// AppendRecord re-appends an already-encoded record at an explicit LSN —
+// AppendRecord re-appends an already-decoded record at an explicit LSN —
 // recovery uses it to persist rescued cross-shard records into the shard's
 // own log. The LSN may leave a gap; it must not go backwards.
 func (l *Log) AppendRecord(rec Record) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.failed != nil {
-		return l.failed
-	}
-	if rec.LSN < l.nextLSN {
-		return fmt.Errorf("wal: shard %d append at lsn %d behind next %d", l.shard, rec.LSN, l.nextLSN)
-	}
-	before := len(l.buf)
+	var e *Enc
 	switch rec.Kind {
 	case KindCommit:
-		l.buf = AppendCommitRecord(l.buf, rec.LSN, rec.Ops)
+		e = EncodeCommit(rec.Ops)
 	case KindXCommit:
-		l.buf = AppendXCommitRecord(l.buf, rec.LSN, rec.XID, rec.Parts, rec.Ops)
+		e = EncodeXCommit(rec.XID, rec.Parts, rec.Ops)
 	default:
 		return fmt.Errorf("wal: cannot re-append record kind %d", rec.Kind)
 	}
-	l.nextLSN = rec.LSN // noteAppend advances past it
-	l.noteAppend(rec.LSN, len(l.buf)-before)
-	return nil
+	_, err := l.appendEnc(e, rec.LSN, true, true)
+	return err
 }
 
 // noteAppend advances the LSN state after an append. Called with l.mu held.
@@ -267,7 +372,9 @@ func (l *Log) chaosAppend() {
 
 // Sync blocks until the record at lsn is durable (or written, when fsync is
 // disabled). One waiter at a time leads: it forms a group — waiting up to
-// FsyncInterval for FsyncBatch records — flushes once, and wakes everyone.
+// FsyncInterval for FsyncBatch records — then flushes (buffered mode) or
+// posts a durability request to the appender (pipeline mode) and wakes
+// everyone the sync covered.
 func (l *Log) Sync(lsn uint64) error {
 	for {
 		if l.synced.Load() >= lsn {
@@ -287,7 +394,12 @@ func (l *Log) Sync(lsn uint64) error {
 		l.gmu.Unlock()
 
 		l.waitGroup(lsn)
-		err := l.flush(l.opts.FsyncBatch != 0)
+		var err error
+		if l.pipelined() {
+			err = l.syncPipelined(false)
+		} else {
+			err = l.flush(l.opts.FsyncBatch != 0)
+		}
 
 		l.gmu.Lock()
 		l.leading = false
@@ -332,9 +444,191 @@ func (l *Log) waitGroup(lsn uint64) {
 	}
 }
 
+// syncPipelined posts a durability request to the appender and waits until it
+// is satisfied. A plain request waits for synced to reach everything appended
+// so far (which implies an fsync when fsync is enabled); a forced request
+// (Flush/Close) additionally waits for a real fsync covering it, which
+// matters when FsyncBatch is 0 and synced advances on write alone.
+func (l *Log) syncPipelined(force bool) error {
+	l.mu.Lock()
+	target := l.appended
+	if target > l.syncReq {
+		l.syncReq = target
+	}
+	if force {
+		l.syncForce = true
+	}
+	l.acond.Signal()
+	for l.failed == nil && (l.synced.Load() < target || (force && l.fsynced < target)) {
+		l.pcond.Wait()
+	}
+	err := l.failed
+	l.mu.Unlock()
+	return err
+}
+
+// workLocked reports whether the appender has anything to do. l.mu held.
+func (l *Log) workLocked() bool {
+	return l.failed != nil || l.closing || len(l.queue) > 0 || l.syncForce ||
+		l.syncReq > l.synced.Load()
+}
+
+// appendLoop is the per-shard appender goroutine: it drains the queue in LSN
+// order, writes each drained batch with vectored writes, and fsyncs when a
+// group leader asked for durability. It owns all file I/O in pipeline mode.
+func (l *Log) appendLoop() {
+	defer close(l.appenderDone)
+	for {
+		l.mu.Lock()
+		for !l.workLocked() {
+			l.acond.Wait()
+		}
+		if l.failed != nil {
+			for i, e := range l.queue {
+				e.Release()
+				l.queue[i] = nil
+			}
+			l.queue = l.queue[:0]
+			l.pcond.Broadcast()
+			l.spaceCond.Broadcast()
+			l.mu.Unlock()
+			return
+		}
+		batch := l.queue
+		l.queue = l.qspare[:0]
+		l.qspare = batch
+		req := l.syncReq
+		force := l.syncForce
+		l.syncForce = false
+		done := l.closing && len(batch) == 0 && !force && req <= l.synced.Load()
+		if len(batch) > 0 {
+			l.spaceCond.Broadcast()
+		}
+		l.mu.Unlock()
+		if done {
+			return
+		}
+
+		if len(batch) > 0 {
+			if err := l.writeBatch(batch); err != nil {
+				l.fail(err)
+				continue
+			}
+		}
+
+		l.mu.Lock()
+		written := l.written
+		needFsync := force || (l.opts.FsyncBatch != 0 && req > l.synced.Load())
+		f := l.f
+		l.mu.Unlock()
+		if needFsync && f != nil {
+			if in := chaos.Active(); in != nil {
+				if _, delay := in.Decide(chaos.WALFsync); delay > 0 {
+					time.Sleep(delay)
+				}
+			}
+			if err := f.Sync(); err != nil {
+				l.fail(err)
+				continue
+			}
+			l.fsyncs.Add(1)
+		}
+		if needFsync || l.opts.FsyncBatch == 0 {
+			l.completeSync(written, needFsync)
+		}
+	}
+}
+
+// completeSync advances synced (and fsynced, after a real fsync) to written
+// and wakes sync waiters. Appender only.
+func (l *Log) completeSync(written uint64, fsynced bool) {
+	l.mu.Lock()
+	recs := l.unsynced
+	l.unsynced = 0
+	l.pending -= recs
+	if fsynced && written > l.fsynced {
+		l.fsynced = written
+	}
+	if written > l.synced.Load() {
+		l.synced.Store(written)
+	}
+	l.pcond.Broadcast()
+	l.mu.Unlock()
+	if recs > 0 {
+		l.flushedRecs.Add(uint64(recs))
+		for {
+			max := l.maxGroup.Load()
+			if uint64(recs) <= max || l.maxGroup.CompareAndSwap(max, uint64(recs)) {
+				break
+			}
+		}
+	}
+}
+
+// writeBatch seals and writes a drained batch to the active segment — one
+// vectored write per chunk of up to iovMax records — rotating at segment
+// boundaries. Appender only, so file I/O never races.
+func (l *Log) writeBatch(batch []*Enc) error {
+	for _, e := range batch {
+		e.seal()
+	}
+	segMax := l.opts.segmentBytes()
+	i := 0
+	for i < len(batch) {
+		nbytes := 0
+		n := 0
+		for i+n < len(batch) && n < iovMax {
+			sz := len(batch[i+n].buf)
+			if n > 0 && l.segSize+int64(nbytes+sz) >= segMax {
+				break
+			}
+			nbytes += sz
+			n++
+		}
+		chunk := batch[i : i+n]
+		if err := l.writeChunk(chunk, nbytes); err != nil {
+			return err
+		}
+		l.noteWritev(n)
+		last := chunk[n-1].lsn()
+		l.mu.Lock()
+		l.segSize += int64(nbytes)
+		l.written = last
+		l.unsynced += n
+		rotate := l.segSize >= segMax
+		f := l.f
+		l.mu.Unlock()
+		if rotate {
+			// last+1 (not nextLSN, which may be ahead of what is written) is
+			// the correct first-LSN lower bound for the remaining records.
+			if err := l.rotate(last+1, f); err != nil {
+				return err
+			}
+		}
+		i += n
+	}
+	for i, e := range batch {
+		e.Release()
+		batch[i] = nil
+	}
+	return nil
+}
+
+// noteWritev records one vectored write of n records.
+func (l *Log) noteWritev(n int) {
+	l.writevCalls.Add(1)
+	l.writevRecs.Add(uint64(n))
+	for {
+		max := l.writevMaxRecs.Load()
+		if uint64(n) <= max || l.writevMaxRecs.CompareAndSwap(max, uint64(n)) {
+			break
+		}
+	}
+}
+
 // flush writes the buffered records and (optionally) fsyncs, then advances
-// synced. Only the group leader (or Close, after appends have stopped) calls
-// it, so file writes never race.
+// synced. Buffered mode only; the group leader (or Close, after appends have
+// stopped) calls it, so file writes never race.
 func (l *Log) flush(fsync bool) error {
 	l.mu.Lock()
 	if l.failed != nil {
@@ -421,6 +715,13 @@ func (l *Log) fail(err error) error {
 		l.failed = fmt.Errorf("wal: shard %d log failed: %w", l.shard, err)
 	}
 	err = l.failed
+	if l.pipelined() {
+		// Wake everyone parked on pipeline conditions so they observe the
+		// sticky error instead of sleeping forever.
+		l.pcond.Broadcast()
+		l.spaceCond.Broadcast()
+		l.acond.Signal()
+	}
 	l.mu.Unlock()
 	return err
 }
@@ -436,7 +737,12 @@ func (l *Log) Flush() error {
 	l.leading = true
 	l.gmu.Unlock()
 
-	err := l.flush(true)
+	var err error
+	if l.pipelined() {
+		err = l.syncPipelined(true)
+	} else {
+		err = l.flush(true)
+	}
 
 	l.gmu.Lock()
 	l.leading = false
@@ -445,10 +751,19 @@ func (l *Log) Flush() error {
 	return err
 }
 
-// Close flushes and fsyncs outstanding records and closes the active
-// segment. The log must not be appended to afterwards.
+// Close flushes and fsyncs outstanding records, stops the appender, and
+// closes the active segment. The log must not be appended to afterwards.
 func (l *Log) Close() error {
 	err := l.Flush()
+	if l.pipelined() {
+		l.mu.Lock()
+		if !l.closing {
+			l.closing = true
+			l.acond.Signal()
+		}
+		l.mu.Unlock()
+		<-l.appenderDone
+	}
 	l.mu.Lock()
 	f := l.f
 	l.f = nil

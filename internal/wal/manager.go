@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,11 @@ type Manager struct {
 	snapshotSkips atomic.Uint64
 	snapDurNs     atomic.Uint64
 	snapLastNs    atomic.Uint64
+
+	snapBytes       atomic.Uint64
+	snapIncremental atomic.Uint64
+	snapPairsDirty  atomic.Uint64
+	snapPairsReused atomic.Uint64
 }
 
 const metaName = "META"
@@ -77,15 +83,30 @@ func Recover(opts Options, shards int) (*Manager, []*ShardScan, error) {
 	}
 	m := &Manager{opts: opts, nshards: shards, logs: make([]*Log, shards)}
 	scans := make([]*ShardScan, shards)
+	// Shard logs are independent files, so scan them in parallel — recovery
+	// time is bounded by the largest shard log, not the sum.
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
-		sc, err := ScanShard(ShardDir(opts.Dir, i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc, err := ScanShard(ShardDir(opts.Dir, i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if sc.TornTail {
+				m.tornTails.Add(1)
+			}
+			scans[i] = sc
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		if sc.TornTail {
-			m.tornTails.Add(1)
-		}
-		scans[i] = sc
 	}
 	return m, scans, nil
 }
@@ -128,29 +149,77 @@ func (m *Manager) NoteReplay(records, rescued, pairs uint64) {
 // An injected chaos fault — ErrSnapshotSkipped or an InjectedPanic, which is
 // recovered here — is counted and returned; nothing was written.
 func (m *Manager) Checkpoint(shard int, covered, truncTo uint64, pairs func(emit func(key, val []byte) error) error) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(*chaos.InjectedPanic); ok {
-				m.snapshotSkips.Add(1)
-				err = ErrSnapshotSkipped
-				return
-			}
-			panic(r)
-		}
-	}()
+	defer m.recoverSnapshotPanic(&err)
 	start := time.Now()
-	if err := WriteSnapshot(ShardDir(m.opts.Dir, shard), covered, pairs); err != nil {
+	st, err := writeSnapshotFile(ShardDir(m.opts.Dir, shard), covered, pairs)
+	if err != nil {
 		m.snapshotSkips.Add(1)
 		return err
 	}
-	d := uint64(time.Since(start).Nanoseconds())
-	m.snapshots.Add(1)
-	m.snapDurNs.Add(d)
-	m.snapLastNs.Store(d)
+	m.noteSnapshot(st, false, start)
 	if truncTo > covered {
 		truncTo = covered
 	}
 	return m.logs[shard].Truncate(truncTo)
+}
+
+// CheckpointIncremental is Checkpoint's incremental variant: the previous
+// snapshot's pairs are carried over unchanged — except keys for which skip
+// returns true — and pairs emits only the live values of the dirty keys.
+// Returns ErrNoPrevSnapshot (not counted as a skip) when there is no valid
+// previous snapshot; the caller falls back to a full checkpoint.
+func (m *Manager) CheckpointIncremental(shard int, covered, truncTo uint64, skip func(key []byte) bool, pairs func(emit func(key, val []byte) error) error) (err error) {
+	defer m.recoverSnapshotPanic(&err)
+	start := time.Now()
+	st, err := writeSnapshotMerge(ShardDir(m.opts.Dir, shard), covered, skip, pairs)
+	if err != nil {
+		if err != ErrNoPrevSnapshot {
+			m.snapshotSkips.Add(1)
+		}
+		return err
+	}
+	m.noteSnapshot(st, true, start)
+	if truncTo > covered {
+		truncTo = covered
+	}
+	return m.logs[shard].Truncate(truncTo)
+}
+
+// recoverSnapshotPanic converts an injected chaos panic into
+// ErrSnapshotSkipped; anything else keeps unwinding.
+func (m *Manager) recoverSnapshotPanic(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(*chaos.InjectedPanic); ok {
+			m.snapshotSkips.Add(1)
+			*err = ErrSnapshotSkipped
+			return
+		}
+		panic(r)
+	}
+}
+
+// noteSnapshot folds one written snapshot into the metrics.
+func (m *Manager) noteSnapshot(st snapStats, incremental bool, start time.Time) {
+	d := uint64(time.Since(start).Nanoseconds())
+	m.snapshots.Add(1)
+	m.snapDurNs.Add(d)
+	m.snapLastNs.Store(d)
+	m.snapBytes.Add(uint64(st.bytes))
+	if incremental {
+		m.snapIncremental.Add(1)
+		m.snapPairsDirty.Add(st.total - st.reused)
+		m.snapPairsReused.Add(st.reused)
+	}
+}
+
+// LatestSnapshotLSN returns shard i's newest on-disk snapshot LSN, or ok
+// false when the shard has none.
+func (m *Manager) LatestSnapshotLSN(shard int) (lsn uint64, ok bool) {
+	names, err := snapNames(ShardDir(m.opts.Dir, shard))
+	if err != nil || len(names) == 0 {
+		return 0, false
+	}
+	return names[len(names)-1], true
 }
 
 // Flush makes every shard's appended records durable.
@@ -186,6 +255,7 @@ func (m *Manager) Close() error {
 // durable LSN gauges.
 func (m *Manager) ObsMetrics() []obs.Metric {
 	var appends, bytes, fsyncs, flushed, rotations, truncated, maxGroup uint64
+	var queueDepth, writevCalls, writevRecs, writevMax uint64
 	for _, l := range m.logs {
 		if l == nil {
 			continue
@@ -198,6 +268,12 @@ func (m *Manager) ObsMetrics() []obs.Metric {
 		truncated += l.truncatedSeg.Load()
 		if g := l.maxGroup.Load(); g > maxGroup {
 			maxGroup = g
+		}
+		queueDepth += uint64(l.QueueDepth())
+		writevCalls += l.writevCalls.Load()
+		writevRecs += l.writevRecs.Load()
+		if w := l.writevMaxRecs.Load(); w > writevMax {
+			writevMax = w
 		}
 	}
 	ms := []obs.Metric{
@@ -216,6 +292,14 @@ func (m *Manager) ObsMetrics() []obs.Metric {
 		{Name: "stmkvd_wal_snapshot_skips_total", Help: "Snapshot checkpoint attempts skipped or failed.", Kind: obs.Counter, Value: m.snapshotSkips.Load()},
 		{Name: "stmkvd_wal_snapshot_duration_ns_total", Help: "Cumulative wall time spent writing snapshots.", Kind: obs.Counter, Value: m.snapDurNs.Load()},
 		{Name: "stmkvd_wal_snapshot_last_ns", Help: "Duration of the most recent snapshot write.", Kind: obs.Gauge, Value: m.snapLastNs.Load()},
+		{Name: "stmkvd_wal_snapshot_bytes_total", Help: "Bytes written to snapshot files.", Kind: obs.Counter, Value: m.snapBytes.Load()},
+		{Name: "stmkvd_wal_snapshots_incremental_total", Help: "Snapshot checkpoints written incrementally (dirty keys merged into the previous snapshot).", Kind: obs.Counter, Value: m.snapIncremental.Load()},
+		{Name: "stmkvd_wal_snapshot_dirty_pairs_total", Help: "Key/value pairs serialized from the dirty set by incremental snapshots.", Kind: obs.Counter, Value: m.snapPairsDirty.Load()},
+		{Name: "stmkvd_wal_snapshot_reused_pairs_total", Help: "Key/value pairs streamed unchanged from the previous snapshot by incremental snapshots.", Kind: obs.Counter, Value: m.snapPairsReused.Load()},
+		{Name: "stmkvd_wal_append_queue_depth", Help: "Records reserved in the append pipeline but not yet written, summed across shards.", Kind: obs.Gauge, Value: queueDepth},
+		{Name: "stmkvd_wal_writev_total", Help: "Vectored batch writes issued by shard appenders.", Kind: obs.Counter, Value: writevCalls},
+		{Name: "stmkvd_wal_writev_records_total", Help: "Records written by vectored batch writes.", Kind: obs.Counter, Value: writevRecs},
+		{Name: "stmkvd_wal_writev_max_records", Help: "Largest vectored batch write observed, in records.", Kind: obs.Gauge, Value: writevMax},
 	}
 	for i, l := range m.logs {
 		v := uint64(0)

@@ -42,17 +42,70 @@ func parseSnapName(name string) (uint64, bool) {
 // attempt before any file was touched; a later attempt retries.
 var ErrSnapshotSkipped = errors.New("wal: snapshot attempt skipped by injected fault")
 
+// ErrNoPrevSnapshot reports that an incremental snapshot found no previous
+// valid snapshot to merge into; the caller falls back to a full checkpoint.
+var ErrNoPrevSnapshot = errors.New("wal: no previous snapshot to merge into")
+
+// snapStats describes one written snapshot file.
+type snapStats struct {
+	bytes  int64  // file bytes written
+	total  uint64 // pairs in the file
+	reused uint64 // pairs streamed unchanged from the previous snapshot
+}
+
 // WriteSnapshot writes a checkpoint covering every record with LSN <= covered
 // for one shard: pairs are streamed through emit, framed in batches, and the
 // file lands atomically (tmp + fsync + rename + dir fsync), so a valid .snap
 // is always complete. Older snapshots are removed after the new one is
 // durable.
 func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) error {
+	_, err := writeSnapshotFile(dir, covered, pairs)
+	return err
+}
+
+// writeSnapshotMerge writes an incremental checkpoint at covered: the
+// previous snapshot's pairs are streamed through unchanged — except keys for
+// which skip returns true, whose stale values must not survive — and pairs
+// then emits the live values of the dirty keys (a dirty key that was deleted
+// is simply never re-emitted). Returns ErrNoPrevSnapshot when no valid
+// previous snapshot exists.
+//
+// Correctness leans on the same idempotence rule as recovery: dirty values
+// are read after covered was fixed, so they may already reflect records
+// > covered — those records stay in the log (truncation never passes
+// covered) and replay them over the snapshot harmlessly.
+func writeSnapshotMerge(dir string, covered uint64, skip func(key []byte) bool, pairs func(emit func(key, val []byte) error) error) (snapStats, error) {
+	prevLSN, _, ok, err := LoadSnapshot(dir, func(_, _ []byte) error { return nil })
+	if err != nil {
+		return snapStats{}, err
+	}
+	if !ok || prevLSN > covered {
+		return snapStats{}, ErrNoPrevSnapshot
+	}
+	var reused uint64
+	st, err := writeSnapshotFile(dir, covered, func(emit func(key, val []byte) error) error {
+		prev := filepath.Join(dir, snapName(prevLSN))
+		if _, err := readSnapshot(prev, prevLSN, func(k, v []byte) error {
+			if skip(k) {
+				return nil
+			}
+			reused++
+			return emit(k, v)
+		}); err != nil {
+			return err
+		}
+		return pairs(emit)
+	})
+	st.reused = reused
+	return st, err
+}
+
+func writeSnapshotFile(dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) (snapStats, error) {
 	if in := chaos.Active(); in != nil {
 		act, delay := in.Decide(chaos.SnapshotWrite)
 		switch act {
 		case chaos.ActAbort:
-			return ErrSnapshotSkipped
+			return snapStats{}, ErrSnapshotSkipped
 		case chaos.ActDelay:
 			time.Sleep(delay)
 		case chaos.ActPanic:
@@ -63,10 +116,11 @@ func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []b
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return snapStats{}, err
 	}
 	defer os.Remove(tmp) // no-op once renamed
 
+	var st snapStats
 	var buf []byte
 	buf, start := beginFrame(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, covered)
@@ -93,6 +147,7 @@ func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []b
 		}
 		pbuf = sealFrame(pbuf, pstart)
 		_, err := f.Write(pbuf)
+		st.bytes += int64(len(pbuf))
 		pbuf = pbuf[:0]
 		return err
 	}
@@ -115,15 +170,16 @@ func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []b
 
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		return err
+		return st, err
 	}
+	st.bytes += int64(len(buf))
 	if err := pairs(emit); err != nil {
 		f.Close()
-		return err
+		return st, err
 	}
 	if err := flushPairs(); err != nil {
 		f.Close()
-		return err
+		return st, err
 	}
 
 	buf = buf[:0]
@@ -134,34 +190,36 @@ func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []b
 	buf = sealFrame(buf, start)
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		return err
+		return st, err
 	}
+	st.bytes += int64(len(buf))
+	st.total = total
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return st, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return st, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return err
+		return st, err
 	}
 	if err := syncDir(dir); err != nil {
-		return err
+		return st, err
 	}
 	// The new snapshot is durable; older ones are dead weight.
 	names, err := snapNames(dir)
 	if err != nil {
-		return err
+		return st, err
 	}
 	for _, n := range names {
 		if n < covered {
 			if err := os.Remove(filepath.Join(dir, snapName(n))); err != nil {
-				return err
+				return st, err
 			}
 		}
 	}
-	return nil
+	return st, nil
 }
 
 func syncDir(dir string) error {

@@ -1,0 +1,28 @@
+//go:build !linux
+
+package wal
+
+// iovMax caps records per vectored write, matching the linux path so batch
+// shapes (and the metrics derived from them) are comparable across platforms.
+const iovMax = 1024
+
+// iovScratch is the appender's reusable gather buffer.
+type iovScratch struct {
+	buf []byte
+}
+
+// writeChunk gathers the chunk into one buffer and writes it with a single
+// Write call — the portable stand-in for writev(2).
+func (l *Log) writeChunk(chunk []*Enc, total int) error {
+	b := l.iow.buf
+	if cap(b) < total {
+		b = make([]byte, 0, total)
+	}
+	b = b[:0]
+	for _, e := range chunk {
+		b = append(b, e.buf...)
+	}
+	l.iow.buf = b
+	_, err := l.f.Write(b)
+	return err
+}
