@@ -74,6 +74,7 @@ func main() {
 		snapshotEvery = flag.Duration("snapshot-every", time.Minute, "interval between snapshot checkpoints (truncating covered log segments; 0 = never)")
 		walIncrSnaps  = flag.Bool("wal-incremental-snapshots", false, "checkpoint by merging only dirtied keys into the previous snapshot instead of rescanning the shard")
 		walFullEvery  = flag.Int("wal-full-snapshot-every", 0, "with -wal-incremental-snapshots, force a full-scan snapshot every Nth checkpoint per shard (0 = default 8)")
+		walScrubEvery = flag.Duration("wal-scrub-interval", 0, "background scrub period: re-verify sealed log segments and snapshots, quarantining corrupt files (0 = never)")
 
 		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injector seed (with any -chaos-* rate > 0)")
 		chaosAbort    = flag.Int("chaos-abort", 0, "injected abort rate per injection point, parts per million")
@@ -106,6 +107,7 @@ func main() {
 			SnapshotEvery:        *snapshotEvery,
 			IncrementalSnapshots: *walIncrSnaps,
 			FullSnapshotEvery:    *walFullEvery,
+			ScrubInterval:        *walScrubEvery,
 		})
 		if err != nil {
 			logger.Fatalf("wal recovery: %v", err)

@@ -72,9 +72,12 @@ const (
 	// injected abort skips the attempt (a later one retries), and a panic is
 	// recovered by the checkpointer.
 	SnapshotWrite
+	// WALScrub fires at the start of a background scrub pass; an injected
+	// abort skips the pass (a later one retries), and delays stretch it.
+	WALScrub
 
 	// NumPoints is the number of named injection points.
-	NumPoints = int(SnapshotWrite) + 1
+	NumPoints = int(WALScrub) + 1
 )
 
 // String returns the metric label for the point.
@@ -102,6 +105,8 @@ func (p Point) String() string {
 		return "wal_fsync"
 	case SnapshotWrite:
 		return "snapshot_write"
+	case WALScrub:
+		return "wal_scrub"
 	}
 	return "unknown"
 }
@@ -175,7 +180,7 @@ func Uniform(seed uint64, abortPPM, delayPPM, panicPPM uint32, maxDelay time.Dur
 			pc.AbortPPM = abortPPM
 		case Handler:
 			pc.PanicPPM = panicPPM
-		case SnapshotWrite:
+		case SnapshotWrite, WALScrub:
 			pc.AbortPPM = abortPPM
 			pc.PanicPPM = panicPPM
 		default:

@@ -10,6 +10,7 @@ import (
 	"memtx/internal/chaos"
 	"memtx/internal/engine"
 	"memtx/internal/wal"
+	"memtx/internal/wal/walfs"
 )
 
 // DurableConfig enables the write-ahead log for a store opened with Open.
@@ -36,6 +37,14 @@ type DurableConfig struct {
 	// FullSnapshotEvery forces a full-scan snapshot every Nth checkpoint per
 	// shard when IncrementalSnapshots is on. 0 means the default (8).
 	FullSnapshotEvery int
+	// ScrubInterval starts the WAL's background scrubber, re-verifying sealed
+	// segments and snapshots on this period and quarantining anything corrupt.
+	// 0 disables scrubbing.
+	ScrubInterval time.Duration
+	// FS is the storage layer the WAL runs on. Nil selects the OS
+	// passthrough; tests substitute walfs.Mem / walfs.Fault for crash-point
+	// exploration and disk-fault injection.
+	FS walfs.FS
 }
 
 // RecoveryStats reports what replay-on-boot found.
@@ -153,6 +162,14 @@ func (s *Store) durableCommitSingle(sid int, t *Tx, tx engine.Txn) error {
 	if len(t.effs) == 0 {
 		return tx.Commit()
 	}
+	// Health gate before the engine commit: a write the WAL can no longer
+	// log must be rejected while nothing has published, so memory and log
+	// never diverge and the client gets a clean, retriable refusal. The
+	// attempt is abandoned, not retried — abort the open transaction.
+	if herr := s.walHealthErr(sid); herr != nil {
+		tx.Abort()
+		return herr
+	}
 	enc := wal.EncodeCommit(t.encodeEffs(sid))
 	chaosWALAppend()
 	sh := &s.shards[sid]
@@ -168,6 +185,7 @@ func (s *Store) durableCommitSingle(sid int, t *Tx, tx engine.Txn) error {
 		// The engine commit is already published; a wedged log cannot undo
 		// it. Surface the error — the client must not treat the write as
 		// durable — and leave the sticky log failure to fail fast from here.
+		s.noteWALErr(err)
 		return err
 	}
 	t.syncs = append(t.syncs, walSync{sid: sid, lsn: lsn})
@@ -271,6 +289,7 @@ func (t *Tx) walAppendCross() error {
 		sid := t.partScratch[0].Shard
 		lsn, err := s.wal.Log(sid).AppendCommit(t.encodeEffs(sid))
 		if err != nil {
+			s.noteWALErr(err)
 			return err
 		}
 		t.syncs = append(t.syncs, walSync{sid: sid, lsn: lsn})
@@ -298,6 +317,7 @@ func (t *Tx) walAppendCross() error {
 		}
 		t.syncs = append(t.syncs, walSync{sid: p.Shard, lsn: p.LSN})
 	}
+	s.noteWALErr(firstErr)
 	return firstErr
 }
 
@@ -340,6 +360,7 @@ func (s *Store) syncMany(syncs []walSync) error {
 				first = err
 			}
 		}
+		s.noteWALErr(first)
 		return first
 	}
 	var wg sync.WaitGroup
@@ -359,6 +380,7 @@ func (s *Store) syncMany(syncs []walSync) error {
 			break
 		}
 	}
+	s.noteWALErr(err)
 	return err
 }
 
@@ -514,6 +536,8 @@ func Open(cfg Config, dcfg DurableConfig) (*Store, *RecoveryStats, error) {
 		FsyncInterval: dcfg.FsyncInterval,
 		SegmentBytes:  dcfg.SegmentBytes,
 		AppendQueue:   dcfg.AppendQueue,
+		FS:            dcfg.FS,
+		ScrubInterval: dcfg.ScrubInterval,
 	}
 	m, scans, err := wal.Recover(opts, len(s.shards))
 	if err != nil {
@@ -609,7 +633,7 @@ func (s *Store) replay(m *wal.Manager, scans []*wal.ShardScan) (*RecoveryStats, 
 					return nil
 				})
 			}
-			covered, pairs, ok, err := wal.LoadSnapshot(wal.ShardDir(m.Dir(), sid), func(k, v []byte) error {
+			covered, pairs, ok, err := wal.LoadSnapshot(m.FS(), wal.ShardDir(m.Dir(), sid), func(k, v []byte) error {
 				// The emit slices alias the snapshot file buffer; Set copies
 				// them into engine records, but the batch must copy too
 				// because the flush runs after emit returns.
@@ -818,6 +842,9 @@ func (s *Store) Checkpoint() error {
 			firstErr = err
 		}
 	}
+	// A checkpoint that ran out of disk is the same full device the WAL is
+	// about to hit; degrade now rather than after a commit diverges.
+	s.noteWALErr(firstErr)
 	return firstErr
 }
 

@@ -184,6 +184,11 @@ type Store struct {
 	winflight map[uint64][]wal.Part // cross-shard appends not yet fully durable
 	walIncr   bool                  // incremental snapshot checkpoints enabled
 	walFullN  int                   // full-scan snapshot every Nth checkpoint
+
+	// walDegraded latches read-only degraded mode once the WAL hits ENOSPC:
+	// writes fail fast with ErrDiskFull at the pre-commit health gate, reads
+	// keep serving. Cleared only by reopening the store with space available.
+	walDegraded atomic.Bool
 }
 
 // New builds a store and one transactional memory per shard.
@@ -338,6 +343,18 @@ func (s *Store) ObsMetrics() []obs.Metric {
 		obs.Metric{Name: "stmkv_cm_adaptations_total", Help: "Pacing-knob recomputations that changed a knob, all shards.", Kind: obs.Counter, Value: cm.Adaptations},
 		obs.Metric{Name: "stmkv_cm_abort_ewma_ppm", Help: "Abort-rate estimate, ppm (most contended shard).", Kind: obs.Gauge, Value: cm.AbortEWMAPpm},
 	)
+	if s.wal != nil {
+		degraded := uint64(0)
+		if s.walDegraded.Load() {
+			degraded = 1
+		}
+		ms = append(ms, obs.Metric{
+			Name: "stmkvd_degraded_mode",
+			Help: "1 while the store is read-only because the WAL hit ENOSPC.",
+			Kind: obs.Gauge,
+			Value: degraded,
+		})
+	}
 	return ms
 }
 
@@ -529,6 +546,23 @@ func (t *Tx) crossAttempt(body func(*Tx) error) (err error, conflicted bool) {
 				t.abortFrom(0, engine.CauseValidation)
 				finished = true
 				return nil, true
+			}
+		}
+	}
+
+	// Health gate before any engine commit publishes: if a participating
+	// shard's WAL can no longer log the write-set, reject the transaction
+	// while every shard txn is still open — nothing diverges, and the caller
+	// gets the same typed refusal single-shard writers get.
+	if t.s.wal != nil && !t.readonly && len(t.effs) > 0 {
+		for sid := 0; sid < len(t.txns); sid++ {
+			if t.txns[sid] == nil {
+				continue
+			}
+			if herr := t.s.walHealthErr(sid); herr != nil {
+				t.abortFrom(0, engine.CauseExplicit)
+				finished = true
+				return herr, false
 			}
 		}
 	}

@@ -215,6 +215,8 @@ type Server struct {
 	panics              atomic.Uint64
 	deadlines           atomic.Uint64
 	evictions           atomic.Uint64
+	diskFull            atomic.Uint64
+	readOnly            atomic.Uint64
 	active              atomic.Int64
 	queued              atomic.Int64
 	inflight            atomic.Int64
@@ -309,6 +311,8 @@ func (s *Server) ObsMetrics() []obs.Metric {
 		{Name: "stmkvd_panics_recovered_total", Help: "Command handler panics recovered and answered with ERR.", Kind: obs.Counter, Value: s.panics.Load()},
 		{Name: "stmkvd_cmd_deadline_total", Help: "Commands that exhausted CmdDeadline and were answered with ERR.", Kind: obs.Counter, Value: s.deadlines.Load()},
 		{Name: "stmkvd_slow_client_evictions_total", Help: "Connections evicted for overrunning a read or write timeout.", Kind: obs.Counter, Value: s.evictions.Load()},
+		{Name: "stmkvd_diskfull_total", Help: "Writes refused with DISKFULL while the store is degraded read-only.", Kind: obs.Counter, Value: s.diskFull.Load()},
+		{Name: "stmkvd_readonly_total", Help: "Writes refused with READONLY because the key's shard quarantined its log.", Kind: obs.Counter, Value: s.readOnly.Load()},
 	}
 	for c := Cmd(0); c < NumCmds; c++ {
 		ms = append(ms, obs.Metric{
@@ -1016,6 +1020,12 @@ var (
 	bodyInt0 = []byte(":0")
 	bodyInt1 = []byte(":1")
 	bodyBusy = []byte("BUSY")
+	// DISKFULL and READONLY are retriable like BUSY: the write was rejected
+	// before any state changed. DISKFULL means the store is degraded
+	// read-only on a full disk; READONLY means the key's shard quarantined
+	// its log after a disk error. Reads keep working under both.
+	bodyDiskFull = []byte("DISKFULL")
+	bodyReadOnly = []byte("READONLY")
 )
 
 // errBody renders err as an "ERR $n:msg" body (the encoding AppendCommand
@@ -1147,8 +1157,18 @@ func (s *Server) runViewKeys(keys [][]byte, body func(t *kv.Tx) error) error {
 }
 
 // cmdErr renders a command error, counting deadline/budget exhaustion on
-// the way through.
+// the way through. Disk-health refusals from the store become the typed
+// retriable bodies DISKFULL and READONLY instead of generic ERR, so clients
+// can tell "back off and retry later" from a programming error.
 func (s *Server) cmdErr(c *conn, err error) []byte {
+	if errors.Is(err, kv.ErrDiskFull) {
+		s.diskFull.Add(1)
+		return bodyDiskFull
+	}
+	if errors.Is(err, kv.ErrWALQuarantined) {
+		s.readOnly.Add(1)
+		return bodyReadOnly
+	}
 	var te *engine.TimeoutError
 	if errors.As(err, &te) {
 		s.deadlines.Add(1)

@@ -1,0 +1,306 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"memtx/internal/wal/walfs"
+)
+
+func countSyncs(ops []walfs.Op) int {
+	n := 0
+	for _, op := range ops {
+		if op.Kind == walfs.OpSync {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFsyncFailureWedgesLog is the fsyncgate regression: one failed fsync —
+// with the kernel dropping the dirty pages — must wedge the log permanently.
+// The log never re-fsyncs, never advances SyncedLSN, and every later append
+// or sync fails with the original error; recovery sees only what was durable
+// before the failure.
+func TestFsyncFailureWedgesLog(t *testing.T) {
+	inner := walfs.NewRecordingMem()
+	flt := walfs.NewFault(inner)
+	dir := filepath.Join("wal", "shard-0000")
+	l, err := openLog(dir, 0, 1, Options{FS: flt, FsyncBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lsn1, err := l.AppendCommit(testOps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(lsn1); err != nil {
+		t.Fatal(err)
+	}
+	syncsBefore := countSyncs(inner.Journal())
+
+	flt.FailNextSync("shard-0000", syscall.EIO, true)
+	lsn2, err := l.AppendCommit(testOps(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(lsn2); err == nil {
+		t.Fatal("sync after injected fsync failure returned nil")
+	} else if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync error %v does not unwrap to EIO", err)
+	}
+
+	if !l.Wedged() {
+		t.Fatal("log not wedged after fsync failure")
+	}
+	if ferr := l.Failed(); !errors.Is(ferr, syscall.EIO) {
+		t.Fatalf("Failed() = %v, want EIO chain", ferr)
+	}
+	if got := l.SyncedLSN(); got != lsn1 {
+		t.Fatalf("SyncedLSN = %d after failed fsync, want pinned at %d", got, lsn1)
+	}
+
+	// The wedge is sticky: appends and syncs keep failing with the original
+	// error and the log never issues another fsync (re-syncing after a failed
+	// fsync would report pages durable that the kernel already dropped).
+	if _, aerr := l.AppendCommit(testOps(3)); aerr == nil {
+		if serr := l.Sync(lsn2 + 1); serr == nil || !errors.Is(serr, syscall.EIO) {
+			t.Fatalf("append+sync on wedged log: sync err %v, want EIO chain", serr)
+		}
+	} else if !errors.Is(aerr, syscall.EIO) {
+		t.Fatalf("append on wedged log: %v, want EIO chain", aerr)
+	}
+	if serr := l.Sync(lsn2); serr == nil || !errors.Is(serr, syscall.EIO) {
+		t.Fatalf("re-sync on wedged log: %v, want EIO chain", serr)
+	}
+	if got := countSyncs(inner.Journal()); got != syncsBefore {
+		t.Fatalf("log issued %d fsyncs after the failure (had %d); a wedged log must never re-fsync", got, syncsBefore)
+	}
+	if got := l.SyncedLSN(); got != lsn1 {
+		t.Fatalf("SyncedLSN moved to %d on a wedged log", got)
+	}
+	l.Close()
+
+	// Recovery sees exactly the pre-failure durable state: record 1 only —
+	// record 2's pages were dropped with the failed fsync.
+	sc, err := ScanShard(inner, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Records) != 1 || sc.Records[0].LSN != lsn1 {
+		t.Fatalf("recovered %d records (last %d), want only record %d", len(sc.Records), sc.LastLSN, lsn1)
+	}
+}
+
+// TestFsyncFailureFailsGroupOnce drives a full group-commit batch into one
+// failing fsync: every waiter in the group gets the failure exactly once
+// (their Sync returns the error), and none is ever resurrected by a later
+// retry.
+func TestFsyncFailureFailsGroupOnce(t *testing.T) {
+	inner := walfs.NewMem()
+	flt := walfs.NewFault(inner)
+	dir := filepath.Join("wal", "shard-0000")
+	const group = 4
+	l, err := openLog(dir, 0, 1, Options{FS: flt, FsyncBatch: group, FsyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt.FailNextSync("shard-0000", syscall.EIO, true)
+
+	errs := make(chan error, group)
+	for i := 0; i < group; i++ {
+		go func(i int) {
+			lsn, err := l.AppendCommit(testOps(i))
+			if err == nil {
+				err = l.Sync(lsn)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < group; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("a group-commit waiter got a nil error from the failed fsync")
+			}
+			if !errors.Is(err, syscall.EIO) {
+				t.Fatalf("waiter error %v does not unwrap to EIO", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("group-commit waiter hung after fsync failure")
+		}
+	}
+	if got := l.SyncedLSN(); got != 0 {
+		t.Fatalf("SyncedLSN = %d after a failed group fsync, want 0", got)
+	}
+	if !l.Wedged() {
+		t.Fatal("log not wedged after group fsync failure")
+	}
+	l.Close()
+}
+
+// TestMidLogCorruptionStopsReplay flips one byte in a sealed (non-final)
+// segment and asserts replay refuses the log with ErrCorrupt — a distinct,
+// diagnosable failure — rather than silently truncating history: the
+// corrupted file keeps its size, and the scrubber flags the same segment.
+func TestMidLogCorruptionStopsReplay(t *testing.T) {
+	mem := walfs.NewMem()
+	dir := filepath.Join("wal", "shard-0000")
+	l, err := openLog(dir, 0, 1, Options{FS: mem, FsyncBatch: 1, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SegmentBytes 1 rotates after every record: each record seals its own
+	// segment.
+	for i := 0; i < 6; i++ {
+		lsn, err := l.AppendCommit(testOps(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := segNames(mem, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 4 {
+		t.Fatalf("only %d segments; rotation did not seal middle segments", len(names))
+	}
+	victim := filepath.Join(dir, segName(names[1]))
+	b, err := mem.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := mem.WriteFile(victim, b); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore, _ := mem.Size(victim)
+
+	_, err = ScanShard(mem, dir)
+	if err == nil {
+		t.Fatal("replay over a corrupt sealed segment returned nil")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error %v is not ErrCorrupt", err)
+	}
+	if size, _ := mem.Size(victim); size != sizeBefore {
+		t.Fatalf("replay truncated the corrupt segment (%d -> %d bytes); corruption must never be silently repaired", sizeBefore, size)
+	}
+}
+
+// TestScrubQuarantineAndRescue corrupts a sealed segment whose records are
+// cross-shard commits, then runs a scrub pass: the bad file must be
+// quarantined (moved aside, bytes intact) and a rescue segment rebuilt in its
+// place from the peer shard's copies, after which replay succeeds with no
+// record lost.
+func TestScrubQuarantineAndRescue(t *testing.T) {
+	mem := walfs.NewMem()
+	opts := Options{Dir: "wal", FS: mem, FsyncBatch: 1, SegmentBytes: 1}
+	m, scans, err := Recover(opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]uint64, 2)
+	for i, sc := range scans {
+		next[i] = sc.LastLSN + 1
+	}
+	if err := m.Start(next, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every record is a cross-shard commit appended to both shards, so every
+	// shard-0 record has a peer copy to rescue from.
+	for i := 0; i < 6; i++ {
+		l0, l1 := m.Log(0), m.Log(1)
+		lsn0, lsn1 := l0.NextLSN(), l1.NextLSN()
+		xid := m.NextXID()
+		parts := []Part{{Shard: 0, LSN: lsn0}, {Shard: 1, LSN: lsn1}}
+		ops := testOps(i)
+		if err := l0.AppendXCommit(lsn0, xid, parts, ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := l1.AppendXCommit(lsn1, xid, parts, ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := l0.Sync(lsn0); err != nil {
+			t.Fatal(err)
+		}
+		if err := l1.Sync(lsn1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir0 := ShardDir("wal", 0)
+	names, err := segNames(mem, dir0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 4 {
+		t.Fatalf("only %d segments on shard 0", len(names))
+	}
+	victimFirst := names[1]
+	victim := filepath.Join(dir0, segName(victimFirst))
+	b, err := mem.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), b...)
+	b[len(b)/2] ^= 0x40
+	if err := mem.WriteFile(victim, b); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.ScrubOnce(); got != 1 {
+		t.Fatalf("ScrubOnce found %d corrupt files, want 1", got)
+	}
+
+	// The corrupt bytes moved aside intact for forensics.
+	q, err := mem.ReadFile(victim + quarantineSuffix)
+	if err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if string(q) != string(b) {
+		t.Fatal("quarantined file does not hold the corrupt bytes")
+	}
+
+	// The rescue segment replays clean with every cross-shard record restored.
+	sc, err := ScanShard(mem, dir0)
+	if err != nil {
+		t.Fatalf("replay after rescue: %v", err)
+	}
+	if len(sc.Records) != 6 {
+		t.Fatalf("recovered %d records after rescue, want all 6", len(sc.Records))
+	}
+	rb, err := mem.ReadFile(victim)
+	if err != nil {
+		t.Fatalf("rescue segment missing: %v", err)
+	}
+	if string(rb) == string(orig) || string(rb) == string(b) {
+		// The rescue is re-encoded from the peer's records; byte equality
+		// with either old form is not required, only decodability (checked
+		// above) — but it must not be the corrupt bytes.
+		if string(rb) == string(b) {
+			t.Fatal("rescue segment still holds corrupt bytes")
+		}
+	}
+
+	// A second pass finds nothing new and the metrics reflect exactly one
+	// quarantine.
+	if got := m.ScrubOnce(); got != 0 {
+		t.Fatalf("second ScrubOnce found %d corrupt files, want 0", got)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,7 +2,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"memtx/internal/chaos"
+	"memtx/internal/wal/walfs"
 )
 
 // Options configures a shard log (and, via the Manager, all of them).
@@ -38,11 +38,20 @@ type Options struct {
 	// disables the pipeline, making appends encode into the shared buffer
 	// synchronously as in the pre-pipeline path.
 	AppendQueue int
+	// FS is the storage layer all WAL file I/O goes through. Nil selects the
+	// OS passthrough; tests substitute walfs.Mem / walfs.Fault for crash-point
+	// exploration and disk-fault injection.
+	FS walfs.FS
+	// ScrubInterval is how often the Manager's background scrubber verifies
+	// sealed segments and snapshots (0 disables scrubbing).
+	ScrubInterval time.Duration
 }
 
 const (
 	defaultSegmentBytes = 64 << 20
 	defaultAppendQueue  = 1024
+	// iovMax caps records per vectored write: linux guarantees IOV_MAX >= 1024.
+	iovMax = 1024
 )
 
 func (o Options) segmentBytes() int64 {
@@ -50,6 +59,13 @@ func (o Options) segmentBytes() int64 {
 		return defaultSegmentBytes
 	}
 	return o.SegmentBytes
+}
+
+func (o Options) fs() walfs.FS {
+	if o.FS == nil {
+		return walfs.OS()
+	}
+	return o.FS
 }
 
 func (o Options) queueCap() int {
@@ -96,12 +112,13 @@ func parseSegName(name string) (uint64, bool) {
 type Log struct {
 	dir   string
 	opts  Options
+	fs    walfs.FS
 	shard int
 
 	// mu guards the append state: LSNs, the queue (or buffer), the rotation
 	// decision, and the pipeline's request/progress fields.
 	mu       sync.Mutex
-	f        *os.File
+	f        walfs.File
 	segSize  int64
 	buf      []byte // buffered mode only
 	nextLSN  uint64 // LSN the next append will take
@@ -123,7 +140,7 @@ type Log struct {
 	syncReq      uint64     // highest LSN a leader asked to make durable
 	syncForce    bool       // fsync even when FsyncBatch == 0 (Flush/Close)
 	closing      bool
-	iow          iovScratch
+	vecs         [][]byte // appender's reusable writev buffer table
 	appenderDone chan struct{}
 
 	// batchFull is signalled (capacity 1, non-blocking) when pending reaches
@@ -155,12 +172,14 @@ type Log struct {
 // reopened for writing, which keeps the torn-tail rule simple (only the last
 // segment may tear).
 func openLog(dir string, shard int, nextLSN uint64, opts Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.fs()
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, err
 	}
 	l := &Log{
 		dir:       dir,
 		opts:      opts,
+		fs:        fsys,
 		shard:     shard,
 		nextLSN:   nextLSN,
 		appended:  nextLSN - 1,
@@ -197,18 +216,26 @@ func (l *Log) pipelined() bool { return l.queueCap > 0 }
 // but only when actually empty (anything else is a protocol violation).
 func (l *Log) openSegment(first uint64) error {
 	path := filepath.Join(l.dir, segName(first))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
-	if os.IsExist(err) {
-		fi, serr := os.Stat(path)
-		if serr != nil {
-			return serr
+	f, err := l.fs.Create(path, true)
+	if walfs.IsExist(err) {
+		var size int64
+		size, err = l.fs.Size(path)
+		if err != nil {
+			return err
 		}
-		if fi.Size() != 0 {
-			return fmt.Errorf("wal: segment %s already exists with %d bytes at next LSN %d", path, fi.Size(), first)
+		if size != 0 {
+			return fmt.Errorf("wal: segment %s already exists with %d bytes at next LSN %d", path, size, first)
 		}
-		f, err = os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+		f, err = l.fs.Create(path, false)
 	}
 	if err != nil {
+		return err
+	}
+	// Make the segment's directory entry durable before any record lands in
+	// it: an fsynced record in a file whose entry a crash can drop is not
+	// durable at all.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
 		return err
 	}
 	l.f = f
@@ -233,6 +260,13 @@ func (l *Log) AppendedLSN() uint64 {
 
 // SyncedLSN returns the last durable LSN.
 func (l *Log) SyncedLSN() uint64 { return l.synced.Load() }
+
+// Wedged reports whether the log has hit a write or fsync error and is
+// permanently rejecting appends and syncs.
+func (l *Log) Wedged() bool { return l.stickyErr() != nil }
+
+// Failed returns the sticky error that wedged the log, or nil.
+func (l *Log) Failed() error { return l.stickyErr() }
 
 // QueueDepth returns the number of records reserved but not yet written
 // (always 0 in buffered mode).
@@ -693,7 +727,7 @@ func (l *Log) flush(fsync bool) error {
 // rotate fsyncs and closes the full segment, then opens a fresh one whose
 // records will all have LSN >= next. The old-segment fsync before the new
 // segment exists is what keeps durability prefix-shaped across files.
-func (l *Log) rotate(next uint64, old *os.File) error {
+func (l *Log) rotate(next uint64, old walfs.File) error {
 	if err := old.Sync(); err != nil {
 		return err
 	}
@@ -778,9 +812,10 @@ func (l *Log) Close() error {
 
 // Truncate deletes every non-active segment fully covered by a checkpoint at
 // covered: segment i can go once the next segment's first LSN is <= covered+1
-// (all of i's records are <= covered).
+// (all of i's records are <= covered). A segment the scrubber quarantined
+// concurrently is already gone and is skipped.
 func (l *Log) Truncate(covered uint64) error {
-	names, err := segNames(l.dir)
+	names, err := segNames(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
@@ -788,7 +823,7 @@ func (l *Log) Truncate(covered uint64) error {
 		if names[i+1] > covered+1 {
 			break
 		}
-		if err := os.Remove(filepath.Join(l.dir, segName(names[i]))); err != nil {
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(names[i]))); err != nil && !walfs.IsNotExist(err) {
 			return err
 		}
 		l.truncatedSeg.Add(1)
@@ -797,17 +832,38 @@ func (l *Log) Truncate(covered uint64) error {
 }
 
 // segNames lists the segment first-LSNs in dir, ascending.
-func segNames(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func segNames(fsys walfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var names []uint64
-	for _, e := range ents {
-		if n, ok := parseSegName(e.Name()); ok {
+	for _, name := range ents {
+		if n, ok := parseSegName(name); ok {
 			names = append(names, n)
 		}
 	}
 	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
 	return names, nil
+}
+
+// writeChunk writes every frame in chunk to the active segment with one
+// vectored write. Appender only — l.f is stable for the duration (rotation
+// happens between chunks, on the same goroutine).
+func (l *Log) writeChunk(chunk []*Enc, total int) error {
+	vecs := l.vecs[:0]
+	for _, e := range chunk {
+		if len(e.buf) != 0 {
+			vecs = append(vecs, e.buf)
+		}
+	}
+	err := l.f.Writev(vecs)
+	// Drop the buffer references so the reused table does not pin pooled
+	// record buffers past the write.
+	for i := range vecs {
+		vecs[i] = nil
+	}
+	l.vecs = vecs[:0]
+	_ = total
+	return err
 }

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"memtx/internal/wal/walfs"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -41,7 +43,7 @@ func TestLogAppendSyncScan(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestLogNoFsyncMode(t *testing.T) {
 	if l.fsyncs.Load() == 0 {
 		t.Fatal("Close did not fsync")
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestLogRotationAndTruncate(t *testing.T) {
 	if l.rotations.Load() == 0 {
 		t.Fatal("no rotations despite tiny segment size")
 	}
-	names, err := segNames(dir)
+	names, err := segNames(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestLogRotationAndTruncate(t *testing.T) {
 	if err := l.Truncate(last); err != nil {
 		t.Fatal(err)
 	}
-	after, err := segNames(dir)
+	after, err := segNames(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestLogRotationAndTruncate(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ScanShard(dir); err != nil {
+	if _, err := ScanShard(walfs.OS(), dir); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -181,7 +183,7 @@ func TestLogTruncatePartialCoverage(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	names, _ := segNames(dir)
+	names, _ := segNames(walfs.OS(), dir)
 	// Cover only up to just before the third segment: segments 1..2 get
 	// deleted, later ones must survive.
 	if len(names) < 4 {
@@ -191,14 +193,14 @@ func TestLogTruncatePartialCoverage(t *testing.T) {
 	if err := l.Truncate(covered); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := segNames(dir)
+	after, _ := segNames(walfs.OS(), dir)
 	if len(after) != len(names)-2 || after[0] != names[2] {
 		t.Fatalf("truncate(%d): before %v after %v", covered, names, after)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestLogAppendRecordGap(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,18 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"memtx/internal/chaos"
 	"memtx/internal/obs"
+	"memtx/internal/wal/walfs"
 )
 
 // Manager owns every shard's Log plus the WAL-wide state: the cross-shard
@@ -21,9 +23,13 @@ import (
 // per-shard next LSNs; Start then opens the logs for appending.
 type Manager struct {
 	opts    Options
+	fs      walfs.FS
 	nshards int
 	logs    []*Log
 	xid     atomic.Uint64
+
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
 
 	replayRecords atomic.Uint64
 	replayRescued atomic.Uint64
@@ -38,6 +44,13 @@ type Manager struct {
 	snapIncremental atomic.Uint64
 	snapPairsDirty  atomic.Uint64
 	snapPairsReused atomic.Uint64
+
+	scrubPasses    atomic.Uint64
+	scrubSegments  atomic.Uint64
+	scrubSnapshots atomic.Uint64
+	scrubCorrupt   atomic.Uint64
+	quarantined    atomic.Uint64
+	rescues        atomic.Uint64
 }
 
 const metaName = "META"
@@ -46,15 +59,15 @@ const metaName = "META"
 // count is load-bearing: records carry no shard id (a key's shard is derived
 // from its hash), so reopening a WAL directory with a different shard count
 // would silently misroute every record.
-func checkMeta(dir string, shards int) error {
+func checkMeta(fsys walfs.FS, dir string, shards int) error {
 	path := filepath.Join(dir, metaName)
 	want := fmt.Sprintf("memtx-wal v1 shards %d\n", shards)
-	b, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+	b, err := fsys.ReadFile(path)
+	if walfs.IsNotExist(err) {
+		if err := fsys.WriteFile(path, []byte(want)); err != nil {
 			return err
 		}
-		return syncDir(dir)
+		return fsys.SyncDir(dir)
 	}
 	if err != nil {
 		return err
@@ -75,13 +88,14 @@ func ShardDir(root string, shard int) string {
 // truncated); the logs are not yet open for appending — apply the scans,
 // then call Start.
 func Recover(opts Options, shards int) (*Manager, []*ShardScan, error) {
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.fs()
+	if err := fsys.MkdirAll(opts.Dir); err != nil {
 		return nil, nil, err
 	}
-	if err := checkMeta(opts.Dir, shards); err != nil {
+	if err := checkMeta(fsys, opts.Dir, shards); err != nil {
 		return nil, nil, err
 	}
-	m := &Manager{opts: opts, nshards: shards, logs: make([]*Log, shards)}
+	m := &Manager{opts: opts, fs: fsys, nshards: shards, logs: make([]*Log, shards)}
 	scans := make([]*ShardScan, shards)
 	// Shard logs are independent files, so scan them in parallel — recovery
 	// time is bounded by the largest shard log, not the sum.
@@ -91,7 +105,7 @@ func Recover(opts Options, shards int) (*Manager, []*ShardScan, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sc, err := ScanShard(ShardDir(opts.Dir, i))
+			sc, err := ScanShard(fsys, ShardDir(opts.Dir, i))
 			if err != nil {
 				errs[i] = err
 				return
@@ -123,6 +137,9 @@ func (m *Manager) Start(nextLSN []uint64, maxXID uint64) error {
 		m.logs[i] = l
 	}
 	m.xid.Store(maxXID)
+	if m.opts.ScrubInterval > 0 {
+		m.StartScrubber(m.opts.ScrubInterval)
+	}
 	return nil
 }
 
@@ -131,6 +148,9 @@ func (m *Manager) Log(i int) *Log { return m.logs[i] }
 
 // Dir returns the WAL root directory.
 func (m *Manager) Dir() string { return m.opts.Dir }
+
+// FS returns the storage layer the WAL runs on.
+func (m *Manager) FS() walfs.FS { return m.fs }
 
 // NextXID allocates a cross-shard transaction id.
 func (m *Manager) NextXID() uint64 { return m.xid.Add(1) }
@@ -151,7 +171,7 @@ func (m *Manager) NoteReplay(records, rescued, pairs uint64) {
 func (m *Manager) Checkpoint(shard int, covered, truncTo uint64, pairs func(emit func(key, val []byte) error) error) (err error) {
 	defer m.recoverSnapshotPanic(&err)
 	start := time.Now()
-	st, err := writeSnapshotFile(ShardDir(m.opts.Dir, shard), covered, pairs)
+	st, err := writeSnapshotFile(m.fs, ShardDir(m.opts.Dir, shard), covered, pairs)
 	if err != nil {
 		m.snapshotSkips.Add(1)
 		return err
@@ -171,7 +191,7 @@ func (m *Manager) Checkpoint(shard int, covered, truncTo uint64, pairs func(emit
 func (m *Manager) CheckpointIncremental(shard int, covered, truncTo uint64, skip func(key []byte) bool, pairs func(emit func(key, val []byte) error) error) (err error) {
 	defer m.recoverSnapshotPanic(&err)
 	start := time.Now()
-	st, err := writeSnapshotMerge(ShardDir(m.opts.Dir, shard), covered, skip, pairs)
+	st, err := writeSnapshotMerge(m.fs, ShardDir(m.opts.Dir, shard), covered, skip, pairs)
 	if err != nil {
 		if err != ErrNoPrevSnapshot {
 			m.snapshotSkips.Add(1)
@@ -215,7 +235,7 @@ func (m *Manager) noteSnapshot(st snapStats, incremental bool, start time.Time) 
 // LatestSnapshotLSN returns shard i's newest on-disk snapshot LSN, or ok
 // false when the shard has none.
 func (m *Manager) LatestSnapshotLSN(shard int) (lsn uint64, ok bool) {
-	names, err := snapNames(ShardDir(m.opts.Dir, shard))
+	names, err := snapNames(m.fs, ShardDir(m.opts.Dir, shard))
 	if err != nil || len(names) == 0 {
 		return 0, false
 	}
@@ -236,8 +256,9 @@ func (m *Manager) Flush() error {
 	return first
 }
 
-// Close flushes and closes every shard log.
+// Close stops the scrubber, then flushes and closes every shard log.
 func (m *Manager) Close() error {
+	m.StopScrubber()
 	var first error
 	for _, l := range m.logs {
 		if l == nil {
@@ -300,6 +321,12 @@ func (m *Manager) ObsMetrics() []obs.Metric {
 		{Name: "stmkvd_wal_writev_total", Help: "Vectored batch writes issued by shard appenders.", Kind: obs.Counter, Value: writevCalls},
 		{Name: "stmkvd_wal_writev_records_total", Help: "Records written by vectored batch writes.", Kind: obs.Counter, Value: writevRecs},
 		{Name: "stmkvd_wal_writev_max_records", Help: "Largest vectored batch write observed, in records.", Kind: obs.Gauge, Value: writevMax},
+		{Name: "stmkvd_wal_scrub_passes_total", Help: "Background scrub passes completed.", Kind: obs.Counter, Value: m.scrubPasses.Load()},
+		{Name: "stmkvd_wal_scrub_segments_total", Help: "Sealed log segments verified by the scrubber.", Kind: obs.Counter, Value: m.scrubSegments.Load()},
+		{Name: "stmkvd_wal_scrub_snapshots_total", Help: "Snapshot files verified by the scrubber.", Kind: obs.Counter, Value: m.scrubSnapshots.Load()},
+		{Name: "stmkvd_wal_scrub_corrupt_total", Help: "Corrupt files found by the scrubber.", Kind: obs.Counter, Value: m.scrubCorrupt.Load()},
+		{Name: "stmkvd_wal_quarantined", Help: "Files moved aside after failing verification.", Kind: obs.Gauge, Value: m.quarantined.Load()},
+		{Name: "stmkvd_wal_rescued_segments_total", Help: "Rescue segments rebuilt from peer shards' cross-shard commit copies.", Kind: obs.Counter, Value: m.rescues.Load()},
 	}
 	for i, l := range m.logs {
 		v := uint64(0)
@@ -314,5 +341,44 @@ func (m *Manager) ObsMetrics() []obs.Metric {
 			Value:  v,
 		})
 	}
+	// Wedge gauges: one series per shard and cause, always present so the
+	// series set is stable, 1 on the series matching the shard's sticky error.
+	for i, l := range m.logs {
+		var ferr error
+		if l != nil {
+			ferr = l.Failed()
+		}
+		cause := failCause(ferr)
+		for _, c := range failCauses {
+			v := uint64(0)
+			if ferr != nil && c == cause {
+				v = 1
+			}
+			ms = append(ms, obs.Metric{
+				Name:   "stmkvd_wal_failed",
+				Help:   "Whether the shard's log is wedged, by failure cause.",
+				Kind:   obs.Gauge,
+				Labels: []obs.Label{{Key: "shard", Value: strconv.Itoa(i)}, {Key: "cause", Value: c}},
+				Value:  v,
+			})
+		}
+	}
 	return ms
+}
+
+// failCauses is the fixed label set for stmkvd_wal_failed.
+var failCauses = []string{"enospc", "eio", "other"}
+
+// failCause classifies a log's sticky error for the metrics export.
+func failCause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case walfs.IsNoSpace(err):
+		return "enospc"
+	case errors.Is(err, syscall.EIO):
+		return "eio"
+	default:
+		return "other"
+	}
 }

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"memtx/internal/wal/walfs"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -78,7 +80,7 @@ func TestPipelineLSNOrderMatchesReservation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestPipelineSyncCoversQueue(t *testing.T) {
 		t.Fatal("Sync completed without an fsync")
 	}
 	// The log is still open; the scan must already see everything synced.
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestPipelineDisabledStillWorks(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,17 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"memtx/internal/wal/walfs"
 )
+
+// ErrCorrupt marks mid-log corruption: a bad frame or malformed record that
+// the torn-tail rule cannot explain away. Replay stops with it instead of
+// silently truncating; the scrubber quarantines the segment that carries it.
+var ErrCorrupt = errors.New("wal: corrupt log")
 
 // ShardScan is the result of scanning one shard's log directory.
 type ShardScan struct {
@@ -24,12 +31,20 @@ type ShardScan struct {
 // cross-shard reservations and rescues leave them). A bad frame at the tail
 // of the *last* segment is the normal crash artifact: it is truncated from
 // the file and the scan succeeds. A bad frame anywhere else, or a
-// non-monotonic LSN, is corruption and fails the scan.
-func ScanShard(dir string) (*ShardScan, error) {
+// non-monotonic LSN, is corruption (ErrCorrupt) and fails the scan.
+func ScanShard(fsys walfs.FS, dir string) (*ShardScan, error) {
+	return scanShard(fsys, dir, true)
+}
+
+// scanShard is ScanShard with the tail repair optional: the scrubber reads
+// peer shards with repairTail false so a read-only verification pass can
+// never truncate a log it does not own (the peer may be live, its "torn
+// tail" a write still in flight).
+func scanShard(fsys walfs.FS, dir string, repairTail bool) (*ShardScan, error) {
 	sc := &ShardScan{}
-	names, err := segNames(dir)
+	names, err := segNames(fsys, dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if walfs.IsNotExist(err) {
 			return sc, nil
 		}
 		return nil, err
@@ -37,7 +52,7 @@ func ScanShard(dir string) (*ShardScan, error) {
 	for i, first := range names {
 		last := i == len(names)-1
 		path := filepath.Join(dir, segName(first))
-		b, err := os.ReadFile(path)
+		b, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
@@ -46,12 +61,14 @@ func ScanShard(dir string) (*ShardScan, error) {
 			payload, rest, ok, ferr := NextFrame(b[off:])
 			if ferr != nil {
 				if !last {
-					return nil, fmt.Errorf("wal: %s: corrupt frame at offset %d (not the last segment): %w", path, off, ferr)
+					return nil, fmt.Errorf("%w: %s: bad frame at offset %d (not the last segment): %v", ErrCorrupt, path, off, ferr)
 				}
 				sc.TornBytes = int64(len(b) - off)
 				sc.TornTail = true
-				if err := os.Truncate(path, int64(off)); err != nil {
-					return nil, err
+				if repairTail {
+					if err := fsys.Truncate(path, int64(off)); err != nil {
+						return nil, err
+					}
 				}
 				break
 			}
@@ -62,10 +79,10 @@ func ScanShard(dir string) (*ShardScan, error) {
 			if derr != nil {
 				// The frame CRC passed but the payload is malformed — that is
 				// corruption (or a version skew), not a torn tail.
-				return nil, fmt.Errorf("wal: %s: bad record at offset %d: %w", path, off, derr)
+				return nil, fmt.Errorf("%w: %s: bad record at offset %d: %v", ErrCorrupt, path, off, derr)
 			}
 			if rec.LSN < first || rec.LSN <= sc.LastLSN {
-				return nil, fmt.Errorf("wal: %s: record lsn %d out of order (segment start %d, previous %d)", path, rec.LSN, first, sc.LastLSN)
+				return nil, fmt.Errorf("%w: %s: record lsn %d out of order (segment start %d, previous %d)", ErrCorrupt, path, rec.LSN, first, sc.LastLSN)
 			}
 			sc.Records = append(sc.Records, rec)
 			sc.LastLSN = rec.LSN

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"memtx/internal/wal/walfs"
+
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,7 +32,7 @@ func writeRecords(t *testing.T, dir string, n int) {
 
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	names, err := segNames(dir)
+	names, err := segNames(walfs.OS(), dir)
 	if err != nil || len(names) == 0 {
 		t.Fatalf("segNames: %v %v", names, err)
 	}
@@ -53,7 +55,7 @@ func TestScanTornTailTruncated(t *testing.T) {
 	writeRecords(t, dir, 10)
 	// Chop a few bytes off the last record: a mid-write crash artifact.
 	chopTail(t, lastSegment(t, dir), 5)
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func TestScanTornTailTruncated(t *testing.T) {
 		t.Fatalf("scan kept %d records, last %d", len(sc.Records), sc.LastLSN)
 	}
 	// The tear was truncated from the file: a second scan is clean.
-	sc2, err := ScanShard(dir)
+	sc2, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestScanTruncatedCRC(t *testing.T) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +106,7 @@ func TestScanEmptySegment(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, segName(100)), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := ScanShard(dir)
+	sc, err := ScanShard(walfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestScanEmptySegment(t *testing.T) {
 }
 
 func TestScanEmptyDir(t *testing.T) {
-	sc, err := ScanShard(filepath.Join(t.TempDir(), "nope"))
+	sc, err := ScanShard(walfs.OS(), filepath.Join(t.TempDir(), "nope"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,14 +143,14 @@ func TestScanMidLogCorruptionFails(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	names, _ := segNames(dir)
+	names, _ := segNames(walfs.OS(), dir)
 	if len(names) < 3 {
 		t.Fatalf("need several segments, got %v", names)
 	}
 	// A tear in a non-last segment is not a crash artifact — rotation fsyncs
 	// the old segment before the new one exists — so it must hard-fail.
 	chopTail(t, filepath.Join(dir, segName(names[0])), 3)
-	if _, err := ScanShard(dir); err == nil {
+	if _, err := ScanShard(walfs.OS(), dir); err == nil {
 		t.Fatal("mid-log corruption scanned clean")
 	}
 }
@@ -159,7 +161,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	write := func(covered uint64, n int) {
-		err := WriteSnapshot(dir, covered, func(emit func(k, v []byte) error) error {
+		err := WriteSnapshot(walfs.OS(), dir, covered, func(emit func(k, v []byte) error) error {
 			for i := 0; i < n; i++ {
 				if err := emit([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d-%d", i, covered))); err != nil {
 					return err
@@ -174,7 +176,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	write(10, 100)
 	write(25, 150)
 	got := map[string]string{}
-	covered, pairs, ok, err := LoadSnapshot(dir, func(k, v []byte) error {
+	covered, pairs, ok, err := LoadSnapshot(walfs.OS(), dir, func(k, v []byte) error {
 		got[string(k)] = string(v)
 		return nil
 	})
@@ -188,7 +190,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("stale pair: %q", got["k0007"])
 	}
 	// The older snapshot was removed once the newer one landed.
-	names, _ := snapNames(dir)
+	names, _ := snapNames(walfs.OS(), dir)
 	if len(names) != 1 || names[0] != 25 {
 		t.Fatalf("snapshots on disk: %v", names)
 	}
@@ -197,7 +199,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotCorruptFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	ok1 := func(emit func(k, v []byte) error) error { return emit([]byte("a"), []byte("old")) }
-	if err := WriteSnapshot(dir, 5, ok1); err != nil {
+	if err := WriteSnapshot(walfs.OS(), dir, 5, ok1); err != nil {
 		t.Fatal(err)
 	}
 	// Forge a newer, corrupt snapshot (bit rot: valid name, bad frame).
@@ -205,7 +207,7 @@ func TestSnapshotCorruptFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []string
-	covered, _, ok, err := LoadSnapshot(dir, func(k, v []byte) error {
+	covered, _, ok, err := LoadSnapshot(walfs.OS(), dir, func(k, v []byte) error {
 		got = append(got, string(k)+"="+string(v))
 		return nil
 	})
@@ -218,7 +220,7 @@ func TestSnapshotCorruptFallsBack(t *testing.T) {
 }
 
 func TestSnapshotNoneIsOK(t *testing.T) {
-	_, _, ok, err := LoadSnapshot(t.TempDir(), func(k, v []byte) error { return nil })
+	_, _, ok, err := LoadSnapshot(walfs.OS(), t.TempDir(), func(k, v []byte) error { return nil })
 	if err != nil || ok {
 		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
 	}
@@ -230,7 +232,7 @@ func TestSnapshotTmpFileIgnored(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, snapName(7)+".tmp"), []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, _, ok, err := LoadSnapshot(dir, func(k, v []byte) error { return nil })
+	_, _, ok, err := LoadSnapshot(walfs.OS(), dir, func(k, v []byte) error { return nil })
 	if err != nil || ok {
 		t.Fatalf("tmp snapshot loaded: ok=%v err=%v", ok, err)
 	}

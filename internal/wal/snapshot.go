@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"memtx/internal/chaos"
+	"memtx/internal/wal/walfs"
 )
 
 const (
@@ -58,8 +58,8 @@ type snapStats struct {
 // file lands atomically (tmp + fsync + rename + dir fsync), so a valid .snap
 // is always complete. Older snapshots are removed after the new one is
 // durable.
-func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) error {
-	_, err := writeSnapshotFile(dir, covered, pairs)
+func WriteSnapshot(fsys walfs.FS, dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) error {
+	_, err := writeSnapshotFile(fsys, dir, covered, pairs)
 	return err
 }
 
@@ -74,8 +74,8 @@ func WriteSnapshot(dir string, covered uint64, pairs func(emit func(key, val []b
 // are read after covered was fixed, so they may already reflect records
 // > covered — those records stay in the log (truncation never passes
 // covered) and replay them over the snapshot harmlessly.
-func writeSnapshotMerge(dir string, covered uint64, skip func(key []byte) bool, pairs func(emit func(key, val []byte) error) error) (snapStats, error) {
-	prevLSN, _, ok, err := LoadSnapshot(dir, func(_, _ []byte) error { return nil })
+func writeSnapshotMerge(fsys walfs.FS, dir string, covered uint64, skip func(key []byte) bool, pairs func(emit func(key, val []byte) error) error) (snapStats, error) {
+	prevLSN, _, ok, err := LoadSnapshot(fsys, dir, func(_, _ []byte) error { return nil })
 	if err != nil {
 		return snapStats{}, err
 	}
@@ -83,9 +83,9 @@ func writeSnapshotMerge(dir string, covered uint64, skip func(key []byte) bool, 
 		return snapStats{}, ErrNoPrevSnapshot
 	}
 	var reused uint64
-	st, err := writeSnapshotFile(dir, covered, func(emit func(key, val []byte) error) error {
+	st, err := writeSnapshotFile(fsys, dir, covered, func(emit func(key, val []byte) error) error {
 		prev := filepath.Join(dir, snapName(prevLSN))
-		if _, err := readSnapshot(prev, prevLSN, func(k, v []byte) error {
+		if _, err := readSnapshot(fsys, prev, prevLSN, func(k, v []byte) error {
 			if skip(k) {
 				return nil
 			}
@@ -100,7 +100,7 @@ func writeSnapshotMerge(dir string, covered uint64, skip func(key []byte) bool, 
 	return st, err
 }
 
-func writeSnapshotFile(dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) (snapStats, error) {
+func writeSnapshotFile(fsys walfs.FS, dir string, covered uint64, pairs func(emit func(key, val []byte) error) error) (snapStats, error) {
 	if in := chaos.Active(); in != nil {
 		act, delay := in.Decide(chaos.SnapshotWrite)
 		switch act {
@@ -114,11 +114,11 @@ func writeSnapshotFile(dir string, covered uint64, pairs func(emit func(key, val
 	}
 	final := filepath.Join(dir, snapName(covered))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.Create(tmp, false)
 	if err != nil {
 		return snapStats{}, err
 	}
-	defer os.Remove(tmp) // no-op once renamed
+	defer fsys.Remove(tmp) // no-op once renamed
 
 	var st snapStats
 	var buf []byte
@@ -201,20 +201,21 @@ func writeSnapshotFile(dir string, covered uint64, pairs func(emit func(key, val
 	if err := f.Close(); err != nil {
 		return st, err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fsys.Rename(tmp, final); err != nil {
 		return st, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return st, err
 	}
-	// The new snapshot is durable; older ones are dead weight.
-	names, err := snapNames(dir)
+	// The new snapshot is durable; older ones are dead weight. One the
+	// scrubber quarantined concurrently is already gone.
+	names, err := snapNames(fsys, dir)
 	if err != nil {
 		return st, err
 	}
 	for _, n := range names {
 		if n < covered {
-			if err := os.Remove(filepath.Join(dir, snapName(n))); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, snapName(n))); err != nil && !walfs.IsNotExist(err) {
 				return st, err
 			}
 		}
@@ -222,27 +223,15 @@ func writeSnapshotFile(dir string, covered uint64, pairs func(emit func(key, val
 	return st, nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
 // snapNames lists snapshot LSNs in dir, ascending.
-func snapNames(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func snapNames(fsys walfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var names []uint64
-	for _, e := range ents {
-		if n, ok := parseSnapName(e.Name()); ok {
+	for _, name := range ents {
+		if n, ok := parseSnapName(name); ok {
 			names = append(names, n)
 		}
 	}
@@ -256,10 +245,10 @@ func snapNames(dir string) ([]uint64, error) {
 // in favor of the next older one — the rename protocol makes that shape disk
 // corruption, not a normal crash artifact. ok is false when no valid
 // snapshot exists.
-func LoadSnapshot(dir string, emit func(key, val []byte) error) (covered uint64, pairs uint64, ok bool, err error) {
-	names, err := snapNames(dir)
+func LoadSnapshot(fsys walfs.FS, dir string, emit func(key, val []byte) error) (covered uint64, pairs uint64, ok bool, err error) {
+	names, err := snapNames(fsys, dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if walfs.IsNotExist(err) {
 			return 0, 0, false, nil
 		}
 		return 0, 0, false, err
@@ -269,10 +258,10 @@ func LoadSnapshot(dir string, emit func(key, val []byte) error) (covered uint64,
 		path := filepath.Join(dir, snapName(covered))
 		// Validate the whole file before emitting anything, so a corrupt
 		// snapshot cannot half-apply before the fallback to an older one.
-		if _, verr := readSnapshot(path, covered, func(_, _ []byte) error { return nil }); verr != nil {
+		if _, verr := readSnapshot(fsys, path, covered, func(_, _ []byte) error { return nil }); verr != nil {
 			continue
 		}
-		pairs, err = readSnapshot(path, covered, emit)
+		pairs, err = readSnapshot(fsys, path, covered, emit)
 		if err != nil {
 			return 0, 0, false, err
 		}
@@ -281,8 +270,8 @@ func LoadSnapshot(dir string, emit func(key, val []byte) error) (covered uint64,
 	return 0, 0, false, nil
 }
 
-func readSnapshot(path string, covered uint64, emit func(key, val []byte) error) (uint64, error) {
-	b, err := os.ReadFile(path)
+func readSnapshot(fsys walfs.FS, path string, covered uint64, emit func(key, val []byte) error) (uint64, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,100 @@
+// Package walfs is the WAL's storage interface: a minimal virtual filesystem
+// threaded through every file operation the log, snapshot, and recovery code
+// performs. Production uses the OS passthrough (OS()); tests substitute an
+// in-memory filesystem (Mem) that records an operation journal for
+// crash-point exploration, optionally wrapped in a deterministic fault
+// injector (Fault) that produces short/torn writes at sector granularity,
+// ENOSPC, EIO, and fsync-failure-with-dropped-pages.
+//
+// The interface is deliberately narrow — exactly the operations the WAL
+// needs, nothing more — so every durability-relevant syscall is visible to
+// the fault layer and reproducible by the crash-point explorer:
+//
+//   - File writes are append-only. The WAL never seeks or overwrites; a
+//     File is created (or truncated) and written front to back. This is what
+//     makes the ordered-content crash model in Mem sound.
+//   - Namespace operations (Create, Rename, Remove) become durable only when
+//     the containing directory is fsynced (SyncDir). The crash model buffers
+//     them per directory until the SyncDir lands, which is how the explorer
+//     catches rename-before-dir-fsync and segment-create-without-dir-fsync
+//     hazards.
+package walfs
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+)
+
+// SectorSize is the granularity at which the fault layer tears writes: a
+// crashed or failed write persists a prefix that is a whole number of
+// sectors, matching the atomicity real disks provide.
+const SectorSize = 512
+
+// File is an open, append-only WAL file.
+type File interface {
+	// Write appends p to the file (io.Writer contract).
+	Write(p []byte) (int, error)
+	// Writev appends every buffer in bufs, in order, as one vectored write.
+	// Implementations must write all bytes or return an error; a torn
+	// prefix may still have landed (exactly like a failed Write).
+	Writev(bufs [][]byte) error
+	// Sync flushes the file's written bytes to stable storage. After a
+	// failed Sync the durability of everything written since the last
+	// successful Sync is unknown (the kernel may have dropped the dirty
+	// pages); callers must not retry and treat success as durability.
+	Sync() error
+	// Close releases the file. It does not imply Sync.
+	Close() error
+}
+
+// FS is the filesystem surface the WAL runs on. All paths are slash-joined
+// absolute or working-directory-relative paths, exactly as passed to the os
+// package by the production implementation.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens path for appending from scratch. With excl set it fails
+	// with fs.ErrExist (wrapped) when the path already exists; otherwise an
+	// existing file is truncated. The new directory entry is durable only
+	// after SyncDir on the parent.
+	Create(path string, excl bool) (File, error)
+	// ReadFile returns the entire contents of path.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile atomically-enough writes data to path (create or truncate).
+	// Used only for small metadata files; durability still requires SyncDir.
+	WriteFile(path string, data []byte) error
+	// ReadDir lists the entry names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath's file. Durable only
+	// after SyncDir on the parent.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path. Durable only after SyncDir on the parent.
+	Remove(path string) error
+	// Truncate cuts path's file to size bytes (recovery uses it to drop a
+	// torn tail).
+	Truncate(path string, size int64) error
+	// Size returns the byte size of path's file.
+	Size(path string) (int64, error)
+	// SyncDir fsyncs the directory itself, making every entry operation
+	// (Create/Rename/Remove) under it durable.
+	SyncDir(dir string) error
+}
+
+// IsNotExist reports whether err indicates a missing file or directory,
+// across both the OS and in-memory implementations.
+func IsNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}
+
+// IsExist reports whether err indicates an already-existing path.
+func IsExist(err error) bool {
+	return errors.Is(err, fs.ErrExist)
+}
+
+// IsNoSpace reports whether err is an out-of-disk-space condition (ENOSPC or
+// EDQUOT). The store degrades to read-only on it: the device is full for
+// every shard, but reads need no disk.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}

@@ -1,0 +1,446 @@
+package walfs
+
+import (
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// OpKind names one journaled filesystem mutation.
+type OpKind uint8
+
+const (
+	// OpMkdirAll created a directory chain.
+	OpMkdirAll OpKind = iota
+	// OpCreate opened a fresh (or truncated) file for appending.
+	OpCreate
+	// OpWrite appended Data to Path (a Writev journals as one OpWrite of the
+	// concatenated buffers — exactly the bytes a crash could tear).
+	OpWrite
+	// OpSync fsynced Path.
+	OpSync
+	// OpWriteFile wrote Path whole (create-or-truncate + write).
+	OpWriteFile
+	// OpRename moved Path to Path2.
+	OpRename
+	// OpRemove deleted Path.
+	OpRemove
+	// OpTruncate cut Path to Size bytes.
+	OpTruncate
+	// OpSyncDir fsynced the directory Path, committing its entry operations.
+	OpSyncDir
+)
+
+// String returns a short label for the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpMkdirAll:
+		return "mkdirall"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpWriteFile:
+		return "writefile"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return "unknown"
+}
+
+// Op is one journaled mutation: the full trace of a workload's Ops is what
+// the crash-point explorer replays prefix by prefix.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string // rename target
+	Data  []byte // write payload (journal's own copy)
+	Size  int64  // truncate size
+}
+
+// memFile is one in-memory inode.
+type memFile struct {
+	data   []byte
+	synced int // bytes covered by the last successful Sync (fault layer's drop point)
+}
+
+// Mem is an in-memory FS. With recording enabled every mutation is appended
+// to an operation journal; CrashState materializes the filesystem a crash at
+// any journal prefix could leave behind.
+//
+// Crash model (the "ordered" abstract persistence model): content writes
+// persist in journal order — a crash at prefix i keeps every content byte
+// written before i and nothing after (plus, for the torn variants, a
+// sector-aligned prefix of the final write). Namespace operations (create,
+// rename, remove) are buffered per directory and persist only when that
+// directory's SyncDir lands. Exploring every prefix subsumes
+// unsynced-data-loss states: "everything since the last fsync lost" is the
+// crash state at that fsync's own prefix.
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]struct{}
+	rec     bool
+	journal []Op
+}
+
+// NewMem returns an empty in-memory filesystem (not recording).
+func NewMem() *Mem {
+	return &Mem{files: map[string]*memFile{}, dirs: map[string]struct{}{}}
+}
+
+// NewRecordingMem returns an empty in-memory filesystem that journals every
+// mutation for crash-point exploration.
+func NewRecordingMem() *Mem {
+	m := NewMem()
+	m.rec = true
+	return m
+}
+
+// JournalLen returns the number of journaled operations so far. Workloads
+// capture it at each acknowledgment point: an op acked at length n must
+// survive recovery from every crash state at prefix >= n.
+func (m *Mem) JournalLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.journal)
+}
+
+// Journal returns a copy of the journal.
+func (m *Mem) Journal() []Op {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Op(nil), m.journal...)
+}
+
+func (m *Mem) note(op Op) {
+	if m.rec {
+		m.journal = append(m.journal, op)
+	}
+}
+
+func notExist(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: fs.ErrNotExist}
+}
+
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mkdirAllLocked(dir)
+	m.note(Op{Kind: OpMkdirAll, Path: dir})
+	return nil
+}
+
+func (m *Mem) mkdirAllLocked(dir string) {
+	for d := filepath.Clean(dir); ; d = filepath.Dir(d) {
+		m.dirs[d] = struct{}{}
+		if parent := filepath.Dir(d); parent == d {
+			return
+		}
+	}
+}
+
+func (m *Mem) Create(path string, excl bool) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; ok && excl {
+		return nil, &fs.PathError{Op: "create", Path: path, Err: fs.ErrExist}
+	}
+	ino := &memFile{}
+	m.files[path] = ino
+	m.note(Op{Kind: OpCreate, Path: path})
+	return &memHandle{m: m, path: path, ino: ino}, nil
+}
+
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return nil, notExist("open", path)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+func (m *Mem) WriteFile(path string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		ino = &memFile{}
+		m.files[path] = ino
+	}
+	ino.data = append(ino.data[:0], data...)
+	ino.synced = 0
+	m.note(Op{Kind: OpWriteFile, Path: path, Data: append([]byte(nil), data...)})
+	return nil
+}
+
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if _, ok := m.dirs[dir]; !ok {
+		return nil, notExist("open", dir)
+	}
+	seen := map[string]struct{}{}
+	for p := range m.files {
+		if filepath.Dir(p) == dir {
+			seen[filepath.Base(p)] = struct{}{}
+		}
+	}
+	for d := range m.dirs {
+		if d != dir && filepath.Dir(d) == dir {
+			seen[filepath.Base(d)] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = ino
+	m.note(Op{Kind: OpRename, Path: oldpath, Path2: newpath})
+	return nil
+}
+
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return notExist("remove", path)
+	}
+	delete(m.files, path)
+	m.note(Op{Kind: OpRemove, Path: path})
+	return nil
+}
+
+func (m *Mem) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return notExist("truncate", path)
+	}
+	if int(size) < len(ino.data) {
+		ino.data = ino.data[:size]
+	}
+	if ino.synced > len(ino.data) {
+		ino.synced = len(ino.data)
+	}
+	m.note(Op{Kind: OpTruncate, Path: path, Size: size})
+	return nil
+}
+
+func (m *Mem) Size(path string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return 0, notExist("stat", path)
+	}
+	return int64(len(ino.data)), nil
+}
+
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirs[filepath.Clean(dir)]; !ok {
+		return notExist("open", dir)
+	}
+	m.note(Op{Kind: OpSyncDir, Path: dir})
+	return nil
+}
+
+// memHandle is an open Mem file. Writes append to the inode, so a handle
+// stays valid across a concurrent rename of its path (inode semantics).
+type memHandle struct {
+	m      *Mem
+	path   string
+	ino    *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, &fs.PathError{Op: "write", Path: h.path, Err: fs.ErrClosed}
+	}
+	h.ino.data = append(h.ino.data, p...)
+	h.m.note(Op{Kind: OpWrite, Path: h.path, Data: append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (h *memHandle) Writev(bufs [][]byte) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return &fs.PathError{Op: "writev", Path: h.path, Err: fs.ErrClosed}
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	joined := make([]byte, 0, total)
+	for _, b := range bufs {
+		joined = append(joined, b...)
+	}
+	h.ino.data = append(h.ino.data, joined...)
+	h.m.note(Op{Kind: OpWrite, Path: h.path, Data: joined})
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return &fs.PathError{Op: "sync", Path: h.path, Err: fs.ErrClosed}
+	}
+	h.ino.synced = len(h.ino.data)
+	h.m.note(Op{Kind: OpSync, Path: h.path})
+	return nil
+}
+
+// dropUnsynced models a failed fsync dropping the dirty pages: everything
+// written since the last successful Sync is discarded (fsyncgate semantics).
+// The fault layer calls it when injecting a sync failure with page loss.
+func (h *memHandle) dropUnsynced() {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.ino.synced < len(h.ino.data) {
+		h.ino.data = h.ino.data[:h.ino.synced]
+		h.m.note(Op{Kind: OpTruncate, Path: h.path, Size: int64(h.ino.synced)})
+	}
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// pageDropper is implemented by files whose unsynced writes can be discarded
+// to model a failed fsync's page loss.
+type pageDropper interface{ dropUnsynced() }
+
+// CrashState materializes the filesystem a crash immediately after ops[n-1]
+// could leave behind, under the crash model documented on Mem: content
+// writes persist in order; namespace operations persist at their directory's
+// SyncDir. The result is a fresh, non-recording Mem ready to recover from.
+func CrashState(ops []Op) *Mem {
+	return crashState(ops, -1)
+}
+
+// CrashStateTorn is CrashState with the final op — which must be OpWrite or
+// OpWriteFile — torn after keep bytes (callers pick sector multiples).
+func CrashStateTorn(ops []Op, keep int) *Mem {
+	return crashState(ops, keep)
+}
+
+func crashState(ops []Op, tear int) *Mem {
+	type inode struct{ data []byte }
+	cache := map[string]*inode{}   // namespace as the crashed process saw it
+	durable := map[string]*inode{} // namespace as the disk retained it
+	dirs := map[string]struct{}{}
+
+	mkdirs := func(dir string) {
+		for d := filepath.Clean(dir); ; d = filepath.Dir(d) {
+			dirs[d] = struct{}{}
+			if parent := filepath.Dir(d); parent == d {
+				return
+			}
+		}
+	}
+	for i, op := range ops {
+		data := op.Data
+		if tear >= 0 && i == len(ops)-1 {
+			if tear > len(data) {
+				tear = len(data)
+			}
+			data = data[:tear]
+		}
+		switch op.Kind {
+		case OpMkdirAll:
+			// Directory creation is taken as durable immediately: the WAL
+			// creates its directory tree once at boot and recovery re-creates
+			// missing directories, so entry-buffering them adds states the
+			// recovery path trivially handles.
+			mkdirs(op.Path)
+		case OpCreate:
+			cache[op.Path] = &inode{}
+		case OpWrite:
+			ino := cache[op.Path]
+			if ino == nil {
+				ino = &inode{}
+				cache[op.Path] = ino
+			}
+			ino.data = append(ino.data, data...)
+		case OpWriteFile:
+			ino := cache[op.Path]
+			if ino == nil {
+				ino = &inode{}
+				cache[op.Path] = ino
+			}
+			ino.data = append(ino.data[:0], data...)
+		case OpSync:
+			// Content persists in order; the file fsync is a no-op in this
+			// model (its effect is represented by prefix enumeration).
+		case OpRename:
+			if ino := cache[op.Path]; ino != nil {
+				delete(cache, op.Path)
+				cache[op.Path2] = ino
+			}
+		case OpRemove:
+			delete(cache, op.Path)
+		case OpTruncate:
+			if ino := cache[op.Path]; ino != nil && int(op.Size) < len(ino.data) {
+				ino.data = ino.data[:op.Size]
+			}
+		case OpSyncDir:
+			dir := filepath.Clean(op.Path)
+			for p, ino := range cache {
+				if filepath.Dir(p) == dir {
+					durable[p] = ino
+				}
+			}
+			for p := range durable {
+				if filepath.Dir(p) == dir {
+					if _, ok := cache[p]; !ok {
+						delete(durable, p)
+					}
+				}
+			}
+		}
+	}
+
+	out := NewMem()
+	for d := range dirs {
+		out.dirs[d] = struct{}{}
+	}
+	for p, ino := range durable {
+		out.files[p] = &memFile{data: append([]byte(nil), ino.data...)}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package walfs
+
+import (
+	"os"
+	"sort"
+)
+
+// osFS is the production FS: a thin passthrough to the os package. It is
+// stateless; OS() returns a shared instance.
+type osFS struct{}
+
+var theOS FS = osFS{}
+
+// OS returns the production filesystem passthrough.
+func OS() FS { return theOS }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(path string, excl bool) (File, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if excl {
+		flags |= os.O_EXCL
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// osFile wraps *os.File with a vectored write. The iovec (or gather-buffer)
+// scratch lives here and is reused across calls, so the append hot path does
+// not allocate per batch.
+type osFile struct {
+	f   *os.File
+	iow iovScratch
+}
+
+func (f *osFile) Write(p []byte) (int, error) { return f.f.Write(p) }
+func (f *osFile) Sync() error                 { return f.f.Sync() }
+func (f *osFile) Close() error                { return f.f.Close() }

@@ -1,0 +1,254 @@
+package walfs
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+	"testing"
+)
+
+func mustWrite(t *testing.T, f File, data []byte) {
+	t.Helper()
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashStateNamespaceBuffering pins the crash model's core asymmetry:
+// content writes persist in journal order, but directory entries (create,
+// rename, remove) survive a crash only once their directory was fsynced.
+func TestCrashStateNamespaceBuffering(t *testing.T) {
+	m := NewRecordingMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("d/a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("hello"))
+	jNoSyncDir := m.JournalLen()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	jSynced := m.JournalLen()
+	mustWrite(t, f, []byte(" world"))
+	f.Close()
+	ops := m.Journal()
+
+	// Before the dir fsync the file's entry is lost with the crash, even
+	// though its bytes were written.
+	st := CrashState(ops[:jNoSyncDir])
+	if _, err := st.ReadFile("d/a"); !IsNotExist(err) {
+		t.Fatalf("file entry survived a crash before SyncDir: err=%v", err)
+	}
+	// After the dir fsync the entry is durable with all content written so
+	// far — including content written after the SyncDir (ordered model).
+	st = CrashState(ops[:jSynced])
+	if b, err := st.ReadFile("d/a"); err != nil || string(b) != "hello" {
+		t.Fatalf("after SyncDir: %q, %v", b, err)
+	}
+	st = CrashState(ops)
+	if b, err := st.ReadFile("d/a"); err != nil || string(b) != "hello world" {
+		t.Fatalf("full prefix: %q, %v", b, err)
+	}
+}
+
+// TestCrashStateRenameRemove checks rename and remove stay pending until the
+// directory fsync lands, and that a SyncDir commits deletions too.
+func TestCrashStateRenameRemove(t *testing.T) {
+	m := NewRecordingMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("d/old", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("d/old", "d/new"); err != nil {
+		t.Fatal(err)
+	}
+	jRenamed := m.JournalLen()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	ops := m.Journal()
+
+	// Crash between rename and dir fsync: the old name survives.
+	st := CrashState(ops[:jRenamed])
+	if b, err := st.ReadFile("d/old"); err != nil || string(b) != "x" {
+		t.Fatalf("pre-fsync rename: old name gone (%q, %v)", b, err)
+	}
+	if _, err := st.ReadFile("d/new"); !IsNotExist(err) {
+		t.Fatalf("pre-fsync rename: new name visible, err=%v", err)
+	}
+	// After the fsync: new name only.
+	st = CrashState(ops)
+	if _, err := st.ReadFile("d/old"); !IsNotExist(err) {
+		t.Fatalf("post-fsync rename: old name still visible, err=%v", err)
+	}
+	if b, err := st.ReadFile("d/new"); err != nil || string(b) != "x" {
+		t.Fatalf("post-fsync rename: (%q, %v)", b, err)
+	}
+}
+
+// TestCrashStateTorn tears the final write at sector granularity.
+func TestCrashStateTorn(t *testing.T) {
+	m := NewRecordingMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("d/a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*SectorSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	mustWrite(t, f, data)
+	f.Close()
+	ops := m.Journal()
+
+	st := CrashStateTorn(ops, SectorSize)
+	b, err := st.ReadFile("d/a")
+	if err != nil || len(b) != SectorSize {
+		t.Fatalf("torn state: %d bytes, %v; want %d", len(b), err, SectorSize)
+	}
+	for i := range b {
+		if b[i] != byte(i) {
+			t.Fatalf("torn state byte %d = %d, want prefix of the write", i, b[i])
+		}
+	}
+}
+
+// TestFaultWriteBudget checks the ENOSPC model: a failing write lands only a
+// sector-aligned prefix, later writes fail outright, and clearing the budget
+// restores service.
+func TestFaultWriteBudget(t *testing.T) {
+	mem := NewMem()
+	flt := NewFault(mem)
+	if err := flt.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := flt.Create("d/a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt.SetWriteBudget(700)
+	if _, err := f.Write(make([]byte, 1000)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget: %v, want ENOSPC", err)
+	}
+	if !IsNoSpace(errSurface(f.Write([]byte("x")))) {
+		t.Fatal("IsNoSpace(zero-budget write) = false")
+	}
+	if size, _ := mem.Size("d/a"); size != 512 {
+		t.Fatalf("torn ENOSPC write landed %d bytes, want the sector-aligned 512", size)
+	}
+	if err := f.Writev([][]byte{make([]byte, 100)}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("writev with exhausted budget: %v, want ENOSPC", err)
+	}
+	flt.ClearWriteBudget()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func errSurface(_ int, err error) error { return err }
+
+// TestFaultSyncFailure checks the fsyncgate model: a one-shot sync fault
+// fires once, optionally dropping the unsynced pages first.
+func TestFaultSyncFailure(t *testing.T) {
+	mem := NewMem()
+	flt := NewFault(mem)
+	if err := flt.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := flt.Create("d/a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte(" dropped"))
+	flt.FailNextSync("d/a", syscall.EIO, true)
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("armed sync: %v, want EIO", err)
+	}
+	if b, _ := mem.ReadFile("d/a"); string(b) != "durable" {
+		t.Fatalf("after dropped fsync: %q, want only the synced prefix", b)
+	}
+	// One-shot: the next sync succeeds.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after one-shot fault: %v", err)
+	}
+	f.Close()
+}
+
+// TestFaultFailPath checks the persistent per-path fault used to model a
+// dying device under one shard.
+func TestFaultFailPath(t *testing.T) {
+	mem := NewMem()
+	flt := NewFault(mem)
+	if err := flt.MkdirAll("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := flt.MkdirAll("b"); err != nil {
+		t.Fatal(err)
+	}
+	flt.FailPath("a/", syscall.EIO)
+	if _, err := flt.Create("a/x", true); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("create under failed path: %v, want EIO", err)
+	}
+	if err := flt.WriteFile("a/y", []byte("z")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("writefile under failed path: %v, want EIO", err)
+	}
+	f, err := flt.Create("b/x", true)
+	if err != nil {
+		t.Fatalf("create outside failed path: %v", err)
+	}
+	mustWrite(t, f, []byte("ok"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	flt.ClearPathFaults()
+	if _, err := flt.Create("a/x", true); err != nil {
+		t.Fatalf("create after ClearPathFaults: %v", err)
+	}
+}
+
+// TestMemErrors pins the error identities helpers rely on.
+func TestMemErrors(t *testing.T) {
+	m := NewMem()
+	if _, err := m.ReadFile("nope"); !IsNotExist(err) || !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadFile missing: %v", err)
+	}
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("d/a", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("d/a", true); !IsExist(err) {
+		t.Fatalf("exclusive create over existing: %v", err)
+	}
+	if _, err := m.ReadDir("missing"); !IsNotExist(err) {
+		t.Fatalf("ReadDir missing: %v", err)
+	}
+	names, err := m.ReadDir("d")
+	if err != nil || len(names) != 1 || names[0] != "a" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if !IsNoSpace(syscall.ENOSPC) || !IsNoSpace(syscall.EDQUOT) || IsNoSpace(syscall.EIO) {
+		t.Fatal("IsNoSpace identities wrong")
+	}
+}

@@ -1,0 +1,28 @@
+//go:build !linux
+
+package walfs
+
+// iovScratch is the file's reusable gather buffer.
+type iovScratch struct {
+	buf []byte
+}
+
+// Writev gathers the buffers into one reusable buffer and writes it with a
+// single Write call — the portable stand-in for writev(2).
+func (f *osFile) Writev(bufs [][]byte) error {
+	total := 0
+	for _, p := range bufs {
+		total += len(p)
+	}
+	b := f.iow.buf
+	if cap(b) < total {
+		b = make([]byte, 0, total)
+	}
+	b = b[:0]
+	for _, p := range bufs {
+		b = append(b, p...)
+	}
+	f.iow.buf = b
+	_, err := f.f.Write(b)
+	return err
+}

@@ -1,6 +1,6 @@
 //go:build linux
 
-package wal
+package walfs
 
 import (
 	"fmt"
@@ -8,30 +8,26 @@ import (
 	"unsafe"
 )
 
-// iovMax caps records per vectored write: linux guarantees IOV_MAX >= 1024.
-const iovMax = 1024
-
-// iovScratch is the appender's reusable iovec table.
+// iovScratch is the file's reusable iovec table.
 type iovScratch struct {
 	iovs []syscall.Iovec
 }
 
-// writeChunk writes every frame in chunk to the active segment with a single
-// writev(2), looping only on short writes and EINTR. Appender only — l.f is
-// stable for the duration (rotation happens between chunks, on the same
-// goroutine).
-func (l *Log) writeChunk(chunk []*Enc, total int) error {
-	iovs := l.iow.iovs[:0]
-	for _, e := range chunk {
-		if len(e.buf) == 0 {
+// Writev appends every buffer in bufs with a single writev(2), looping only
+// on short writes and EINTR. Callers serialize writes per file (the WAL's
+// appender goroutine owns all file I/O), so the scratch table never races.
+func (f *osFile) Writev(bufs [][]byte) error {
+	iovs := f.iow.iovs[:0]
+	for _, b := range bufs {
+		if len(b) == 0 {
 			continue
 		}
-		iov := syscall.Iovec{Base: &e.buf[0]}
-		iov.SetLen(len(e.buf))
+		iov := syscall.Iovec{Base: &b[0]}
+		iov.SetLen(len(b))
 		iovs = append(iovs, iov)
 	}
-	l.iow.iovs = iovs
-	fd := l.f.Fd()
+	f.iow.iovs = iovs
+	fd := f.f.Fd()
 	for len(iovs) > 0 {
 		n, _, errno := syscall.Syscall(syscall.SYS_WRITEV, fd, uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)))
 		if errno != 0 {
@@ -54,6 +50,5 @@ func (l *Log) writeChunk(chunk []*Enc, total int) error {
 			k = 0
 		}
 	}
-	_ = total
 	return nil
 }
